@@ -1,0 +1,75 @@
+// Micro-benchmarks for the simplex solver (S4) and the LP baseline (S16). These
+// are the denominators of experiment E8's "combinatorial vs LP" comparison.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "mpss/lp/lp_baseline.hpp"
+#include "mpss/lp/simplex.hpp"
+#include "mpss/util/random.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace {
+
+using namespace mpss;
+
+/// Random dense-ish transportation problem with `size` supplies and demands.
+LpProblem transportation(std::size_t size, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  LpProblem lp;
+  lp.num_vars = size * size;
+  lp.objective.resize(lp.num_vars);
+  for (double& c : lp.objective) c = rng.uniform(1.0, 10.0);
+  std::vector<double> supply(size), demand(size);
+  double total = 0.0;
+  for (std::size_t i = 0; i < size; ++i) {
+    supply[i] = static_cast<double>(rng.uniform_int(5, 20));
+    total += supply[i];
+  }
+  double left = total;
+  for (std::size_t j = 0; j + 1 < size; ++j) {
+    demand[j] = std::floor(left / static_cast<double>(size - j));
+    left -= demand[j];
+  }
+  demand[size - 1] = left;
+  for (std::size_t i = 0; i < size; ++i) {
+    std::vector<std::pair<std::size_t, double>> row;
+    for (std::size_t j = 0; j < size; ++j) row.emplace_back(i * size + j, 1.0);
+    lp.add_row(std::move(row), Relation::kEqual, supply[i]);
+  }
+  for (std::size_t j = 0; j < size; ++j) {
+    std::vector<std::pair<std::size_t, double>> row;
+    for (std::size_t i = 0; i < size; ++i) row.emplace_back(i * size + j, 1.0);
+    lp.add_row(std::move(row), Relation::kEqual, demand[j]);
+  }
+  return lp;
+}
+
+void BM_SimplexTransportation(benchmark::State& state) {
+  auto size = static_cast<std::size_t>(state.range(0));
+  LpProblem lp = transportation(size, 3);
+  for (auto _ : state) {
+    auto solution = solve_lp(lp);
+    if (solution.status != LpSolution::Status::kOptimal) state.SkipWithError("not optimal");
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_SimplexTransportation)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_LpBaseline(benchmark::State& state) {
+  auto jobs = static_cast<std::size_t>(state.range(0));
+  auto grid = static_cast<std::size_t>(state.range(1));
+  Instance instance = generate_uniform({.jobs = jobs, .machines = 2,
+                                        .horizon = 2 * static_cast<std::int64_t>(jobs),
+                                        .max_window = 6, .max_work = 4}, 5);
+  AlphaPower p(2.0);
+  for (auto _ : state) {
+    auto result = lp_baseline(instance, p, grid);
+    if (result.status != LpSolution::Status::kOptimal) state.SkipWithError("LP failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LpBaseline)->Args({4, 8})->Args({6, 8})->Args({6, 16})->Args({8, 16});
+
+}  // namespace

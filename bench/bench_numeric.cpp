@@ -1,0 +1,93 @@
+// Micro-benchmarks for the exact-arithmetic substrate (S1/S2): the cost model
+// behind every flow computation in the offline algorithm.
+
+#include <benchmark/benchmark.h>
+
+#include "mpss/util/bigint.hpp"
+#include "mpss/util/random.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace {
+
+using mpss::BigInt;
+using mpss::Q;
+
+BigInt random_bigint(mpss::Xoshiro256& rng, int limbs) {
+  BigInt out(1);
+  for (int i = 0; i < limbs; ++i) {
+    out = out * BigInt(static_cast<std::int64_t>(rng() >> 1)) + BigInt(1);
+  }
+  return out;
+}
+
+void BM_BigIntMultiply(benchmark::State& state) {
+  mpss::Xoshiro256 rng(1);
+  BigInt a = random_bigint(rng, static_cast<int>(state.range(0)));
+  BigInt b = random_bigint(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMultiply)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BigIntDivmod(benchmark::State& state) {
+  mpss::Xoshiro256 rng(2);
+  BigInt num = random_bigint(rng, static_cast<int>(2 * state.range(0)));
+  BigInt den = random_bigint(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::divmod(num, den));
+  }
+}
+BENCHMARK(BM_BigIntDivmod)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BigIntGcd(benchmark::State& state) {
+  mpss::Xoshiro256 rng(3);
+  BigInt a = random_bigint(rng, static_cast<int>(state.range(0)));
+  BigInt b = random_bigint(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::gcd(a, b));
+  }
+}
+BENCHMARK(BM_BigIntGcd)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_BigIntToString(benchmark::State& state) {
+  mpss::Xoshiro256 rng(4);
+  BigInt a = random_bigint(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.to_string());
+  }
+}
+BENCHMARK(BM_BigIntToString)->Arg(4)->Arg(32);
+
+void BM_RationalAdd(benchmark::State& state) {
+  // Denominator sizes typical of interval arithmetic in the scheduler.
+  mpss::Xoshiro256 rng(5);
+  Q a(rng.uniform_int(1, 1 << 20), rng.uniform_int(1, 1 << 20));
+  Q b(rng.uniform_int(1, 1 << 20), rng.uniform_int(1, 1 << 20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a + b);
+  }
+}
+BENCHMARK(BM_RationalAdd);
+
+void BM_RationalCompare(benchmark::State& state) {
+  Q a(123456789, 987654321);
+  Q b(123456790, 987654321);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a < b);
+  }
+}
+BENCHMARK(BM_RationalCompare);
+
+void BM_HarmonicSum(benchmark::State& state) {
+  // Worst-case denominator growth: sum of 1/k.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Q sum;
+    for (int k = 1; k <= n; ++k) sum += Q(1, k);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_HarmonicSum)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Micro-benchmarks for the offline algorithms: the paper's combinatorial optimal
+// scheduler (Theorem 1) scaling in n and m, plus YDS and the feasibility checker.
+
+#include <benchmark/benchmark.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/core/optimal_fast.hpp"
+#include "mpss/core/yds.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace {
+
+using namespace mpss;
+
+Instance bench_instance(std::size_t jobs, std::size_t machines, std::uint64_t seed) {
+  return generate_uniform({.jobs = jobs, .machines = machines,
+                           .horizon = 2 * static_cast<std::int64_t>(jobs),
+                           .max_window = 10, .max_work = 8}, seed);
+}
+
+void BM_OptimalScheduleByJobs(benchmark::State& state) {
+  Instance instance = bench_instance(static_cast<std::size_t>(state.range(0)), 4, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_schedule(instance));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OptimalScheduleByJobs)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_OptimalScheduleByMachines(benchmark::State& state) {
+  Instance instance = bench_instance(32, static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_schedule(instance));
+  }
+}
+BENCHMARK(BM_OptimalScheduleByMachines)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_LaminarDeepPhases(benchmark::State& state) {
+  // Laminar instances maximize the number of distinct speed levels (phases).
+  Instance instance = generate_laminar({.jobs = static_cast<std::size_t>(state.range(0)),
+                                        .machines = 2, .depth = 5, .max_work = 12}, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_schedule(instance));
+  }
+}
+BENCHMARK(BM_LaminarDeepPhases)->Arg(16)->Arg(32);
+
+void BM_OptimalScheduleFastByJobs(benchmark::State& state) {
+  // The double-precision engine on the same instances as the exact benchmark.
+  Instance instance = bench_instance(static_cast<std::size_t>(state.range(0)), 4, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_schedule_fast(instance));
+  }
+}
+BENCHMARK(BM_OptimalScheduleFastByJobs)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Yds(benchmark::State& state) {
+  Instance instance = bench_instance(static_cast<std::size_t>(state.range(0)), 1, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(yds_schedule(instance));
+  }
+}
+BENCHMARK(BM_Yds)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FeasibilityChecker(benchmark::State& state) {
+  Instance instance = bench_instance(static_cast<std::size_t>(state.range(0)), 4, 5);
+  auto result = optimal_schedule(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_schedule(instance, result.schedule));
+  }
+}
+BENCHMARK(BM_FeasibilityChecker)->Arg(16)->Arg(64);
+
+void BM_EnergyMeasurement(benchmark::State& state) {
+  Instance instance = bench_instance(64, 4, 6);
+  auto result = optimal_schedule(instance);
+  AlphaPower p(2.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(result.schedule.energy(p));
+  }
+}
+BENCHMARK(BM_EnergyMeasurement);
+
+}  // namespace

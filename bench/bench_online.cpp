@@ -1,0 +1,57 @@
+// Micro-benchmarks for the online algorithms: OA(m) (one offline solve per
+// arrival) and AVR(m) (per-unit-interval density balancing), plus BKP.
+
+#include <benchmark/benchmark.h>
+
+#include "mpss/online/avr.hpp"
+#include "mpss/online/bkp.hpp"
+#include "mpss/online/oa.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace {
+
+using namespace mpss;
+
+Instance bench_instance(std::size_t jobs, std::size_t machines, std::uint64_t seed) {
+  return generate_uniform({.jobs = jobs, .machines = machines,
+                           .horizon = 2 * static_cast<std::int64_t>(jobs),
+                           .max_window = 10, .max_work = 8}, seed);
+}
+
+void BM_OaSchedule(benchmark::State& state) {
+  Instance instance = bench_instance(static_cast<std::size_t>(state.range(0)), 4, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oa_schedule(instance));
+  }
+}
+BENCHMARK(BM_OaSchedule)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AvrSchedule(benchmark::State& state) {
+  Instance instance = bench_instance(static_cast<std::size_t>(state.range(0)), 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avr_schedule(instance));
+  }
+}
+BENCHMARK(BM_AvrSchedule)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_AvrLongHorizon(benchmark::State& state) {
+  // AVR cost scales with the horizon (one decision per unit interval).
+  Instance instance = generate_periodic({.tasks = 6, .machines = 4,
+                                         .hyperperiods = state.range(0),
+                                         .max_work = 5}, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avr_schedule(instance));
+  }
+}
+BENCHMARK(BM_AvrLongHorizon)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_BkpSchedule(benchmark::State& state) {
+  Instance instance = bench_instance(12, 1, 4);
+  auto steps = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bkp_schedule(instance, 2.0, steps));
+  }
+}
+BENCHMARK(BM_BkpSchedule)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Experiment E12 (ablations): what breaks when the paper's design choices are
+// switched off.
+//
+//   (a) Offline algorithm, Lemma 4's removal rule -> random candidate removal:
+//       schedules stay feasible (flow certificates) but energy degrades and the
+//       phase structure can collapse entirely.
+//   (b) AVR(m), Fig. 3's max-density peel-off -> plain uniform smear: schedules
+//       become INFEASIBLE whenever one job is denser than the average load (a
+//       job lands on two processors at once).
+//
+// These are negative controls: they demonstrate the design choices carry weight,
+// not just style.
+
+#include <iostream>
+
+#include "exp_common.hpp"
+#include "mpss/core/optimal.hpp"
+#include "mpss/online/avr.hpp"
+#include "mpss/util/error.hpp"
+#include "mpss/util/random.hpp"
+#include "mpss/util/stats.hpp"
+#include "mpss/workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpss;
+  CliArgs args(argc, argv, {"quick", "seeds"});
+  const bool quick = args.get_bool("quick", false);
+  const auto seeds = static_cast<std::uint64_t>(args.get_int("seeds", quick ? 8 : 20));
+  AlphaPower p(2.0);
+
+  exp::banner("E12: ablations of the paper's design choices",
+              "Negative controls: Lemma 4's removal rule protects optimality; "
+              "Fig. 3's peel-off protects feasibility.");
+
+  std::cout << "(a) job-removal rule in the offline algorithm (laminar workloads):\n";
+  RunningStats overhead;
+  std::size_t crashed = 0, suboptimal = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    Instance instance = generate_laminar({.jobs = 12, .machines = 2, .depth = 3,
+                                          .max_work = 8}, seed);
+    double exact = optimal_energy(instance, p);
+    OptimalOptions ablated;
+    ablated.removal_policy = OptimalOptions::RemovalPolicy::kRandomCandidate;
+    ablated.ablation_seed = seed;
+    try {
+      auto result = optimal_schedule(instance, ablated);
+      double ratio = result.schedule.energy(p) / exact;
+      overhead.add(ratio);
+      if (ratio > 1.0 + 1e-9) ++suboptimal;
+    } catch (const InternalError&) {
+      ++crashed;  // candidate set emptied: the invariant J_i <= J was destroyed
+    }
+  }
+  Table removal({"variant", "suboptimal runs", "collapsed runs", "mean ratio",
+                 "worst ratio"});
+  removal.row(std::string("Lemma 4 rule (paper)"), 0, 0, 1.0, 1.0);
+  removal.row(std::string("random removal (ablated)"), suboptimal, crashed,
+              overhead.count() ? overhead.mean() : 0.0,
+              overhead.count() ? overhead.max() : 0.0);
+  removal.print(std::cout);
+  bool removal_ok = suboptimal + crashed >= seeds / 4;
+
+  std::cout << "\n(b) AVR(m) peel-off (instances with one dominant-density job):\n";
+  std::size_t infeasible_without_peel = 0, feasible_with_peel = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    Xoshiro256 rng(seed);
+    // 1 dominant job + 3 light ones per unit window, 2 machines.
+    std::vector<Job> jobs{Job{Q(0), Q(1), Q(rng.uniform_int(8, 14))}};
+    for (int i = 0; i < 3; ++i) jobs.push_back(Job{Q(0), Q(1), Q(rng.uniform_int(1, 2))});
+    Instance instance(jobs, 2);
+    if (check_schedule(instance, avr_schedule(instance).schedule).feasible) {
+      ++feasible_with_peel;
+    }
+    auto ablated = avr_schedule(instance, AvrOptions{.enable_peeling = false});
+    if (!check_schedule(instance, ablated.schedule).feasible) {
+      ++infeasible_without_peel;
+    }
+  }
+  Table peel({"variant", "feasible", "infeasible"});
+  peel.row(std::string("with peel-off (paper)"), feasible_with_peel,
+           seeds - feasible_with_peel);
+  peel.row(std::string("uniform smear (ablated)"), seeds - infeasible_without_peel,
+           infeasible_without_peel);
+  peel.print(std::cout);
+  bool peel_ok = feasible_with_peel == seeds && infeasible_without_peel == seeds;
+
+  exp::verdict(removal_ok && peel_ok,
+               "E12 reproduced: ablating either mechanism visibly breaks exactly "
+               "the property its correctness proof protects.");
+  return removal_ok && peel_ok ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+#pragma once
+// Shared helpers for the exp_* experiment binaries. Each binary regenerates one
+// table of EXPERIMENTS.md; they all accept --quick (smaller sweeps) and --seeds.
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "mpss/util/cli.hpp"
+#include "mpss/util/table.hpp"
+
+namespace mpss::exp {
+
+/// Wall-clock seconds for a callable.
+template <typename F>
+double timed_seconds(F&& body) {
+  auto start = std::chrono::steady_clock::now();
+  body();
+  std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+/// Prints the experiment banner all tables share.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "=== " << id << " ===\n" << claim << "\n\n";
+}
+
+inline void verdict(bool ok, const std::string& message) {
+  std::cout << "\n[" << (ok ? "PASS" : "FAIL") << "] " << message << "\n";
+}
+
+}  // namespace mpss::exp

@@ -1,0 +1,62 @@
+// Experiment E16: one schedule, every convex power function (the Section 2
+// guarantee the paper highlights over prior work restricted to s^alpha).
+//
+// The combinatorial algorithm never evaluates P; its output minimizes energy for
+// EVERY convex non-decreasing power function simultaneously (the S'_OPT
+// tie-breaking argument). Evidence: the SAME schedule, measured under four very
+// different convex P, always lands inside [independent lower bound, LP upper
+// bound] computed per power function.
+
+#include <iostream>
+
+#include "exp_common.hpp"
+#include "mpss/core/lower_bounds.hpp"
+#include "mpss/core/optimal.hpp"
+#include "mpss/lp/lp_baseline.hpp"
+#include "mpss/workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpss;
+  CliArgs args(argc, argv, {"quick", "seeds"});
+  const bool quick = args.get_bool("quick", false);
+  const auto seeds = static_cast<std::uint64_t>(args.get_int("seeds", quick ? 3 : 6));
+
+  exp::banner("E16: optimality for general convex power functions",
+              "Claim (Sec. 2): the computed schedule is optimal for every convex "
+              "non-decreasing P at once -- P never enters the algorithm.");
+
+  AlphaPower square(2.0);
+  AlphaPower nearly_linear(1.1);
+  CubicPlusLeakagePower cmos(1.0, 0.5, 0.0);
+  PiecewiseLinearPower piecewise({{0, 0}, {1, 1}, {2, 4}, {4, 16}, {8, 64}});
+  const PowerFunction* functions[] = {&square, &nearly_linear, &cmos, &piecewise};
+
+  Table table({"seed", "P", "lower bound", "schedule energy", "LP upper (grid 24)",
+               "inside"});
+  bool all_ok = true;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    Instance instance = generate_uniform({.jobs = 6, .machines = 2, .horizon = 12,
+                                          .max_window = 6, .max_work = 5}, seed);
+    auto result = optimal_schedule(instance);  // ONE schedule for all P below
+    double top = result.schedule.max_speed().to_double() * 1.01;
+    for (const PowerFunction* p : functions) {
+      double energy = result.schedule.energy(*p);
+      double lower = density_lower_bound(instance, *p);
+      auto lp = lp_baseline(instance, *p, 24, top);
+      bool inside = lp.status == LpSolution::Status::kOptimal &&
+                    energy >= lower - 1e-9 && energy <= lp.energy + 1e-6;
+      all_ok &= inside;
+      table.row(seed, p->name(), lower, energy, lp.energy,
+                inside ? std::string("yes") : std::string("NO"));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(the schedule column was computed ONCE per seed; each row "
+               "re-measures it under a different convex P)\n";
+
+  exp::verdict(all_ok,
+               "E16 reproduced: a single power-function-oblivious schedule sits "
+               "inside the [lower bound, LP optimum] bracket for every convex P "
+               "tested.");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Experiment E2b: Theorem 2's potential-function argument, executed.
+//
+// The proof of Theorem 2 hinges on the invariant E_OA(t) + Phi(t) <= a^a E_OPT(t)
+// with the refined two-term potential (see online/potential.hpp). This harness
+// replays OA against the exact optimum across workloads and prints the tightest
+// slack observed -- a direct numerical witness of the analysis.
+
+#include <iostream>
+
+#include "exp_common.hpp"
+#include "mpss/online/potential.hpp"
+#include "mpss/util/stats.hpp"
+#include "mpss/util/thread_pool.hpp"
+#include "mpss/workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpss;
+  CliArgs args(argc, argv, {"quick", "seeds"});
+  const bool quick = args.get_bool("quick", false);
+  const auto seeds = static_cast<std::uint64_t>(args.get_int("seeds", quick ? 3 : 8));
+
+  exp::banner("E2b: the Theorem 2 potential invariant",
+              "Claim: E_OA(t) + Phi(t) <= alpha^alpha * E_OPT(t) at all times, "
+              "with Phi built from OA's speed sets and OPT's remaining work.");
+
+  struct Cell {
+    double alpha;
+    std::size_t machines;
+    bool holds = true;
+    double min_slack = 0.0;
+    double final_phi = 0.0;
+    std::size_t samples = 0;
+  };
+  std::vector<Cell> cells;
+  for (double alpha : {1.5, 2.0, 3.0}) {
+    for (std::size_t m : {1u, 2u, 4u}) cells.push_back({alpha, m, true, 1e300, 0.0, 0});
+  }
+
+  parallel_for(cells.size(), [&](std::size_t index) {
+    Cell& cell = cells[index];
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      Instance instance = generate_bursty({.bursts = 3, .jobs_per_burst = 3,
+                                           .machines = cell.machines, .horizon = 18,
+                                           .burst_window = 4, .max_work = 5}, seed);
+      auto trace = oa_potential_trace(instance, cell.alpha, 1e-7);
+      cell.holds &= trace.invariant_holds;
+      cell.samples += trace.samples.size();
+      cell.final_phi = std::max(cell.final_phi, std::abs(trace.final_potential));
+      for (const auto& sample : trace.samples) {
+        cell.min_slack = std::min(cell.min_slack, sample.slack);
+      }
+    }
+  });
+
+  Table table({"alpha", "m", "samples", "min slack", "|final Phi|", "invariant"});
+  bool all_ok = true;
+  for (const Cell& cell : cells) {
+    all_ok &= cell.holds && cell.final_phi < 1e-6;
+    table.row(cell.alpha, cell.machines, cell.samples, cell.min_slack, cell.final_phi,
+              cell.holds ? std::string("holds") : std::string("VIOLATED"));
+  }
+  table.print(std::cout);
+  std::cout << "\n(min slack >= 0 means the invariant never came closer than that "
+               "to breaking; Phi returns to ~0 at the horizon, recovering "
+               "Theorem 2 exactly)\n";
+
+  exp::verdict(all_ok, "E2b reproduced: the refined potential's invariant holds at "
+                       "every sampled time across alpha, m and seeds.");
+  return all_ok ? 0 : 1;
+}

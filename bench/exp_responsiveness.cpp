@@ -1,0 +1,89 @@
+// Experiment E15: the energy/responsiveness trade-off.
+//
+// The paper's model cares only about deadlines and energy; energy-optimal
+// schedules therefore procrastinate -- work is stretched toward deadlines at the
+// lowest feasible speeds. This harness replays each strategy's schedule through
+// the executor (S35) and tabulates energy ratio vs mean/max flow time, plus the
+// effect of race-to-idle (which buys responsiveness *and* sleep-state energy).
+
+#include <iostream>
+
+#include "exp_common.hpp"
+#include "mpss/core/optimal.hpp"
+#include "mpss/ext/sleep.hpp"
+#include "mpss/nomig/nonmigratory.hpp"
+#include "mpss/online/avr.hpp"
+#include "mpss/online/oa.hpp"
+#include "mpss/sim/executor.hpp"
+#include "mpss/util/stats.hpp"
+#include "mpss/workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpss;
+  CliArgs args(argc, argv, {"quick", "seeds"});
+  const bool quick = args.get_bool("quick", false);
+  const auto seeds = static_cast<std::uint64_t>(args.get_int("seeds", quick ? 4 : 10));
+  AlphaPower p(3.0);
+
+  exp::banner("E15: energy vs responsiveness",
+              "Energy-optimal schedules procrastinate by design; racing to the "
+              "sleep-critical speed recovers responsiveness without violating "
+              "anything.");
+
+  struct Row {
+    const char* name;
+    RunningStats energy_ratio;
+    RunningStats mean_flow;
+    RunningStats max_flow;
+  };
+  Row rows[] = {{"OPT (migratory)", {}, {}, {}},
+                {"OPT raced to s_crit", {}, {}, {}},
+                {"OA(m)", {}, {}, {}},
+                {"AVR(m)", {}, {}, {}},
+                {"no-migration greedy", {}, {}, {}}};
+  bool all_ok = true;
+
+  SleepModel sleep_model{3.0, 1.0};
+  Q floor = critical_speed_rational(sleep_model);
+
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    Instance instance = generate_uniform({.jobs = 12, .machines = 3, .horizon = 30,
+                                          .max_window = 15, .max_work = 6}, seed);
+    auto opt = optimal_schedule(instance);
+    double e_opt = opt.schedule.energy(p);
+    Schedule raced = race_to_idle(opt.schedule, floor);
+    auto oa = oa_schedule(instance);
+    auto avr = avr_schedule(instance);
+    auto greedy = nonmigratory_greedy(instance, p);
+
+    const Schedule* schedules[] = {&opt.schedule, &raced, &oa.schedule,
+                                   &avr.schedule, &greedy.schedule};
+    for (int i = 0; i < 5; ++i) {
+      auto trace = execute_schedule(instance, *schedules[i]);
+      all_ok &= trace.consistent();
+      rows[i].energy_ratio.add(schedules[i]->energy(p) / e_opt);
+      rows[i].mean_flow.add(trace.mean_flow_time());
+      rows[i].max_flow.add(trace.max_flow_time().to_double());
+    }
+  }
+
+  Table table({"strategy", "energy/OPT (mean)", "mean flow time", "max flow time"});
+  for (const Row& row : rows) {
+    table.row(std::string(row.name), row.energy_ratio.mean(), row.mean_flow.mean(),
+              row.max_flow.mean());
+  }
+  table.print(std::cout);
+
+  // The structural claims: racing shortens flow times vs plain OPT, and all
+  // schedules are consistent under execution.
+  bool racing_helps = rows[1].mean_flow.mean() <= rows[0].mean_flow.mean() + 1e-9;
+  all_ok &= racing_helps;
+  std::cout << "\n(racing to s_crit = " << floor
+            << " cuts mean flow time while its raw dynamic energy rises -- "
+               "worth it exactly when a sleep state exists, see E11)\n";
+
+  exp::verdict(all_ok, "E15 reproduced: all schedules execute consistently; "
+                       "energy-optimal strategies procrastinate; race-to-idle "
+                       "trades dynamic energy for responsiveness.");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Scenario: how much does clairvoyance buy? Races the online algorithms OA(m) and
+// AVR(m) against the offline optimum while the power exponent alpha sweeps across
+// the range hardware models care about (1.5 ... 3 covers the cube-root rule).
+//
+// For each alpha, the empirical competitive ratio is printed next to the paper's
+// worst-case guarantee (Theorems 2 and 3), illustrating how loose worst-case
+// bounds are on ordinary workloads.
+//
+// Usage: ./build/examples/online_race [--jobs=14] [--machines=4] [--seeds=10]
+
+#include <iostream>
+
+#include "mpss/mpss.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpss;
+  CliArgs args(argc, argv, {"jobs", "machines", "seeds"});
+  auto jobs = static_cast<std::size_t>(args.get_int("jobs", 14));
+  auto machines = static_cast<std::size_t>(args.get_int("machines", 4));
+  auto seeds = static_cast<std::uint64_t>(args.get_int("seeds", 10));
+
+  std::cout << "online race: " << jobs << " jobs, " << machines << " machines, "
+            << seeds << " seeds per alpha\n\n";
+
+  Table table({"alpha", "OA mean", "OA max", "OA bound", "AVR mean", "AVR max",
+               "AVR bound"});
+  for (double alpha : {1.5, 2.0, 2.5, 3.0}) {
+    AlphaPower p(alpha);
+    RunningStats oa_ratio, avr_ratio;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      Instance instance = generate_uniform(
+          {.jobs = jobs, .machines = machines, .horizon = 30,
+           .max_window = 12, .max_work = 9}, seed);
+      double opt = optimal_energy(instance, p);
+      oa_ratio.add(oa_energy(instance, p) / opt);
+      avr_ratio.add(avr_energy(instance, p) / opt);
+    }
+    table.row(alpha, oa_ratio.mean(), oa_ratio.max(), oa_competitive_bound(alpha),
+              avr_ratio.mean(), avr_ratio.max(), avr_multi_competitive_bound(alpha));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nadversarial workload for AVR (expiring stack, m = 1):\n";
+  Table adversarial({"n", "AVR ratio", "Theorem 3 bound (alpha=2)"});
+  AlphaPower square(2.0);
+  for (std::size_t n : {4u, 8u, 16u, 32u}) {
+    Instance instance = generate_avr_adversary(n, 1);
+    double ratio = avr_energy(instance, square) / optimal_energy(instance, square);
+    adversarial.row(n, ratio, avr_multi_competitive_bound(2.0));
+  }
+  adversarial.print(std::cout);
+  std::cout << "\n(the ratio climbs with n: AVR pays for ignoring future arrivals)\n";
+  return 0;
+}

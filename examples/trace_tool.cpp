@@ -1,0 +1,150 @@
+// trace_tool: a small command-line utility around the library -- generate
+// workload traces, inspect them, schedule them with any algorithm, and render or
+// archive the result. The kind of tool a downstream user scripts against.
+//
+// Subcommands (first positional argument):
+//   gen   --family=uniform|bursty|laminar|agreeable|periodic --out=trace.csv
+//         [--jobs=12] [--machines=4] [--seed=1]
+//   info  <trace.csv>
+//   run   <trace.csv> --algo=opt|oa|avr|greedy [--alpha=3]
+//         [--gantt] [--save=schedule.csv]
+//
+// Examples:
+//   trace_tool gen --family=bursty --jobs=16 --machines=4 --out=/tmp/t.csv
+//   trace_tool info /tmp/t.csv
+//   trace_tool run /tmp/t.csv --algo=opt --gantt
+
+#include <iostream>
+
+#include "mpss/mpss.hpp"
+
+namespace {
+
+using namespace mpss;
+
+int cmd_gen(const CliArgs& args) {
+  std::string family = args.get("family", "uniform");
+  auto jobs = static_cast<std::size_t>(args.get_int("jobs", 12));
+  auto machines = static_cast<std::size_t>(args.get_int("machines", 4));
+  auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  std::string out = args.get("out", "trace.csv");
+
+  Instance instance = [&] {
+    if (family == "uniform") {
+      return generate_uniform({.jobs = jobs, .machines = machines,
+                               .horizon = 3 * static_cast<std::int64_t>(jobs),
+                               .max_window = 10, .max_work = 8}, seed);
+    }
+    if (family == "bursty") {
+      return generate_bursty({.bursts = std::max<std::size_t>(jobs / 4, 1),
+                              .jobs_per_burst = 4, .machines = machines,
+                              .horizon = 3 * static_cast<std::int64_t>(jobs),
+                              .burst_window = 6, .max_work = 8}, seed);
+    }
+    if (family == "laminar") {
+      return generate_laminar({.jobs = jobs, .machines = machines, .depth = 4,
+                               .max_work = 8}, seed);
+    }
+    if (family == "agreeable") {
+      return generate_agreeable({.jobs = jobs, .machines = machines,
+                                 .horizon = 3 * static_cast<std::int64_t>(jobs),
+                                 .min_window = 2, .max_window = 10, .max_work = 8},
+                                seed);
+    }
+    if (family == "periodic") {
+      return generate_periodic({.tasks = std::max<std::size_t>(jobs / 3, 1),
+                                .machines = machines, .hyperperiods = 2,
+                                .max_work = 6}, seed);
+    }
+    throw std::invalid_argument("unknown family: " + family);
+  }();
+
+  save_instance(instance, out);
+  std::cout << "wrote " << out << ": " << instance.summary() << "\n";
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  if (args.positional().size() < 2) {
+    std::cerr << "usage: trace_tool info <trace.csv>\n";
+    return 2;
+  }
+  Instance instance = load_instance(args.positional()[1]);
+  std::cout << instance.summary() << "\n" << analyze(instance).to_string() << "\n";
+  AlphaPower p(3.0);
+  std::cout << "energy lower bound (alpha=3): " << best_lower_bound(instance, p, 3.0)
+            << "\n";
+  return 0;
+}
+
+int cmd_run(const CliArgs& args) {
+  if (args.positional().size() < 2) {
+    std::cerr << "usage: trace_tool run <trace.csv> --algo=opt|oa|avr|greedy\n";
+    return 2;
+  }
+  Instance instance = load_instance(args.positional()[1]);
+  std::string algo = args.get("algo", "opt");
+  AlphaPower p(args.get_double("alpha", 3.0));
+
+  Schedule schedule(instance.machines());
+  if (algo == "opt") {
+    auto result = optimal_schedule(instance);
+    schedule = std::move(result.schedule);
+    std::cout << "optimal: " << result.phases.size() << " speed levels, "
+              << result.flow_computations << " flow computations\n";
+  } else if (algo == "oa") {
+    auto result = oa_schedule(instance);
+    schedule = std::move(result.schedule);
+    std::cout << "OA(m): " << result.replans << " replans\n";
+  } else if (algo == "avr") {
+    auto result = avr_schedule(instance);
+    schedule = std::move(result.schedule);
+    std::cout << "AVR(m): " << result.peel_events << " peel events\n";
+  } else if (algo == "greedy") {
+    auto result = nonmigratory_greedy(instance, p);
+    schedule = std::move(result.schedule);
+    std::cout << "non-migratory greedy\n";
+  } else {
+    std::cerr << "unknown --algo: " << algo << "\n";
+    return 2;
+  }
+
+  auto report = check_schedule(instance, schedule);
+  std::cout << "feasible: " << (report.feasible ? "yes" : "NO") << "\n";
+  if (!report.feasible) {
+    for (const auto& violation : report.violations) std::cout << "  " << violation << "\n";
+    return 1;
+  }
+  std::cout << "energy under " << p.name() << ": " << schedule.energy(p) << "\n";
+  if (args.get_bool("gantt", false)) {
+    std::cout << "\n" << render_gantt(schedule);
+  }
+  if (args.has("save")) {
+    save_schedule(schedule, args.get("save", "schedule.csv"));
+    std::cout << "schedule written to " << args.get("save", "schedule.csv") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    mpss::CliArgs args(argc, argv,
+                       {"family", "jobs", "machines", "seed", "out", "algo", "alpha",
+                        "gantt", "save"});
+    if (args.positional().empty()) {
+      std::cerr << "usage: trace_tool <gen|info|run> [options]\n";
+      return 2;
+    }
+    const std::string& command = args.positional()[0];
+    if (command == "gen") return cmd_gen(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "run") return cmd_run(args);
+    std::cerr << "unknown command: " << command << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Reproduces the full evaluation: build, tests, micro-benchmarks and every
+# experiment table, recording outputs at the repository root
+# (test_output.txt / bench_output.txt), exactly as EXPERIMENTS.md references.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    echo "=== $(basename "$b") ==="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. See test_output.txt and bench_output.txt."

@@ -1,0 +1,82 @@
+#include "mpss/core/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+namespace {
+
+/// Maps a time to a column in [0, width], clamped.
+std::size_t column_of(const Q& t, const Q& start, const Q& span, std::size_t width) {
+  if (t <= start) return 0;
+  Q fraction = (t - start) / span;
+  if (Q(1) <= fraction) return width;
+  // floor(fraction * width)
+  return static_cast<std::size_t>(
+      (fraction * Q(static_cast<std::int64_t>(width))).floor().to_int64());
+}
+
+char job_glyph(std::size_t job) {
+  return static_cast<char>('0' + static_cast<char>(job % 10));
+}
+
+}  // namespace
+
+std::string render_gantt(const Schedule& schedule, const GanttOptions& options) {
+  check_arg(options.width >= 20, "render_gantt: width must be >= 20");
+
+  // Determine the window.
+  Q start = options.window_start;
+  Q end = options.window_end;
+  if (!(start < end)) {
+    bool any = false;
+    for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+      for (const Slice& slice : schedule.machine(machine)) {
+        if (!any) {
+          start = slice.start;
+          end = slice.end;
+          any = true;
+        } else {
+          start = min(start, slice.start);
+          end = max(end, slice.end);
+        }
+      }
+    }
+    if (!any) return "(empty schedule)\n";
+  }
+  const Q span = end - start;
+  const std::size_t width = options.width;
+
+  std::ostringstream out;
+  out << "t=[" << start << ", " << end << ")\n";
+
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    std::string row(width, '.');
+    std::string speeds(width, ' ');
+    for (const Slice& slice : schedule.machine(machine)) {
+      if (slice.end <= start || end <= slice.start) continue;
+      std::size_t lo = column_of(max(slice.start, start), start, span, width);
+      std::size_t hi = column_of(min(slice.end, end), start, span, width);
+      if (hi <= lo) hi = std::min(lo + 1, width);  // keep micro-slices visible
+      for (std::size_t c = lo; c < hi; ++c) row[c] = job_glyph(slice.job);
+      if (options.show_speeds) {
+        std::string label = slice.speed.to_string();
+        std::size_t space = hi - lo;
+        if (label.size() <= space) {
+          std::size_t at = lo + (space - label.size()) / 2;
+          for (std::size_t i = 0; i < label.size(); ++i) speeds[at + i] = label[i];
+        }
+      }
+    }
+    out << "m" << machine << " |" << row << "|\n";
+    if (options.show_speeds) {
+      out << std::string(std::to_string(machine).size() + 1, ' ') << " |" << speeds
+          << "|\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mpss

@@ -1,0 +1,39 @@
+#pragma once
+// ASCII Gantt rendering of schedules -- the library's human inspection surface.
+// Examples print these; tests assert on their structure (every slice becomes a
+// labelled span; concurrent slices never share a row).
+
+#include <string>
+
+#include "mpss/core/schedule.hpp"
+
+namespace mpss {
+
+/// Rendering options for render_gantt.
+struct GanttOptions {
+  /// Total character columns for the time axis (minimum 20).
+  std::size_t width = 72;
+  /// Show a numeric speed lane under each machine row.
+  bool show_speeds = true;
+  /// Start/end of the rendered window; when start == end (default) the
+  /// schedule's own span is used.
+  Q window_start = Q(0);
+  Q window_end = Q(0);
+};
+
+/// Renders the schedule as a multi-line ASCII chart:
+///
+///   t=[0, 8)
+///   m0 |000000111111....|
+///      |  3/4    3      |
+///   m1 |......2222222222|
+///      |        1/2     |
+///
+/// Each slice is drawn as a run of its job-id digit (job index mod 10 when wider
+/// than one digit -- the speed lane disambiguates); '.' is idle. Slices shorter
+/// than one column still get at least one character, so micro-slices remain
+/// visible (column budget permitting).
+[[nodiscard]] std::string render_gantt(const Schedule& schedule,
+                                       const GanttOptions& options = {});
+
+}  // namespace mpss

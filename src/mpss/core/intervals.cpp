@@ -1,0 +1,30 @@
+#include "mpss/core/intervals.hpp"
+
+#include <algorithm>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+IntervalDecomposition::IntervalDecomposition(std::span<const Job> jobs,
+                                             std::span<const Q> extra_points) {
+  points_.reserve(jobs.size() * 2 + extra_points.size());
+  for (const Job& job : jobs) {
+    points_.push_back(job.release);
+    points_.push_back(job.deadline);
+  }
+  for (const Q& point : extra_points) points_.push_back(point);
+  std::sort(points_.begin(), points_.end());
+  points_.erase(std::unique(points_.begin(), points_.end()), points_.end());
+  if (points_.size() == 1) points_.clear();  // a single point spans no interval
+}
+
+std::size_t IntervalDecomposition::interval_of(const Q& t) const {
+  check_arg(!points_.empty() && points_.front() <= t && t < points_.back(),
+            "IntervalDecomposition::interval_of: time outside horizon");
+  // upper_bound returns the first point > t; the interval starts one before it.
+  auto it = std::upper_bound(points_.begin(), points_.end(), t);
+  return static_cast<std::size_t>(it - points_.begin()) - 1;
+}
+
+}  // namespace mpss

@@ -1,0 +1,54 @@
+#pragma once
+// Interval decomposition of the scheduling horizon (substrate S5).
+//
+// The paper partitions the horizon along the sorted set of release times and
+// deadlines, I = {r_i, d_i}, into atomic intervals I_j = [tau_j, tau_{j+1}).
+// Within an atomic interval the set of active jobs is constant, which is what both
+// the flow network of Section 2 and the structural lemmas rely on.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpss/core/job.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+/// Sorted, deduplicated time points plus derived atomic intervals and the
+/// job-activity predicate. Optionally includes extra time points (OA(m) adds the
+/// current time t0 when re-planning mid-horizon).
+class IntervalDecomposition {
+ public:
+  /// Builds the decomposition from all job release times and deadlines plus
+  /// `extra_points`. Jobs with zero window never occur (Instance validates r < d).
+  explicit IntervalDecomposition(std::span<const Job> jobs,
+                                 std::span<const Q> extra_points = {});
+
+  /// Number of atomic intervals (|I| - 1, possibly 0 when there are no jobs).
+  [[nodiscard]] std::size_t count() const {
+    return points_.empty() ? 0 : points_.size() - 1;
+  }
+
+  [[nodiscard]] const std::vector<Q>& points() const { return points_; }
+
+  [[nodiscard]] const Q& start(std::size_t j) const { return points_.at(j); }
+  [[nodiscard]] const Q& end(std::size_t j) const { return points_.at(j + 1); }
+  [[nodiscard]] Q length(std::size_t j) const { return end(j) - start(j); }
+
+  /// True iff I_j is contained in [job.release, job.deadline) -- the job is
+  /// "active" in I_j in the paper's terminology. Because interval endpoints come
+  /// from the same point set, containment reduces to two comparisons.
+  [[nodiscard]] bool active(const Job& job, std::size_t j) const {
+    return job.release <= start(j) && end(j) <= job.deadline;
+  }
+
+  /// Index of the atomic interval containing time `t`; throws
+  /// std::invalid_argument when t is outside [horizon start, horizon end).
+  [[nodiscard]] std::size_t interval_of(const Q& t) const;
+
+ private:
+  std::vector<Q> points_;
+};
+
+}  // namespace mpss

@@ -1,0 +1,75 @@
+#include "mpss/core/job.hpp"
+
+#include <sstream>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+Instance::Instance(std::vector<Job> jobs, std::size_t machines)
+    : jobs_(std::move(jobs)), machines_(machines) {
+  check_arg(machines_ >= 1, "Instance: machine count must be >= 1");
+  for (const Job& job : jobs_) {
+    check_arg(job.release < job.deadline, "Instance: job needs release < deadline");
+    check_arg(job.work.sign() >= 0, "Instance: job work must be non-negative");
+  }
+}
+
+Q Instance::total_work() const {
+  Q total;
+  for (const Job& job : jobs_) total += job.work;
+  return total;
+}
+
+Q Instance::horizon_start() const {
+  if (jobs_.empty()) return Q(0);
+  Q start = jobs_.front().release;
+  for (const Job& job : jobs_) start = min(start, job.release);
+  return start;
+}
+
+Q Instance::horizon_end() const {
+  if (jobs_.empty()) return Q(0);
+  Q end = jobs_.front().deadline;
+  for (const Job& job : jobs_) end = max(end, job.deadline);
+  return end;
+}
+
+bool Instance::has_integral_times() const {
+  for (const Job& job : jobs_) {
+    if (!job.release.is_integer() || !job.deadline.is_integer()) return false;
+  }
+  return true;
+}
+
+Instance Instance::scaled_to_integral_times() const {
+  // Scale factor = lcm of all time denominators.
+  BigInt scale(1);
+  for (const Job& job : jobs_) {
+    for (const BigInt* den : {&job.release.den(), &job.deadline.den()}) {
+      BigInt g = BigInt::gcd(scale, *den);
+      scale = scale / g * *den;
+    }
+  }
+  if (scale.is_one()) return *this;
+  Q factor{scale};
+  std::vector<Job> scaled;
+  scaled.reserve(jobs_.size());
+  for (const Job& job : jobs_) {
+    scaled.push_back(Job{job.release * factor, job.deadline * factor, job.work * factor});
+  }
+  return Instance(std::move(scaled), machines_);
+}
+
+Instance Instance::with_machines(std::size_t machines) const {
+  return Instance(jobs_, machines);
+}
+
+std::string Instance::summary() const {
+  std::ostringstream os;
+  os << "n=" << jobs_.size() << " m=" << machines_ << " horizon=[" << horizon_start()
+     << "," << horizon_end() << ") W=" << total_work();
+  return os.str();
+}
+
+}  // namespace mpss

@@ -1,0 +1,70 @@
+#pragma once
+// Job and problem-instance model (substrate S5, see DESIGN.md).
+//
+// The paper's setting: n jobs, job J_i = (r_i, d_i, w_i), m identical variable-speed
+// processors, preemption + migration allowed, no job ever on two processors at once.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+/// One job: must receive `work` units of processing inside [release, deadline).
+struct Job {
+  Q release;
+  Q deadline;
+  Q work;
+
+  [[nodiscard]] Q window() const { return deadline - release; }
+
+  /// Density delta_i = w_i / (d_i - r_i), the job's average required speed if it
+  /// were spread over its whole window (the quantity AVR balances).
+  [[nodiscard]] Q density() const { return work / window(); }
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+/// A problem instance: the job sequence sigma = J_1, ..., J_n plus the number of
+/// processors m. Jobs are addressed by their index in `jobs`.
+class Instance {
+ public:
+  /// Validates: machines >= 1; every job has release < deadline and work >= 0.
+  /// Throws std::invalid_argument on violation.
+  Instance(std::vector<Job> jobs, std::size_t machines);
+
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] const Job& job(std::size_t index) const { return jobs_.at(index); }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t machines() const { return machines_; }
+
+  [[nodiscard]] Q total_work() const;
+
+  /// Earliest release over all jobs (0 when empty).
+  [[nodiscard]] Q horizon_start() const;
+  /// Latest deadline over all jobs (0 when empty).
+  [[nodiscard]] Q horizon_end() const;
+
+  /// True when every release and deadline is an integer (required by AVR(m), which
+  /// operates on unit intervals).
+  [[nodiscard]] bool has_integral_times() const;
+
+  /// Returns a copy with all times and works multiplied by the smallest positive
+  /// integer that makes every release/deadline integral. Energy scales by a known
+  /// factor, but competitive *ratios* are invariant under this rescaling.
+  [[nodiscard]] Instance scaled_to_integral_times() const;
+
+  /// Returns a copy with a different machine count (same jobs).
+  [[nodiscard]] Instance with_machines(std::size_t machines) const;
+
+  /// Human-readable one-line summary ("n=12 m=4 horizon=[0,30)").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Job> jobs_;
+  std::size_t machines_;
+};
+
+}  // namespace mpss

@@ -1,0 +1,59 @@
+#include "mpss/core/lower_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpss/core/intervals.hpp"
+#include "mpss/core/yds.hpp"
+
+namespace mpss {
+
+double density_lower_bound(const Instance& instance, const PowerFunction& p) {
+  double total = 0.0;
+  for (const Job& job : instance.jobs()) {
+    if (job.work.sign() > 0) {
+      total += p.power(job.density().to_double()) * job.window().to_double();
+    }
+  }
+  return total;
+}
+
+double aggregation_lower_bound(const Instance& instance, double alpha) {
+  if (instance.jobs().empty()) return 0.0;
+  AlphaPower p(alpha);
+  double single = yds_schedule(instance.with_machines(1)).schedule.energy(p);
+  return std::pow(static_cast<double>(instance.machines()), 1.0 - alpha) * single;
+}
+
+double interval_load_lower_bound(const Instance& instance, const PowerFunction& p) {
+  IntervalDecomposition intervals(instance.jobs());
+  const std::size_t count = intervals.count();
+  if (count == 0) return 0.0;
+  const double m = static_cast<double>(instance.machines());
+  double best = 0.0;
+  for (std::size_t a = 0; a < count; ++a) {
+    for (std::size_t b = a; b < count; ++b) {
+      const Q& lo = intervals.start(a);
+      const Q& hi = intervals.end(b);
+      Q contained;
+      for (const Job& job : instance.jobs()) {
+        if (lo <= job.release && job.deadline <= hi) contained += job.work;
+      }
+      if (contained.is_zero()) continue;
+      double span = (hi - lo).to_double();
+      double average_speed = contained.to_double() / (m * span);
+      best = std::max(best, m * span * p.power(average_speed));
+    }
+  }
+  return best;
+}
+
+double best_lower_bound(const Instance& instance, const PowerFunction& p,
+                        double alpha) {
+  double best = std::max(density_lower_bound(instance, p),
+                         interval_load_lower_bound(instance, p));
+  if (alpha > 1.0) best = std::max(best, aggregation_lower_bound(instance, alpha));
+  return best;
+}
+
+}  // namespace mpss

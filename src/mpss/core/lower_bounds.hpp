@@ -1,0 +1,43 @@
+#pragma once
+// Closed-form energy lower bounds. The competitive analyses in Section 3 compare
+// online energies against these quantities; the tests use them as independent
+// certificates that optimal_schedule() really is optimal (no feasible schedule
+// can beat a valid lower bound, so OPT must lie between the bound and every
+// heuristic).
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/power.hpp"
+
+// All bounds below assume P(0) = 0 (no static power), matching the paper's model
+// and Schedule::energy(); they compare Jensen-averaged speeds against per-window
+// averages that count idle time as speed zero.
+
+namespace mpss {
+
+/// Per-job density bound: sum_i P(delta_i) * (d_i - r_i). Each job alone needs at
+/// least this much energy (run at its density over its whole window; convexity
+/// makes any other profile for the same work dearer). Used inside Theorem 3's
+/// proof ("the minimum energy required to process J_i if no other jobs were
+/// present").
+[[nodiscard]] double density_lower_bound(const Instance& instance,
+                                         const PowerFunction& p);
+
+/// Aggregated-speed bound for P(s) = s^alpha: m^(1-alpha) * E^1_OPT(sigma), where
+/// E^1_OPT is the optimal single-processor energy (inequality (10) in the paper).
+/// Computes E^1_OPT via YDS.
+[[nodiscard]] double aggregation_lower_bound(const Instance& instance, double alpha);
+
+/// Interval-load bound: for every atomic interval I_j, the jobs whose windows lie
+/// inside [tau_a, tau_b] must be processed within it on at most m machines, so by
+/// convexity the energy over that span is at least
+/// m * |span| * P(W(span) / (m * |span|)). Returns the best such bound over all
+/// spans of atomic-interval endpoints.
+[[nodiscard]] double interval_load_lower_bound(const Instance& instance,
+                                               const PowerFunction& p);
+
+/// The largest of the above bounds (using alpha only when the caller has one;
+/// pass alpha <= 1 to skip the aggregation bound).
+[[nodiscard]] double best_lower_bound(const Instance& instance, const PowerFunction& p,
+                                      double alpha);
+
+}  // namespace mpss

@@ -1,0 +1,42 @@
+#include "mpss/core/mcnaughton.hpp"
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+void mcnaughton_pack(Schedule& schedule, const Q& start, const Q& length,
+                     std::size_t first_machine, std::size_t machine_count,
+                     const Q& speed, std::span<const Chunk> chunks) {
+  check_arg(length.sign() > 0, "mcnaughton_pack: interval length must be positive");
+  check_arg(speed.sign() > 0, "mcnaughton_pack: speed must be positive");
+
+  Q total;
+  for (const Chunk& chunk : chunks) {
+    check_arg(chunk.duration.sign() >= 0, "mcnaughton_pack: negative chunk duration");
+    check_arg(chunk.duration <= length,
+              "mcnaughton_pack: chunk longer than the interval");
+    total += chunk.duration;
+  }
+  check_arg(total <= length * Q(static_cast<std::int64_t>(machine_count)),
+            "mcnaughton_pack: chunks exceed reserved capacity");
+
+  std::size_t machine = first_machine;
+  Q offset;  // position within the current machine's window, in [0, length)
+  for (const Chunk& chunk : chunks) {
+    Q remaining = chunk.duration;
+    while (remaining.sign() > 0) {
+      Q available = length - offset;
+      const Q& piece = min(remaining, available);
+      schedule.add(machine,
+                   Slice{start + offset, start + offset + piece, speed, chunk.job});
+      offset += piece;
+      remaining -= piece;
+      if (offset == length) {
+        ++machine;
+        offset = Q(0);
+      }
+    }
+  }
+}
+
+}  // namespace mpss

@@ -1,0 +1,36 @@
+#pragma once
+// McNaughton wrap-around packing (substrate S7, see DESIGN.md).
+//
+// Both the Lemma 2 construction and AVR(m) (Fig. 3 of the paper) build, within one
+// interval, a *sequential* working schedule (a concatenation of per-job execution
+// chunks) and split it across the reserved processors by assigning time window
+// [(mu-1)*|I_j|, mu*|I_j|) of the sequence to processor mu. A chunk split across
+// the boundary runs at the *end* of processor mu and the *beginning* of mu+1;
+// because each chunk is at most |I_j| long, the two pieces never overlap in time,
+// so the no-simultaneous-execution constraint survives the wrap.
+
+#include <cstddef>
+#include <span>
+
+#include "mpss/core/schedule.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+/// One job's execution chunk within an interval.
+struct Chunk {
+  std::size_t job;
+  Q duration;  // processing time inside the interval; must be <= interval length
+};
+
+/// Packs `chunks` (a sequential working schedule, in order) into the time window
+/// [start, start + length) on machines [first_machine, first_machine + machine_count)
+/// of `schedule`, all at the given constant `speed`.
+///
+/// Requirements (checked): every chunk duration in (0, length], and the total
+/// duration at most machine_count * length. Chunks of zero duration are skipped.
+void mcnaughton_pack(Schedule& schedule, const Q& start, const Q& length,
+                     std::size_t first_machine, std::size_t machine_count,
+                     const Q& speed, std::span<const Chunk> chunks);
+
+}  // namespace mpss

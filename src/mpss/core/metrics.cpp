@@ -1,0 +1,62 @@
+#include "mpss/core/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mpss {
+namespace {
+
+struct Segment {
+  Q start;
+  Q end;
+  Q speed;
+  std::size_t machine;
+};
+
+}  // namespace
+
+ScheduleMetrics schedule_metrics(const Schedule& schedule) {
+  ScheduleMetrics metrics;
+
+  // Gather per-job segments across machines, then merge time-adjacent pieces on
+  // the same machine at the same speed.
+  std::map<std::size_t, std::vector<Segment>> per_job;
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    Q machine_busy;
+    for (const Slice& slice : schedule.machine(machine)) {
+      per_job[slice.job].push_back(Segment{slice.start, slice.end, slice.speed, machine});
+      machine_busy += slice.duration();
+    }
+    metrics.busy_time += machine_busy;
+    metrics.peak_machine_time = max(metrics.peak_machine_time, machine_busy);
+  }
+
+  for (auto& [job, segments] : per_job) {
+    (void)job;
+    std::sort(segments.begin(), segments.end(),
+              [](const Segment& a, const Segment& b) { return a.start < b.start; });
+    std::vector<Segment> merged;
+    for (Segment& segment : segments) {
+      if (!merged.empty() && merged.back().machine == segment.machine &&
+          merged.back().speed == segment.speed && merged.back().end == segment.start) {
+        merged.back().end = segment.end;
+      } else {
+        merged.push_back(segment);
+      }
+    }
+    ++metrics.scheduled_jobs;
+    metrics.segments += merged.size();
+    metrics.preemptions += merged.size() - 1;
+    bool migrated = false;
+    for (std::size_t i = 1; i < merged.size(); ++i) {
+      if (merged[i].machine != merged[i - 1].machine) {
+        ++metrics.migrations;
+        migrated = true;
+      }
+    }
+    if (migrated) ++metrics.migrated_jobs;
+  }
+  return metrics;
+}
+
+}  // namespace mpss

@@ -1,0 +1,42 @@
+#pragma once
+// Schedule metrics: how much preemption and migration a schedule actually uses.
+//
+// The paper's headline is that *allowing* migration makes the offline problem
+// polynomial -- but it never quantifies how much migration optimal schedules
+// perform. These metrics answer that empirically (exp_migration_value reports
+// them next to the energy gaps).
+
+#include <cstddef>
+#include <vector>
+
+#include "mpss/core/schedule.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+struct ScheduleMetrics {
+  /// Number of jobs with at least one slice.
+  std::size_t scheduled_jobs = 0;
+  /// Total execution segments after merging back-to-back slices of the same job
+  /// on the same machine at the same speed (i.e. visible dispatcher actions).
+  std::size_t segments = 0;
+  /// Preemptions: times a job stops while unfinished and resumes later
+  /// (segments - scheduled_jobs, counting each job's extra segments).
+  std::size_t preemptions = 0;
+  /// Migrations: times a job resumes on a *different* machine than it last ran on
+  /// (a subset of preemptions, plus immediate machine switches).
+  std::size_t migrations = 0;
+  /// Jobs that use more than one machine over their lifetime.
+  std::size_t migrated_jobs = 0;
+  /// Total busy machine-time.
+  Q busy_time;
+  /// Busy time of the busiest machine.
+  Q peak_machine_time;
+};
+
+/// Computes the metrics. Slices are first normalized by merging slices of the
+/// same job that are adjacent in time on the same machine at the same speed, so
+/// artifacts of how a schedule was assembled do not inflate the counts.
+[[nodiscard]] ScheduleMetrics schedule_metrics(const Schedule& schedule);
+
+}  // namespace mpss

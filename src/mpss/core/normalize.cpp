@@ -1,0 +1,88 @@
+#include "mpss/core/normalize.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mpss/core/intervals.hpp"
+#include "mpss/core/mcnaughton.hpp"
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+bool has_constant_interval_speeds(const Instance& instance, const Schedule& schedule) {
+  IntervalDecomposition intervals(instance.jobs());
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    for (std::size_t j = 0; j < intervals.count(); ++j) {
+      bool seen = false;
+      Q speed;
+      for (const Slice& slice : schedule.machine(machine)) {
+        Q lo = max(slice.start, intervals.start(j));
+        Q hi = min(slice.end, intervals.end(j));
+        if (!(lo < hi)) continue;
+        if (seen && slice.speed != speed) return false;
+        speed = slice.speed;
+        seen = true;
+      }
+    }
+  }
+  return true;
+}
+
+Schedule lemma2_normal_form(const Instance& instance, const Schedule& schedule) {
+  IntervalDecomposition intervals(instance.jobs());
+  Schedule out(schedule.machines());
+  const Q machine_count(static_cast<std::int64_t>(schedule.machines()));
+
+  for (std::size_t j = 0; j < intervals.count(); ++j) {
+    const Q length = intervals.length(j);
+
+    // Per job: its (single) speed and total processing time within I_j.
+    std::map<std::size_t, std::pair<Q, Q>> per_job;  // job -> (speed, time)
+    for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+      for (const Slice& slice : schedule.machine(machine)) {
+        Q lo = max(slice.start, intervals.start(j));
+        Q hi = min(slice.end, intervals.end(j));
+        if (!(lo < hi)) continue;
+        auto [it, inserted] = per_job.try_emplace(slice.job, slice.speed, Q(0));
+        check_arg(it->second.first == slice.speed,
+                  "lemma2_normal_form: a job uses two speeds inside one atomic "
+                  "interval (Lemma 1 precondition violated)");
+        it->second.second += hi - lo;
+      }
+    }
+    if (per_job.empty()) continue;
+
+    // Group by speed, fastest first (Lemma 6 machine ordering).
+    std::map<Q, std::vector<Chunk>, std::greater<Q>> groups;
+    for (const auto& [job, speed_time] : per_job) {
+      check_arg(speed_time.second <= length,
+                "lemma2_normal_form: job busy longer than the interval "
+                "(self-parallel input)");
+      groups[speed_time.first].push_back(Chunk{job, speed_time.second});
+    }
+
+    // Each speed group must occupy whole processors (the paper proves this for
+    // the schedules Lemma 2 addresses; all schedules this library produces
+    // qualify -- see normalize.hpp).
+    std::size_t cursor = 0;
+    for (const auto& [speed, chunks] : groups) {
+      Q total;
+      for (const Chunk& chunk : chunks) total += chunk.duration;
+      Q machines_exact = total / length;
+      check_arg(machines_exact.is_integer(),
+                "lemma2_normal_form: a speed group does not fill whole processors "
+                "(not a Lemma 2 schedule)");
+      auto machines_needed =
+          static_cast<std::size_t>(machines_exact.num().to_int64());
+      check_arg(Q(static_cast<std::int64_t>(cursor + machines_needed)) <=
+                    machine_count,
+                "lemma2_normal_form: groups need more processors than available");
+      mcnaughton_pack(out, intervals.start(j), length, cursor, machines_needed,
+                      speed, chunks);
+      cursor += machines_needed;
+    }
+  }
+  return out;
+}
+
+}  // namespace mpss

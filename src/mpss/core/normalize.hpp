@@ -1,0 +1,34 @@
+#pragma once
+// Schedule normal forms (the transformations behind Lemmas 2 and 6 of the paper,
+// packaged as reusable operations on arbitrary feasible schedules).
+//
+// lemma2_normal_form: within every atomic interval, rebuild the schedule as the
+// paper's Lemma 2 does -- concatenate per-job execution chunks grouped by speed
+// into a sequential working schedule and McNaughton-wrap it -- so that every
+// processor runs at ONE constant speed inside every atomic interval, and faster
+// groups occupy lower machine indices (which, for common-release instances, is
+// exactly Lemma 6's sorted form). Feasibility and energy are preserved exactly.
+//
+// Precondition (from Lemma 1, which Lemma 2 builds on): within any single atomic
+// interval, each job runs at one constant speed. Every schedule this library
+// produces satisfies it; arbitrary hand-built schedules may not, in which case
+// std::invalid_argument is thrown.
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/schedule.hpp"
+
+namespace mpss {
+
+/// Rearranges `schedule` into the Lemma 2 / Lemma 6 normal form described above.
+/// The result completes exactly the same work per job per interval at the same
+/// speeds (hence identical energy under every power function) and passes
+/// check_schedule whenever the input does.
+[[nodiscard]] Schedule lemma2_normal_form(const Instance& instance,
+                                          const Schedule& schedule);
+
+/// True iff every processor uses at most one speed within every atomic interval
+/// of the instance (the Lemma 2 property). Exposed for tests and diagnostics.
+[[nodiscard]] bool has_constant_interval_speeds(const Instance& instance,
+                                                const Schedule& schedule);
+
+}  // namespace mpss

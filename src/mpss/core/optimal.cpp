@@ -1,0 +1,236 @@
+#include "mpss/core/optimal.hpp"
+
+#include <algorithm>
+
+#include "mpss/core/mcnaughton.hpp"
+#include "mpss/flow/dinic.hpp"
+#include "mpss/util/error.hpp"
+#include "mpss/util/random.hpp"
+
+namespace mpss {
+namespace {
+
+/// One phase-round flow network G(J, m, s) plus the bookkeeping needed to read
+/// per-(job, interval) processing times back out of the solved flow.
+struct RoundNetwork {
+  FlowNetwork<Q> net;
+  std::size_t source = 0;
+  std::size_t sink = 0;
+  // edge ids, addressed by candidate-set position / interval index
+  std::vector<FlowNetwork<Q>::EdgeId> source_edges;           // u_0 -> u_k
+  std::vector<std::vector<std::size_t>> job_edge_interval;    // per job: interval j
+  std::vector<std::vector<FlowNetwork<Q>::EdgeId>> job_edges; // per job: edge ids
+  std::vector<FlowNetwork<Q>::EdgeId> sink_edges;             // v_j -> v_0 (mj > 0)
+  std::vector<std::size_t> sink_edge_interval;                // interval j of each
+};
+
+/// Builds G(J, m, s): source -> job vertices (capacity w_k / s), job -> interval
+/// vertices for the intervals where the job is active and processors are reserved
+/// (capacity |I_j|), interval -> sink (capacity m_j * |I_j|).
+RoundNetwork build_network(const Instance& instance,
+                           const IntervalDecomposition& intervals,
+                           const std::vector<std::size_t>& candidates,
+                           const std::vector<std::vector<bool>>& active,
+                           const std::vector<std::size_t>& reserved, const Q& speed) {
+  RoundNetwork round;
+  const std::size_t interval_count = intervals.count();
+
+  round.source = round.net.add_node();
+  std::size_t first_job_node = round.net.add_nodes(candidates.size());
+
+  std::vector<std::size_t> interval_node(interval_count, static_cast<std::size_t>(-1));
+  for (std::size_t j = 0; j < interval_count; ++j) {
+    if (reserved[j] > 0) interval_node[j] = round.net.add_node();
+  }
+  round.sink = round.net.add_node();
+
+  round.source_edges.reserve(candidates.size());
+  round.job_edges.resize(candidates.size());
+  round.job_edge_interval.resize(candidates.size());
+  for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+    std::size_t job = candidates[pos];
+    round.source_edges.push_back(round.net.add_edge(
+        round.source, first_job_node + pos, instance.job(job).work / speed));
+    for (std::size_t j = 0; j < interval_count; ++j) {
+      if (reserved[j] == 0 || !active[job][j]) continue;
+      round.job_edges[pos].push_back(
+          round.net.add_edge(first_job_node + pos, interval_node[j], intervals.length(j)));
+      round.job_edge_interval[pos].push_back(j);
+    }
+  }
+  for (std::size_t j = 0; j < interval_count; ++j) {
+    if (reserved[j] == 0) continue;
+    round.sink_edges.push_back(round.net.add_edge(
+        interval_node[j], round.sink,
+        intervals.length(j) * Q(static_cast<std::int64_t>(reserved[j]))));
+    round.sink_edge_interval.push_back(j);
+  }
+  return round;
+}
+
+}  // namespace
+
+Q OptimalResult::speed_of_job(std::size_t job) const {
+  for (const PhaseInfo& phase : phases) {
+    if (std::find(phase.jobs.begin(), phase.jobs.end(), job) != phase.jobs.end()) {
+      return phase.speed;
+    }
+  }
+  return Q(0);  // zero-work jobs belong to no phase
+}
+
+OptimalResult optimal_schedule(const Instance& instance) {
+  return optimal_schedule(instance, OptimalOptions{});
+}
+
+OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& options) {
+  const bool paper_rule =
+      options.removal_policy == OptimalOptions::RemovalPolicy::kPaperRule;
+  Xoshiro256 ablation_rng(options.ablation_seed);
+  IntervalDecomposition intervals(instance.jobs());
+  const std::size_t interval_count = intervals.count();
+  const std::size_t m = instance.machines();
+
+  OptimalResult result{Schedule(m), intervals, {}, 0};
+
+  // Jobs with positive work; zero-work jobs are trivially complete.
+  std::vector<std::size_t> remaining;
+  for (std::size_t k = 0; k < instance.size(); ++k) {
+    if (instance.job(k).work.sign() > 0) remaining.push_back(k);
+  }
+
+  // active[k][j]: is job k active in interval I_j (I_j inside its window)?
+  std::vector<std::vector<bool>> active(instance.size(),
+                                        std::vector<bool>(interval_count, false));
+  for (std::size_t k = 0; k < instance.size(); ++k) {
+    for (std::size_t j = 0; j < interval_count; ++j) {
+      active[k][j] = intervals.active(instance.job(k), j);
+    }
+  }
+
+  // used[j]: processors already occupied in I_j by earlier (faster) phases.
+  std::vector<std::size_t> used(interval_count, 0);
+
+  while (!remaining.empty()) {
+    // ---- one phase: identify the next job set J_i and its speed s_i ----
+    std::vector<std::size_t> candidates = remaining;  // invariant: J_i is a subset
+    std::size_t rounds = 0;
+
+    std::vector<std::size_t> reserved(interval_count, 0);
+    Q speed;
+    RoundNetwork round;
+
+    for (;;) {
+      check_internal(!candidates.empty(),
+                     "optimal_schedule: candidate set emptied; Lemma 4 invariant broken");
+      ++rounds;
+      ++result.flow_computations;
+
+      // Reserve m_j = min(n_j, m - used_j) processors per interval (Lemma 3).
+      std::vector<std::size_t> count_active(interval_count, 0);
+      for (std::size_t job : candidates) {
+        for (std::size_t j = 0; j < interval_count; ++j) {
+          if (active[job][j]) ++count_active[j];
+        }
+      }
+      Q reserved_time;  // P
+      Q work;           // W
+      for (std::size_t j = 0; j < interval_count; ++j) {
+        reserved[j] = std::min(count_active[j], m - used[j]);
+        if (reserved[j] > 0) {
+          reserved_time += intervals.length(j) * Q(static_cast<std::int64_t>(reserved[j]));
+        }
+      }
+      for (std::size_t job : candidates) work += instance.job(job).work;
+      check_internal(reserved_time.sign() > 0,
+                     "optimal_schedule: no processing capacity left for pending jobs");
+      speed = work / reserved_time;
+
+      round = build_network(instance, intervals, candidates, active, reserved, speed);
+      Q flow_value = round.net.max_flow(round.source, round.sink);
+
+      // Target F_G = W / s = P: all source and sink edges saturated.
+      if (flow_value == reserved_time) break;
+
+      if (!paper_rule) {
+        // Ablated removal (experiment E12): drop a random candidate. Feasibility
+        // of the final schedule survives; optimality does not.
+        std::size_t victim = ablation_rng.below(candidates.size());
+        candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(victim));
+        continue;
+      }
+
+      // Lemma 4: pick an unsaturated sink edge (v_j, v_0), then a job active in
+      // I_j whose edge (u_k, v_j) is below capacity; that job is not in J_i.
+      std::size_t victim_pos = static_cast<std::size_t>(-1);
+      for (std::size_t e = 0; e < round.sink_edges.size() && victim_pos == static_cast<std::size_t>(-1); ++e) {
+        if (round.net.saturated(round.sink_edges[e])) continue;
+        std::size_t j = round.sink_edge_interval[e];
+        for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+          for (std::size_t idx = 0; idx < round.job_edge_interval[pos].size(); ++idx) {
+            if (round.job_edge_interval[pos][idx] != j) continue;
+            if (!round.net.saturated(round.job_edges[pos][idx])) victim_pos = pos;
+            break;  // a job has at most one edge per interval
+          }
+          if (victim_pos != static_cast<std::size_t>(-1)) break;
+        }
+      }
+      check_internal(victim_pos != static_cast<std::size_t>(-1),
+                     "optimal_schedule: flow below target but no removable job found");
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(victim_pos));
+    }
+
+    // ---- phase found: record it and extend the schedule ----
+    check_internal(!paper_rule || result.phases.empty() ||
+                       speed < result.phases.back().speed,
+                   "optimal_schedule: phase speeds must strictly decrease");
+
+    PhaseInfo phase;
+    phase.jobs = candidates;
+    phase.speed = speed;
+    phase.machines_per_interval.assign(interval_count, 0);
+    phase.rounds = rounds;
+
+    // Per interval: chunks t_kj (flow on (u_k, v_j)) wrapped onto the reserved
+    // processors, which are the lowest-numbered free ones (used_j .. used_j+m_j-1).
+    for (std::size_t j = 0; j < interval_count; ++j) {
+      if (reserved[j] == 0) continue;
+      std::vector<Chunk> chunks;
+      for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+        for (std::size_t idx = 0; idx < round.job_edge_interval[pos].size(); ++idx) {
+          if (round.job_edge_interval[pos][idx] != j) continue;
+          Q t = round.net.flow(round.job_edges[pos][idx]);
+          if (t.sign() > 0) chunks.push_back(Chunk{candidates[pos], std::move(t)});
+          break;
+        }
+      }
+      // All sink edges are saturated (F == P), so every reserved interval carries
+      // exactly m_j * |I_j| units of processing time.
+      check_internal(!chunks.empty(),
+                     "optimal_schedule: reserved interval received no flow");
+      phase.machines_per_interval[j] = reserved[j];
+      mcnaughton_pack(result.schedule, intervals.start(j), intervals.length(j), used[j],
+                      reserved[j], speed, chunks);
+      used[j] += reserved[j];
+    }
+    result.phases.push_back(std::move(phase));
+
+    // Drop the scheduled jobs from the remaining set.
+    std::vector<std::size_t> next;
+    next.reserve(remaining.size() - candidates.size());
+    for (std::size_t job : remaining) {
+      if (std::find(candidates.begin(), candidates.end(), job) == candidates.end()) {
+        next.push_back(job);
+      }
+    }
+    remaining = std::move(next);
+  }
+
+  return result;
+}
+
+double optimal_energy(const Instance& instance, const PowerFunction& p) {
+  return optimal_schedule(instance).schedule.energy(p);
+}
+
+}  // namespace mpss

@@ -1,0 +1,270 @@
+#include "mpss/core/optimal_fast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpss/flow/dinic.hpp"
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+namespace {
+
+/// Atomic intervals in double precision (exact points converted, then dedup'd).
+struct FastIntervals {
+  std::vector<double> points;
+
+  explicit FastIntervals(const Instance& instance) {
+    points.reserve(instance.size() * 2);
+    for (const Job& job : instance.jobs()) {
+      points.push_back(job.release.to_double());
+      points.push_back(job.deadline.to_double());
+    }
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+    if (points.size() == 1) points.clear();
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    return points.empty() ? 0 : points.size() - 1;
+  }
+  [[nodiscard]] double start(std::size_t j) const { return points[j]; }
+  [[nodiscard]] double end(std::size_t j) const { return points[j + 1]; }
+  [[nodiscard]] double length(std::size_t j) const { return end(j) - start(j); }
+};
+
+}  // namespace
+
+std::size_t FastSchedule::slice_count() const {
+  std::size_t total = 0;
+  for (const auto& machine : machines) total += machine.size();
+  return total;
+}
+
+double FastSchedule::energy(const PowerFunction& p) const {
+  double total = 0.0;
+  for (const auto& machine : machines) {
+    for (const FastSlice& slice : machine) {
+      total += p.power(slice.speed) * (slice.end - slice.start);
+    }
+  }
+  return total;
+}
+
+double FastSchedule::work_on(std::size_t job) const {
+  double total = 0.0;
+  for (const auto& machine : machines) {
+    for (const FastSlice& slice : machine) {
+      if (slice.job == job) total += slice.speed * (slice.end - slice.start);
+    }
+  }
+  return total;
+}
+
+double FastSchedule::max_speed() const {
+  double best = 0.0;
+  for (const auto& machine : machines) {
+    for (const FastSlice& slice : machine) best = std::max(best, slice.speed);
+  }
+  return best;
+}
+
+std::size_t count_fast_violations(const Instance& instance,
+                                  const FastSchedule& schedule, double tolerance) {
+  std::size_t violations = 0;
+  for (const auto& machine : schedule.machines) {
+    std::vector<FastSlice> sorted = machine;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const FastSlice& a, const FastSlice& b) { return a.start < b.start; });
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const FastSlice& slice = sorted[i];
+      if (slice.job >= instance.size()) {
+        ++violations;
+        continue;
+      }
+      const Job& job = instance.job(slice.job);
+      if (slice.start < job.release.to_double() - tolerance ||
+          slice.end > job.deadline.to_double() + tolerance) {
+        ++violations;
+      }
+      if (i + 1 < sorted.size() && sorted[i + 1].start < slice.end - tolerance) {
+        ++violations;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < instance.size(); ++k) {
+    double done = schedule.work_on(k);
+    double required = instance.job(k).work.to_double();
+    if (std::abs(done - required) > tolerance * (1.0 + required)) ++violations;
+  }
+  return violations;
+}
+
+FastOptimalResult optimal_schedule_fast(const Instance& instance, double epsilon) {
+  check_arg(epsilon > 0.0 && epsilon < 0.1, "optimal_schedule_fast: bad epsilon");
+  FastIntervals intervals(instance);
+  const std::size_t interval_count = intervals.count();
+  const std::size_t m = instance.machines();
+
+  FastOptimalResult result;
+  result.schedule.machines.resize(m);
+
+  std::vector<std::size_t> remaining;
+  std::vector<double> work(instance.size(), 0.0);
+  for (std::size_t k = 0; k < instance.size(); ++k) {
+    work[k] = instance.job(k).work.to_double();
+    if (work[k] > 0.0) remaining.push_back(k);
+  }
+
+  std::vector<std::vector<bool>> active(instance.size(),
+                                        std::vector<bool>(interval_count, false));
+  for (std::size_t k = 0; k < instance.size(); ++k) {
+    double release = instance.job(k).release.to_double();
+    double deadline = instance.job(k).deadline.to_double();
+    for (std::size_t j = 0; j < interval_count; ++j) {
+      active[k][j] = release <= intervals.start(j) + 1e-15 &&
+                     intervals.end(j) <= deadline + 1e-15;
+    }
+  }
+
+  std::vector<std::size_t> used(interval_count, 0);
+
+  while (!remaining.empty()) {
+    std::vector<std::size_t> candidates = remaining;
+    std::vector<std::size_t> reserved(interval_count, 0);
+    double speed = 0.0;
+
+    // Per-round flow bookkeeping for extraction.
+    std::vector<std::vector<std::pair<std::size_t, FlowNetwork<double>::EdgeId>>>
+        job_edges;  // per candidate: (interval, edge)
+    FlowNetwork<double> net;
+
+    for (;;) {
+      check_internal(!candidates.empty(),
+                     "optimal_schedule_fast: candidate set emptied");
+      ++result.flow_computations;
+
+      std::vector<std::size_t> count_active(interval_count, 0);
+      for (std::size_t job : candidates) {
+        for (std::size_t j = 0; j < interval_count; ++j) {
+          if (active[job][j]) ++count_active[j];
+        }
+      }
+      double reserved_time = 0.0;
+      double total_work = 0.0;
+      for (std::size_t j = 0; j < interval_count; ++j) {
+        reserved[j] = std::min(count_active[j], m - used[j]);
+        reserved_time += static_cast<double>(reserved[j]) * intervals.length(j);
+      }
+      for (std::size_t job : candidates) total_work += work[job];
+      check_internal(reserved_time > 0.0, "optimal_schedule_fast: no capacity left");
+      speed = total_work / reserved_time;
+
+      // Build G(J, m, s) in doubles.
+      net = FlowNetwork<double>();
+      job_edges.assign(candidates.size(), {});
+      std::size_t source = net.add_node();
+      std::size_t first_job = net.add_nodes(candidates.size());
+      std::vector<std::size_t> interval_node(interval_count,
+                                             static_cast<std::size_t>(-1));
+      for (std::size_t j = 0; j < interval_count; ++j) {
+        if (reserved[j] > 0) interval_node[j] = net.add_node();
+      }
+      std::size_t sink = net.add_node();
+
+      std::vector<FlowNetwork<double>::EdgeId> sink_edges;
+      std::vector<std::size_t> sink_interval;
+      for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+        std::size_t job = candidates[pos];
+        net.add_edge(source, first_job + pos, work[job] / speed);
+        for (std::size_t j = 0; j < interval_count; ++j) {
+          if (reserved[j] == 0 || !active[job][j]) continue;
+          job_edges[pos].emplace_back(
+              j, net.add_edge(first_job + pos, interval_node[j], intervals.length(j)));
+        }
+      }
+      for (std::size_t j = 0; j < interval_count; ++j) {
+        if (reserved[j] == 0) continue;
+        sink_edges.push_back(net.add_edge(
+            interval_node[j], sink,
+            static_cast<double>(reserved[j]) * intervals.length(j)));
+        sink_interval.push_back(j);
+      }
+
+      double flow_value = net.max_flow(source, sink);
+      if (flow_value >= reserved_time * (1.0 - epsilon)) break;
+
+      // Removal rule, epsilon-guarded.
+      std::size_t victim = static_cast<std::size_t>(-1);
+      for (std::size_t e = 0; e < sink_edges.size() && victim == static_cast<std::size_t>(-1);
+           ++e) {
+        double gap = net.capacity(sink_edges[e]) - net.flow(sink_edges[e]);
+        if (gap <= epsilon * (1.0 + net.capacity(sink_edges[e]))) continue;
+        std::size_t j = sink_interval[e];
+        for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+          for (const auto& [interval, edge] : job_edges[pos]) {
+            if (interval != j) continue;
+            if (net.flow(edge) < net.capacity(edge) * (1.0 - epsilon)) victim = pos;
+            break;
+          }
+          if (victim != static_cast<std::size_t>(-1)) break;
+        }
+      }
+      check_internal(victim != static_cast<std::size_t>(-1),
+                     "optimal_schedule_fast: no removable job found");
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+
+    result.phase_speeds.push_back(speed);
+
+    // Extract: per interval, wrap the chunks over the reserved machines.
+    for (std::size_t j = 0; j < interval_count; ++j) {
+      if (reserved[j] == 0) continue;
+      double length = intervals.length(j);
+      std::size_t machine = used[j];
+      double offset = 0.0;
+      for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+        for (const auto& [interval, edge] : job_edges[pos]) {
+          if (interval != j) continue;
+          double duration = std::min(net.flow(edge), length);
+          while (duration > epsilon * length) {
+            double available = length - offset;
+            if (available <= 1e-12 * length) {
+              // Sub-rounding remainder of the machine window: move on before it
+              // collapses into a zero-length slice (ulp of the absolute time can
+              // exceed the remainder).
+              ++machine;
+              offset = 0.0;
+              continue;
+            }
+            double piece = std::min(duration, available);
+            double begin = intervals.start(j) + offset;
+            double finish = intervals.start(j) + std::min(offset + piece, length);
+            if (begin < finish) {
+              result.schedule.machines[machine].push_back(
+                  FastSlice{begin, finish, speed, candidates[pos]});
+            }
+            offset += piece;
+            duration -= piece;
+            if (offset >= length * (1.0 - 1e-12)) {
+              ++machine;
+              offset = 0.0;
+            }
+          }
+          break;
+        }
+      }
+      used[j] += reserved[j];
+    }
+
+    std::vector<std::size_t> next;
+    for (std::size_t job : remaining) {
+      if (std::find(candidates.begin(), candidates.end(), job) == candidates.end()) {
+        next.push_back(job);
+      }
+    }
+    remaining = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace mpss

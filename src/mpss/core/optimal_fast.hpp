@@ -1,0 +1,60 @@
+#pragma once
+// Double-precision fast path of the offline optimal algorithm (S31).
+//
+// The exact engine (core/optimal.hpp) pays arbitrary-precision rational costs to
+// make the paper's equality tests literal. This is the engineering counterpart a
+// production system would deploy: the same phase/round/flow structure over IEEE
+// doubles with relative-epsilon acceptance tests. It trades certainty for speed
+// (order-of-magnitude; see bench_offline and experiment E13) and is validated
+// against the exact engine in tests -- energies agree to ~1e-9 relative on every
+// sampled instance.
+//
+// The fast path returns its own lightweight schedule type: re-encoding binary
+// doubles as exact rationals would launder approximation into "exact" data.
+
+#include <cstddef>
+#include <vector>
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/power.hpp"
+
+namespace mpss {
+
+/// One execution piece in the double-precision schedule.
+struct FastSlice {
+  double start;
+  double end;
+  double speed;
+  std::size_t job;
+};
+
+/// Per-machine slices plus measurement helpers (mirrors Schedule, in double).
+struct FastSchedule {
+  std::vector<std::vector<FastSlice>> machines;
+
+  [[nodiscard]] std::size_t slice_count() const;
+  [[nodiscard]] double energy(const PowerFunction& p) const;
+  [[nodiscard]] double work_on(std::size_t job) const;
+  [[nodiscard]] double max_speed() const;
+};
+
+struct FastOptimalResult {
+  FastSchedule schedule;
+  std::vector<double> phase_speeds;  // descending (within tolerance)
+  std::size_t flow_computations = 0;
+};
+
+/// Approximate feasibility: window containment and machine overlap within
+/// `tolerance` (absolute, in time units), work completion within `tolerance`
+/// relative. Returns the number of violations (0 = feasible).
+[[nodiscard]] std::size_t count_fast_violations(const Instance& instance,
+                                                const FastSchedule& schedule,
+                                                double tolerance = 1e-7);
+
+/// The offline algorithm over doubles. `epsilon` is the relative tolerance of the
+/// flow-saturation tests (default 1e-9; looser values risk misclassifying phases
+/// on near-degenerate instances -- experiment E13 quantifies this).
+[[nodiscard]] FastOptimalResult optimal_schedule_fast(const Instance& instance,
+                                                      double epsilon = 1e-9);
+
+}  // namespace mpss

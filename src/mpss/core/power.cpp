@@ -1,0 +1,71 @@
+#include "mpss/core/power.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+AlphaPower::AlphaPower(double alpha) : alpha_(alpha) {
+  check_arg(alpha > 1.0, "AlphaPower: alpha must be > 1");
+}
+
+double AlphaPower::power(double speed) const { return std::pow(speed, alpha_); }
+
+std::string AlphaPower::name() const {
+  std::ostringstream os;
+  os << "s^" << alpha_;
+  return os.str();
+}
+
+PiecewiseLinearPower::PiecewiseLinearPower(std::vector<Point> points)
+    : points_(std::move(points)) {
+  check_arg(points_.size() >= 2, "PiecewiseLinearPower: need >= 2 breakpoints");
+  double previous_slope = -1.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    check_arg(points_[i].speed > points_[i - 1].speed,
+              "PiecewiseLinearPower: speeds must strictly increase");
+    check_arg(points_[i].power >= points_[i - 1].power,
+              "PiecewiseLinearPower: powers must be non-decreasing");
+    double slope = (points_[i].power - points_[i - 1].power) /
+                   (points_[i].speed - points_[i - 1].speed);
+    check_arg(slope >= previous_slope - 1e-12,
+              "PiecewiseLinearPower: slopes must be non-decreasing (convexity)");
+    previous_slope = slope;
+  }
+}
+
+double PiecewiseLinearPower::power(double speed) const {
+  if (speed <= points_.front().speed) return points_.front().power;
+  std::size_t hi = 1;
+  while (hi + 1 < points_.size() && points_[hi].speed < speed) ++hi;
+  const Point& a = points_[hi - 1];
+  const Point& b = points_[hi];
+  double t = (speed - a.speed) / (b.speed - a.speed);
+  return a.power + t * (b.power - a.power);  // extrapolates for speed > last point
+}
+
+std::string PiecewiseLinearPower::name() const {
+  std::ostringstream os;
+  os << "piecewise[" << points_.size() << "]";
+  return os.str();
+}
+
+CubicPlusLeakagePower::CubicPlusLeakagePower(double cubic, double linear, double constant)
+    : cubic_(cubic), linear_(linear), constant_(constant) {
+  check_arg(cubic >= 0 && linear >= 0 && constant >= 0,
+            "CubicPlusLeakagePower: coefficients must be non-negative");
+}
+
+double CubicPlusLeakagePower::power(double speed) const {
+  return cubic_ * speed * speed * speed + linear_ * speed + constant_;
+}
+
+std::string CubicPlusLeakagePower::name() const {
+  std::ostringstream os;
+  os << cubic_ << "*s^3+" << linear_ << "*s+" << constant_;
+  return os.str();
+}
+
+}  // namespace mpss

@@ -1,0 +1,80 @@
+#pragma once
+// Power functions P(s) (substrate, see DESIGN.md).
+//
+// The paper's offline algorithm works for any convex non-decreasing P; the online
+// analyses use P(s) = s^alpha with alpha > 1. Schedules are computed exactly
+// (speeds are rationals chosen independently of P's values -- only convexity and
+// monotonicity matter), and P is evaluated in double only when *measuring* energy.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mpss {
+
+/// Convex non-decreasing power function interface. Implementations must satisfy
+/// P(s) >= 0, P non-decreasing and convex on s >= 0; the library relies on these
+/// properties but cannot verify them for arbitrary callables.
+class PowerFunction {
+ public:
+  virtual ~PowerFunction() = default;
+
+  /// Power drawn at speed `speed` (speed >= 0).
+  [[nodiscard]] virtual double power(double speed) const = 0;
+
+  /// Descriptive name for tables ("s^3", "piecewise[4]").
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// P(s) = s^alpha, alpha > 1: the family used throughout Section 3 of the paper
+/// (generalizing the cube-root rule alpha = 3).
+class AlphaPower final : public PowerFunction {
+ public:
+  /// Throws std::invalid_argument unless alpha > 1.
+  explicit AlphaPower(double alpha);
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double power(double speed) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double alpha_;
+};
+
+/// Convex piecewise-linear power function given as breakpoints
+/// (speed_0, power_0), ..., strictly increasing in speed. Evaluation extrapolates
+/// the last segment beyond the final breakpoint. Used to exercise the offline
+/// algorithm's "general convex non-decreasing P" claim.
+class PiecewiseLinearPower final : public PowerFunction {
+ public:
+  struct Point {
+    double speed;
+    double power;
+  };
+
+  /// Throws std::invalid_argument unless there are >= 2 points, speeds strictly
+  /// increase, powers are non-decreasing, and slopes are non-decreasing (convex).
+  explicit PiecewiseLinearPower(std::vector<Point> points);
+
+  [[nodiscard]] double power(double speed) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// P(s) = a*s^3 + b*s + c with a,b,c >= 0: a classic CMOS-flavoured model
+/// (dynamic cubic term + leakage-ish linear/constant terms); convex and
+/// non-decreasing for s >= 0.
+class CubicPlusLeakagePower final : public PowerFunction {
+ public:
+  CubicPlusLeakagePower(double cubic, double linear, double constant);
+
+  [[nodiscard]] double power(double speed) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double cubic_, linear_, constant_;
+};
+
+}  // namespace mpss

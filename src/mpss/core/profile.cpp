@@ -1,0 +1,151 @@
+#include "mpss/core/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+StepFunction::StepFunction(std::vector<std::pair<Q, Q>> steps, Q end) {
+  if (steps.empty()) {
+    check_arg(true, "");  // zero function; `end` irrelevant
+    return;
+  }
+  points_.reserve(steps.size() + 1);
+  values_.reserve(steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    check_arg(i == 0 || points_.back() < steps[i].first,
+              "StepFunction: breakpoints must strictly increase");
+    points_.push_back(std::move(steps[i].first));
+    values_.push_back(std::move(steps[i].second));
+  }
+  check_arg(points_.back() < end, "StepFunction: end must follow the last step");
+  points_.push_back(std::move(end));
+  canonicalize();
+}
+
+void StepFunction::canonicalize() {
+  // Merge equal neighbouring segments (segments are contiguous by construction),
+  // then strip zero-valued segments at both ends.
+  std::vector<Q> points;
+  std::vector<Q> values;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (!values.empty() && values.back() == values_[i]) continue;  // extend
+    points.push_back(points_[i]);
+    values.push_back(values_[i]);
+  }
+  if (!values.empty()) points.push_back(points_.back());
+  while (!values.empty() && values.front().is_zero()) {
+    values.erase(values.begin());
+    points.erase(points.begin());
+  }
+  while (!values.empty() && values.back().is_zero()) {
+    values.pop_back();
+    points.pop_back();
+  }
+  if (values.empty()) points.clear();
+  points_ = std::move(points);
+  values_ = std::move(values);
+}
+
+Q StepFunction::at(const Q& t) const {
+  if (points_.empty() || t < points_.front() || !(t < points_.back())) return Q(0);
+  auto it = std::upper_bound(points_.begin(), points_.end(), t);
+  return values_[static_cast<std::size_t>(it - points_.begin()) - 1];
+}
+
+Q StepFunction::integral() const {
+  Q total;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    total += values_[i] * (points_[i + 1] - points_[i]);
+  }
+  return total;
+}
+
+double StepFunction::power_integral(double alpha) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    total += std::pow(values_[i].to_double(), alpha) *
+             (points_[i + 1] - points_[i]).to_double();
+  }
+  return total;
+}
+
+Q StepFunction::maximum() const {
+  Q best(0);
+  for (const Q& value : values_) best = max(best, value);
+  return best;
+}
+
+StepFunction StepFunction::plus(const StepFunction& other) const {
+  if (points_.empty()) return other;
+  if (other.points_.empty()) return *this;
+  std::vector<Q> merged;
+  merged.reserve(points_.size() + other.points_.size());
+  std::merge(points_.begin(), points_.end(), other.points_.begin(),
+             other.points_.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+  StepFunction out;
+  for (std::size_t i = 0; i + 1 < merged.size(); ++i) {
+    out.points_.push_back(merged[i]);
+    out.values_.push_back(at(merged[i]) + other.at(merged[i]));
+  }
+  out.points_.push_back(merged.back());
+  out.canonicalize();
+  return out;
+}
+
+std::string StepFunction::to_string() const {
+  if (points_.empty()) return "(zero)";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    os << points_[i] << ":" << values_[i] << " ";
+  }
+  os << points_.back();
+  return os.str();
+}
+
+StepFunction machine_speed_profile(const Schedule& schedule, std::size_t machine) {
+  auto slices = schedule.machine(machine);  // sorted, validated non-overlap later
+  std::vector<std::pair<Q, Q>> steps;
+  Q end;
+  for (const Slice& slice : slices) {
+    if (!steps.empty() && end < slice.start) {
+      steps.emplace_back(end, Q(0));  // idle gap
+    }
+    steps.emplace_back(slice.start, slice.speed);
+    end = slice.end;
+  }
+  if (steps.empty()) return StepFunction();
+  return StepFunction(std::move(steps), std::move(end));
+}
+
+StepFunction aggregate_speed_profile(const Schedule& schedule) {
+  StepFunction total;
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    total = total.plus(machine_speed_profile(schedule, machine));
+  }
+  return total;
+}
+
+StepFunction parallelism_profile(const Schedule& schedule) {
+  StepFunction total;
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    auto slices = schedule.machine(machine);
+    std::vector<std::pair<Q, Q>> steps;
+    Q end;
+    for (const Slice& slice : slices) {
+      if (!steps.empty() && end < slice.start) steps.emplace_back(end, Q(0));
+      steps.emplace_back(slice.start, Q(1));
+      end = slice.end;
+    }
+    if (steps.empty()) continue;
+    total = total.plus(StepFunction(std::move(steps), std::move(end)));
+  }
+  return total;
+}
+
+}  // namespace mpss

@@ -1,0 +1,76 @@
+#pragma once
+// Exact piecewise-constant step functions over time (substrate S36).
+//
+// Speed profiles are the natural lens on speed-scaling schedules: the aggregate
+// speed of AVR(m) at time t is exactly the total active density Delta_t (the
+// quantity Theorem 3's proof integrates), and comparing aggregate profiles of
+// OPT/OA/AVR makes their different procrastination styles visible. Everything is
+// exact (Q breakpoints and values), so profile identities can be asserted with
+// equality in tests.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mpss/core/schedule.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+/// A right-continuous piecewise-constant function of time with bounded support:
+/// value 0 before the first breakpoint and after the last. Stored canonically
+/// (strictly increasing breakpoints, no two consecutive equal values).
+class StepFunction {
+ public:
+  /// The zero function.
+  StepFunction() = default;
+
+  /// From (time, value) steps: the function takes `value` from this breakpoint to
+  /// the next, and 0 after `end`. Steps must have strictly increasing times, all
+  /// before `end`. Throws std::invalid_argument otherwise.
+  StepFunction(std::vector<std::pair<Q, Q>> steps, Q end);
+
+  /// Value at time t (0 outside the support).
+  [[nodiscard]] Q at(const Q& t) const;
+
+  /// Integral over all time (sum of value * segment length).
+  [[nodiscard]] Q integral() const;
+
+  /// Integral of pow(value, alpha) in double (the energy of a one-machine
+  /// schedule following this speed profile).
+  [[nodiscard]] double power_integral(double alpha) const;
+
+  /// Maximum value attained (0 for the zero function).
+  [[nodiscard]] Q maximum() const;
+
+  /// Pointwise sum.
+  [[nodiscard]] StepFunction plus(const StepFunction& other) const;
+
+  /// Breakpoints (including the end of the support), for iteration/plotting.
+  [[nodiscard]] const std::vector<Q>& breakpoints() const { return points_; }
+  /// values()[i] holds on [breakpoints()[i], breakpoints()[i+1]).
+  [[nodiscard]] const std::vector<Q>& values() const { return values_; }
+
+  /// "t0:v0 t1:v1 ... tn" textual form (tests, debugging).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const StepFunction&, const StepFunction&) = default;
+
+ private:
+  void canonicalize();
+
+  std::vector<Q> points_;  // size = values_.size() + 1 (or both empty)
+  std::vector<Q> values_;
+};
+
+/// Speed profile of one machine of the schedule (0 while idle).
+[[nodiscard]] StepFunction machine_speed_profile(const Schedule& schedule,
+                                                 std::size_t machine);
+
+/// Aggregate speed profile: sum of all machine speeds over time.
+[[nodiscard]] StepFunction aggregate_speed_profile(const Schedule& schedule);
+
+/// Number of busy machines over time.
+[[nodiscard]] StepFunction parallelism_profile(const Schedule& schedule);
+
+}  // namespace mpss

@@ -1,0 +1,194 @@
+#include "mpss/core/yds.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+namespace {
+
+/// Internal job record carrying the original instance index through recursion and
+/// timeline contraction.
+struct WorkItem {
+  std::size_t id;
+  Job job;
+};
+
+/// Finds the critical (maximum-intensity) interval among windows of `items`.
+/// Returns nullopt when no pair contains a job (cannot happen for non-empty input
+/// with positive works). Intensity comparison is exact.
+struct CriticalInterval {
+  Q start;
+  Q end;
+  Q intensity;
+};
+
+std::optional<CriticalInterval> find_critical(const std::vector<WorkItem>& items) {
+  std::vector<Q> starts, ends;
+  starts.reserve(items.size());
+  ends.reserve(items.size());
+  for (const WorkItem& item : items) {
+    starts.push_back(item.job.release);
+    ends.push_back(item.job.deadline);
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+  std::sort(ends.begin(), ends.end());
+  ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+
+  std::optional<CriticalInterval> best;
+  for (const Q& t : starts) {
+    for (const Q& tp : ends) {
+      if (!(t < tp)) continue;
+      Q contained_work;
+      for (const WorkItem& item : items) {
+        if (t <= item.job.release && item.job.deadline <= tp) {
+          contained_work += item.job.work;
+        }
+      }
+      if (contained_work.is_zero()) continue;
+      Q intensity = contained_work / (tp - t);
+      if (!best || best->intensity < intensity) {
+        best = CriticalInterval{t, tp, std::move(intensity)};
+      }
+    }
+  }
+  return best;
+}
+
+/// Recursion of YDS in the *current* (possibly contracted) timeline. Returns the
+/// slices (job field = original instance id) and counts iterations.
+std::vector<Slice> yds_recurse(std::vector<WorkItem> items, std::size_t& iterations,
+                               std::vector<Q>& job_speed) {
+  if (items.empty()) return {};
+  auto critical = find_critical(items);
+  check_internal(critical.has_value(), "yds: no critical interval for pending work");
+  ++iterations;
+  const Q& t = critical->start;
+  const Q& tp = critical->end;
+  const Q& g = critical->intensity;
+  Q cut = tp - t;
+
+  std::vector<Job> inside_jobs;
+  std::vector<std::size_t> inside_ids;
+  std::vector<WorkItem> rest;
+  for (WorkItem& item : items) {
+    if (t <= item.job.release && item.job.deadline <= tp) {
+      inside_ids.push_back(item.id);
+      inside_jobs.push_back(item.job);
+    } else {
+      // Contract [t, tp] out of the remaining job's window.
+      auto contract = [&](const Q& x) {
+        if (x <= t) return x;
+        if (tp <= x) return x - cut;
+        return t;
+      };
+      item.job.release = contract(item.job.release);
+      item.job.deadline = contract(item.job.deadline);
+      rest.push_back(std::move(item));
+    }
+  }
+
+  for (std::size_t i = 0; i < inside_ids.size(); ++i) job_speed[inside_ids[i]] = g;
+
+  std::vector<Slice> critical_slices = edf_at_constant_speed(inside_jobs, g);
+  for (Slice& slice : critical_slices) slice.job = inside_ids[slice.job];
+
+  std::vector<Slice> sub = yds_recurse(std::move(rest), iterations, job_speed);
+  // Expand the contracted timeline: times >= t shift right by |[t, tp)|; a slice
+  // spanning the cut point splits into a part before t and a part after tp.
+  std::vector<Slice> out = std::move(critical_slices);
+  for (Slice& slice : sub) {
+    if (slice.end <= t) {
+      out.push_back(std::move(slice));
+    } else if (t <= slice.start) {
+      out.push_back(Slice{slice.start + cut, slice.end + cut, slice.speed, slice.job});
+    } else {
+      out.push_back(Slice{slice.start, t, slice.speed, slice.job});
+      out.push_back(Slice{tp, slice.end + cut, slice.speed, slice.job});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Slice> edf_at_constant_speed(const std::vector<Job>& jobs, const Q& speed) {
+  check_arg(speed.sign() > 0, "edf_at_constant_speed: speed must be positive");
+  struct State {
+    std::size_t index;
+    Q remaining;
+  };
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return jobs[a].release < jobs[b].release;
+  });
+
+  std::vector<Slice> out;
+  std::vector<State> ready;  // unfinished released jobs
+  std::size_t next_release = 0;
+  Q now;
+  if (!order.empty()) now = jobs[order[0]].release;
+
+  auto release_jobs_up_to = [&](const Q& time) {
+    while (next_release < order.size() && jobs[order[next_release]].release <= time) {
+      std::size_t index = order[next_release++];
+      if (jobs[index].work.sign() > 0) ready.push_back(State{index, jobs[index].work});
+    }
+  };
+
+  release_jobs_up_to(now);
+  while (!ready.empty() || next_release < order.size()) {
+    if (ready.empty()) {
+      now = jobs[order[next_release]].release;
+      release_jobs_up_to(now);
+      continue;
+    }
+    // Earliest deadline first; ties by lower index for determinism.
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      const Job& a = jobs[ready[i].index];
+      const Job& b = jobs[ready[pick].index];
+      if (a.deadline < b.deadline ||
+          (a.deadline == b.deadline && ready[i].index < ready[pick].index)) {
+        pick = i;
+      }
+    }
+    Q finish = now + ready[pick].remaining / speed;
+    Q until = finish;
+    if (next_release < order.size()) {
+      until = min(finish, jobs[order[next_release]].release);
+    }
+    check_internal(until <= jobs[ready[pick].index].deadline,
+                   "edf_at_constant_speed: deadline miss (speed too low)");
+    if (now < until) {
+      out.push_back(Slice{now, until, speed, ready[pick].index});
+      ready[pick].remaining -= speed * (until - now);
+      now = until;
+    }
+    if (ready[pick].remaining.is_zero()) {
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    release_jobs_up_to(now);
+  }
+  return out;
+}
+
+YdsResult yds_schedule(const Instance& instance) {
+  check_arg(instance.machines() == 1,
+            "yds_schedule: single-processor algorithm (use optimal_schedule for m > 1)");
+  YdsResult result{Schedule(1), std::vector<Q>(instance.size(), Q(0)), 0};
+
+  std::vector<WorkItem> items;
+  for (std::size_t k = 0; k < instance.size(); ++k) {
+    if (instance.job(k).work.sign() > 0) items.push_back(WorkItem{k, instance.job(k)});
+  }
+  std::vector<Slice> slices = yds_recurse(std::move(items), result.iterations,
+                                          result.job_speed);
+  for (Slice& slice : slices) result.schedule.add(0, std::move(slice));
+  return result;
+}
+
+}  // namespace mpss

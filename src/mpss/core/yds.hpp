@@ -1,0 +1,44 @@
+#pragma once
+// The Yao-Demers-Shenker single-processor optimal algorithm [15] (substrate S9).
+//
+// Classic critical-interval peeling: repeatedly find the interval [t, t') of
+// maximum intensity g = W(t, t') / (t' - t), where W(t, t') is the total work of
+// jobs whose windows lie inside [t, t']; schedule those jobs EDF at speed g inside
+// the interval; contract the interval out of the timeline and recurse on the rest.
+//
+// Role in this repo: (a) the m = 1 baseline the paper builds on, (b) an *oracle*
+// for the multi-processor algorithm -- for m = 1 both must produce schedules of
+// identical energy, (c) the per-machine engine of the non-migratory baselines.
+
+#include <cstddef>
+#include <vector>
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/schedule.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+/// Output of YDS. The schedule occupies one machine; `job_speed[k]` is the constant
+/// speed of job k (0 for zero-work jobs); `iterations` counts critical intervals.
+struct YdsResult {
+  Schedule schedule;
+  std::vector<Q> job_speed;
+  std::size_t iterations = 0;
+};
+
+/// Computes the energy-optimal single-processor schedule. The instance's machine
+/// count must be 1 (throws std::invalid_argument otherwise, to catch callers that
+/// meant optimal_schedule).
+[[nodiscard]] YdsResult yds_schedule(const Instance& instance);
+
+/// Feasibly schedules `jobs` on ONE machine at constant speed `speed` using
+/// earliest-deadline-first, restricted to windows [release, deadline). The caller
+/// guarantees feasibility (for every [x, y]: contained work <= speed * (y - x));
+/// violations raise InternalError. Job indices in the returned slices refer to
+/// positions in `jobs`. Exposed for reuse (YDS, non-migratory baselines) and
+/// direct testing.
+[[nodiscard]] std::vector<Slice> edf_at_constant_speed(const std::vector<Job>& jobs,
+                                                       const Q& speed);
+
+}  // namespace mpss

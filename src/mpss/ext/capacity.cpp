@@ -1,0 +1,63 @@
+#include "mpss/ext/capacity.hpp"
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/ext/bounded_speed.hpp"
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+std::size_t machines_needed(const Instance& instance, const Q& speed_cap,
+                            std::size_t max_machines) {
+  check_arg(speed_cap.sign() > 0, "machines_needed: speed cap must be positive");
+  check_arg(max_machines >= 1, "machines_needed: max_machines must be >= 1");
+  if (instance.total_work().is_zero()) return 1;
+
+  // No machine count can push the peak below the densest single job (no
+  // self-parallelism), so bail out early when the cap is below every hope.
+  Q densest(0);
+  for (const Job& job : instance.jobs()) {
+    if (job.work.sign() > 0) densest = max(densest, job.density());
+  }
+  if (speed_cap < densest) return 0;
+
+  auto peak_ok = [&](std::size_t m) {
+    return minimal_peak_speed(instance.with_machines(m)) <= speed_cap;
+  };
+
+  // Gallop up to the first sufficient count, then binary search below it.
+  std::size_t hi = 1;
+  while (hi < max_machines && !peak_ok(hi)) hi *= 2;
+  if (hi > max_machines) hi = max_machines;
+  if (!peak_ok(hi)) return 0;
+  std::size_t lo = hi / 2 + 1;
+  if (hi == 1) return 1;
+  // Invariant: everything < lo failed or is unexplored-below-failure; hi works.
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (peak_ok(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+std::vector<CapacityPoint> capacity_curve(const Instance& instance,
+                                          const PowerFunction& p,
+                                          std::size_t max_machines) {
+  check_arg(max_machines >= 1, "capacity_curve: max_machines must be >= 1");
+  std::vector<CapacityPoint> curve;
+  curve.reserve(max_machines);
+  for (std::size_t m = 1; m <= max_machines; ++m) {
+    auto result = optimal_schedule(instance.with_machines(m));
+    CapacityPoint point;
+    point.machines = m;
+    point.energy = result.schedule.energy(p);
+    point.peak_speed = result.phases.empty() ? Q(0) : result.phases.front().speed;
+    curve.push_back(std::move(point));
+  }
+  return curve;
+}
+
+}  // namespace mpss

@@ -1,0 +1,39 @@
+#pragma once
+// Capacity planning helpers (S39): the questions a cluster operator asks on top
+// of the paper's machinery. How many processors until the required peak speed
+// drops below the hardware cap? What does each extra processor buy in energy?
+// Both are monotone in m (more machines never hurt), which the tests assert and
+// the implementations exploit.
+
+#include <cstddef>
+#include <vector>
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/power.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+/// Smallest machine count m (1 <= m <= max_machines) whose minimal feasible peak
+/// speed is <= `speed_cap`; returns 0 when even max_machines is not enough
+/// (a single job's density can make any m insufficient -- jobs cannot
+/// self-parallelize). Galloping + binary search over m; O(log m) optimal-schedule
+/// computations.
+[[nodiscard]] std::size_t machines_needed(const Instance& instance, const Q& speed_cap,
+                                          std::size_t max_machines = 1024);
+
+/// One row of an energy-vs-machines study.
+struct CapacityPoint {
+  std::size_t machines = 0;
+  double energy = 0.0;  // optimal energy with this machine count
+  Q peak_speed;         // minimal feasible peak speed
+};
+
+/// Optimal energy and peak speed for every machine count in [1, max_machines].
+/// Energies are non-increasing in m; the marginal saving of the last machine
+/// tells the operator when to stop buying hardware.
+[[nodiscard]] std::vector<CapacityPoint> capacity_curve(const Instance& instance,
+                                                        const PowerFunction& p,
+                                                        std::size_t max_machines);
+
+}  // namespace mpss

@@ -1,0 +1,61 @@
+#include "mpss/ext/discrete_speeds.hpp"
+
+#include <algorithm>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+Schedule discretize_speeds(const Schedule& schedule, const std::vector<Q>& levels) {
+  check_arg(!levels.empty(), "discretize_speeds: need at least one level");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    check_arg(levels[i].sign() > 0, "discretize_speeds: levels must be positive");
+    check_arg(i == 0 || levels[i - 1] < levels[i],
+              "discretize_speeds: levels must strictly ascend");
+  }
+
+  Schedule out(schedule.machines());
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    for (const Slice& slice : schedule.machine(machine)) {
+      // Exact level: keep as is.
+      if (std::find(levels.begin(), levels.end(), slice.speed) != levels.end()) {
+        out.add(machine, slice);
+        continue;
+      }
+      check_arg(slice.speed < levels.back(),
+                "discretize_speeds: slice speed above the highest level");
+      if (slice.speed < levels.front()) {
+        // Run at the lowest level for work / level time units, then idle.
+        Q duration = slice.work() / levels.front();
+        out.add(machine,
+                Slice{slice.start, slice.start + duration, levels.front(), slice.job});
+        continue;
+      }
+      // Bracketing levels s_lo < s < s_hi; split so total work is preserved:
+      // x * s_hi + (d - x) * s_lo = s * d  =>  x = d * (s - s_lo) / (s_hi - s_lo).
+      auto hi = std::upper_bound(levels.begin(), levels.end(), slice.speed);
+      const Q& s_hi = *hi;
+      const Q& s_lo = *(hi - 1);
+      Q d = slice.duration();
+      Q x = d * (slice.speed - s_lo) / (s_hi - s_lo);
+      out.add(machine, Slice{slice.start, slice.start + x, s_hi, slice.job});
+      out.add(machine, Slice{slice.start + x, slice.end, s_lo, slice.job});
+    }
+  }
+  return out;
+}
+
+std::vector<Q> geometric_levels(const Q& top, const Q& ratio, std::size_t count) {
+  check_arg(top.sign() > 0, "geometric_levels: top must be positive");
+  check_arg(Q(1) < ratio, "geometric_levels: ratio must exceed 1");
+  check_arg(count >= 1, "geometric_levels: need at least one level");
+  std::vector<Q> levels(count);
+  Q current = top;
+  for (std::size_t i = count; i-- > 0;) {
+    levels[i] = current;
+    current /= ratio;
+  }
+  return levels;
+}
+
+}  // namespace mpss

@@ -1,0 +1,31 @@
+#pragma once
+// Discrete speed-level post-processing (extension S18; experiment E10).
+//
+// Real processors offer a finite set of frequency steps. Following the classic
+// two-adjacent-speeds construction (Li & Yao, refs [12, 13] of the paper), every
+// slice running at a continuous speed s with s_lo <= s <= s_hi (adjacent available
+// levels) is split, inside its own time window, into a piece at s_hi and a piece at
+// s_lo completing the same work. Feasibility is preserved verbatim (sub-slices stay
+// inside the original slice), and for convex P this is the energy-optimal way to
+// emulate s with the two neighbours.
+
+#include <vector>
+
+#include "mpss/core/schedule.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+/// Rewrites `schedule` to use only speeds from `levels` (positive, ascending --
+/// validated). Slices slower than the lowest level run at the lowest level for a
+/// proportionally shorter time (the remainder idles). Throws std::invalid_argument
+/// if any slice is faster than the highest level.
+[[nodiscard]] Schedule discretize_speeds(const Schedule& schedule,
+                                         const std::vector<Q>& levels);
+
+/// Builds a geometric level ladder {top, top/ratio, top/ratio^2, ...} with `count`
+/// levels, exact in Q. ratio must be > 1 (as a rational, e.g. Q(3,2)).
+[[nodiscard]] std::vector<Q> geometric_levels(const Q& top, const Q& ratio,
+                                              std::size_t count);
+
+}  // namespace mpss

@@ -1,0 +1,67 @@
+#include "mpss/ext/sleep.hpp"
+
+#include <cmath>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+double SleepModel::critical_speed() const {
+  check_arg(alpha > 1.0, "SleepModel: alpha must be > 1");
+  check_arg(static_power >= 0.0, "SleepModel: static power must be >= 0");
+  return std::pow(static_power / (alpha - 1.0), 1.0 / alpha);
+}
+
+double energy_with_sleep(const Schedule& schedule, const SleepModel& model) {
+  double total = 0.0;
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    for (const Slice& slice : schedule.machine(machine)) {
+      double speed = slice.speed.to_double();
+      total += (std::pow(speed, model.alpha) + model.static_power) *
+               slice.duration().to_double();
+    }
+  }
+  return total;
+}
+
+double energy_always_on(const Schedule& schedule, const SleepModel& model, const Q& t0,
+                        const Q& t1) {
+  check_arg(t0 <= t1, "energy_always_on: t0 must be <= t1");
+  double busy_dynamic = 0.0;
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    for (const Slice& slice : schedule.machine(machine)) {
+      busy_dynamic += std::pow(slice.speed.to_double(), model.alpha) *
+                      slice.duration().to_double();
+    }
+  }
+  double window = (t1 - t0).to_double() * static_cast<double>(schedule.machines());
+  return busy_dynamic + model.static_power * window;
+}
+
+Schedule race_to_idle(const Schedule& schedule, const Q& floor_speed) {
+  check_arg(floor_speed.sign() > 0, "race_to_idle: floor speed must be positive");
+  Schedule out(schedule.machines());
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    for (const Slice& slice : schedule.machine(machine)) {
+      if (floor_speed <= slice.speed) {
+        out.add(machine, slice);
+        continue;
+      }
+      Q duration = slice.work() / floor_speed;
+      out.add(machine,
+              Slice{slice.start, slice.start + duration, floor_speed, slice.job});
+    }
+  }
+  return out;
+}
+
+Q critical_speed_rational(const SleepModel& model, std::int64_t denominator) {
+  check_arg(denominator >= 1, "critical_speed_rational: denominator must be >= 1");
+  double critical = model.critical_speed();
+  auto numerator =
+      static_cast<std::int64_t>(std::floor(critical * static_cast<double>(denominator)));
+  if (numerator < 1) numerator = 1;
+  return Q(numerator, denominator);
+}
+
+}  // namespace mpss

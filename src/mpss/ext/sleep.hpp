@@ -1,0 +1,55 @@
+#pragma once
+// Speed scaling with a sleep state (extension S22; the paper's conclusion poses
+// "combined speed scaling and power-down mechanisms in multi-processor
+// environments" as future work, citing Irani et al. [9]).
+//
+// Model: busy power P(s) = s^alpha + static_power (leakage flows whenever the
+// processor is awake, even at speed 0); a sleeping processor draws nothing. The
+// classic single-processor insight [9]: below the *critical speed*
+// s_crit = (static_power / (alpha - 1))^(1/alpha), running slower wastes leakage
+// -- it is cheaper to run at s_crit and sleep the slack ("race to idle").
+//
+// We provide the race-to-idle transformation of any schedule (each slice slower
+// than s_crit is compressed, inside its own window, to s_crit) plus awake/asleep
+// energy accounting, so the E11 experiment can measure how much the paper's
+// leakage-oblivious optimum leaves on the table once static power exists.
+
+#include "mpss/core/schedule.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+/// Sleep-state energy model: P_awake(s) = s^alpha + static_power, sleep = 0.
+struct SleepModel {
+  double alpha = 3.0;
+  double static_power = 1.0;
+
+  /// argmin_{s>0} P(s)/s = (static_power / (alpha - 1))^(1/alpha): the most
+  /// energy-efficient speed per unit of work.
+  [[nodiscard]] double critical_speed() const;
+};
+
+/// Energy of `schedule` when processors can sleep during idle time: sum over
+/// slices of (speed^alpha + static_power) * duration. (Transition costs are
+/// modelled as zero, the simplest variant in [9].)
+[[nodiscard]] double energy_with_sleep(const Schedule& schedule,
+                                       const SleepModel& model);
+
+/// Energy when processors can NOT sleep: busy energy plus static_power leaking on
+/// every machine over the whole window [t0, t1).
+[[nodiscard]] double energy_always_on(const Schedule& schedule, const SleepModel& model,
+                                      const Q& t0, const Q& t1);
+
+/// Race-to-idle transformation: every slice with speed below `floor_speed` is
+/// compressed (same start, same work, speed = floor_speed, shorter duration);
+/// faster slices are untouched. Feasibility is preserved exactly -- each new slice
+/// is a subset of the old one's time span. Pass SleepModel::critical_speed()
+/// rounded to a rational for the [9]-optimal floor.
+[[nodiscard]] Schedule race_to_idle(const Schedule& schedule, const Q& floor_speed);
+
+/// A rational lower approximation of the model's critical speed with denominator
+/// `denominator` (floor to a grid); convenient for feeding race_to_idle.
+[[nodiscard]] Q critical_speed_rational(const SleepModel& model,
+                                        std::int64_t denominator = 1024);
+
+}  // namespace mpss

@@ -1,0 +1,196 @@
+#pragma once
+// Maximum-flow solver (Dinic's algorithm), templated on the capacity type
+// (substrate S3, see DESIGN.md).
+//
+// The offline optimal scheduler instantiates this with exact rationals (mpss::Q):
+// Dinic performs O(V) blocking-flow phases of O(VE) augmentations each regardless of
+// capacity magnitudes, so exact arithmetic never affects termination. int64 and
+// double instantiations exist for micro-benchmarks and generic reuse.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "mpss/util/error.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+/// Capacity-type policy. Specializations provide zero and the positivity test
+/// (strict for exact types, epsilon-guarded for floating point so blocking-flow
+/// loops cannot spin on 1e-18 residuals).
+template <typename Cap>
+struct FlowTraits {
+  static Cap zero() { return Cap{}; }
+  static bool is_positive(const Cap& value) { return value > Cap{}; }
+};
+
+template <>
+struct FlowTraits<double> {
+  static constexpr double kEpsilon = 1e-12;
+  static double zero() { return 0.0; }
+  static bool is_positive(double value) { return value > kEpsilon; }
+};
+
+/// Directed flow network with residual arcs. Nodes are dense indices created via
+/// add_node(); arcs keep their insertion id so callers can read per-edge flow after
+/// max_flow() (the scheduler converts edge flows into processing times).
+template <typename Cap>
+class FlowNetwork {
+ public:
+  /// Identifier returned by add_edge.
+  using EdgeId = std::size_t;
+
+  /// Creates `count` fresh nodes, returning the index of the first.
+  std::size_t add_nodes(std::size_t count) {
+    std::size_t first = adjacency_.size();
+    adjacency_.resize(adjacency_.size() + count);
+    return first;
+  }
+  std::size_t add_node() { return add_nodes(1); }
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return arcs_.size() / 2; }
+
+  /// Adds a directed edge with the given capacity (>= 0); returns its id.
+  EdgeId add_edge(std::size_t from, std::size_t to, Cap capacity) {
+    check_arg(from < adjacency_.size() && to < adjacency_.size(),
+              "FlowNetwork::add_edge: node index out of range");
+    check_arg(!FlowTraits<Cap>::is_positive(FlowTraits<Cap>::zero() - capacity),
+              "FlowNetwork::add_edge: negative capacity");
+    EdgeId id = edge_arc_.size();
+    edge_arc_.push_back(arcs_.size());
+    adjacency_[from].push_back(arcs_.size());
+    arcs_.push_back(Arc{to, capacity});
+    adjacency_[to].push_back(arcs_.size());
+    arcs_.push_back(Arc{from, FlowTraits<Cap>::zero()});
+    return id;
+  }
+
+  /// Computes the maximum flow from source to sink. May be called once per network
+  /// (it mutates residual capacities). Returns the flow value.
+  Cap max_flow(std::size_t source, std::size_t sink) {
+    check_arg(source < adjacency_.size() && sink < adjacency_.size(),
+              "FlowNetwork::max_flow: node index out of range");
+    check_arg(source != sink, "FlowNetwork::max_flow: source == sink");
+    original_capacity_.clear();
+    original_capacity_.reserve(arcs_.size());
+    for (const Arc& arc : arcs_) original_capacity_.push_back(arc.residual);
+
+    Cap total = FlowTraits<Cap>::zero();
+    level_.assign(adjacency_.size(), -1);
+    iterator_.assign(adjacency_.size(), 0);
+    while (build_levels(source, sink)) {
+      iterator_.assign(adjacency_.size(), 0);
+      for (;;) {
+        Cap pushed = blocking_path(source, sink, Cap{}, /*unbounded=*/true);
+        if (!FlowTraits<Cap>::is_positive(pushed)) break;
+        total += pushed;
+      }
+    }
+    solved_ = true;
+    return total;
+  }
+
+  /// Flow routed along edge `id` (only meaningful after max_flow()).
+  [[nodiscard]] Cap flow(EdgeId id) const {
+    check_internal(solved_, "FlowNetwork::flow before max_flow");
+    std::size_t arc = edge_arc_.at(id);
+    // Flow on a forward arc equals the residual capacity accumulated on its twin.
+    return arcs_[arc ^ 1].residual;
+  }
+
+  /// The capacity the edge was created with.
+  [[nodiscard]] Cap capacity(EdgeId id) const {
+    std::size_t arc = edge_arc_.at(id);
+    return solved_ ? original_capacity_[arc] : arcs_[arc].residual;
+  }
+
+  /// True iff edge `id` carries exactly its capacity (exact types) or is within
+  /// epsilon of it (double).
+  [[nodiscard]] bool saturated(EdgeId id) const {
+    return !FlowTraits<Cap>::is_positive(capacity(id) - flow(id));
+  }
+
+  /// Nodes reachable from `source` in the residual graph; the source side of a
+  /// minimum cut (only meaningful after max_flow()).
+  [[nodiscard]] std::vector<bool> min_cut_source_side(std::size_t source) const {
+    check_internal(solved_, "FlowNetwork::min_cut_source_side before max_flow");
+    std::vector<bool> reachable(adjacency_.size(), false);
+    std::vector<std::size_t> stack{source};
+    reachable[source] = true;
+    while (!stack.empty()) {
+      std::size_t node = stack.back();
+      stack.pop_back();
+      for (std::size_t arc : adjacency_[node]) {
+        if (FlowTraits<Cap>::is_positive(arcs_[arc].residual) &&
+            !reachable[arcs_[arc].target]) {
+          reachable[arcs_[arc].target] = true;
+          stack.push_back(arcs_[arc].target);
+        }
+      }
+    }
+    return reachable;
+  }
+
+ private:
+  struct Arc {
+    std::size_t target;
+    Cap residual;
+  };
+
+  bool build_levels(std::size_t source, std::size_t sink) {
+    level_.assign(adjacency_.size(), -1);
+    queue_.clear();
+    queue_.push_back(source);
+    level_[source] = 0;
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      std::size_t node = queue_[head];
+      for (std::size_t arc : adjacency_[node]) {
+        if (level_[arcs_[arc].target] < 0 &&
+            FlowTraits<Cap>::is_positive(arcs_[arc].residual)) {
+          level_[arcs_[arc].target] = level_[node] + 1;
+          queue_.push_back(arcs_[arc].target);
+        }
+      }
+    }
+    return level_[sink] >= 0;
+  }
+
+  // DFS for one augmenting path within the level graph. `unbounded` marks the root
+  // call where the bottleneck is still unknown.
+  Cap blocking_path(std::size_t node, std::size_t sink, Cap limit, bool unbounded) {
+    if (node == sink) return limit;
+    for (std::size_t& it = iterator_[node]; it < adjacency_[node].size(); ++it) {
+      std::size_t arc = adjacency_[node][it];
+      Arc& forward = arcs_[arc];
+      if (!FlowTraits<Cap>::is_positive(forward.residual)) continue;
+      if (level_[forward.target] != level_[node] + 1) continue;
+      Cap pass = unbounded ? forward.residual
+                           : (forward.residual < limit ? forward.residual : limit);
+      Cap pushed = blocking_path(forward.target, sink, pass, false);
+      if (FlowTraits<Cap>::is_positive(pushed)) {
+        forward.residual -= pushed;
+        arcs_[arc ^ 1].residual += pushed;
+        return pushed;
+      }
+    }
+    level_[node] = -1;  // dead end: prune for the rest of this phase
+    return FlowTraits<Cap>::zero();
+  }
+
+  std::vector<std::vector<std::size_t>> adjacency_;  // node -> arc indices
+  std::vector<Arc> arcs_;                            // paired: arc ^ 1 is the twin
+  std::vector<std::size_t> edge_arc_;                // edge id -> forward arc index
+  std::vector<Cap> original_capacity_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iterator_;
+  std::vector<std::size_t> queue_;
+  bool solved_ = false;
+};
+
+extern template class FlowNetwork<std::int64_t>;
+extern template class FlowNetwork<double>;
+extern template class FlowNetwork<Q>;
+
+}  // namespace mpss

@@ -1,0 +1,9 @@
+#include "mpss/flow/dinic.hpp"
+
+namespace mpss {
+
+template class FlowNetwork<std::int64_t>;
+template class FlowNetwork<double>;
+template class FlowNetwork<Q>;
+
+}  // namespace mpss

@@ -1,0 +1,83 @@
+#include "mpss/flow/push_relabel.hpp"
+
+#include <algorithm>
+
+namespace mpss {
+
+template <typename Cap>
+Cap PushRelabelNetwork<Cap>::max_flow(std::size_t source, std::size_t sink) {
+  check_arg(source < adjacency_.size() && sink < adjacency_.size(),
+            "PushRelabelNetwork::max_flow: node index out of range");
+  check_arg(source != sink, "PushRelabelNetwork::max_flow: source == sink");
+  const std::size_t n = adjacency_.size();
+  excess_.assign(n, Cap{});
+  height_.assign(n, 0);
+  height_[source] = n;
+  std::vector<std::size_t> current(n, 0);  // current-arc pointers
+  active_.clear();
+
+  auto activate = [&](std::size_t node) {
+    if (node != source && node != sink && !(excess_[node] < Cap{}) &&
+        Cap{} < excess_[node]) {
+      active_.push_back(node);
+    }
+  };
+
+  // Saturate all source arcs.
+  for (std::size_t arc : adjacency_[source]) {
+    if ((arc & 1) != 0) continue;  // skip reverse arcs rooted elsewhere
+    Cap amount = arcs_[arc].residual;
+    if (!(Cap{} < amount)) continue;
+    arcs_[arc].residual -= amount;
+    arcs_[arc ^ 1].residual += amount;
+    excess_[arcs_[arc].target] += amount;
+    excess_[source] -= amount;
+    activate(arcs_[arc].target);
+  }
+
+  while (!active_.empty()) {
+    std::size_t node = active_.back();
+    if (!(Cap{} < excess_[node])) {
+      active_.pop_back();
+      continue;
+    }
+    bool pushed = false;
+    for (std::size_t& it = current[node]; it < adjacency_[node].size(); ++it) {
+      std::size_t arc = adjacency_[node][it];
+      Arc& forward = arcs_[arc];
+      if (!(Cap{} < forward.residual)) continue;
+      if (height_[node] != height_[forward.target] + 1) continue;
+      Cap amount = std::min(excess_[node], forward.residual);
+      forward.residual -= amount;
+      arcs_[arc ^ 1].residual += amount;
+      bool target_was_inactive = !(Cap{} < excess_[forward.target]);
+      excess_[forward.target] += amount;
+      excess_[node] -= amount;
+      if (target_was_inactive) activate(forward.target);
+      pushed = true;
+      if (!(Cap{} < excess_[node])) break;
+    }
+    if (!pushed && Cap{} < excess_[node]) {
+      // Relabel: one above the lowest residual neighbour. An active node always
+      // has a residual arc (the reverse of whatever filled it).
+      std::size_t best = static_cast<std::size_t>(-1);
+      for (std::size_t arc : adjacency_[node]) {
+        if (Cap{} < arcs_[arc].residual) {
+          best = std::min(best, height_[arcs_[arc].target] + 1);
+        }
+      }
+      check_internal(best != static_cast<std::size_t>(-1),
+                     "push_relabel: active node with no residual arcs");
+      height_[node] = best;
+      current[node] = 0;
+    }
+  }
+
+  solved_ = true;
+  return excess_[sink];
+}
+
+template class PushRelabelNetwork<std::int64_t>;
+template class PushRelabelNetwork<Q>;
+
+}  // namespace mpss

@@ -1,0 +1,73 @@
+#pragma once
+// Push-relabel (highest-label, with gap heuristic) maximum-flow solver -- an
+// independent second implementation of substrate S3.
+//
+// Why two solvers: the offline optimal algorithm's correctness rides entirely on
+// max-flow values, so the test suite cross-checks Dinic against push-relabel on
+// randomized networks (classic N-version testing for the load-bearing kernel).
+// Dinic remains the default inside the scheduler; push-relabel is also the faster
+// choice on dense graphs, which bench_flow quantifies.
+
+#include <cstddef>
+#include <vector>
+
+#include "mpss/util/error.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+/// Standalone solver mirroring FlowNetwork's interface (add_nodes/add_edge/
+/// max_flow/flow). Kept separate rather than templated-over-strategy so each
+/// algorithm stays independently readable and independently buggy.
+template <typename Cap>
+class PushRelabelNetwork {
+ public:
+  using EdgeId = std::size_t;
+
+  std::size_t add_nodes(std::size_t count) {
+    std::size_t first = adjacency_.size();
+    adjacency_.resize(adjacency_.size() + count);
+    return first;
+  }
+  std::size_t add_node() { return add_nodes(1); }
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+
+  EdgeId add_edge(std::size_t from, std::size_t to, Cap capacity) {
+    check_arg(from < adjacency_.size() && to < adjacency_.size(),
+              "PushRelabelNetwork::add_edge: node index out of range");
+    check_arg(!(capacity < Cap{}), "PushRelabelNetwork::add_edge: negative capacity");
+    EdgeId id = edge_arc_.size();
+    edge_arc_.push_back(arcs_.size());
+    adjacency_[from].push_back(arcs_.size());
+    arcs_.push_back(Arc{to, capacity});
+    adjacency_[to].push_back(arcs_.size());
+    arcs_.push_back(Arc{from, Cap{}});
+    return id;
+  }
+
+  Cap max_flow(std::size_t source, std::size_t sink);
+
+  [[nodiscard]] Cap flow(EdgeId id) const {
+    check_internal(solved_, "PushRelabelNetwork::flow before max_flow");
+    return arcs_[edge_arc_.at(id) ^ 1].residual;
+  }
+
+ private:
+  struct Arc {
+    std::size_t target;
+    Cap residual;
+  };
+
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::vector<Arc> arcs_;
+  std::vector<std::size_t> edge_arc_;
+  std::vector<Cap> excess_;
+  std::vector<std::size_t> height_;
+  std::vector<std::size_t> active_;  // stack of active nodes
+  bool solved_ = false;
+};
+
+extern template class PushRelabelNetwork<std::int64_t>;
+extern template class PushRelabelNetwork<Q>;
+
+}  // namespace mpss

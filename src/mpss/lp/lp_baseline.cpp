@@ -1,0 +1,106 @@
+#include "mpss/lp/lp_baseline.hpp"
+
+#include <vector>
+
+#include "mpss/core/intervals.hpp"
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+LpBaselineResult lp_baseline(const Instance& instance, const PowerFunction& p,
+                             std::size_t grid_size, double max_speed_hint) {
+  check_arg(grid_size >= 2, "lp_baseline: grid needs at least two speed levels");
+
+  IntervalDecomposition intervals(instance.jobs());
+  const std::size_t interval_count = intervals.count();
+  LpBaselineResult result;
+  if (interval_count == 0 || instance.total_work().is_zero()) {
+    result.status = LpSolution::Status::kOptimal;
+    return result;
+  }
+
+  // Safe top speed: the fastest set's speed s_1 = W_1 / P_1 satisfies
+  // W_1 <= W_total and P_1 >= min |I_j|.
+  double top_speed = max_speed_hint;
+  if (top_speed <= 0.0) {
+    Q min_length = intervals.length(0);
+    for (std::size_t j = 1; j < interval_count; ++j) {
+      min_length = min(min_length, intervals.length(j));
+    }
+    top_speed = (instance.total_work() / min_length).to_double();
+  }
+  std::vector<double> grid(grid_size);
+  for (std::size_t v = 0; v < grid_size; ++v) {
+    grid[v] = top_speed * static_cast<double>(v + 1) / static_cast<double>(grid_size);
+  }
+
+  // Variable layout: var(k, j, v) for active (job, interval) pairs only.
+  struct VarBlock {
+    std::size_t job;
+    std::size_t interval;
+    std::size_t first_var;  // grid_size consecutive variables
+  };
+  std::vector<VarBlock> blocks;
+  LpProblem problem;
+  for (std::size_t k = 0; k < instance.size(); ++k) {
+    if (instance.job(k).work.is_zero()) continue;
+    for (std::size_t j = 0; j < interval_count; ++j) {
+      if (!intervals.active(instance.job(k), j)) continue;
+      blocks.push_back(VarBlock{k, j, problem.num_vars});
+      problem.num_vars += grid_size;
+    }
+  }
+  problem.objective.resize(problem.num_vars);
+  for (const VarBlock& block : blocks) {
+    for (std::size_t v = 0; v < grid_size; ++v) {
+      problem.objective[block.first_var + v] = p.power(grid[v]);
+    }
+  }
+
+  // Work completion per job (equality).
+  for (std::size_t k = 0; k < instance.size(); ++k) {
+    if (instance.job(k).work.is_zero()) continue;
+    std::vector<std::pair<std::size_t, double>> coefficients;
+    for (const VarBlock& block : blocks) {
+      if (block.job != k) continue;
+      for (std::size_t v = 0; v < grid_size; ++v) {
+        coefficients.emplace_back(block.first_var + v, grid[v]);
+      }
+    }
+    problem.add_row(std::move(coefficients), Relation::kEqual,
+                    instance.job(k).work.to_double());
+  }
+  // No self-parallelism: per (job, interval), total time <= |I_j|.
+  for (const VarBlock& block : blocks) {
+    std::vector<std::pair<std::size_t, double>> coefficients;
+    for (std::size_t v = 0; v < grid_size; ++v) {
+      coefficients.emplace_back(block.first_var + v, 1.0);
+    }
+    problem.add_row(std::move(coefficients), Relation::kLessEqual,
+                    intervals.length(block.interval).to_double());
+  }
+  // Machine capacity per interval.
+  for (std::size_t j = 0; j < interval_count; ++j) {
+    std::vector<std::pair<std::size_t, double>> coefficients;
+    for (const VarBlock& block : blocks) {
+      if (block.interval != j) continue;
+      for (std::size_t v = 0; v < grid_size; ++v) {
+        coefficients.emplace_back(block.first_var + v, 1.0);
+      }
+    }
+    if (coefficients.empty()) continue;
+    problem.add_row(std::move(coefficients), Relation::kLessEqual,
+                    static_cast<double>(instance.machines()) *
+                        intervals.length(j).to_double());
+  }
+
+  result.variables = problem.num_vars;
+  result.constraints = problem.rows.size();
+  LpSolution solution = solve_lp(problem);
+  result.status = solution.status;
+  result.energy = solution.objective;
+  result.iterations = solution.iterations;
+  return result;
+}
+
+}  // namespace mpss

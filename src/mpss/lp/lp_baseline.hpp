@@ -1,0 +1,45 @@
+#pragma once
+// LP-based offline baseline (substrate S16; experiments E1 and E8).
+//
+// Stands in for the Bingham-Greenstreet linear-programming route [6] the paper's
+// introduction compares against. Speeds are restricted to a finite grid
+// v_1 < ... < v_V; variables t[k][j][v] give the time job k runs at grid speed v
+// inside atomic interval I_j:
+//
+//     minimize   sum P(v) * t[k][j][v]
+//     subject to sum_{j,v} v * t[k][j][v]  = w_k          (work completion)
+//                sum_v     t[k][j][v]     <= |I_j|        (no self-parallelism)
+//                sum_{k,v} t[k][j][v]     <= m * |I_j|    (machine capacity)
+//
+// Any feasible point converts to a feasible migratory schedule (per-interval
+// McNaughton wrap), so the LP optimum is an *upper* bound on OPT; convexity of P
+// makes it converge to OPT from above as the grid refines. DESIGN.md documents why
+// this substitution preserves the comparison the paper makes.
+
+#include <cstddef>
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/power.hpp"
+#include "mpss/lp/simplex.hpp"
+
+namespace mpss {
+
+struct LpBaselineResult {
+  LpSolution::Status status = LpSolution::Status::kInfeasible;
+  double energy = 0.0;        // LP objective (>= OPT energy, -> OPT as grid grows)
+  std::size_t variables = 0;  // LP size, reported by experiment E8
+  std::size_t constraints = 0;
+  std::size_t iterations = 0;  // simplex pivots
+};
+
+/// Solves the discretized-speed LP. `grid_size` is the number of speed levels
+/// (>= 2); `max_speed_hint`, when positive, overrides the built-in safe upper
+/// bound W_total / min_interval_length (pass the known optimal top speed to get a
+/// tight grid). Returns kInfeasible only if the grid's top speed is too low, which
+/// cannot happen with the built-in bound.
+[[nodiscard]] LpBaselineResult lp_baseline(const Instance& instance,
+                                           const PowerFunction& p,
+                                           std::size_t grid_size,
+                                           double max_speed_hint = 0.0);
+
+}  // namespace mpss

@@ -1,0 +1,240 @@
+#include "mpss/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kFeasibilityTolerance = 1e-7;
+
+/// Dense tableau with an explicit basis. Columns: structural variables, then
+/// slack/surplus, then artificial; final column is the RHS.
+struct Tableau {
+  std::size_t rows = 0;
+  std::size_t cols = 0;  // variable columns (excluding RHS)
+  std::vector<std::vector<double>> a;  // rows x (cols + 1)
+  std::vector<std::size_t> basis;      // row -> basic variable
+
+  double& at(std::size_t r, std::size_t c) { return a[r][c]; }
+  double& rhs(std::size_t r) { return a[r][cols]; }
+};
+
+enum class PhaseOutcome { kOptimal, kUnbounded };
+
+/// Runs simplex with Bland's rule on `t` minimizing `cost` (size t.cols).
+/// `reduced` is scratch for the objective row. Returns the outcome; the objective
+/// value is recoverable from the basis.
+PhaseOutcome run_simplex(Tableau& t, const std::vector<double>& cost,
+                         std::size_t* iterations) {
+  // Reduced-cost row r_j = c_j - sum_i c_B(i) * a(i, j).
+  std::vector<double> reduced(t.cols + 1, 0.0);
+  for (std::size_t j = 0; j <= t.cols; ++j) {
+    double z = 0.0;
+    for (std::size_t i = 0; i < t.rows; ++i) z += cost[t.basis[i]] * t.a[i][j];
+    reduced[j] = (j < t.cols ? cost[j] : 0.0) - z;
+  }
+
+  for (;;) {
+    // Bland: smallest-index entering column with negative reduced cost.
+    std::size_t entering = t.cols;
+    for (std::size_t j = 0; j < t.cols; ++j) {
+      if (reduced[j] < -kEps) {
+        entering = j;
+        break;
+      }
+    }
+    if (entering == t.cols) return PhaseOutcome::kOptimal;
+
+    // Ratio test; Bland tie-break by smallest basic variable index.
+    std::size_t leaving = t.rows;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < t.rows; ++i) {
+      if (t.a[i][entering] > kEps) {
+        double ratio = t.rhs(i) / t.a[i][entering];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leaving == t.rows || t.basis[i] < t.basis[leaving]))) {
+          best_ratio = ratio;
+          leaving = i;
+        }
+      }
+    }
+    if (leaving == t.rows) return PhaseOutcome::kUnbounded;
+
+    // Pivot on (leaving, entering).
+    ++*iterations;
+    double pivot = t.a[leaving][entering];
+    for (std::size_t j = 0; j <= t.cols; ++j) t.a[leaving][j] /= pivot;
+    for (std::size_t i = 0; i < t.rows; ++i) {
+      if (i == leaving) continue;
+      double factor = t.a[i][entering];
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t j = 0; j <= t.cols; ++j) {
+        t.a[i][j] -= factor * t.a[leaving][j];
+      }
+    }
+    double reduced_factor = reduced[entering];
+    for (std::size_t j = 0; j <= t.cols; ++j) {
+      reduced[j] -= reduced_factor * t.a[leaving][j];
+    }
+    t.basis[leaving] = entering;
+  }
+}
+
+}  // namespace
+
+std::size_t LpProblem::add_row(std::vector<std::pair<std::size_t, double>> coefficients,
+                               Relation relation, double rhs) {
+  rows.push_back(Row{std::move(coefficients), relation, rhs});
+  return rows.size() - 1;
+}
+
+std::string LpSolution::status_name() const {
+  switch (status) {
+    case Status::kOptimal: return "optimal";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kUnbounded: return "unbounded";
+  }
+  return "unknown";
+}
+
+LpSolution solve_lp(const LpProblem& problem) {
+  check_arg(problem.objective.size() == problem.num_vars,
+            "solve_lp: objective size must equal num_vars");
+  for (const auto& row : problem.rows) {
+    for (const auto& [var, coeff] : row.coefficients) {
+      (void)coeff;
+      check_arg(var < problem.num_vars, "solve_lp: variable index out of range");
+    }
+  }
+
+  const std::size_t n = problem.num_vars;
+  const std::size_t r = problem.rows.size();
+
+  // Per-row normalized relation (rhs made non-negative first) so auxiliary-column
+  // counts are exact before the tableau is allocated.
+  std::vector<Relation> normalized(r);
+  std::size_t slack_count = 0;
+  std::size_t artificial_count = 0;
+  for (std::size_t i = 0; i < r; ++i) {
+    Relation relation = problem.rows[i].relation;
+    if (problem.rows[i].rhs < 0.0) {
+      if (relation == Relation::kLessEqual) relation = Relation::kGreaterEqual;
+      else if (relation == Relation::kGreaterEqual) relation = Relation::kLessEqual;
+    }
+    normalized[i] = relation;
+    if (relation != Relation::kEqual) ++slack_count;
+    if (relation != Relation::kLessEqual) ++artificial_count;
+  }
+
+  Tableau t;
+  t.rows = r;
+  t.cols = n + slack_count + artificial_count;
+  t.a.assign(r, std::vector<double>(t.cols + 1, 0.0));
+  t.basis.assign(r, 0);
+
+  std::size_t next_slack = n;
+  std::size_t next_artificial = n + slack_count;
+  std::vector<bool> is_artificial(t.cols, false);
+
+  for (std::size_t i = 0; i < r; ++i) {
+    const auto& row = problem.rows[i];
+    double sign = row.rhs < 0.0 ? -1.0 : 1.0;  // normalize rhs >= 0
+    for (const auto& [var, coeff] : row.coefficients) {
+      t.a[i][var] += sign * coeff;
+    }
+    t.rhs(i) = sign * row.rhs;
+
+    if (normalized[i] == Relation::kLessEqual) {
+      t.a[i][next_slack] = 1.0;
+      t.basis[i] = next_slack++;  // slack starts basic
+      continue;
+    }
+    if (normalized[i] == Relation::kGreaterEqual) {
+      t.a[i][next_slack++] = -1.0;  // surplus
+    }
+    t.a[i][next_artificial] = 1.0;
+    t.basis[i] = next_artificial;
+    is_artificial[next_artificial] = true;
+    ++next_artificial;
+  }
+
+  LpSolution solution;
+
+  // Phase 1: minimize the sum of artificial variables.
+  std::vector<double> phase1_cost(t.cols, 0.0);
+  for (std::size_t j = 0; j < t.cols; ++j) {
+    if (is_artificial[j]) phase1_cost[j] = 1.0;
+  }
+  if (run_simplex(t, phase1_cost, &solution.iterations) == PhaseOutcome::kUnbounded) {
+    // Phase 1 objective is bounded below by 0; unbounded means a logic error.
+    throw InternalError("solve_lp: phase-1 simplex reported unbounded");
+  }
+  double infeasibility = 0.0;
+  for (std::size_t i = 0; i < t.rows; ++i) {
+    if (is_artificial[t.basis[i]]) infeasibility += t.rhs(i);
+  }
+  if (infeasibility > kFeasibilityTolerance) {
+    solution.status = LpSolution::Status::kInfeasible;
+    return solution;
+  }
+
+  // Drive any remaining (zero-valued) artificial out of the basis, or drop its row.
+  for (std::size_t i = 0; i < t.rows; ++i) {
+    if (!is_artificial[t.basis[i]]) continue;
+    std::size_t pivot_col = t.cols;
+    for (std::size_t j = 0; j < t.cols; ++j) {
+      if (!is_artificial[j] && std::abs(t.a[i][j]) > kEps) {
+        pivot_col = j;
+        break;
+      }
+    }
+    if (pivot_col == t.cols) {
+      // Redundant row: zero it out; it can never pivot again.
+      std::fill(t.a[i].begin(), t.a[i].end(), 0.0);
+      continue;
+    }
+    double pivot = t.a[i][pivot_col];
+    for (std::size_t j = 0; j <= t.cols; ++j) t.a[i][j] /= pivot;
+    for (std::size_t k = 0; k < t.rows; ++k) {
+      if (k == i) continue;
+      double factor = t.a[k][pivot_col];
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t j = 0; j <= t.cols; ++j) t.a[k][j] -= factor * t.a[i][j];
+    }
+    t.basis[i] = pivot_col;
+  }
+
+  // Phase 2: original objective; artificial columns get a prohibitive cost of 0 but
+  // are excluded by never letting them re-enter (their reduced costs stay >= 0
+  // because we zero their columns).
+  for (std::size_t j = 0; j < t.cols; ++j) {
+    if (is_artificial[j]) {
+      for (std::size_t i = 0; i < t.rows; ++i) t.a[i][j] = 0.0;
+    }
+  }
+  std::vector<double> phase2_cost(t.cols, 0.0);
+  for (std::size_t j = 0; j < n; ++j) phase2_cost[j] = problem.objective[j];
+  if (run_simplex(t, phase2_cost, &solution.iterations) == PhaseOutcome::kUnbounded) {
+    solution.status = LpSolution::Status::kUnbounded;
+    return solution;
+  }
+
+  solution.status = LpSolution::Status::kOptimal;
+  solution.values.assign(n, 0.0);
+  for (std::size_t i = 0; i < t.rows; ++i) {
+    if (t.basis[i] < n) solution.values[t.basis[i]] = t.rhs(i);
+  }
+  solution.objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    solution.objective += problem.objective[j] * solution.values[j];
+  }
+  return solution;
+}
+
+}  // namespace mpss

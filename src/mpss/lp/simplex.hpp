@@ -1,0 +1,51 @@
+#pragma once
+// Dense two-phase tableau simplex LP solver (substrate S4, see DESIGN.md).
+//
+// Built for the LP baseline of experiment E8 (the paper's intro contrasts its
+// combinatorial algorithm against the linear-programming approach of Bingham &
+// Greenstreet [6], noting the LP's "complexity is too high for most practical
+// applications" -- which E8 measures). Bland's rule guarantees termination; the
+// implementation favours clarity over sparse-revised-simplex performance, which is
+// exactly the point of the comparison.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mpss {
+
+/// Row relation in a linear constraint.
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+/// minimize objective . x   subject to  rows, x >= 0.
+struct LpProblem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;  // size num_vars
+
+  struct Row {
+    std::vector<std::pair<std::size_t, double>> coefficients;  // (var, coeff)
+    Relation relation = Relation::kLessEqual;
+    double rhs = 0.0;
+  };
+  std::vector<Row> rows;
+
+  /// Appends a constraint; returns its index.
+  std::size_t add_row(std::vector<std::pair<std::size_t, double>> coefficients,
+                      Relation relation, double rhs);
+};
+
+struct LpSolution {
+  enum class Status { kOptimal, kInfeasible, kUnbounded };
+  Status status = Status::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  // primal solution, size num_vars (when optimal)
+  std::size_t iterations = 0;  // total pivots across both phases
+
+  [[nodiscard]] std::string status_name() const;
+};
+
+/// Solves the LP. Throws std::invalid_argument on malformed input (objective size
+/// mismatch, variable index out of range).
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem);
+
+}  // namespace mpss

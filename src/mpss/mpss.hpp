@@ -1,0 +1,53 @@
+#pragma once
+// Umbrella header: the full public API of the mpss library.
+//
+// mpss reproduces "On multi-processor speed scaling with migration"
+// (Albers, Antoniadis, Greiner; SPAA 2011 / JCSS 2015):
+//   * optimal_schedule()  -- the paper's combinatorial offline algorithm (Sec. 2),
+//   * oa_schedule()       -- Optimal Available for m processors (Sec. 3.1),
+//   * avr_schedule()      -- Average Rate for m processors (Sec. 3.2),
+// plus every substrate they stand on (exact rationals, max-flow, YDS, LP baseline,
+// non-migratory baselines, workload generators). See README.md for a tour.
+
+#include "mpss/core/gantt.hpp"
+#include "mpss/core/intervals.hpp"
+#include "mpss/core/job.hpp"
+#include "mpss/core/lower_bounds.hpp"
+#include "mpss/core/mcnaughton.hpp"
+#include "mpss/core/metrics.hpp"
+#include "mpss/core/normalize.hpp"
+#include "mpss/core/optimal.hpp"
+#include "mpss/core/optimal_fast.hpp"
+#include "mpss/core/power.hpp"
+#include "mpss/core/profile.hpp"
+#include "mpss/core/schedule.hpp"
+#include "mpss/core/yds.hpp"
+#include "mpss/ext/bounded_speed.hpp"
+#include "mpss/ext/capacity.hpp"
+#include "mpss/ext/discrete_speeds.hpp"
+#include "mpss/ext/sleep.hpp"
+#include "mpss/flow/dinic.hpp"
+#include "mpss/flow/push_relabel.hpp"
+#include "mpss/lp/lp_baseline.hpp"
+#include "mpss/lp/simplex.hpp"
+#include "mpss/nomig/nonmigratory.hpp"
+#include "mpss/online/adversary_search.hpp"
+#include "mpss/online/avr.hpp"
+#include "mpss/online/bkp.hpp"
+#include "mpss/online/bounds.hpp"
+#include "mpss/online/oa.hpp"
+#include "mpss/online/potential.hpp"
+#include "mpss/online/simulator.hpp"
+#include "mpss/sim/executor.hpp"
+#include "mpss/util/cli.hpp"
+#include "mpss/util/csv.hpp"
+#include "mpss/util/error.hpp"
+#include "mpss/util/random.hpp"
+#include "mpss/util/rational.hpp"
+#include "mpss/util/stats.hpp"
+#include "mpss/util/table.hpp"
+#include "mpss/util/thread_pool.hpp"
+#include "mpss/workload/analysis.hpp"
+#include "mpss/workload/generators.hpp"
+#include "mpss/workload/traces.hpp"
+#include "mpss/workload/transform.hpp"

@@ -1,0 +1,169 @@
+#include "mpss/nomig/nonmigratory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mpss/core/yds.hpp"
+#include "mpss/util/error.hpp"
+#include "mpss/util/random.hpp"
+
+namespace mpss {
+namespace {
+
+/// YDS energy of one machine's job set (positions in `jobs` are irrelevant to the
+/// energy, so no remapping needed here).
+double machine_energy(const std::vector<Job>& jobs, const PowerFunction& p) {
+  if (jobs.empty()) return 0.0;
+  YdsResult result = yds_schedule(Instance(jobs, 1));
+  return result.schedule.energy(p);
+}
+
+}  // namespace
+
+NonMigratoryResult schedule_for_assignment(const Instance& instance,
+                                           std::vector<std::size_t> assignment,
+                                           const PowerFunction& p) {
+  check_arg(assignment.size() == instance.size(),
+            "schedule_for_assignment: assignment size mismatch");
+  const std::size_t m = instance.machines();
+  for (std::size_t machine : assignment) {
+    check_arg(machine < m, "schedule_for_assignment: machine index out of range");
+  }
+
+  NonMigratoryResult result{std::move(assignment), Schedule(m), 0.0};
+  for (std::size_t machine = 0; machine < m; ++machine) {
+    std::vector<Job> jobs;
+    std::vector<std::size_t> ids;
+    for (std::size_t k = 0; k < instance.size(); ++k) {
+      if (result.assignment[k] == machine) {
+        jobs.push_back(instance.job(k));
+        ids.push_back(k);
+      }
+    }
+    if (jobs.empty()) continue;
+    YdsResult yds = yds_schedule(Instance(jobs, 1));
+    for (const Slice& slice : yds.schedule.machine(0)) {
+      Slice remapped = slice;
+      remapped.job = ids[slice.job];
+      result.schedule.add(machine, std::move(remapped));
+    }
+  }
+  result.energy = result.schedule.energy(p);
+  return result;
+}
+
+NonMigratoryResult nonmigratory_exact(const Instance& instance, const PowerFunction& p,
+                                      std::uint64_t enumeration_limit) {
+  const std::size_t n = instance.size();
+  const std::size_t m = instance.machines();
+  double combinations = std::pow(static_cast<double>(m), static_cast<double>(n));
+  check_arg(combinations <= static_cast<double>(enumeration_limit),
+            "nonmigratory_exact: m^n exceeds the enumeration limit");
+
+  std::vector<std::size_t> assignment(n, 0);
+  std::vector<std::size_t> best_assignment = assignment;
+  double best_energy = std::numeric_limits<double>::infinity();
+
+  for (;;) {
+    // Energy of the current assignment, machine by machine.
+    double energy = 0.0;
+    for (std::size_t machine = 0; machine < m && energy < best_energy; ++machine) {
+      std::vector<Job> jobs;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (assignment[k] == machine) jobs.push_back(instance.job(k));
+      }
+      energy += machine_energy(jobs, p);
+    }
+    if (energy < best_energy) {
+      best_energy = energy;
+      best_assignment = assignment;
+    }
+    // Next assignment in base-m counting order.
+    std::size_t pos = 0;
+    while (pos < n && ++assignment[pos] == m) assignment[pos++] = 0;
+    if (pos == n) break;
+  }
+  return schedule_for_assignment(instance, std::move(best_assignment), p);
+}
+
+NonMigratoryResult nonmigratory_greedy(const Instance& instance,
+                                       const PowerFunction& p) {
+  const std::size_t n = instance.size();
+  const std::size_t m = instance.machines();
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return instance.job(b).work < instance.job(a).work;  // big jobs first
+  });
+
+  std::vector<std::vector<Job>> machine_jobs(m);
+  std::vector<double> machine_cost(m, 0.0);
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t job_index : order) {
+    std::size_t best_machine = 0;
+    double best_delta = std::numeric_limits<double>::infinity();
+    for (std::size_t machine = 0; machine < m; ++machine) {
+      std::vector<Job> trial = machine_jobs[machine];
+      trial.push_back(instance.job(job_index));
+      double delta = machine_energy(trial, p) - machine_cost[machine];
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_machine = machine;
+      }
+    }
+    machine_jobs[best_machine].push_back(instance.job(job_index));
+    machine_cost[best_machine] += best_delta;
+    assignment[job_index] = best_machine;
+  }
+  return schedule_for_assignment(instance, std::move(assignment), p);
+}
+
+NonMigratoryResult nonmigratory_round_robin(const Instance& instance,
+                                            const PowerFunction& p) {
+  const std::size_t n = instance.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return instance.job(a).release < instance.job(b).release;
+  });
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    assignment[order[i]] = i % instance.machines();
+  }
+  return schedule_for_assignment(instance, std::move(assignment), p);
+}
+
+NonMigratoryResult nonmigratory_random_best(const Instance& instance,
+                                            const PowerFunction& p, std::uint64_t seed,
+                                            std::size_t tries) {
+  check_arg(tries >= 1, "nonmigratory_random_best: need at least one try");
+  Xoshiro256 rng(seed);
+  const std::size_t n = instance.size();
+  const std::size_t m = instance.machines();
+
+  std::vector<std::size_t> best_assignment;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t attempt = 0; attempt < tries; ++attempt) {
+    std::vector<std::size_t> assignment(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      assignment[k] = static_cast<std::size_t>(rng.below(m));
+    }
+    double energy = 0.0;
+    for (std::size_t machine = 0; machine < m; ++machine) {
+      std::vector<Job> jobs;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (assignment[k] == machine) jobs.push_back(instance.job(k));
+      }
+      energy += machine_energy(jobs, p);
+    }
+    if (energy < best_energy) {
+      best_energy = energy;
+      best_assignment = std::move(assignment);
+    }
+  }
+  return schedule_for_assignment(instance, std::move(best_assignment), p);
+}
+
+}  // namespace mpss

@@ -1,0 +1,63 @@
+#pragma once
+// Non-migratory multi-processor speed scaling baselines (substrate S15).
+//
+// The paper contrasts its migratory polynomial-time result with the non-migratory
+// variant, which is NP-hard even for unit works [1]; [8] gives a randomized
+// B_alpha-approximation. Here "non-migratory" means each job is assigned to one
+// processor and never moves; once the assignment is fixed, each processor is an
+// independent single-processor problem solved optimally by YDS.
+//
+// We provide: an exact solver (exhaustive assignment enumeration; exponential, for
+// tiny instances only), a greedy best-fit heuristic, round-robin, and best-of-k
+// random assignments. Experiment E7 compares them against the migratory optimum to
+// quantify the value of migration.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/power.hpp"
+#include "mpss/core/schedule.hpp"
+
+namespace mpss {
+
+/// A non-migratory solution: per-job machine assignment plus the induced schedule
+/// (each machine scheduled by YDS on its assigned jobs).
+struct NonMigratoryResult {
+  std::vector<std::size_t> assignment;  // job -> machine
+  Schedule schedule;
+  double energy = 0.0;
+};
+
+/// Builds the YDS-per-machine schedule for a fixed assignment and measures it.
+/// `assignment.size()` must equal `instance.size()` and every entry must be
+/// < machines().
+[[nodiscard]] NonMigratoryResult schedule_for_assignment(
+    const Instance& instance, std::vector<std::size_t> assignment,
+    const PowerFunction& p);
+
+/// Exact optimum over all m^n assignments. Throws std::invalid_argument when
+/// m^n exceeds `enumeration_limit` (default 2^20) -- the problem is NP-hard, this
+/// is a tiny-instance oracle, not an algorithm.
+[[nodiscard]] NonMigratoryResult nonmigratory_exact(
+    const Instance& instance, const PowerFunction& p,
+    std::uint64_t enumeration_limit = 1u << 20);
+
+/// Greedy best-fit: jobs in order of non-increasing work; each job goes to the
+/// machine whose YDS energy increases the least.
+[[nodiscard]] NonMigratoryResult nonmigratory_greedy(const Instance& instance,
+                                                     const PowerFunction& p);
+
+/// Jobs assigned round-robin by release-time order.
+[[nodiscard]] NonMigratoryResult nonmigratory_round_robin(const Instance& instance,
+                                                          const PowerFunction& p);
+
+/// Best of `tries` uniformly random assignments (seeded; the flavour of the
+/// randomized rounding in [8] without its LP guidance).
+[[nodiscard]] NonMigratoryResult nonmigratory_random_best(const Instance& instance,
+                                                          const PowerFunction& p,
+                                                          std::uint64_t seed,
+                                                          std::size_t tries);
+
+}  // namespace mpss

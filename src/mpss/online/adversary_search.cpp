@@ -1,0 +1,103 @@
+#include "mpss/online/adversary_search.hpp"
+
+#include <algorithm>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/online/avr.hpp"
+#include "mpss/online/oa.hpp"
+#include "mpss/util/error.hpp"
+#include "mpss/util/random.hpp"
+
+namespace mpss {
+namespace {
+
+double ratio_of(OnlineAlgorithmKind kind, const Instance& instance, double alpha) {
+  AlphaPower p(alpha);
+  double opt = optimal_energy(instance, p);
+  if (opt <= 0.0) return 1.0;
+  double online = kind == OnlineAlgorithmKind::kOa ? oa_energy(instance, p)
+                                                   : avr_energy(instance, p);
+  return online / opt;
+}
+
+std::vector<Job> random_jobs(Xoshiro256& rng, const AdversaryConfig& config) {
+  std::vector<Job> jobs;
+  jobs.reserve(config.jobs);
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    std::int64_t release = rng.uniform_int(0, config.horizon - 1);
+    std::int64_t deadline = rng.uniform_int(release + 1, config.horizon);
+    jobs.push_back(Job{Q(release), Q(deadline), Q(rng.uniform_int(1, config.max_work))});
+  }
+  return jobs;
+}
+
+/// Mutates one field of one job, keeping the instance valid and integral.
+std::vector<Job> mutate(Xoshiro256& rng, std::vector<Job> jobs,
+                        const AdversaryConfig& config) {
+  std::size_t pick = rng.below(jobs.size());
+  Job& job = jobs[pick];
+  std::int64_t release = job.release.num().to_int64();
+  std::int64_t deadline = job.deadline.num().to_int64();
+  std::int64_t work = job.work.num().to_int64();
+  switch (rng.below(4)) {
+    case 0:  // move release
+      release = std::clamp<std::int64_t>(release + rng.uniform_int(-2, 2), 0,
+                                         deadline - 1);
+      break;
+    case 1:  // move deadline
+      deadline = std::clamp<std::int64_t>(deadline + rng.uniform_int(-2, 2),
+                                          release + 1, config.horizon);
+      break;
+    case 2:  // change work
+      work = std::clamp<std::int64_t>(work + rng.uniform_int(-2, 2), 1,
+                                      config.max_work);
+      break;
+    default:  // resample the job entirely
+      release = rng.uniform_int(0, config.horizon - 1);
+      deadline = rng.uniform_int(release + 1, config.horizon);
+      work = rng.uniform_int(1, config.max_work);
+      break;
+  }
+  job = Job{Q(release), Q(deadline), Q(work)};
+  return jobs;
+}
+
+}  // namespace
+
+AdversaryResult search_adversary(OnlineAlgorithmKind kind,
+                                 const AdversaryConfig& config, std::uint64_t seed) {
+  check_arg(config.jobs >= 1 && config.horizon >= 2 && config.max_work >= 1 &&
+                config.alpha > 1.0 && config.restarts >= 1,
+            "search_adversary: degenerate configuration");
+  Xoshiro256 rng(seed);
+
+  std::vector<Job> best_jobs = random_jobs(rng, config);
+  double best_ratio = ratio_of(kind, Instance(best_jobs, config.machines), config.alpha);
+  std::size_t evaluations = 1;
+
+  for (std::size_t restart = 0; restart < config.restarts; ++restart) {
+    std::vector<Job> current =
+        restart == 0 ? best_jobs : random_jobs(rng, config);
+    double current_ratio =
+        ratio_of(kind, Instance(current, config.machines), config.alpha);
+    ++evaluations;
+    for (std::size_t step = 0; step < config.iterations; ++step) {
+      std::vector<Job> candidate = mutate(rng, current, config);
+      double candidate_ratio =
+          ratio_of(kind, Instance(candidate, config.machines), config.alpha);
+      ++evaluations;
+      if (candidate_ratio >= current_ratio) {  // accept ties: drift across plateaus
+        current = std::move(candidate);
+        current_ratio = candidate_ratio;
+      }
+      if (current_ratio > best_ratio) {
+        best_ratio = current_ratio;
+        best_jobs = current;
+      }
+    }
+  }
+  return AdversaryResult{Instance(std::move(best_jobs), config.machines), best_ratio,
+                         evaluations};
+}
+
+}  // namespace mpss

@@ -1,0 +1,45 @@
+#pragma once
+// Adversarial-instance synthesis (S34): randomized hill-climbing over integer
+// instances to maximize an online algorithm's empirical competitive ratio.
+//
+// The lower-bound constructions in the literature ([2] for AVR, [4] for any
+// deterministic algorithm) are hand-crafted; this module searches for bad
+// instances automatically, which both stress-tests the implementations (found
+// ratios must stay below the proven upper bounds -- anything above would disprove
+// the implementation, not the theorem) and maps how tight the bounds are at
+// practical instance sizes (experiment E14).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mpss/core/job.hpp"
+
+namespace mpss {
+
+/// Which online algorithm the adversary attacks.
+enum class OnlineAlgorithmKind { kOa, kAvr };
+
+struct AdversaryConfig {
+  std::size_t jobs = 6;
+  std::size_t machines = 1;
+  std::int64_t horizon = 12;  // releases/deadlines confined to [0, horizon]
+  std::int64_t max_work = 8;
+  double alpha = 2.0;
+  std::size_t iterations = 300;  // mutation attempts per restart
+  std::size_t restarts = 3;
+};
+
+struct AdversaryResult {
+  Instance instance;        // the worst instance found
+  double ratio = 0.0;       // E_alg / E_OPT on it
+  std::size_t evaluations = 0;
+};
+
+/// Runs the search (deterministic for a given seed). The returned ratio is >= 1
+/// and -- if the implementations are correct -- below the algorithm's proven
+/// competitive bound; the tests assert both.
+[[nodiscard]] AdversaryResult search_adversary(OnlineAlgorithmKind kind,
+                                               const AdversaryConfig& config,
+                                               std::uint64_t seed);
+
+}  // namespace mpss

@@ -1,0 +1,142 @@
+#include "mpss/online/avr.hpp"
+
+#include <algorithm>
+
+#include "mpss/core/mcnaughton.hpp"
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+namespace {
+
+struct ActiveJob {
+  std::size_t job;
+  Q density;
+};
+
+std::pair<std::int64_t, std::int64_t> integral_horizon(const Instance& instance) {
+  check_arg(instance.has_integral_times(),
+            "avr_schedule: instance must have integral release times and deadlines "
+            "(use Instance::scaled_to_integral_times)");
+  if (instance.jobs().empty()) return {0, 0};
+  return {instance.horizon_start().num().to_int64(),
+          instance.horizon_end().num().to_int64()};
+}
+
+}  // namespace
+
+namespace {
+
+/// Naive wrap used only by the no-peeling ablation: places chunks sequentially
+/// across machines WITHOUT the chunk <= interval-length guarantee, so oversized
+/// chunks produce the self-parallel overlap the peel rule prevents.
+void naive_wrap(Schedule& schedule, const Q& start, std::size_t machines,
+                const Q& speed, const std::vector<ActiveJob>& jobs, const Q& total) {
+  Q position;  // offset into the machines * 1 sequential tape
+  for (const ActiveJob& item : jobs) {
+    Q remaining = item.density / speed;
+    while (remaining.sign() > 0) {
+      auto machine = static_cast<std::size_t>(position.floor().to_int64());
+      check_internal(machine < machines, "naive_wrap: ran past the reserved tape");
+      Q offset = position - Q(BigInt(static_cast<std::int64_t>(machine)));
+      Q piece = min(remaining, Q(1) - offset);  // copy: the rhs may be a temporary
+      schedule.add(machine,
+                   Slice{start + offset, start + offset + piece, speed, item.job});
+      position += piece;
+      remaining -= piece;
+    }
+  }
+  check_internal(position == total, "naive_wrap: tape accounting mismatch");
+}
+
+}  // namespace
+
+AvrResult avr_schedule(const Instance& instance) {
+  return avr_schedule(instance, AvrOptions{});
+}
+
+AvrResult avr_schedule(const Instance& instance, const AvrOptions& options) {
+  auto [t_begin, t_end] = integral_horizon(instance);
+  AvrResult result{Schedule(instance.machines()), 0};
+  const std::size_t m = instance.machines();
+
+  for (std::int64_t t = t_begin; t < t_end; ++t) {
+    Q interval_start(t);
+    Q interval_end(t + 1);
+
+    // Active jobs of I_t in order of non-increasing density.
+    std::vector<ActiveJob> active;
+    Q total_density;
+    for (std::size_t k = 0; k < instance.size(); ++k) {
+      const Job& job = instance.job(k);
+      if (job.work.sign() > 0 && job.release <= interval_start &&
+          interval_end <= job.deadline) {
+        active.push_back(ActiveJob{k, job.density()});
+        total_density += active.back().density;
+      }
+    }
+    if (active.empty()) continue;
+    std::sort(active.begin(), active.end(), [](const ActiveJob& a, const ActiveJob& b) {
+      return b.density < a.density;  // descending; stable job order on ties
+    });
+
+    if (!options.enable_peeling) {
+      // Ablation: uniform smear at Delta_t / m, no dedicated processors. Chunks
+      // of jobs denser than the average exceed the unit interval; the naive wrap
+      // then overlaps them across machines (caught by check_schedule).
+      Q uniform = total_density / Q(static_cast<std::int64_t>(m));
+      naive_wrap(result.schedule, interval_start, m, uniform, active,
+                 total_density / uniform);
+      continue;
+    }
+
+    // Peel off jobs denser than the average load of what is left (Fig. 3, line 3).
+    std::size_t peeled = 0;
+    Q pending_density = total_density;
+    while (peeled < active.size() &&
+           active[peeled].density * Q(static_cast<std::int64_t>(m - peeled)) >
+               pending_density) {
+      result.schedule.add(peeled, Slice{interval_start, interval_end,
+                                        active[peeled].density, active[peeled].job});
+      pending_density -= active[peeled].density;
+      ++peeled;
+      ++result.peel_events;
+      check_internal(peeled < m || peeled == active.size(),
+                     "avr_schedule: peeled all machines with jobs left");
+    }
+
+    // Uniform speed s = Delta' / |M| for the rest, wrapped over machines
+    // [peeled, m) (Fig. 3, line 6).
+    if (peeled == active.size()) continue;
+    Q uniform_speed = pending_density / Q(static_cast<std::int64_t>(m - peeled));
+    std::vector<Chunk> chunks;
+    chunks.reserve(active.size() - peeled);
+    for (std::size_t i = peeled; i < active.size(); ++i) {
+      chunks.push_back(Chunk{active[i].job, active[i].density / uniform_speed});
+    }
+    mcnaughton_pack(result.schedule, interval_start, Q(1), peeled, m - peeled,
+                    uniform_speed, chunks);
+  }
+  return result;
+}
+
+double avr_energy(const Instance& instance, const PowerFunction& p) {
+  return avr_schedule(instance).schedule.energy(p);
+}
+
+std::vector<Q> avr_density_profile(const Instance& instance) {
+  auto [t_begin, t_end] = integral_horizon(instance);
+  std::vector<Q> profile;
+  profile.reserve(static_cast<std::size_t>(t_end - t_begin));
+  for (std::int64_t t = t_begin; t < t_end; ++t) {
+    Q total;
+    for (const Job& job : instance.jobs()) {
+      if (job.work.sign() > 0 && job.release <= Q(t) && Q(t + 1) <= job.deadline) {
+        total += job.density();
+      }
+    }
+    profile.push_back(std::move(total));
+  }
+  return profile;
+}
+
+}  // namespace mpss

@@ -1,0 +1,62 @@
+#pragma once
+// Algorithm AVR(m) -- Average Rate for m parallel processors (Section 3.2, Fig. 3).
+//
+// The instance must have integral release times and deadlines (the paper's
+// assumption, w.l.o.g. by rescaling -- Instance::scaled_to_integral_times). In
+// every unit interval I_t = [t, t+1) the algorithm schedules delta_i = w_i/(d_i-r_i)
+// units of every active job J_i:
+//
+//   while the maximum density exceeds the average load Delta'_t / |M| of the
+//   not-yet-placed jobs, the densest job gets a processor of its own at speed
+//   delta_i; the rest share the remaining processors at the uniform speed
+//   Delta'_t / |M| via a McNaughton wrap.
+//
+// Theorem 3: AVR(m) is ((2*alpha)^alpha)/2 + 1-competitive. Experiment E3 measures
+// the empirical ratio; E5 checks the decomposition inequalities from its proof.
+
+#include <cstddef>
+#include <vector>
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/power.hpp"
+#include "mpss/core/schedule.hpp"
+
+namespace mpss {
+
+/// Result of AVR(m). `peel_events` counts how many (interval, job) pairs took the
+/// dedicated-processor branch -- the quantity that separates AVR(m) from a plain
+/// per-interval uniform smear.
+struct AvrResult {
+  Schedule schedule;
+  std::size_t peel_events = 0;
+};
+
+/// Ablation knob (experiment E12): with peeling disabled, every unit interval is
+/// smeared uniformly at Delta_t / m. When a job is denser than the average load,
+/// its execution chunk exceeds the unit interval and the McNaughton wrap puts the
+/// job on two processors at the same time -- the feasibility violation Fig. 3's
+/// peel-off exists to prevent. check_schedule() exposes it.
+struct AvrOptions {
+  bool enable_peeling = true;
+};
+
+/// Runs AVR(m). Throws std::invalid_argument when the instance has non-integral
+/// release times or deadlines (rescale first). m = 1 reproduces classic AVR
+/// energy behaviour (speed = sum of active densities).
+[[nodiscard]] AvrResult avr_schedule(const Instance& instance);
+
+/// As above with ablation options. With enable_peeling == false the result can be
+/// INFEASIBLE (by design -- that is the experiment); it is never silently wrong,
+/// since check_schedule reports the violation.
+[[nodiscard]] AvrResult avr_schedule(const Instance& instance,
+                                     const AvrOptions& options);
+
+/// Convenience: AVR(m) energy under P.
+[[nodiscard]] double avr_energy(const Instance& instance, const PowerFunction& p);
+
+/// The per-unit-interval total densities Delta_t of the instance, indexed from the
+/// horizon start; sum_t (Delta_t)^alpha is the single-processor AVR energy used in
+/// the proof of Theorem 3 (inequality (9)).
+[[nodiscard]] std::vector<Q> avr_density_profile(const Instance& instance);
+
+}  // namespace mpss

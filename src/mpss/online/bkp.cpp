@@ -1,0 +1,125 @@
+#include "mpss/online/bkp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+namespace {
+
+constexpr double kEuler = 2.718281828459045;
+
+struct DJob {
+  double release;
+  double deadline;
+  double work;
+  double remaining;
+};
+
+/// BKP's speed at time `t`: e * max over candidate horizons t2 of
+/// w(t1, t, t2) / (e * (t2 - t)) with t1 = e*t - (e-1)*t2. Candidates: every
+/// deadline (where the maximand jumps) and every t2 at which t1 crosses a release.
+double bkp_speed(const std::vector<DJob>& jobs, double t) {
+  std::vector<double> candidates;
+  for (const DJob& job : jobs) {
+    if (job.deadline > t) candidates.push_back(job.deadline);
+    // t1(t2) == release  <=>  t2 == (e*t - release) / (e - 1)
+    double crossing = (kEuler * t - job.release) / (kEuler - 1.0);
+    if (crossing > t) candidates.push_back(crossing);
+  }
+  double best = 0.0;
+  for (double t2 : candidates) {
+    double t1 = kEuler * t - (kEuler - 1.0) * t2;
+    double work = 0.0;
+    for (const DJob& job : jobs) {
+      if (job.release >= t1 && job.release <= t && job.deadline <= t2) {
+        work += job.work;
+      }
+    }
+    best = std::max(best, work / (t2 - t));
+  }
+  return best;  // the e's cancel: e * w / (e * (t2 - t))
+}
+
+}  // namespace
+
+BkpResult bkp_schedule(const Instance& instance, double alpha,
+                       std::size_t steps_per_unit) {
+  check_arg(instance.machines() == 1, "bkp_schedule: single-processor algorithm");
+  check_arg(alpha > 1.0, "bkp_schedule: alpha must be > 1");
+  check_arg(steps_per_unit >= 1, "bkp_schedule: steps_per_unit must be >= 1");
+
+  BkpResult result;
+  std::vector<DJob> jobs;
+  jobs.reserve(instance.size());
+  for (const Job& job : instance.jobs()) {
+    if (job.work.sign() > 0) {
+      jobs.push_back(DJob{job.release.to_double(), job.deadline.to_double(),
+                          job.work.to_double(), job.work.to_double()});
+    }
+  }
+  if (jobs.empty()) return result;
+
+  // Grid: release/deadline breakpoints, each gap subdivided uniformly.
+  std::vector<double> breakpoints;
+  for (const DJob& job : jobs) {
+    breakpoints.push_back(job.release);
+    breakpoints.push_back(job.deadline);
+  }
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
+                    breakpoints.end());
+  std::vector<double> grid;
+  for (std::size_t i = 0; i + 1 < breakpoints.size(); ++i) {
+    double gap = breakpoints[i + 1] - breakpoints[i];
+    auto pieces = static_cast<std::size_t>(
+        std::ceil(gap * static_cast<double>(steps_per_unit)));
+    pieces = std::max<std::size_t>(pieces, 1);
+    for (std::size_t p = 0; p < pieces; ++p) {
+      grid.push_back(breakpoints[i] + gap * static_cast<double>(p) /
+                                          static_cast<double>(pieces));
+    }
+  }
+  grid.push_back(breakpoints.back());
+
+  for (std::size_t step = 0; step + 1 < grid.size(); ++step) {
+    double t = grid[step];
+    double t_next = grid[step + 1];
+    double speed = bkp_speed(jobs, t);
+    result.speed_profile.emplace_back(t, speed);
+    if (speed <= 0.0) continue;
+
+    // EDF among released unfinished jobs, at constant speed within the step.
+    double now = t;
+    while (now < t_next) {
+      DJob* pick = nullptr;
+      for (DJob& job : jobs) {
+        if (job.release <= now + 1e-12 && job.remaining > 1e-12) {
+          if (pick == nullptr || job.deadline < pick->deadline) pick = &job;
+        }
+      }
+      if (pick == nullptr) break;
+      double finish = now + pick->remaining / speed;
+      double until = std::min(finish, t_next);
+      result.energy += std::pow(speed, alpha) * (until - now);
+      pick->remaining -= speed * (until - now);
+      if (pick->remaining < 1e-12) pick->remaining = 0.0;
+      now = until;
+    }
+
+    // Record discretization-induced deadline misses crossing this step boundary.
+    for (const DJob& job : jobs) {
+      if (job.deadline <= t_next && job.deadline > t && job.remaining > 0.0) {
+        result.max_deadline_shortfall =
+            std::max(result.max_deadline_shortfall, job.remaining);
+      }
+    }
+  }
+
+  for (const DJob& job : jobs) result.unfinished_work += job.remaining;
+  return result;
+}
+
+}  // namespace mpss

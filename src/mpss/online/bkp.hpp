@@ -1,0 +1,43 @@
+#pragma once
+// The Bansal-Kimbrel-Pruhs online algorithm [5] for a single processor
+// (extension S14; experiment E9).
+//
+// The paper's conclusion poses extending BKP to multi-processors as an open
+// problem; we implement the single-processor original so the repo can reproduce
+// the motivating comparison: for large alpha, BKP's ratio 2*(alpha/(alpha-1))*e^alpha
+// grows like e^alpha while OA's alpha^alpha grows much faster.
+//
+// BKP at time t runs EDF at speed
+//     s(t) = e * max_{t2 > t} w(t1, t, t2) / (e * (t2 - t)),   t1 = e*t - (e-1)*t2,
+// where w(t1, t, t2) is the work of jobs released in [t1, t] with deadline <= t2.
+// The speed varies continuously with t, so unlike everything else in this library
+// the simulation is a double-precision time-stepped approximation; the result
+// carries the observed discretization error so tests can bound it.
+
+#include <cstddef>
+#include <vector>
+
+#include "mpss/core/job.hpp"
+
+namespace mpss {
+
+/// Result of a (discretized) BKP run.
+struct BkpResult {
+  /// Energy under P(s) = s^alpha.
+  double energy = 0.0;
+  /// Largest remaining work of any job observed at its deadline (discretization
+  /// error; the continuous-time algorithm is feasible, so this tends to 0 as
+  /// steps_per_unit grows).
+  double max_deadline_shortfall = 0.0;
+  /// Work left at the end of the horizon (should be ~0).
+  double unfinished_work = 0.0;
+  /// Sampled (time, speed) profile, one sample per step.
+  std::vector<std::pair<double, double>> speed_profile;
+};
+
+/// Simulates BKP on a single-processor instance (machines() must be 1) with
+/// P(s) = s^alpha. `steps_per_unit` controls the time discretization.
+[[nodiscard]] BkpResult bkp_schedule(const Instance& instance, double alpha,
+                                     std::size_t steps_per_unit = 64);
+
+}  // namespace mpss

@@ -1,0 +1,69 @@
+#include "mpss/online/bounds.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+double oa_competitive_bound(double alpha) {
+  check_arg(alpha > 1.0, "oa_competitive_bound: alpha must be > 1");
+  return std::pow(alpha, alpha);
+}
+
+double avr_single_competitive_bound(double alpha) {
+  check_arg(alpha > 1.0, "avr_single_competitive_bound: alpha must be > 1");
+  return std::pow(2.0 * alpha, alpha) / 2.0;
+}
+
+double avr_multi_competitive_bound(double alpha) {
+  return avr_single_competitive_bound(alpha) + 1.0;
+}
+
+double avr_lower_bound(double alpha, double delta) {
+  check_arg(alpha > 1.0, "avr_lower_bound: alpha must be > 1");
+  check_arg(delta >= 0.0 && delta < 2.0, "avr_lower_bound: delta must be in [0, 2)");
+  return std::pow((2.0 - delta) * alpha, alpha) / 2.0;
+}
+
+double deterministic_lower_bound(double alpha) {
+  check_arg(alpha > 1.0, "deterministic_lower_bound: alpha must be > 1");
+  return std::exp(alpha - 1.0) / alpha;
+}
+
+double bkp_competitive_bound(double alpha) {
+  check_arg(alpha > 1.0, "bkp_competitive_bound: alpha must be > 1");
+  return 2.0 * (alpha / (alpha - 1.0)) * std::exp(alpha);
+}
+
+double bell_number(std::size_t n) {
+  // Bell triangle (Aitken's array).
+  std::vector<double> row{1.0};
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::vector<double> next(i + 1);
+    next[0] = row.back();
+    for (std::size_t j = 1; j <= i; ++j) next[j] = next[j - 1] + row[j - 1];
+    row = std::move(next);
+  }
+  return row[0];
+}
+
+double bell_number_fractional(double alpha) {
+  check_arg(alpha >= 0.0, "bell_number_fractional: alpha must be >= 0");
+  // Dobinski: B_alpha = e^{-1} * sum_{k>=1} k^alpha / k!. Terms decay factorially;
+  // 200 terms is far past convergence for any alpha the experiments use.
+  double sum = 0.0;
+  double factorial_log = 0.0;  // log(k!)
+  for (int k = 1; k <= 200; ++k) {
+    factorial_log += std::log(static_cast<double>(k));
+    double term = std::exp(alpha * std::log(static_cast<double>(k)) - factorial_log);
+    sum += term;
+    if (term < 1e-18 * sum && k > static_cast<int>(alpha) + 2) break;
+  }
+  return sum / std::exp(1.0);
+}
+
+double nonmigratory_approx_bound(double alpha) { return bell_number_fractional(alpha); }
+
+}  // namespace mpss

@@ -1,0 +1,40 @@
+#pragma once
+// Closed-form competitive-ratio bounds quoted in the paper (substrate S19).
+// Each experiment table prints these next to the measured ratios.
+
+#include <cstddef>
+
+namespace mpss {
+
+/// Theorem 2: OA(m) is alpha^alpha-competitive (same as single-processor OA [5]).
+[[nodiscard]] double oa_competitive_bound(double alpha);
+
+/// [15]: single-processor AVR is (2*alpha)^alpha / 2-competitive.
+[[nodiscard]] double avr_single_competitive_bound(double alpha);
+
+/// Theorem 3: AVR(m) is (2*alpha)^alpha / 2 + 1-competitive.
+[[nodiscard]] double avr_multi_competitive_bound(double alpha);
+
+/// [2]: lower bound ((2 - delta) * alpha)^alpha / 2 for AVR, delta -> 0 as
+/// alpha -> infinity. Evaluated for a caller-chosen delta.
+[[nodiscard]] double avr_lower_bound(double alpha, double delta);
+
+/// [4]: any deterministic online algorithm is at least e^(alpha-1) / alpha
+/// competitive.
+[[nodiscard]] double deterministic_lower_bound(double alpha);
+
+/// [5]: the BKP algorithm attains 2 * (alpha / (alpha - 1)) * e^alpha
+/// (as quoted in the paper's related-work section).
+[[nodiscard]] double bkp_competitive_bound(double alpha);
+
+/// Exact Bell number B_n (as double; grows fast -- n <= 25 stays exact in double).
+[[nodiscard]] double bell_number(std::size_t n);
+
+/// Fractional Bell number via Dobinski's formula B_alpha = (1/e) * sum k^alpha/k!,
+/// the quantity appearing in the non-migratory bounds of [8].
+[[nodiscard]] double bell_number_fractional(double alpha);
+
+/// [8]: randomized non-migratory offline approximation factor B_alpha.
+[[nodiscard]] double nonmigratory_approx_bound(double alpha);
+
+}  // namespace mpss

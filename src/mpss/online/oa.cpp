@@ -1,0 +1,17 @@
+#include "mpss/online/oa.hpp"
+
+#include "mpss/core/optimal.hpp"
+
+namespace mpss {
+
+OnlineRunResult oa_schedule(const Instance& instance) {
+  return run_replanning_online(instance, [](const Instance& available) {
+    return optimal_schedule(available).schedule;
+  });
+}
+
+double oa_energy(const Instance& instance, const PowerFunction& p) {
+  return oa_schedule(instance).schedule.energy(p);
+}
+
+}  // namespace mpss

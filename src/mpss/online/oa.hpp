@@ -1,0 +1,24 @@
+#pragma once
+// Algorithm OA(m) -- Optimal Available for m parallel processors (Section 3.1).
+//
+// "Whenever a new job arrives, compute an optimal schedule for the currently
+// available unfinished jobs. This can be done using the algorithm of Section 2."
+//
+// Theorem 2: OA(m) is alpha^alpha-competitive for P(s) = s^alpha, exactly matching
+// the single-processor ratio of [5]. Experiment E2 measures the empirical ratio
+// against the true optimum on the same instance.
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/power.hpp"
+#include "mpss/online/simulator.hpp"
+
+namespace mpss {
+
+/// Runs OA(m) on `instance` (any m >= 1; m = 1 reproduces classic OA). The
+/// returned schedule covers the whole horizon and is always feasible.
+[[nodiscard]] OnlineRunResult oa_schedule(const Instance& instance);
+
+/// Convenience: OA(m) energy under P (runs the simulation and measures).
+[[nodiscard]] double oa_energy(const Instance& instance, const PowerFunction& p);
+
+}  // namespace mpss

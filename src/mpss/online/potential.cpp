@@ -1,0 +1,148 @@
+#include "mpss/online/potential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/core/schedule.hpp"
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+namespace {
+
+/// One inter-arrival span of the OA replay: within [t0, t1) OA follows `plan`
+/// (an optimal schedule for the work available at t0; job indices are original).
+struct Epoch {
+  Q t0;
+  Q t1;
+  Schedule plan{1};
+};
+
+/// Replays OA(m) keeping each epoch's full plan (run_replanning_online only keeps
+/// the executed prefix, which is not enough to read off planned speeds).
+std::pair<std::vector<Epoch>, Schedule> replay_oa(const Instance& instance) {
+  std::vector<Q> events;
+  for (const Job& job : instance.jobs()) {
+    if (job.work.sign() > 0) events.push_back(job.release);
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+
+  std::vector<Epoch> epochs;
+  Schedule executed(instance.machines());
+  std::vector<Q> remaining;
+  for (const Job& job : instance.jobs()) remaining.push_back(job.work);
+
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const Q& t0 = events[e];
+    std::vector<std::size_t> available;
+    std::vector<Job> sub_jobs;
+    for (std::size_t k = 0; k < instance.size(); ++k) {
+      if (instance.job(k).release <= t0 && remaining[k].sign() > 0) {
+        available.push_back(k);
+        sub_jobs.push_back(Job{t0, instance.job(k).deadline, remaining[k]});
+      }
+    }
+    if (available.empty()) continue;
+
+    Schedule sub_plan = optimal_schedule(Instance(std::move(sub_jobs),
+                                                  instance.machines())).schedule;
+    // Remap plan job ids to the original instance.
+    Schedule plan(instance.machines());
+    for (std::size_t machine = 0; machine < sub_plan.machines(); ++machine) {
+      for (const Slice& slice : sub_plan.machine(machine)) {
+        Slice remapped = slice;
+        remapped.job = available.at(slice.job);
+        plan.add(machine, remapped);
+      }
+    }
+
+    const Q& t1 = e + 1 < events.size() ? events[e + 1] : instance.horizon_end();
+    Schedule slice = plan.clipped(t0, t1);
+    executed.merge(slice);
+    for (std::size_t k : available) remaining[k] -= slice.work_on(k);
+    epochs.push_back(Epoch{t0, t1, std::move(plan)});
+  }
+  return {std::move(epochs), std::move(executed)};
+}
+
+}  // namespace
+
+PotentialTrace oa_potential_trace(const Instance& instance, double alpha,
+                                  double relative_tolerance) {
+  check_arg(alpha > 1.0, "oa_potential_trace: alpha must be > 1");
+  AlphaPower p(alpha);
+  PotentialTrace trace;
+
+  auto opt = optimal_schedule(instance);
+  auto [epochs, oa_executed] = replay_oa(instance);
+  if (epochs.empty()) return trace;
+
+  const Q start = instance.horizon_start();
+  const Q end = instance.horizon_end();
+  const double bound_factor = std::pow(alpha, alpha);
+
+  // Phi at time t, given the epoch whose plan OA is currently following.
+  auto potential_at = [&](const Q& t, const Epoch& epoch) {
+    // Group OA's unfinished jobs by their planned speed (sets J_i), and jobs OA
+    // finished but OPT did not by OA's last speed (sets J'_i).
+    std::map<Q, std::pair<double, double>> live;  // speed -> (W_OA, W_OPT)
+    std::map<Q, double> finished;                 // last speed -> W'_OPT
+    for (std::size_t k = 0; k < instance.size(); ++k) {
+      const Job& job = instance.job(k);
+      if (job.work.is_zero() || t < job.release) continue;  // not yet existing
+      Q oa_remaining = job.work - oa_executed.work_on_in(k, start, t);
+      Q opt_remaining = job.work - opt.schedule.work_on_in(k, start, t);
+      if (oa_remaining.sign() > 0) {
+        // Planned speed: OA processes each job at one constant speed per plan.
+        auto slices = epoch.plan.slices_of(k);
+        check_internal(!slices.empty(),
+                       "oa_potential_trace: unfinished job missing from the plan");
+        live[slices.front().speed].first += oa_remaining.to_double();
+        live[slices.front().speed].second += opt_remaining.to_double();
+      } else if (opt_remaining.sign() > 0) {
+        auto slices = oa_executed.slices_of(k);
+        check_internal(!slices.empty(),
+                       "oa_potential_trace: finished job has no executed slices");
+        finished[slices.back().speed] += opt_remaining.to_double();
+      }
+    }
+    double phi = 0.0;
+    for (const auto& [speed, works] : live) {
+      phi += alpha * std::pow(speed.to_double(), alpha - 1.0) *
+             (works.first - alpha * works.second);
+    }
+    for (const auto& [speed, work] : finished) {
+      phi -= alpha * alpha * std::pow(speed.to_double(), alpha - 1.0) * work;
+    }
+    return phi;
+  };
+
+  auto record = [&](const Q& t, const Epoch& epoch) {
+    PotentialSample sample;
+    sample.time = t;
+    sample.oa_energy = oa_executed.clipped(start, t).energy(p);
+    sample.opt_energy = opt.schedule.clipped(start, t).energy(p);
+    sample.potential = potential_at(t, epoch);
+    sample.slack =
+        bound_factor * sample.opt_energy - sample.oa_energy - sample.potential;
+    double scale = 1.0 + bound_factor * sample.opt_energy;
+    if (sample.slack < -relative_tolerance * scale) {
+      trace.invariant_holds = false;
+      trace.worst_violation = std::min(trace.worst_violation, sample.slack);
+    }
+    trace.samples.push_back(std::move(sample));
+  };
+
+  for (const Epoch& epoch : epochs) {
+    record(epoch.t0, epoch);
+    record((epoch.t0 + epoch.t1) / Q(2), epoch);
+    record(epoch.t0 + (epoch.t1 - epoch.t0) * Q(9, 10), epoch);
+  }
+  record(end, epochs.back());
+  trace.final_potential = trace.samples.back().potential;
+  return trace;
+}
+
+}  // namespace mpss

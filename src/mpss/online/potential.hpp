@@ -1,0 +1,56 @@
+#pragma once
+// Empirical verification of Theorem 2's potential-function argument (S23).
+//
+// The paper proves OA(m) alpha^alpha-competitive via the potential
+//
+//   Phi(t) = a * sum_i s_i^(a-1) * (W_OA(i) - a * W_OPT(i))
+//          - a^2 * sum_i (s'_i)^(a-1) * W'_OPT(i)
+//
+// where J_1, J_2, ... are OA's current job sets at speeds s_1 > s_2 > ...,
+// W_OA(i) / W_OPT(i) are the remaining works of those jobs under OA and OPT, and
+// the primed sum ranges over jobs OA has finished but OPT has not (grouped by the
+// speed OA last used). The proof shows (a) Phi never increases at arrivals and
+// completions and (b) while working,
+// dE_OA + dPhi <= alpha^alpha * dE_OPT; integrating gives the invariant
+//
+//   E_OA(t) + Phi(t) <= alpha^alpha * E_OPT(t)      for all t,
+//
+// which at the horizon (Phi = 0) is Theorem 2. This module replays OA against the
+// exact offline optimum, evaluates Phi at sampled times, and checks the invariant
+// -- the closest an implementation can get to "running" the proof.
+
+#include <cstddef>
+#include <vector>
+
+#include "mpss/core/job.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+/// One evaluation point of the invariant.
+struct PotentialSample {
+  Q time;
+  double oa_energy = 0.0;   // E_OA(t): energy OA has consumed by time t
+  double opt_energy = 0.0;  // E_OPT(t)
+  double potential = 0.0;   // Phi(t)
+  /// Slack of the invariant: alpha^alpha * E_OPT - E_OA - Phi (>= 0 when it holds).
+  double slack = 0.0;
+};
+
+struct PotentialTrace {
+  std::vector<PotentialSample> samples;
+  bool invariant_holds = true;
+  /// Most negative slack observed (0 when the invariant always held).
+  double worst_violation = 0.0;
+  /// Final Phi (should be ~0: both algorithms finished everything).
+  double final_potential = 0.0;
+};
+
+/// Replays OA(m) on `instance` with P(s) = s^alpha, evaluating the Theorem 2
+/// potential at every arrival epoch (start, midpoint and late point of each
+/// inter-arrival span, plus the horizon end). `relative_tolerance` absorbs the
+/// double-precision energy evaluation.
+[[nodiscard]] PotentialTrace oa_potential_trace(const Instance& instance, double alpha,
+                                                double relative_tolerance = 1e-9);
+
+}  // namespace mpss

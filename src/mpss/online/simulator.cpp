@@ -1,0 +1,67 @@
+#include "mpss/online/simulator.hpp"
+
+#include <algorithm>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+OnlineRunResult run_replanning_online(const Instance& instance, const Planner& planner) {
+  OnlineRunResult result{Schedule(instance.machines()), 0};
+
+  std::vector<Q> events;
+  for (const Job& job : instance.jobs()) {
+    if (job.work.sign() > 0) events.push_back(job.release);
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  if (events.empty()) return result;
+
+  const Q horizon_end = instance.horizon_end();
+  std::vector<Q> remaining;
+  remaining.reserve(instance.size());
+  for (const Job& job : instance.jobs()) remaining.push_back(job.work);
+
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const Q& t0 = events[e];
+
+    // Available = released, unfinished. Their releases are reset to t0: the past
+    // cannot be rescheduled, only the remaining work matters (Section 3.1).
+    std::vector<std::size_t> available;
+    std::vector<Job> sub_jobs;
+    for (std::size_t k = 0; k < instance.size(); ++k) {
+      if (instance.job(k).release <= t0 && remaining[k].sign() > 0) {
+        available.push_back(k);
+        sub_jobs.push_back(Job{t0, instance.job(k).deadline, remaining[k]});
+      }
+    }
+    if (available.empty()) continue;
+
+    Schedule plan = planner(Instance(std::move(sub_jobs), instance.machines()));
+    ++result.replans;
+    check_internal(plan.machines() == instance.machines(),
+                   "run_replanning_online: planner changed the machine count");
+
+    const Q& t1 = e + 1 < events.size() ? events[e + 1] : horizon_end;
+    Schedule executed = plan.clipped(t0, t1);
+    for (std::size_t machine = 0; machine < executed.machines(); ++machine) {
+      for (const Slice& slice : executed.machine(machine)) {
+        Slice remapped = slice;
+        remapped.job = available.at(slice.job);
+        result.schedule.add(machine, std::move(remapped));
+      }
+    }
+    for (std::size_t pos = 0; pos < available.size(); ++pos) {
+      remaining[available[pos]] -= executed.work_on(pos);
+      check_internal(remaining[available[pos]].sign() >= 0,
+                     "run_replanning_online: executed more work than remained");
+    }
+  }
+
+  for (const Q& rest : remaining) {
+    check_internal(rest.is_zero(), "run_replanning_online: unfinished work at horizon");
+  }
+  return result;
+}
+
+}  // namespace mpss

@@ -1,0 +1,40 @@
+#pragma once
+// Event-driven online scheduling harness (substrate S10, see DESIGN.md).
+//
+// The online model of the paper: jobs arrive at their release times; on arrival the
+// algorithm learns (d_i, w_i); it may re-plan the future arbitrarily. This harness
+// factors the mechanics out of the algorithms: it replays release events in order,
+// asks a Planner for a schedule of the currently available unfinished work, executes
+// that plan until the next arrival, and tracks remaining work exactly.
+//
+// OA(m) is exactly this harness with the offline optimal algorithm as the planner.
+
+#include <cstddef>
+#include <functional>
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/schedule.hpp"
+
+namespace mpss {
+
+/// Maps a sub-instance (the currently available unfinished jobs, with release times
+/// set to the current time t0, and the machine count) to a feasible schedule for
+/// them. Job indices in the returned schedule refer to positions in the
+/// sub-instance.
+using Planner = std::function<Schedule(const Instance& available)>;
+
+/// Result of an online run: the executed schedule over the whole horizon (job
+/// indices refer to the *original* instance) and the number of re-planning events.
+struct OnlineRunResult {
+  Schedule schedule;
+  std::size_t replans = 0;
+};
+
+/// Replays `instance` online, re-planning at every distinct release time. The
+/// produced schedule is feasible whenever the planner's schedules are (the harness
+/// executes each plan only up to the next arrival, then hands the planner the
+/// exact remaining work).
+[[nodiscard]] OnlineRunResult run_replanning_online(const Instance& instance,
+                                                    const Planner& planner);
+
+}  // namespace mpss

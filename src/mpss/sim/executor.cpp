@@ -1,0 +1,96 @@
+#include "mpss/sim/executor.hpp"
+
+#include <sstream>
+
+namespace mpss {
+
+double ExecutionTrace::mean_flow_time() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const JobExecution& job : jobs) {
+    if (job.scheduled) {
+      sum += job.flow_time.to_double();
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+Q ExecutionTrace::max_flow_time() const {
+  Q best(0);
+  for (const JobExecution& job : jobs) {
+    if (job.scheduled) best = max(best, job.flow_time);
+  }
+  return best;
+}
+
+ExecutionTrace execute_schedule(const Instance& instance, const Schedule& schedule) {
+  ExecutionTrace trace;
+  trace.jobs.resize(instance.size());
+  trace.machine_busy.assign(schedule.machines(), Q(0));
+
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    for (const Slice& slice : schedule.machine(machine)) {
+      trace.machine_busy[machine] += slice.duration();
+      trace.makespan = max(trace.makespan, slice.end);
+    }
+  }
+
+  for (std::size_t k = 0; k < instance.size(); ++k) {
+    const Job& job = instance.job(k);
+    auto slices = schedule.slices_of(k);  // time-sorted across machines
+    JobExecution& execution = trace.jobs[k];
+    if (slices.empty()) {
+      if (job.work.sign() > 0) {
+        std::ostringstream os;
+        os << "job " << k << " has positive work but never runs";
+        trace.anomalies.push_back(os.str());
+      }
+      continue;
+    }
+    execution.scheduled = true;
+    execution.first_start = slices.front().start;
+
+    Q done;
+    bool completed = false;
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      if (i > 0 && slices[i].start < slices[i - 1].end) {
+        std::ostringstream os;
+        os << "job " << k << " runs on two machines simultaneously at t="
+           << slices[i].start;
+        trace.anomalies.push_back(os.str());
+      }
+      if (completed) {
+        std::ostringstream os;
+        os << "job " << k << " keeps running after completing its work at t="
+           << execution.completion;
+        trace.anomalies.push_back(os.str());
+        break;
+      }
+      Q slice_work = slices[i].work();
+      if (job.work <= done + slice_work) {
+        // Completes inside this slice; solve for the exact instant.
+        execution.completion =
+            slices[i].start + (job.work - done) / slices[i].speed;
+        completed = true;
+        if (done + slice_work != job.work && i + 1 == slices.size()) {
+          std::ostringstream os;
+          os << "job " << k << " overshoots its work by "
+             << (done + slice_work - job.work);
+          trace.anomalies.push_back(os.str());
+        }
+      }
+      done += slice_work;
+    }
+    if (!completed) {
+      std::ostringstream os;
+      os << "job " << k << " finishes only " << done << " of " << job.work;
+      trace.anomalies.push_back(os.str());
+      execution.completion = slices.back().end;
+    }
+    execution.flow_time = execution.completion - job.release;
+  }
+  return trace;
+}
+
+}  // namespace mpss

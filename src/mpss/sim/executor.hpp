@@ -1,0 +1,52 @@
+#pragma once
+// Schedule execution semantics (S35): replay a schedule the way a dispatcher
+// would and extract per-job timing facts -- first start, exact completion time,
+// flow time (completion - release) -- plus machine utilization and dynamic
+// consistency checks.
+//
+// check_schedule() answers "is this schedule legal?"; execute_schedule() answers
+// "what does running it feel like?". The deadline-based energy model of the
+// paper says nothing about responsiveness, and energy-optimal schedules
+// procrastinate by design (work is stretched to deadlines); experiment E15 uses
+// this module to quantify that energy/responsiveness trade-off across the
+// library's strategies.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/schedule.hpp"
+
+namespace mpss {
+
+/// Per-job timing facts extracted from a schedule.
+struct JobExecution {
+  bool scheduled = false;  // false for zero-work jobs (they never run)
+  Q first_start;           // start of the job's first slice
+  Q completion;            // exact time its cumulative work reaches w_k
+  Q flow_time;             // completion - release (0 when never scheduled)
+};
+
+struct ExecutionTrace {
+  std::vector<JobExecution> jobs;  // indexed like the instance
+  Q makespan;                      // end of the last slice (0 for empty)
+  std::vector<Q> machine_busy;     // busy time per machine
+  /// Dynamic anomalies: unfinished work, overshoot past w_k, same-job overlap.
+  /// Empty iff the execution is consistent.
+  std::vector<std::string> anomalies;
+
+  [[nodiscard]] bool consistent() const { return anomalies.empty(); }
+  /// Mean flow time over scheduled jobs (0 when none).
+  [[nodiscard]] double mean_flow_time() const;
+  /// Largest flow time over scheduled jobs (0 when none).
+  [[nodiscard]] Q max_flow_time() const;
+};
+
+/// Replays `schedule` against `instance`. Never throws on bad schedules -- it
+/// reports what actually happens (anomalies), so it can also dissect the broken
+/// schedules the ablation experiments produce.
+[[nodiscard]] ExecutionTrace execute_schedule(const Instance& instance,
+                                              const Schedule& schedule);
+
+}  // namespace mpss

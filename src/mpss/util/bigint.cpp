@@ -1,0 +1,380 @@
+#include "mpss/util/bigint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace mpss {
+
+BigInt::BigInt(std::int64_t value) {
+  if (value == 0) return;
+  negative_ = value < 0;
+  // Avoid UB negating INT64_MIN by working in uint64.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1 : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<Limb>(magnitude & 0xffffffffu));
+    magnitude >>= kLimbBits;
+  }
+}
+
+BigInt BigInt::from_string(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BigInt::from_string: empty string");
+  bool negative = false;
+  std::size_t pos = 0;
+  if (text[0] == '+' || text[0] == '-') {
+    negative = text[0] == '-';
+    pos = 1;
+  }
+  if (pos == text.size()) throw std::invalid_argument("BigInt::from_string: lone sign");
+  BigInt result;
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("BigInt::from_string: non-digit character");
+    result *= BigInt(10);
+    result += BigInt(c - '0');
+  }
+  if (negative && !result.is_zero()) result.negative_ = true;
+  return result;
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::compare_magnitude(const std::vector<Limb>& a, const std::vector<Limb>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<BigInt::Limb> BigInt::add_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  const std::vector<Limb>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<Limb>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<Limb> out;
+  out.reserve(longer.size() + 1);
+  DoubleLimb carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    DoubleLimb sum = carry + longer[i];
+    if (i < shorter.size()) sum += shorter[i];
+    out.push_back(static_cast<Limb>(sum & 0xffffffffu));
+    carry = sum >> kLimbBits;
+  }
+  if (carry != 0) out.push_back(static_cast<Limb>(carry));
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::sub_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  std::vector<Limb> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += (std::int64_t{1} << kLimbBits);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<Limb>(diff));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    DoubleLimb carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      DoubleLimb cur = static_cast<DoubleLimb>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> kLimbBits;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      DoubleLimb cur = carry + out[k];
+      out[k] = static_cast<Limb>(cur & 0xffffffffu);
+      carry = cur >> kLimbBits;
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::pair<std::vector<BigInt::Limb>, std::vector<BigInt::Limb>> BigInt::divmod_magnitude(
+    const std::vector<Limb>& num, const std::vector<Limb>& den) {
+  if (den.empty()) throw std::domain_error("BigInt: division by zero");
+  if (compare_magnitude(num, den) < 0) return {{}, num};
+
+  // Fast path: single-limb divisor.
+  if (den.size() == 1) {
+    std::vector<Limb> quot(num.size(), 0);
+    DoubleLimb rem = 0;
+    for (std::size_t i = num.size(); i-- > 0;) {
+      DoubleLimb cur = (rem << kLimbBits) | num[i];
+      quot[i] = static_cast<Limb>(cur / den[0]);
+      rem = cur % den[0];
+    }
+    while (!quot.empty() && quot.back() == 0) quot.pop_back();
+    std::vector<Limb> remainder;
+    if (rem != 0) remainder.push_back(static_cast<Limb>(rem));
+    return {quot, remainder};
+  }
+
+  // Knuth algorithm D with normalization so the top divisor limb has its high bit set.
+  int shift = 0;
+  for (Limb top = den.back(); (top & 0x80000000u) == 0; top <<= 1) ++shift;
+
+  auto shift_left = [](const std::vector<Limb>& v, int bits) {
+    if (bits == 0) return v;
+    std::vector<Limb> out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= static_cast<Limb>(static_cast<DoubleLimb>(v[i]) << bits);
+      out[i + 1] = static_cast<Limb>(static_cast<DoubleLimb>(v[i]) >> (kLimbBits - bits));
+    }
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+  };
+  auto shift_right = [](std::vector<Limb> v, int bits) {
+    if (bits == 0) return v;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] >>= bits;
+      if (i + 1 < v.size())
+        v[i] |= static_cast<Limb>(static_cast<DoubleLimb>(v[i + 1]) << (kLimbBits - bits));
+    }
+    while (!v.empty() && v.back() == 0) v.pop_back();
+    return v;
+  };
+
+  std::vector<Limb> u = shift_left(num, shift);
+  std::vector<Limb> v = shift_left(den, shift);
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() >= n ? u.size() - n : 0;
+  u.resize(u.size() + 1, 0);  // extra high limb for the algorithm
+
+  std::vector<Limb> quot(m + 1, 0);
+  const DoubleLimb base = DoubleLimb{1} << kLimbBits;
+  for (std::size_t j = m + 1; j-- > 0;) {
+    DoubleLimb numerator = (static_cast<DoubleLimb>(u[j + n]) << kLimbBits) | u[j + n - 1];
+    DoubleLimb qhat = numerator / v[n - 1];
+    DoubleLimb rhat = numerator % v[n - 1];
+    while (qhat >= base ||
+           qhat * v[n - 2] > ((rhat << kLimbBits) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= base) break;
+    }
+    // Multiply-subtract qhat*v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    DoubleLimb carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      DoubleLimb product = qhat * v[i] + carry;
+      carry = product >> kLimbBits;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) - borrow -
+                          static_cast<std::int64_t>(product & 0xffffffffu);
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(base);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<Limb>(diff);
+    }
+    std::int64_t top = static_cast<std::int64_t>(u[j + n]) - borrow -
+                       static_cast<std::int64_t>(carry);
+    if (top < 0) {
+      // qhat was one too large: add v back once.
+      top += static_cast<std::int64_t>(base);
+      --qhat;
+      DoubleLimb add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        DoubleLimb sum = static_cast<DoubleLimb>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<Limb>(sum & 0xffffffffu);
+        add_carry = sum >> kLimbBits;
+      }
+      top += static_cast<std::int64_t>(add_carry);
+      top &= static_cast<std::int64_t>(base - 1);
+    }
+    u[j + n] = static_cast<Limb>(top);
+    quot[j] = static_cast<Limb>(qhat);
+  }
+
+  while (!quot.empty() && quot.back() == 0) quot.pop_back();
+  u.resize(n);
+  while (!u.empty() && u.back() == 0) u.pop_back();
+  return {quot, shift_right(std::move(u), shift)};
+}
+
+BigInt BigInt::abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+BigInt BigInt::negated() const {
+  BigInt out = *this;
+  if (!out.limbs_.empty()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    limbs_ = add_magnitude(limbs_, rhs.limbs_);
+  } else {
+    int cmp = compare_magnitude(limbs_, rhs.limbs_);
+    if (cmp == 0) {
+      limbs_.clear();
+      negative_ = false;
+    } else if (cmp > 0) {
+      limbs_ = sub_magnitude(limbs_, rhs.limbs_);
+    } else {
+      limbs_ = sub_magnitude(rhs.limbs_, limbs_);
+      negative_ = rhs.negative_;
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += rhs.negated(); }
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  negative_ = negative_ != rhs.negative_;
+  limbs_ = mul_magnitude(limbs_, rhs.limbs_);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  *this = divmod(*this, rhs).first;
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  *this = divmod(*this, rhs).second;
+  return *this;
+}
+
+std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& num, const BigInt& den) {
+  auto [q_mag, r_mag] = divmod_magnitude(num.limbs_, den.limbs_);
+  BigInt quotient;
+  quotient.limbs_ = std::move(q_mag);
+  quotient.negative_ = num.negative_ != den.negative_;
+  quotient.trim();
+  BigInt remainder;
+  remainder.limbs_ = std::move(r_mag);
+  remainder.negative_ = num.negative_;
+  remainder.trim();
+  return {std::move(quotient), std::move(remainder)};
+}
+
+bool operator==(const BigInt& lhs, const BigInt& rhs) {
+  return lhs.negative_ == rhs.negative_ && lhs.limbs_ == rhs.limbs_;
+}
+
+std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) {
+  if (lhs.negative_ != rhs.negative_)
+    return lhs.negative_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  int cmp = BigInt::compare_magnitude(lhs.limbs_, rhs.limbs_);
+  if (lhs.negative_) cmp = -cmp;
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeatedly divide by 10^9 to peel decimal chunks.
+  std::vector<Limb> mag = limbs_;
+  std::string digits;
+  constexpr Limb kChunk = 1000000000u;
+  while (!mag.empty()) {
+    DoubleLimb rem = 0;
+    for (std::size_t i = mag.size(); i-- > 0;) {
+      DoubleLimb cur = (rem << kLimbBits) | mag[i];
+      mag[i] = static_cast<Limb>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!mag.empty() && mag.back() == 0) mag.pop_back();
+    for (int k = 0; k < 9; ++k) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+double BigInt::to_double() const {
+  double out = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -out : out;
+}
+
+bool BigInt::fits_int64() const {
+  if (limbs_.size() > 2) return false;
+  if (limbs_.size() < 2) return true;
+  std::uint64_t mag = (static_cast<std::uint64_t>(limbs_[1]) << kLimbBits) | limbs_[0];
+  return negative_ ? mag <= (std::uint64_t{1} << 63)
+                   : mag < (std::uint64_t{1} << 63);
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (!fits_int64()) throw std::overflow_error("BigInt::to_int64: out of range");
+  std::uint64_t mag = 0;
+  if (limbs_.size() >= 1) mag |= limbs_[0];
+  if (limbs_.size() >= 2) mag |= static_cast<std::uint64_t>(limbs_[1]) << kLimbBits;
+  return negative_ ? -static_cast<std::int64_t>(mag - 1) - 1
+                   : static_cast<std::int64_t>(mag);
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * kLimbBits;
+  Limb top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::size_t BigInt::hash() const {
+  std::size_t h = negative_ ? 0x9e3779b97f4a7c15ull : 0x2545f4914f6cdd1dull;
+  for (Limb limb : limbs_) h = h * 1099511628211ull ^ limb;
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.to_string();
+}
+
+}  // namespace mpss

@@ -1,0 +1,124 @@
+#pragma once
+// Arbitrary-precision signed integer (sign-magnitude, 32-bit limbs).
+//
+// Substrate S1 (see DESIGN.md): the offline optimal algorithm branches on exact
+// equalities between flow values and work/speed quotients, so every quantity in the
+// scheduling core is an exact rational over BigInt. The class implements only what
+// the scheduler and its tests need -- full ring arithmetic, ordering, divmod, gcd,
+// decimal I/O -- with no allocation tricks beyond a small inline buffer in
+// std::vector's control of the limb array.
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpss {
+
+/// Arbitrary-precision signed integer.
+///
+/// Representation: `negative_` flag plus little-endian vector of 32-bit limbs with
+/// no trailing zero limbs; zero is the empty limb vector with `negative_ == false`.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From built-in integer.
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor): intentional
+  BigInt(int value) : BigInt(static_cast<std::int64_t>(value)) {}
+
+  /// Parses an optionally signed decimal string. Throws std::invalid_argument on
+  /// malformed input (empty, non-digits, lone sign).
+  static BigInt from_string(std::string_view text);
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_negative() const { return negative_; }
+  [[nodiscard]] bool is_one() const {
+    return !negative_ && limbs_.size() == 1 && limbs_[0] == 1;
+  }
+
+  /// -1, 0, +1.
+  [[nodiscard]] int sign() const {
+    if (limbs_.empty()) return 0;
+    return negative_ ? -1 : 1;
+  }
+
+  [[nodiscard]] BigInt abs() const;
+  [[nodiscard]] BigInt negated() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  /// Throws std::domain_error on division by zero.
+  BigInt& operator/=(const BigInt& rhs);
+  BigInt& operator%=(const BigInt& rhs);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+  BigInt operator-() const { return negated(); }
+
+  /// Quotient and remainder in one pass; remainder has the dividend's sign.
+  [[nodiscard]] static std::pair<BigInt, BigInt> divmod(const BigInt& num,
+                                                        const BigInt& den);
+
+  friend bool operator==(const BigInt& lhs, const BigInt& rhs);
+  friend std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs);
+
+  /// Greatest common divisor (always non-negative; gcd(0,0) == 0).
+  [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);
+
+  /// Decimal representation (with leading '-' when negative).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Nearest double (may overflow to +/-inf for huge values).
+  [[nodiscard]] double to_double() const;
+
+  /// Exact conversion; throws std::overflow_error if the value does not fit.
+  [[nodiscard]] std::int64_t to_int64() const;
+
+  /// True iff the value fits in int64.
+  [[nodiscard]] bool fits_int64() const;
+
+  /// Number of bits in the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+
+  /// FNV-style hash over the canonical representation.
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  using Limb = std::uint32_t;
+  using DoubleLimb = std::uint64_t;
+  static constexpr int kLimbBits = 32;
+
+  void trim();
+  static int compare_magnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static std::vector<Limb> add_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  // Requires |a| >= |b|.
+  static std::vector<Limb> sub_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  static std::vector<Limb> mul_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  // Schoolbook long division on magnitudes; returns {quotient, remainder}.
+  static std::pair<std::vector<Limb>, std::vector<Limb>> divmod_magnitude(
+      const std::vector<Limb>& num, const std::vector<Limb>& den);
+
+  bool negative_ = false;
+  std::vector<Limb> limbs_;
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace mpss
+
+template <>
+struct std::hash<mpss::BigInt> {
+  std::size_t operator()(const mpss::BigInt& v) const noexcept { return v.hash(); }
+};

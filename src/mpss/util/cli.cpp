@@ -1,0 +1,64 @@
+#include "mpss/util/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpss {
+
+CliArgs::CliArgs(int argc, const char* const* argv, std::vector<std::string> spec) {
+  auto known = [&spec](const std::string& name) {
+    return std::find(spec.begin(), spec.end(), name) != spec.end();
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool have_value = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      have_value = true;
+    } else {
+      name = body;
+    }
+    if (!known(name)) throw std::invalid_argument("unknown flag: --" + name);
+    if (!have_value && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+      have_value = true;
+    }
+    values_[name] = have_value ? value : "true";
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return values_.count(name) != 0; }
+
+std::string CliArgs::get(const std::string& name, std::string fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace mpss

@@ -1,0 +1,33 @@
+#pragma once
+// Tiny command-line flag parser shared by examples and experiment binaries.
+// Supports --name=value, --name value, and boolean --name forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mpss {
+
+/// Parsed command line. Unknown flags throw at parse time so typos in experiment
+/// invocations fail loudly instead of silently using defaults.
+class CliArgs {
+ public:
+  /// `spec` lists the accepted flag names (without leading dashes).
+  CliArgs(int argc, const char* const* argv, std::vector<std::string> spec);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name, std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mpss

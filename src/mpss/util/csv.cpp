@@ -1,0 +1,101 @@
+#include "mpss/util/csv.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+namespace mpss {
+
+namespace detail {
+
+std::string csv_escape(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string to_field_string(double value) {
+  char buffer[64];
+  auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value,
+                                 std::chars_format::general, 17);
+  if (ec != std::errc{}) return "nan";
+  return std::string(buffer, ptr);
+}
+
+}  // namespace detail
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << detail::csv_escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // a comma implies a (possibly empty) next field
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (!row.empty() || field_started || !field.empty()) end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) throw std::invalid_argument("parse_csv: unterminated quoted field");
+  if (!row.empty() || field_started || !field.empty()) end_row();
+  return rows;
+}
+
+}  // namespace mpss

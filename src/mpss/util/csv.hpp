@@ -1,0 +1,62 @@
+#pragma once
+// Minimal CSV reading/writing for workload traces and experiment outputs.
+// Supports RFC-4180-style quoting for fields containing commas/quotes/newlines.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpss {
+
+/// Streams rows to an ostream, quoting fields when necessary.
+class CsvWriter {
+ public:
+  /// The writer does not own the stream; it must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats each argument with operator<< into one row.
+  template <typename... Args>
+  void row(const Args&... args) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(args));
+    (fields.push_back(format_field(args)), ...);
+    write_row(fields);
+  }
+
+ private:
+  template <typename T>
+  static std::string format_field(const T& value);
+
+  std::ostream* out_;
+};
+
+/// Parses CSV content into rows of fields. Handles quoted fields with embedded
+/// commas, escaped quotes ("") and newlines. Throws std::invalid_argument on
+/// unterminated quotes.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+namespace detail {
+std::string csv_escape(std::string_view field);
+std::string to_field_string(double value);
+}  // namespace detail
+
+template <typename T>
+std::string CsvWriter::format_field(const T& value) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return value;
+  } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+    return std::string(std::string_view(value));
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return detail::to_field_string(static_cast<double>(value));
+  } else if constexpr (std::is_integral_v<T>) {
+    return std::to_string(value);
+  } else {
+    // Anything streamable (BigInt, Rational, ...).
+    return value.to_string();
+  }
+}
+
+}  // namespace mpss

@@ -1,0 +1,29 @@
+#pragma once
+// Error types and invariant-checking helpers used across the library.
+
+#include <stdexcept>
+#include <string>
+
+namespace mpss {
+
+/// Thrown when an internal invariant of an algorithm is violated. Seeing this
+/// exception always indicates a bug in the library (or memory corruption), never a
+/// caller error; caller errors raise std::invalid_argument.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& message)
+      : std::logic_error("mpss internal error: " + message) {}
+};
+
+/// Throws InternalError when `condition` is false. Used for algorithm invariants
+/// that are cheap enough to verify in release builds.
+inline void check_internal(bool condition, const char* message) {
+  if (!condition) throw InternalError(message);
+}
+
+/// Throws std::invalid_argument when `condition` is false.
+inline void check_arg(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+}  // namespace mpss

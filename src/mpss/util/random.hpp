@@ -1,0 +1,53 @@
+#pragma once
+// Deterministic pseudo-random generation for workloads and property tests.
+//
+// We use xoshiro256** rather than std::mt19937 so that streams are cheap to seed,
+// cheap to split (jump()), and bit-for-bit reproducible across platforms -- the
+// experiment harness records only (generator name, seed) per run.
+
+#include <cstdint>
+#include <vector>
+
+namespace mpss {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference implementation
+/// re-expressed in C++).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits from a 64-bit seed via splitmix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Advances the stream by 2^128 steps; used to carve independent substreams
+  /// for parallel sweeps.
+  void jump();
+
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Returns a uniformly random permutation of {0, ..., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace mpss

@@ -1,0 +1,111 @@
+#include "mpss/util/rational.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace mpss {
+
+Rational::Rational(BigInt num, BigInt den) : num_(std::move(num)), den_(std::move(den)) {
+  if (den_.is_zero()) throw std::domain_error("Rational: zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_.sign() < 0) {
+    num_ = num_.negated();
+    den_ = den_.negated();
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::gcd(num_, den_);
+  if (!g.is_one()) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::from_string(std::string_view text) {
+  std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return Rational(BigInt::from_string(text));
+  return Rational(BigInt::from_string(text.substr(0, slash)),
+                  BigInt::from_string(text.substr(slash + 1)));
+}
+
+Rational Rational::abs() const {
+  Rational out = *this;
+  out.num_ = out.num_.abs();
+  return out;
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = out.num_.negated();
+  return out;
+}
+
+Rational Rational::inverse() const {
+  if (is_zero()) throw std::domain_error("Rational::inverse: zero");
+  return Rational(den_, num_);
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.is_zero()) throw std::domain_error("Rational: division by zero");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return lhs.num_ * rhs.den_ <=> rhs.num_ * lhs.den_;
+}
+
+BigInt Rational::floor() const {
+  auto [quotient, remainder] = BigInt::divmod(num_, den_);
+  if (remainder.sign() < 0) quotient -= BigInt(1);
+  return quotient;
+}
+
+BigInt Rational::ceil() const {
+  auto [quotient, remainder] = BigInt::divmod(num_, den_);
+  if (remainder.sign() > 0) quotient += BigInt(1);
+  return quotient;
+}
+
+double Rational::to_double() const { return num_.to_double() / den_.to_double(); }
+
+std::string Rational::to_string() const {
+  if (is_integer()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.to_string();
+}
+
+}  // namespace mpss

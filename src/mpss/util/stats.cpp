@@ -1,0 +1,85 @@
+#include "mpss/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mpss {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  std::size_t total = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double combined_mean =
+      mean_ + delta * static_cast<double>(other.count_) / static_cast<double>(total);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / static_cast<double>(total);
+  mean_ = combined_mean;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) throw std::invalid_argument("SampleSet::min: empty");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) throw std::invalid_argument("SampleSet::max: empty");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) throw std::invalid_argument("SampleSet::quantile: empty");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("SampleSet::quantile: q out of range");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+}  // namespace mpss

@@ -1,0 +1,57 @@
+#include "mpss/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "mpss/util/csv.hpp"
+
+namespace mpss {
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+void Table::print_csv(std::ostream& os) const {
+  CsvWriter writer(os);
+  writer.write_row(headers_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> padded = row;
+    padded.resize(headers_.size());
+    writer.write_row(padded);
+  }
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      const std::string& text = c < cells.size() ? cells[c] : std::string{};
+      os << text << std::string(widths[c] - text.size(), ' ');
+    }
+    os << " |\n";
+  };
+
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace mpss

@@ -1,0 +1,56 @@
+#pragma once
+// Fixed-width console table printing for the experiment harnesses. Every exp_*
+// binary prints its result rows through this so all tables in EXPERIMENTS.md share
+// one format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpss {
+
+/// Column-aligned text table. Collects rows, then renders once (so column widths
+/// fit the data).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Adds one row; pads/truncates to the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: accepts any streamable mix of values.
+  template <typename... Args>
+  void row(const Args&... args) {
+    add_row({cell(args)...});
+  }
+
+  /// Formats a double with fixed precision (default 4 digits).
+  static std::string num(double value, int precision = 4);
+
+  void print(std::ostream& os) const;
+
+  /// Machine-readable form of the same table (header row + data rows, RFC-4180
+  /// quoting) so experiment outputs can feed plotting scripts directly.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return num(static_cast<double>(value));
+    } else if constexpr (std::is_integral_v<T>) {
+      return std::to_string(value);
+    } else {
+      return value.to_string();
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpss

@@ -1,0 +1,65 @@
+#include "mpss/workload/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mpss/core/intervals.hpp"
+
+namespace mpss {
+
+std::string InstanceProfile::to_string() const {
+  std::ostringstream os;
+  os << "jobs=" << jobs << " machines=" << machines << " W=" << total_work
+     << " horizon=" << horizon << " peak_par=" << peak_parallelism
+     << " peak_density=" << peak_density << " max_intensity=" << max_intensity
+     << " avg_load=" << average_load;
+  return os.str();
+}
+
+InstanceProfile analyze(const Instance& instance) {
+  InstanceProfile profile;
+  profile.jobs = instance.size();
+  profile.machines = instance.machines();
+  profile.total_work = instance.total_work();
+  profile.horizon = instance.horizon_end() - instance.horizon_start();
+
+  IntervalDecomposition intervals(instance.jobs());
+  for (std::size_t j = 0; j < intervals.count(); ++j) {
+    std::size_t active = 0;
+    Q density;
+    for (const Job& job : instance.jobs()) {
+      if (job.work.sign() > 0 && intervals.active(job, j)) {
+        ++active;
+        density += job.density();
+      }
+    }
+    profile.peak_parallelism = std::max(profile.peak_parallelism, active);
+    profile.peak_density = max(profile.peak_density, density);
+  }
+
+  // Max intensity over all window pairs (like YDS's first critical interval).
+  const auto& points = intervals.points();
+  for (std::size_t a = 0; a < points.size(); ++a) {
+    for (std::size_t b = a + 1; b < points.size(); ++b) {
+      Q contained;
+      for (const Job& job : instance.jobs()) {
+        if (points[a] <= job.release && job.deadline <= points[b]) {
+          contained += job.work;
+        }
+      }
+      if (contained.sign() > 0) {
+        profile.max_intensity =
+            max(profile.max_intensity, contained / (points[b] - points[a]));
+      }
+    }
+  }
+
+  if (profile.horizon.sign() > 0) {
+    profile.average_load = profile.total_work /
+                           (profile.horizon * Q(static_cast<std::int64_t>(
+                                                  instance.machines())));
+  }
+  return profile;
+}
+
+}  // namespace mpss

@@ -1,0 +1,42 @@
+#pragma once
+// Instance analysis: the structural quantities the algorithms' behaviour depends
+// on (density profile, peak parallelism demand, maximum intensity). Experiment
+// harnesses print these next to results so tables are interpretable; tests use
+// them to characterize generator output.
+
+#include <cstddef>
+#include <string>
+
+#include "mpss/core/job.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+
+struct InstanceProfile {
+  std::size_t jobs = 0;
+  std::size_t machines = 0;
+  Q total_work;
+  Q horizon;  // horizon_end - horizon_start
+
+  /// Peak number of simultaneously active jobs over the horizon (the most
+  /// processors any schedule could ever use at once).
+  std::size_t peak_parallelism = 0;
+
+  /// Maximum over atomic intervals of the total active density -- the speed
+  /// AVR(1) would reach; AVR(m) tops out at max(peak density / m, max job density).
+  Q peak_density;
+
+  /// Maximum intensity over windows [t, t'] (YDS's g for the first critical
+  /// interval): a lower bound on the top speed of any single-processor schedule.
+  Q max_intensity;
+
+  /// Average utilization: total work / (machines * horizon).
+  Q average_load;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Computes the profile (O(n^2) over atomic intervals / window pairs).
+[[nodiscard]] InstanceProfile analyze(const Instance& instance);
+
+}  // namespace mpss

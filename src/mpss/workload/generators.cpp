@@ -1,0 +1,180 @@
+#include "mpss/workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpss/util/error.hpp"
+#include "mpss/util/random.hpp"
+
+namespace mpss {
+
+Instance generate_uniform(const UniformWorkload& config, std::uint64_t seed) {
+  check_arg(config.horizon >= 2 && config.max_window >= 1 && config.max_work >= 1,
+            "generate_uniform: degenerate configuration");
+  Xoshiro256 rng(seed);
+  std::vector<Job> jobs;
+  jobs.reserve(config.jobs);
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    std::int64_t release = rng.uniform_int(0, config.horizon - 1);
+    std::int64_t window =
+        rng.uniform_int(1, std::min(config.max_window, config.horizon - release));
+    std::int64_t work = rng.uniform_int(1, config.max_work);
+    jobs.push_back(Job{Q(release), Q(release + window), Q(work)});
+  }
+  return Instance(std::move(jobs), config.machines);
+}
+
+Instance generate_bursty(const BurstyWorkload& config, std::uint64_t seed) {
+  check_arg(config.bursts >= 1 && config.horizon >= 2,
+            "generate_bursty: degenerate configuration");
+  Xoshiro256 rng(seed);
+  std::vector<Job> jobs;
+  jobs.reserve(config.bursts * config.jobs_per_burst);
+  for (std::size_t b = 0; b < config.bursts; ++b) {
+    // Burst release points spread over the horizon, jittered.
+    std::int64_t base = static_cast<std::int64_t>(b) * config.horizon /
+                        static_cast<std::int64_t>(config.bursts);
+    std::int64_t release = std::min(base + rng.uniform_int(0, 2), config.horizon - 2);
+    for (std::size_t i = 0; i < config.jobs_per_burst; ++i) {
+      std::int64_t slack =
+          rng.uniform_int(1, std::min(config.burst_window, config.horizon - release));
+      std::int64_t work = rng.uniform_int(1, config.max_work);
+      jobs.push_back(Job{Q(release), Q(release + slack), Q(work)});
+    }
+  }
+  return Instance(std::move(jobs), config.machines);
+}
+
+Instance generate_laminar(const LaminarWorkload& config, std::uint64_t seed) {
+  check_arg(config.depth >= 1 && config.depth <= 20,
+            "generate_laminar: depth out of range");
+  Xoshiro256 rng(seed);
+  const std::int64_t horizon = std::int64_t{1} << config.depth;
+  std::vector<Job> jobs;
+  jobs.reserve(config.jobs);
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    auto level = static_cast<std::size_t>(rng.below(config.depth + 1));
+    std::int64_t width = horizon >> level;
+    std::int64_t position = rng.uniform_int(0, (horizon / width) - 1);
+    std::int64_t work = rng.uniform_int(1, config.max_work);
+    jobs.push_back(Job{Q(position * width), Q((position + 1) * width), Q(work)});
+  }
+  return Instance(std::move(jobs), config.machines);
+}
+
+Instance generate_agreeable(const AgreeableWorkload& config, std::uint64_t seed) {
+  check_arg(config.min_window >= 1 && config.min_window <= config.max_window,
+            "generate_agreeable: bad window range");
+  Xoshiro256 rng(seed);
+  std::vector<std::int64_t> releases;
+  releases.reserve(config.jobs);
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    releases.push_back(rng.uniform_int(0, config.horizon - 1));
+  }
+  std::sort(releases.begin(), releases.end());
+  std::vector<Job> jobs;
+  jobs.reserve(config.jobs);
+  std::int64_t last_deadline = 0;
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    std::int64_t window = rng.uniform_int(config.min_window, config.max_window);
+    // Force agreeability: deadlines non-decreasing in release order.
+    std::int64_t deadline = std::max(releases[i] + window, last_deadline);
+    last_deadline = deadline;
+    std::int64_t work = rng.uniform_int(1, config.max_work);
+    jobs.push_back(Job{Q(releases[i]), Q(deadline), Q(work)});
+  }
+  return Instance(std::move(jobs), config.machines);
+}
+
+Instance generate_periodic(const PeriodicWorkload& config, std::uint64_t seed) {
+  check_arg(config.tasks >= 1 && config.hyperperiods >= 1,
+            "generate_periodic: degenerate configuration");
+  Xoshiro256 rng(seed);
+  static constexpr std::int64_t kPeriods[] = {2, 3, 4, 6, 12};  // lcm = 12
+  static constexpr std::int64_t kHyper = 12;
+  std::vector<Job> jobs;
+  for (std::size_t task = 0; task < config.tasks; ++task) {
+    std::int64_t period = kPeriods[rng.below(std::size(kPeriods))];
+    std::int64_t work = rng.uniform_int(1, config.max_work);
+    for (std::int64_t release = 0; release < kHyper * config.hyperperiods;
+         release += period) {
+      jobs.push_back(Job{Q(release), Q(release + period), Q(work)});
+    }
+  }
+  return Instance(std::move(jobs), config.machines);
+}
+
+Instance generate_heavy_tail(const HeavyTailWorkload& config, std::uint64_t seed) {
+  check_arg(config.horizon >= 4 && config.max_work >= 2 && config.shape > 0.0,
+            "generate_heavy_tail: degenerate configuration");
+  Xoshiro256 rng(seed);
+  std::vector<Job> jobs;
+  jobs.reserve(config.jobs);
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    // Bounded Pareto via inverse transform, then floored to an integer >= 1.
+    double u = rng.uniform01();
+    double pareto = std::pow(1.0 - u, -1.0 / config.shape);
+    auto work = static_cast<std::int64_t>(pareto);
+    work = std::max<std::int64_t>(1, std::min(work, config.max_work));
+    // Window at least proportional to the work's share of the horizon so giants
+    // remain schedulable at sane speeds.
+    std::int64_t min_window =
+        std::max<std::int64_t>(1, std::min(work / 2, config.horizon / 2));
+    std::int64_t release = rng.uniform_int(0, config.horizon - min_window - 1);
+    std::int64_t window =
+        rng.uniform_int(min_window, std::min(config.horizon - release,
+                                             min_window + config.horizon / 3));
+    jobs.push_back(Job{Q(release), Q(release + window), Q(work)});
+  }
+  return Instance(std::move(jobs), config.machines);
+}
+
+Instance generate_surprise(const SurpriseWorkload& config, std::uint64_t seed) {
+  check_arg(config.horizon >= 4 && config.max_work >= 1 && config.urgent_window >= 1,
+            "generate_surprise: degenerate configuration");
+  Xoshiro256 rng(seed);
+  std::vector<Job> jobs;
+  jobs.reserve(config.jobs);
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    std::int64_t work = rng.uniform_int(1, config.max_work);
+    if (i % 2 == 0) {
+      // Relaxed: released early, due at the horizon.
+      std::int64_t release = rng.uniform_int(0, config.horizon / 2);
+      jobs.push_back(Job{Q(release), Q(config.horizon), Q(work)});
+    } else {
+      // Urgent: arrives anywhere, tight window.
+      std::int64_t release = rng.uniform_int(1, config.horizon - 2);
+      std::int64_t window = rng.uniform_int(
+          1, std::min(config.urgent_window, config.horizon - release));
+      jobs.push_back(Job{Q(release), Q(release + window), Q(work)});
+    }
+  }
+  return Instance(std::move(jobs), config.machines);
+}
+
+Instance generate_avr_adversary(std::size_t jobs, std::size_t machines) {
+  check_arg(jobs >= 1, "generate_avr_adversary: need at least one job");
+  std::vector<Job> out;
+  out.reserve(jobs);
+  const auto n = static_cast<std::int64_t>(jobs);
+  for (std::int64_t i = 0; i < n; ++i) {
+    out.push_back(Job{Q(i), Q(n), Q(1)});
+  }
+  return Instance(std::move(out), machines);
+}
+
+Instance generate_parallel_batch(std::size_t slots, std::size_t machines,
+                                 std::int64_t work) {
+  check_arg(slots >= 1 && work >= 1, "generate_parallel_batch: degenerate configuration");
+  std::vector<Job> jobs;
+  jobs.reserve(slots * machines);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    for (std::size_t machine = 0; machine < machines; ++machine) {
+      jobs.push_back(Job{Q(static_cast<std::int64_t>(slot)),
+                         Q(static_cast<std::int64_t>(slot + 1)), Q(work)});
+    }
+  }
+  return Instance(std::move(jobs), machines);
+}
+
+}  // namespace mpss

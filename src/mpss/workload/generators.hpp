@@ -1,0 +1,113 @@
+#pragma once
+// Workload generators (substrate S17). All generators produce integral release
+// times and deadlines (so AVR(m) applies directly) and integral works; all are
+// deterministic functions of their parameters and the seed.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mpss/core/job.hpp"
+
+namespace mpss {
+
+/// Uniform random jobs: release ~ U{0..horizon-1}, window ~ U{1..max_window}
+/// (clamped to the horizon), work ~ U{1..max_work}.
+struct UniformWorkload {
+  std::size_t jobs = 20;
+  std::size_t machines = 4;
+  std::int64_t horizon = 50;
+  std::int64_t max_window = 20;
+  std::int64_t max_work = 10;
+};
+[[nodiscard]] Instance generate_uniform(const UniformWorkload& config,
+                                        std::uint64_t seed);
+
+/// Bursty arrivals: `bursts` release points; each burst releases a batch of jobs
+/// with short windows -- the regime where multi-processor parallelism matters most.
+struct BurstyWorkload {
+  std::size_t bursts = 4;
+  std::size_t jobs_per_burst = 6;
+  std::size_t machines = 4;
+  std::int64_t horizon = 60;
+  std::int64_t burst_window = 6;  // max deadline slack within a burst
+  std::int64_t max_work = 8;
+};
+[[nodiscard]] Instance generate_bursty(const BurstyWorkload& config,
+                                       std::uint64_t seed);
+
+/// Laminar (nested) windows: windows form a hierarchy [0, horizon) at depth 0,
+/// halves at depth 1, etc.; jobs pick a random node. Exercises deeply layered
+/// phase structure in the offline algorithm.
+struct LaminarWorkload {
+  std::size_t jobs = 20;
+  std::size_t machines = 4;
+  std::size_t depth = 4;  // horizon = 2^depth
+  std::int64_t max_work = 10;
+};
+[[nodiscard]] Instance generate_laminar(const LaminarWorkload& config,
+                                        std::uint64_t seed);
+
+/// Agreeable deadlines: later release implies later (or equal) deadline.
+struct AgreeableWorkload {
+  std::size_t jobs = 20;
+  std::size_t machines = 4;
+  std::int64_t horizon = 50;
+  std::int64_t min_window = 2;
+  std::int64_t max_window = 12;
+  std::int64_t max_work = 10;
+};
+[[nodiscard]] Instance generate_agreeable(const AgreeableWorkload& config,
+                                          std::uint64_t seed);
+
+/// Periodic task system: `tasks` task types, each with a period from `periods`
+/// drawn at random, releasing one job per period with deadline = next period.
+struct PeriodicWorkload {
+  std::size_t tasks = 5;
+  std::size_t machines = 4;
+  std::int64_t hyperperiods = 2;
+  std::int64_t max_work = 6;
+};
+[[nodiscard]] Instance generate_periodic(const PeriodicWorkload& config,
+                                         std::uint64_t seed);
+
+/// Heavy-tailed works (discretized bounded Pareto): most jobs are small, a few
+/// are giants -- the shape of batch-cluster traces. Windows scale with work so
+/// giants stay schedulable without dwarfing the rest of the instance.
+struct HeavyTailWorkload {
+  std::size_t jobs = 20;
+  std::size_t machines = 4;
+  std::int64_t horizon = 60;
+  double shape = 1.5;          // Pareto tail exponent (smaller = heavier)
+  std::int64_t max_work = 64;  // truncation cap
+};
+[[nodiscard]] Instance generate_heavy_tail(const HeavyTailWorkload& config,
+                                           std::uint64_t seed);
+
+/// Surprise mix -- the regime that hurts OA (experiment E2): roughly half the jobs
+/// are relaxed (deadline at the horizon, so OA spreads them thin), the other half
+/// arrive later with tight windows, forcing OA to re-plan at high speed on work it
+/// already committed to doing slowly. A clairvoyant optimum pre-accelerates.
+struct SurpriseWorkload {
+  std::size_t jobs = 12;
+  std::size_t machines = 2;
+  std::int64_t horizon = 20;
+  std::int64_t max_work = 6;
+  std::int64_t urgent_window = 3;  // max window of the urgent half
+};
+[[nodiscard]] Instance generate_surprise(const SurpriseWorkload& config,
+                                         std::uint64_t seed);
+
+/// The expiring-stack adversary for AVR (experiment E6): n unit-work jobs released
+/// at 0, 1, ..., n-1, all with deadline n. Active densities pile up as the common
+/// deadline nears, forcing AVR's speed toward the harmonic sum while the optimum
+/// runs flat.
+[[nodiscard]] Instance generate_avr_adversary(std::size_t jobs, std::size_t machines);
+
+/// Fully parallel batch: slots * machines identical unit jobs in `slots`
+/// consecutive unit windows (each window holds exactly `machines` jobs). The
+/// optimum is trivially known: every machine runs at speed `work` everywhere --
+/// used as a closed-form oracle in tests.
+[[nodiscard]] Instance generate_parallel_batch(std::size_t slots, std::size_t machines,
+                                               std::int64_t work);
+
+}  // namespace mpss

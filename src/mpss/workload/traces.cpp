@@ -1,0 +1,112 @@
+#include "mpss/workload/traces.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "mpss/util/csv.hpp"
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+void write_instance_csv(const Instance& instance, std::ostream& out) {
+  CsvWriter writer(out);
+  writer.row(std::string("machines"), instance.machines());
+  writer.row(std::string("release"), std::string("deadline"), std::string("work"));
+  for (const Job& job : instance.jobs()) {
+    writer.row(job.release, job.deadline, job.work);
+  }
+}
+
+std::string instance_to_csv(const Instance& instance) {
+  std::ostringstream os;
+  write_instance_csv(instance, os);
+  return os.str();
+}
+
+Instance instance_from_csv(const std::string& text) {
+  auto rows = parse_csv(text);
+  check_arg(rows.size() >= 2, "instance_from_csv: need machines row and header");
+  check_arg(rows[0].size() == 2 && rows[0][0] == "machines",
+            "instance_from_csv: first row must be 'machines,<m>'");
+  auto machines = static_cast<std::size_t>(std::stoull(rows[0][1]));
+  check_arg(rows[1].size() == 3 && rows[1][0] == "release",
+            "instance_from_csv: second row must be the job header");
+
+  std::vector<Job> jobs;
+  jobs.reserve(rows.size() - 2);
+  for (std::size_t i = 2; i < rows.size(); ++i) {
+    check_arg(rows[i].size() == 3, "instance_from_csv: job rows need 3 fields");
+    jobs.push_back(Job{Q::from_string(rows[i][0]), Q::from_string(rows[i][1]),
+                       Q::from_string(rows[i][2])});
+  }
+  return Instance(std::move(jobs), machines);
+}
+
+void save_instance(const Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_instance: cannot open " + path);
+  write_instance_csv(instance, out);
+  if (!out) throw std::runtime_error("save_instance: write failed for " + path);
+}
+
+Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_instance: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return instance_from_csv(buffer.str());
+}
+
+void write_schedule_csv(const Schedule& schedule, std::ostream& out) {
+  CsvWriter writer(out);
+  writer.row(std::string("machines"), schedule.machines());
+  writer.row(std::string("machine"), std::string("start"), std::string("end"),
+             std::string("speed"), std::string("job"));
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    for (const Slice& slice : schedule.machine(machine)) {
+      writer.row(machine, slice.start, slice.end, slice.speed, slice.job);
+    }
+  }
+}
+
+std::string schedule_to_csv(const Schedule& schedule) {
+  std::ostringstream os;
+  write_schedule_csv(schedule, os);
+  return os.str();
+}
+
+Schedule schedule_from_csv(const std::string& text) {
+  auto rows = parse_csv(text);
+  check_arg(rows.size() >= 2, "schedule_from_csv: need machines row and header");
+  check_arg(rows[0].size() == 2 && rows[0][0] == "machines",
+            "schedule_from_csv: first row must be 'machines,<m>'");
+  auto machines = static_cast<std::size_t>(std::stoull(rows[0][1]));
+  check_arg(rows[1].size() == 5 && rows[1][0] == "machine",
+            "schedule_from_csv: second row must be the slice header");
+  Schedule schedule(machines);
+  for (std::size_t i = 2; i < rows.size(); ++i) {
+    check_arg(rows[i].size() == 5, "schedule_from_csv: slice rows need 5 fields");
+    auto machine = static_cast<std::size_t>(std::stoull(rows[i][0]));
+    schedule.add(machine, Slice{Q::from_string(rows[i][1]), Q::from_string(rows[i][2]),
+                                Q::from_string(rows[i][3]),
+                                static_cast<std::size_t>(std::stoull(rows[i][4]))});
+  }
+  return schedule;
+}
+
+void save_schedule(const Schedule& schedule, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_schedule: cannot open " + path);
+  write_schedule_csv(schedule, out);
+  if (!out) throw std::runtime_error("save_schedule: write failed for " + path);
+}
+
+Schedule load_schedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_schedule: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return schedule_from_csv(buffer.str());
+}
+
+}  // namespace mpss

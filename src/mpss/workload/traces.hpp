@@ -1,0 +1,38 @@
+#pragma once
+// CSV trace import/export for problem instances (substrate S17).
+//
+// Format: first row "machines,<m>", then a header "release,deadline,work", then
+// one row per job. Times and works are exact rationals serialized as "a" or "a/b",
+// so a round-trip is lossless.
+
+#include <iosfwd>
+#include <string>
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/schedule.hpp"
+
+namespace mpss {
+
+/// Serializes `instance` as CSV.
+void write_instance_csv(const Instance& instance, std::ostream& out);
+[[nodiscard]] std::string instance_to_csv(const Instance& instance);
+
+/// Parses an instance from CSV text. Throws std::invalid_argument on malformed
+/// content (missing machines row, wrong column count, bad rationals).
+[[nodiscard]] Instance instance_from_csv(const std::string& text);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_instance(const Instance& instance, const std::string& path);
+[[nodiscard]] Instance load_instance(const std::string& path);
+
+/// Schedule serialization. Format: "machines,<m>", then a header
+/// "machine,start,end,speed,job", then one row per slice (exact rationals) --
+/// lossless round-trip, so verified schedules can be archived next to the traces
+/// that produced them.
+void write_schedule_csv(const Schedule& schedule, std::ostream& out);
+[[nodiscard]] std::string schedule_to_csv(const Schedule& schedule);
+[[nodiscard]] Schedule schedule_from_csv(const std::string& text);
+void save_schedule(const Schedule& schedule, const std::string& path);
+[[nodiscard]] Schedule load_schedule(const std::string& path);
+
+}  // namespace mpss

@@ -1,0 +1,73 @@
+#include "mpss/workload/transform.hpp"
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+Instance shift_time(const Instance& instance, const Q& offset) {
+  std::vector<Job> jobs;
+  jobs.reserve(instance.size());
+  for (const Job& job : instance.jobs()) {
+    jobs.push_back(Job{job.release + offset, job.deadline + offset, job.work});
+  }
+  return Instance(std::move(jobs), instance.machines());
+}
+
+Instance scale_time(const Instance& instance, const Q& factor) {
+  check_arg(factor.sign() > 0, "scale_time: factor must be positive");
+  std::vector<Job> jobs;
+  jobs.reserve(instance.size());
+  for (const Job& job : instance.jobs()) {
+    jobs.push_back(Job{job.release * factor, job.deadline * factor, job.work});
+  }
+  return Instance(std::move(jobs), instance.machines());
+}
+
+Instance scale_work(const Instance& instance, const Q& factor) {
+  check_arg(factor.sign() >= 0, "scale_work: factor must be non-negative");
+  std::vector<Job> jobs;
+  jobs.reserve(instance.size());
+  for (const Job& job : instance.jobs()) {
+    jobs.push_back(Job{job.release, job.deadline, job.work * factor});
+  }
+  return Instance(std::move(jobs), instance.machines());
+}
+
+Schedule shift_time(const Schedule& schedule, const Q& offset) {
+  Schedule out(schedule.machines());
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    for (const Slice& slice : schedule.machine(machine)) {
+      out.add(machine,
+              Slice{slice.start + offset, slice.end + offset, slice.speed, slice.job});
+    }
+  }
+  return out;
+}
+
+Schedule scale_time(const Schedule& schedule, const Q& factor) {
+  check_arg(factor.sign() > 0, "scale_time: factor must be positive");
+  Schedule out(schedule.machines());
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    for (const Slice& slice : schedule.machine(machine)) {
+      // Same work over a stretched window: speed divides by the factor.
+      out.add(machine, Slice{slice.start * factor, slice.end * factor,
+                             slice.speed / factor, slice.job});
+    }
+  }
+  return out;
+}
+
+Schedule scale_work(const Schedule& schedule, const Q& factor) {
+  check_arg(factor.sign() > 0,
+            "scale_work(schedule): factor must be positive (zero would erase slices)");
+  Schedule out(schedule.machines());
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    for (const Slice& slice : schedule.machine(machine)) {
+      out.add(machine,
+              Slice{slice.start, slice.end, slice.speed * factor, slice.job});
+    }
+  }
+  return out;
+}
+
+}  // namespace mpss

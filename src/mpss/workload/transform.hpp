@@ -1,0 +1,36 @@
+#pragma once
+// Instance and schedule transformations with exact covariance laws (S37).
+//
+// The scheduling problem has three symmetries, and the optimal solution
+// transforms covariantly under each -- which the property tests assert exactly:
+//
+//   time shift  t -> t + c  : schedules shift; every speed and energy unchanged.
+//   time scale  t -> c * t  : speeds scale by 1/c; under P(s) = s^alpha the
+//                             optimal energy scales by c^(1 - alpha).
+//   work scale  w -> c * w  : speeds scale by c; energy scales by c^alpha.
+//
+// Besides test leverage, these are practical: rescaling a trace to integral
+// times for AVR, or normalizing horizons before cross-workload comparisons.
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/schedule.hpp"
+
+namespace mpss {
+
+/// All times shifted by `offset` (any sign, as long as the result is valid).
+[[nodiscard]] Instance shift_time(const Instance& instance, const Q& offset);
+
+/// All times multiplied by `factor` (> 0). Works are unchanged, so densities
+/// and optimal speeds scale by 1/factor.
+[[nodiscard]] Instance scale_time(const Instance& instance, const Q& factor);
+
+/// All works multiplied by `factor` (>= 0).
+[[nodiscard]] Instance scale_work(const Instance& instance, const Q& factor);
+
+/// The same transformations applied to schedules (so a transformed schedule can
+/// be checked against a transformed instance).
+[[nodiscard]] Schedule shift_time(const Schedule& schedule, const Q& offset);
+[[nodiscard]] Schedule scale_time(const Schedule& schedule, const Q& factor);
+[[nodiscard]] Schedule scale_work(const Schedule& schedule, const Q& factor);
+
+}  // namespace mpss

@@ -1,0 +1,103 @@
+// Tests for the instance analysis module.
+
+#include "mpss/workload/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/online/avr.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(Analysis, HandComputedProfile) {
+  // Two overlapping jobs: [0,4) w=4 (density 1), [2,6) w=8 (density 2).
+  Instance instance({Job{Q(0), Q(4), Q(4)}, Job{Q(2), Q(6), Q(8)}}, 2);
+  auto profile = analyze(instance);
+  EXPECT_EQ(profile.jobs, 2u);
+  EXPECT_EQ(profile.machines, 2u);
+  EXPECT_EQ(profile.total_work, Q(12));
+  EXPECT_EQ(profile.horizon, Q(6));
+  EXPECT_EQ(profile.peak_parallelism, 2u);   // both active in [2,4)
+  EXPECT_EQ(profile.peak_density, Q(3));     // 1 + 2
+  // Max intensity: [2,6) holds 8 work -> 2; [0,6) holds 12 -> 2; [0,4) holds 4 -> 1.
+  EXPECT_EQ(profile.max_intensity, Q(2));
+  EXPECT_EQ(profile.average_load, Q(1));     // 12 / (2 machines * 6)
+}
+
+TEST(Analysis, EmptyInstance) {
+  Instance instance({}, 3);
+  auto profile = analyze(instance);
+  EXPECT_EQ(profile.peak_parallelism, 0u);
+  EXPECT_EQ(profile.peak_density, Q(0));
+  EXPECT_EQ(profile.max_intensity, Q(0));
+  EXPECT_EQ(profile.average_load, Q(0));
+}
+
+TEST(Analysis, ZeroWorkJobsInvisible) {
+  Instance instance({Job{Q(0), Q(4), Q(0)}, Job{Q(0), Q(4), Q(4)}}, 1);
+  auto profile = analyze(instance);
+  EXPECT_EQ(profile.peak_parallelism, 1u);
+  EXPECT_EQ(profile.peak_density, Q(1));
+}
+
+TEST(Analysis, PeakDensityMatchesAvrProfile) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Instance instance = generate_uniform({.jobs = 10, .machines = 2, .horizon = 15,
+                                          .max_window = 7, .max_work = 5}, seed);
+    auto profile = analyze(instance);
+    Q avr_peak(0);
+    for (const Q& density : avr_density_profile(instance)) {
+      avr_peak = max(avr_peak, density);
+    }
+    // AVR's profile samples unit intervals; the analysis uses atomic intervals.
+    // With integral times these coincide on peaks.
+    EXPECT_EQ(profile.peak_density, avr_peak) << seed;
+  }
+}
+
+TEST(Analysis, MaxIntensityLowerBoundsOptimalTopSpeed) {
+  // The fastest phase of the optimal schedule must run at >= max_intensity / m
+  // ... and at exactly max_intensity when m = 1 (YDS's first critical interval).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Instance instance = generate_uniform({.jobs = 8, .machines = 1, .horizon = 12,
+                                          .max_window = 6, .max_work = 5}, seed);
+    auto profile = analyze(instance);
+    auto result = optimal_schedule(instance);
+    ASSERT_FALSE(result.phases.empty());
+    EXPECT_EQ(result.phases.front().speed, profile.max_intensity) << seed;
+  }
+}
+
+TEST(Analysis, PeakParallelismBoundsScheduleConcurrency) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Instance instance = generate_bursty({.bursts = 3, .jobs_per_burst = 4,
+                                         .machines = 8, .horizon = 20,
+                                         .burst_window = 4, .max_work = 5}, seed);
+    auto profile = analyze(instance);
+    auto result = optimal_schedule(instance);
+    // Sample machine usage at atomic interval midpoints.
+    const auto& intervals = result.intervals;
+    for (std::size_t j = 0; j < intervals.count(); ++j) {
+      Q midpoint = (intervals.start(j) + intervals.end(j)) / Q(2);
+      std::size_t busy = 0;
+      for (const Q& speed : result.schedule.speeds_at(midpoint)) {
+        if (speed.sign() > 0) ++busy;
+      }
+      EXPECT_LE(busy, profile.peak_parallelism) << seed;
+    }
+  }
+}
+
+TEST(Analysis, ToStringMentionsEverything) {
+  Instance instance({Job{Q(0), Q(4), Q(4)}}, 2);
+  std::string text = analyze(instance).to_string();
+  for (const char* key : {"jobs=", "machines=", "W=", "peak_par=", "peak_density=",
+                          "max_intensity=", "avg_load="}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace mpss

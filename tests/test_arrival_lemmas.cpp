@@ -1,0 +1,132 @@
+// Structural lemmas of Section 3.1's analysis, checked directly on the offline
+// algorithm's output for common-release instances (the setting of OA(m)'s
+// re-planning: all available jobs share the current time as release).
+//
+//   Lemma 7/10: when a new job arrives -- equivalently, when a job's processing
+//               volume grows from 0 -- no existing job slows down.
+//   Lemma 11:   jobs in sets strictly slower than the set containing the grown
+//               job keep exactly their speeds.
+//   Lemma 8:    the minimum machine speed at any time never decreases.
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/util/random.hpp"
+
+namespace mpss {
+namespace {
+
+std::vector<Job> random_common_release(Xoshiro256& rng, std::size_t jobs,
+                                       std::int64_t horizon, std::int64_t max_work) {
+  std::vector<Job> out;
+  out.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    out.push_back(Job{Q(0), Q(rng.uniform_int(1, horizon)),
+                      Q(rng.uniform_int(1, max_work))});
+  }
+  return out;
+}
+
+TEST(ArrivalLemmas, Lemma7SpeedsNeverDropOnArrival) {
+  Xoshiro256 rng(71);
+  for (int round = 0; round < 25; ++round) {
+    std::size_t machines = 1 + rng.below(4);
+    auto jobs = random_common_release(rng, 6 + rng.below(6), 12, 8);
+    auto before = optimal_schedule(Instance(jobs, machines));
+
+    // A new job arrives (still at release 0 -- OA's replanning view).
+    jobs.push_back(Job{Q(0), Q(rng.uniform_int(1, 12)), Q(rng.uniform_int(1, 8))});
+    auto after = optimal_schedule(Instance(jobs, machines));
+
+    for (std::size_t k = 0; k + 1 < jobs.size(); ++k) {
+      EXPECT_LE(before.speed_of_job(k), after.speed_of_job(k))
+          << "round " << round << " job " << k << " slowed down on arrival";
+    }
+  }
+}
+
+TEST(ArrivalLemmas, Lemma10SpeedsNeverDropWhenWorkGrows) {
+  Xoshiro256 rng(72);
+  for (int round = 0; round < 25; ++round) {
+    std::size_t machines = 1 + rng.below(3);
+    auto jobs = random_common_release(rng, 5 + rng.below(6), 10, 6);
+    auto before = optimal_schedule(Instance(jobs, machines));
+
+    std::size_t grown = rng.below(jobs.size());
+    jobs[grown].work += Q(rng.uniform_int(1, 4), rng.uniform_int(1, 3));
+    auto after = optimal_schedule(Instance(jobs, machines));
+
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      EXPECT_LE(before.speed_of_job(k), after.speed_of_job(k))
+          << "round " << round << " job " << k;
+    }
+    EXPECT_LT(before.speed_of_job(grown), after.speed_of_job(grown) + Q(1))
+        << "grown job cannot slow down";
+  }
+}
+
+TEST(ArrivalLemmas, Lemma11SlowerSetsKeepTheirSpeedsUnderSmallGrowth) {
+  Xoshiro256 rng(73);
+  int informative_rounds = 0;
+  for (int round = 0; round < 40 && informative_rounds < 12; ++round) {
+    std::size_t machines = 1 + rng.below(3);
+    auto jobs = random_common_release(rng, 6 + rng.below(5), 10, 6);
+    auto before = optimal_schedule(Instance(jobs, machines));
+    if (before.phases.size() < 2) continue;
+
+    // Grow a job of the FASTEST set by a tiny epsilon: sets strictly slower than
+    // it must keep exactly their speeds (Lemma 11 with i0 = 1).
+    std::size_t grown = before.phases.front().jobs.front();
+    Q epsilon(1, 1000000);
+    jobs[grown].work += epsilon;
+    auto after = optimal_schedule(Instance(jobs, machines));
+
+    bool informative = false;
+    for (std::size_t i = 1; i < before.phases.size(); ++i) {
+      for (std::size_t k : before.phases[i].jobs) {
+        EXPECT_EQ(before.speed_of_job(k), after.speed_of_job(k))
+            << "round " << round << " job " << k
+            << " in a slower set changed speed";
+        informative = true;
+      }
+    }
+    if (informative) ++informative_rounds;
+  }
+  EXPECT_GE(informative_rounds, 12) << "test corpus never had 2+ phases";
+}
+
+TEST(ArrivalLemmas, Lemma8MinimumMachineSpeedNeverDecreases) {
+  Xoshiro256 rng(74);
+  for (int round = 0; round < 15; ++round) {
+    std::size_t machines = 2 + rng.below(3);
+    auto jobs = random_common_release(rng, 8, 10, 6);
+    Instance before_instance(jobs, machines);
+    auto before = optimal_schedule(before_instance);
+    jobs.push_back(Job{Q(0), Q(rng.uniform_int(1, 10)), Q(rng.uniform_int(1, 6))});
+    Instance after_instance(jobs, machines);
+    auto after = optimal_schedule(after_instance);
+
+    // Probe the minimum machine speed at the midpoints of the refined interval
+    // set (atomic for both schedules).
+    IntervalDecomposition intervals(after_instance.jobs());
+    for (std::size_t j = 0; j < intervals.count(); ++j) {
+      Q midpoint = (intervals.start(j) + intervals.end(j)) / Q(2);
+      Q min_before(0), min_after(0);
+      bool first = true;
+      for (const Q& speed : before.schedule.speeds_at(midpoint)) {
+        min_before = first ? speed : min(min_before, speed);
+        first = false;
+      }
+      first = true;
+      for (const Q& speed : after.schedule.speeds_at(midpoint)) {
+        min_after = first ? speed : min(min_after, speed);
+        first = false;
+      }
+      EXPECT_LE(min_before, min_after)
+          << "round " << round << " t=" << midpoint.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,186 @@
+// Tests for AVR(m) (Section 3.2, Fig. 3 / Theorem 3).
+
+#include "mpss/online/avr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/online/bounds.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(Avr, SingleJobSmearsAtDensity) {
+  Instance instance({Job{Q(0), Q(4), Q(8)}}, 2);
+  auto result = avr_schedule(instance);
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+  // Exactly delta = 2 units of work in each of the 4 unit intervals.
+  for (std::int64_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(result.schedule.work_on_in(0, Q(t), Q(t + 1)), Q(2));
+  }
+}
+
+TEST(Avr, RequiresIntegralTimes) {
+  Instance fractional({Job{Q(1, 2), Q(2), Q(1)}}, 1);
+  EXPECT_THROW((void)avr_schedule(fractional), std::invalid_argument);
+  // The documented remedy works.
+  auto scaled = fractional.scaled_to_integral_times();
+  EXPECT_NO_THROW((void)avr_schedule(scaled));
+}
+
+TEST(Avr, UniformBranchBalancesLoad) {
+  // 4 equal-density jobs on 2 machines: no peeling, uniform speed Delta/m.
+  std::vector<Job> jobs(4, Job{Q(0), Q(2), Q(2)});  // density 1 each
+  Instance instance(jobs, 2);
+  auto result = avr_schedule(instance);
+  EXPECT_EQ(result.peel_events, 0u);
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+  // Every machine runs at speed 2 = Delta/m everywhere.
+  EXPECT_EQ(result.schedule.max_speed(), Q(2));
+  AlphaPower p(2.0);
+  EXPECT_NEAR(result.schedule.energy(p), 2 * 4 * 2.0, 1e-9);
+}
+
+TEST(Avr, PeelsDominantDensityJob) {
+  // One job of density 10 and two of density 1 on 2 machines: the dense job gets
+  // its own processor (10 > 12/2), the rest share the other at speed 2.
+  Instance instance({Job{Q(0), Q(1), Q(10)}, Job{Q(0), Q(1), Q(1)},
+                     Job{Q(0), Q(1), Q(1)}}, 2);
+  auto result = avr_schedule(instance);
+  EXPECT_EQ(result.peel_events, 1u);
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+  auto speeds = result.schedule.speeds_at(Q(1, 2));
+  EXPECT_EQ(speeds[0], Q(10));
+  EXPECT_EQ(speeds[1], Q(2));
+}
+
+TEST(Avr, CascadingPeels) {
+  // Densities 8, 4, 1, 1 on 3 machines: 8 > 14/3 peels; then 4 > 6/2 peels; the
+  // two unit jobs share the last machine at the uniform speed Delta'/|M| = 2.
+  Instance instance({Job{Q(0), Q(1), Q(8)}, Job{Q(0), Q(1), Q(4)},
+                     Job{Q(0), Q(1), Q(1)}, Job{Q(0), Q(1), Q(1)}}, 3);
+  auto result = avr_schedule(instance);
+  EXPECT_EQ(result.peel_events, 2u);
+  auto speeds = result.schedule.speeds_at(Q(1, 2));
+  EXPECT_EQ(speeds[0], Q(8));
+  EXPECT_EQ(speeds[1], Q(4));
+  EXPECT_EQ(speeds[2], Q(2));
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+}
+
+TEST(Avr, SingleMachineMatchesDensitySum) {
+  // AVR(1): machine speed is the total active density in every unit interval.
+  Instance instance({Job{Q(0), Q(4), Q(4)}, Job{Q(1), Q(3), Q(4)}, Job{Q(2), Q(6), Q(8)}},
+                    1);
+  auto result = avr_schedule(instance);
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+  auto profile = avr_density_profile(instance);
+  ASSERT_EQ(profile.size(), 6u);
+  AlphaPower p(2.0);
+  double expected = 0.0;
+  for (const Q& density : profile) expected += std::pow(density.to_double(), 2.0);
+  EXPECT_NEAR(result.schedule.energy(p), expected, 1e-9);
+}
+
+TEST(Avr, DensityProfileValues) {
+  Instance instance({Job{Q(0), Q(2), Q(2)}, Job{Q(1), Q(3), Q(4)}}, 1);
+  auto profile = avr_density_profile(instance);
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_EQ(profile[0], Q(1));
+  EXPECT_EQ(profile[1], Q(3));
+  EXPECT_EQ(profile[2], Q(2));
+}
+
+TEST(Avr, AlwaysFeasibleOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Instance instance = generate_uniform({.jobs = 12, .machines = 3, .horizon = 20,
+                                          .max_window = 9, .max_work = 7}, seed);
+    auto result = avr_schedule(instance);
+    auto report = check_schedule(instance, result.schedule);
+    ASSERT_TRUE(report.feasible) << "seed " << seed << ": "
+                                 << report.violations.front();
+  }
+}
+
+TEST(Avr, RespectsTheorem3BoundOnRandomInstances) {
+  for (double alpha : {1.5, 2.0, 3.0}) {
+    AlphaPower p(alpha);
+    double bound = avr_multi_competitive_bound(alpha);
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      Instance instance = generate_uniform({.jobs = 10, .machines = 3, .horizon = 15,
+                                            .max_window = 7, .max_work = 5}, seed);
+      double ratio = avr_energy(instance, p) / optimal_energy(instance, p);
+      EXPECT_GE(ratio, 1.0 - 1e-9) << "seed " << seed;
+      EXPECT_LE(ratio, bound + 1e-9) << "seed " << seed << " alpha " << alpha;
+    }
+  }
+}
+
+TEST(Avr, DecompositionInequalityFromProof) {
+  // Inequality (9) of the paper: E_AVR(m) <= m^(1-a) * sum_t Delta_t^a
+  //                                         + sum_i delta_i^a * (d_i - r_i).
+  AlphaPower p(2.0);
+  const double alpha = 2.0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Instance instance = generate_bursty({.bursts = 3, .jobs_per_burst = 4,
+                                         .machines = 4, .horizon = 20,
+                                         .burst_window = 5, .max_work = 6}, seed);
+    double lhs = avr_energy(instance, p);
+    double m = static_cast<double>(instance.machines());
+    double avr1 = 0.0;
+    for (const Q& density : avr_density_profile(instance)) {
+      avr1 += std::pow(density.to_double(), alpha);
+    }
+    double per_job = 0.0;
+    for (const Job& job : instance.jobs()) {
+      if (job.work.sign() > 0) {
+        per_job += std::pow(job.density().to_double(), alpha) *
+                   job.window().to_double();
+      }
+    }
+    EXPECT_LE(lhs, std::pow(m, 1.0 - alpha) * avr1 + per_job + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Avr, WorkConservationPerUnitInterval) {
+  // The defining property of AVR: delta_i units of each active job per interval.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Instance instance = generate_agreeable({.jobs = 8, .machines = 2, .horizon = 12,
+                                            .min_window = 2, .max_window = 6,
+                                            .max_work = 5}, seed);
+    auto result = avr_schedule(instance);
+    for (std::size_t k = 0; k < instance.size(); ++k) {
+      const Job& job = instance.job(k);
+      for (std::int64_t t = job.release.num().to_int64();
+           t < job.deadline.num().to_int64(); ++t) {
+        EXPECT_EQ(result.schedule.work_on_in(k, Q(t), Q(t + 1)), job.density())
+            << "seed " << seed << " job " << k << " t " << t;
+      }
+    }
+  }
+}
+
+TEST(Avr, EmptyAndZeroWorkInstances) {
+  Instance empty({}, 3);
+  EXPECT_EQ(avr_schedule(empty).schedule.slice_count(), 0u);
+  Instance zero({Job{Q(0), Q(5), Q(0)}}, 2);
+  auto result = avr_schedule(zero);
+  EXPECT_EQ(result.schedule.slice_count(), 0u);
+  EXPECT_TRUE(check_schedule(zero, result.schedule).feasible);
+}
+
+TEST(Avr, SingleActiveJobManyMachinesPeelsAlone) {
+  // One active job with 3 machines: it is denser than Delta/3, so it runs alone.
+  Instance instance({Job{Q(0), Q(2), Q(6)}}, 3);
+  auto result = avr_schedule(instance);
+  EXPECT_EQ(result.peel_events, 2u);  // once per unit interval
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+  EXPECT_EQ(result.schedule.max_speed(), Q(3));
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,202 @@
+// Unit and property tests for the arbitrary-precision integer substrate (S1).
+
+#include "mpss/util/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "mpss/util/random.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.to_string(), "0");
+  EXPECT_EQ(zero.to_int64(), 0);
+}
+
+TEST(BigInt, ConstructsFromInt64) {
+  EXPECT_EQ(BigInt(42).to_string(), "42");
+  EXPECT_EQ(BigInt(-42).to_string(), "-42");
+  EXPECT_EQ(BigInt(0).to_string(), "0");
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::max()).to_string(),
+            "9223372036854775807");
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::min()).to_string(),
+            "-9223372036854775808");
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         std::int64_t{1} << 40, -(std::int64_t{1} << 40),
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::numeric_limits<std::int64_t>::min()}) {
+    EXPECT_EQ(BigInt(v).to_int64(), v) << v;
+    EXPECT_TRUE(BigInt(v).fits_int64());
+  }
+}
+
+TEST(BigInt, ToInt64ThrowsWhenTooLarge) {
+  BigInt big = BigInt(std::numeric_limits<std::int64_t>::max()) + BigInt(1);
+  EXPECT_FALSE(big.fits_int64());
+  EXPECT_THROW((void)big.to_int64(), std::overflow_error);
+  // INT64_MIN itself still fits.
+  BigInt lowest = BigInt(std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(lowest.fits_int64());
+  EXPECT_THROW((void)(lowest - BigInt(1)).to_int64(), std::overflow_error);
+}
+
+TEST(BigInt, FromStringParsesSignsAndZeros) {
+  EXPECT_EQ(BigInt::from_string("123"), BigInt(123));
+  EXPECT_EQ(BigInt::from_string("-123"), BigInt(-123));
+  EXPECT_EQ(BigInt::from_string("+123"), BigInt(123));
+  EXPECT_EQ(BigInt::from_string("0"), BigInt(0));
+  EXPECT_EQ(BigInt::from_string("-0"), BigInt(0));
+  EXPECT_EQ(BigInt::from_string("000042"), BigInt(42));
+}
+
+TEST(BigInt, FromStringRejectsGarbage) {
+  EXPECT_THROW((void)BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW((void)BigInt::from_string("-"), std::invalid_argument);
+  EXPECT_THROW((void)BigInt::from_string("12a3"), std::invalid_argument);
+  EXPECT_THROW((void)BigInt::from_string(" 12"), std::invalid_argument);
+}
+
+TEST(BigInt, StringRoundTripOnHugeValue) {
+  std::string digits = "123456789012345678901234567890123456789012345678901234567890";
+  EXPECT_EQ(BigInt::from_string(digits).to_string(), digits);
+  EXPECT_EQ(BigInt::from_string("-" + digits).to_string(), "-" + digits);
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::from_string("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).to_string(), "4294967296");
+  BigInt b = BigInt::from_string("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((b + BigInt(1)).to_string(), "18446744073709551616");
+}
+
+TEST(BigInt, SubtractionBorrowsAndFlipsSign) {
+  EXPECT_EQ((BigInt(5) - BigInt(7)).to_string(), "-2");
+  EXPECT_EQ((BigInt(-5) - BigInt(-7)).to_string(), "2");
+  BigInt big = BigInt::from_string("10000000000000000000000000");
+  EXPECT_EQ((big - big).to_string(), "0");
+  EXPECT_EQ((big - BigInt(1) - big).to_string(), "-1");
+}
+
+TEST(BigInt, MultiplicationMatchesKnownProduct) {
+  BigInt a = BigInt::from_string("123456789123456789");
+  BigInt b = BigInt::from_string("987654321987654321");
+  EXPECT_EQ((a * b).to_string(), "121932631356500531347203169112635269");
+  EXPECT_EQ((a * BigInt(0)).to_string(), "0");
+  EXPECT_EQ((a * BigInt(-1)).to_string(), "-123456789123456789");
+}
+
+TEST(BigInt, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_int64(), -1);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(BigInt(1) / BigInt(0)), std::domain_error);
+  EXPECT_THROW((void)(BigInt(1) % BigInt(0)), std::domain_error);
+}
+
+TEST(BigInt, MultiLimbLongDivision) {
+  BigInt numerator = BigInt::from_string("121932631356500531347203169112635269");
+  BigInt denominator = BigInt::from_string("987654321987654321");
+  EXPECT_EQ((numerator / denominator).to_string(), "123456789123456789");
+  EXPECT_EQ((numerator % denominator).to_string(), "0");
+  EXPECT_EQ(((numerator + BigInt(5)) % denominator).to_string(), "5");
+}
+
+TEST(BigInt, DivmodIdentityRandomized) {
+  Xoshiro256 rng(7);
+  for (int round = 0; round < 500; ++round) {
+    BigInt a(rng.uniform_int(-1000000000, 1000000000));
+    BigInt b(rng.uniform_int(-1000000, 1000000));
+    a = a * BigInt(rng.uniform_int(1, 1000000000));  // widen beyond one limb
+    if (b.is_zero()) b = BigInt(1);
+    auto [q, r] = BigInt::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.abs() < b.abs());
+    // C++ semantics: remainder carries the dividend's sign.
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.sign(), a.sign());
+    }
+  }
+}
+
+TEST(BigInt, KnuthDivisionAddBackCase) {
+  // Divisor with top limb just below 2^32 exercises the qhat correction path.
+  BigInt numerator = BigInt::from_string("340282366920938463463374607431768211455");
+  BigInt denominator = BigInt::from_string("18446744073709551615");
+  auto [q, r] = BigInt::divmod(numerator, denominator);
+  EXPECT_EQ(q * denominator + r, numerator);
+  EXPECT_EQ(q.to_string(), "18446744073709551617");
+  EXPECT_EQ(r.to_string(), "0");
+}
+
+TEST(BigInt, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-2), BigInt(-1));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt(1), BigInt::from_string("4294967296"));
+  EXPECT_GT(BigInt::from_string("-1"), BigInt::from_string("-4294967296"));
+  EXPECT_EQ(BigInt(5), BigInt::from_string("5"));
+}
+
+TEST(BigInt, GcdMatchesEuclid) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_int64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)).to_int64(), 0);
+  EXPECT_EQ(BigInt::gcd(BigInt::from_string("123456789123456789"),
+                        BigInt::from_string("987654321987654321"))
+                .to_string(),
+            "9000000009");
+}
+
+TEST(BigInt, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigInt(1000).to_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(BigInt(-1000).to_double(), -1000.0);
+  EXPECT_NEAR(BigInt::from_string("1000000000000000000000").to_double(), 1e21, 1e7);
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(0).bit_length(), 0u);
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ(BigInt::from_string("4294967296").bit_length(), 33u);
+}
+
+TEST(BigInt, HashDistinguishesSign) {
+  EXPECT_NE(BigInt(5).hash(), BigInt(-5).hash());
+  EXPECT_EQ(BigInt(5).hash(), BigInt(5).hash());
+}
+
+TEST(BigInt, RingAxiomsRandomized) {
+  Xoshiro256 rng(99);
+  for (int round = 0; round < 300; ++round) {
+    BigInt a(rng.uniform_int(-1'000'000'000'000, 1'000'000'000'000));
+    BigInt b(rng.uniform_int(-1'000'000'000'000, 1'000'000'000'000));
+    BigInt c(rng.uniform_int(-1'000'000'000'000, 1'000'000'000'000));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigInt(0));
+    EXPECT_EQ(a + (-a), BigInt(0));
+  }
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,83 @@
+// Tests for the (discretized) BKP single-processor online algorithm (S14).
+
+#include "mpss/online/bkp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/online/bounds.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(Bkp, RejectsBadArguments) {
+  Instance instance({Job{Q(0), Q(2), Q(2)}}, 2);
+  EXPECT_THROW((void)bkp_schedule(instance, 2.0), std::invalid_argument);  // m != 1
+  Instance single({Job{Q(0), Q(2), Q(2)}}, 1);
+  EXPECT_THROW((void)bkp_schedule(single, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)bkp_schedule(single, 2.0, 0), std::invalid_argument);
+}
+
+TEST(Bkp, EmptyInstance) {
+  Instance instance({}, 1);
+  auto result = bkp_schedule(instance, 2.0);
+  EXPECT_DOUBLE_EQ(result.energy, 0.0);
+  EXPECT_DOUBLE_EQ(result.unfinished_work, 0.0);
+}
+
+TEST(Bkp, CompletesWorkWithinDiscretizationError) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Instance instance = generate_uniform({.jobs = 6, .machines = 1, .horizon = 12,
+                                          .max_window = 6, .max_work = 4}, seed);
+    auto result = bkp_schedule(instance, 2.0, 128);
+    double total = instance.total_work().to_double();
+    EXPECT_LE(result.unfinished_work, 0.01 * total) << "seed " << seed;
+    EXPECT_LE(result.max_deadline_shortfall, 0.05 * total) << "seed " << seed;
+    EXPECT_GT(result.energy, 0.0);
+  }
+}
+
+TEST(Bkp, SpeedAlwaysCoversCurrentDensity) {
+  // BKP's speed at time t dominates w(t-, t, d)/(d - t) for the tightest pending
+  // deadline; for a single job its speed must be >= remaining density at release.
+  Instance instance({Job{Q(0), Q(4), Q(8)}}, 1);
+  auto result = bkp_schedule(instance, 2.0, 64);
+  ASSERT_FALSE(result.speed_profile.empty());
+  EXPECT_GE(result.speed_profile.front().second, 2.0 - 1e-9);
+  EXPECT_LE(result.unfinished_work, 1e-6);
+}
+
+TEST(Bkp, EnergyWithinTheoreticalBoundTimesOpt) {
+  AlphaPower p(2.0);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Instance instance = generate_bursty({.bursts = 2, .jobs_per_burst = 4,
+                                         .machines = 1, .horizon = 16,
+                                         .burst_window = 4, .max_work = 4}, seed);
+    auto result = bkp_schedule(instance, 2.0, 64);
+    double opt = optimal_energy(instance, p);
+    EXPECT_LE(result.energy, bkp_competitive_bound(2.0) * opt * 1.05)
+        << "seed " << seed;
+    EXPECT_GE(result.energy, opt * 0.95) << "seed " << seed;
+  }
+}
+
+TEST(Bkp, RefinementReducesUnfinishedWork) {
+  Instance instance = generate_uniform({.jobs = 5, .machines = 1, .horizon = 10,
+                                        .max_window = 5, .max_work = 4}, 3);
+  auto coarse = bkp_schedule(instance, 2.0, 8);
+  auto fine = bkp_schedule(instance, 2.0, 256);
+  EXPECT_LE(fine.unfinished_work, coarse.unfinished_work + 1e-9);
+}
+
+TEST(Bkp, ProfileCoversHorizon) {
+  Instance instance({Job{Q(0), Q(2), Q(2)}, Job{Q(5), Q(8), Q(3)}}, 1);
+  auto result = bkp_schedule(instance, 3.0, 16);
+  ASSERT_FALSE(result.speed_profile.empty());
+  EXPECT_DOUBLE_EQ(result.speed_profile.front().first, 0.0);
+  EXPECT_LT(result.speed_profile.back().first, 8.0);
+  EXPECT_GE(result.speed_profile.back().first, 7.0);
+}
+
+}  // namespace
+}  // namespace mpss

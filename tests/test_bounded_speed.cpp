@@ -1,0 +1,95 @@
+// Tests for the speed-bounded extension (S29): flow-based feasibility, the
+// minimal-peak-speed identity with the optimal schedule's top phase, and capped
+// scheduling.
+
+#include "mpss/ext/bounded_speed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/schedule.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(BoundedSpeed, SingleJobThreshold) {
+  // Work 8 in window [0,4): needs speed 2.
+  Instance instance({Job{Q(0), Q(4), Q(8)}}, 1);
+  EXPECT_TRUE(feasible_with_cap(instance, Q(2)));
+  EXPECT_TRUE(feasible_with_cap(instance, Q(3)));
+  EXPECT_FALSE(feasible_with_cap(instance, Q(199, 100)));
+  EXPECT_EQ(minimal_peak_speed(instance), Q(2));
+}
+
+TEST(BoundedSpeed, ParallelismRaisesTheCapRequirement) {
+  // 3 unit jobs in [0,1) on 2 machines: minimal cap 3/2, on 3 machines: 1.
+  std::vector<Job> jobs(3, Job{Q(0), Q(1), Q(1)});
+  Instance two(jobs, 2);
+  Instance three(jobs, 3);
+  EXPECT_EQ(minimal_peak_speed(two), Q(3, 2));
+  EXPECT_EQ(minimal_peak_speed(three), Q(1));
+  EXPECT_FALSE(feasible_with_cap(two, Q(7, 5)));
+  EXPECT_TRUE(feasible_with_cap(two, Q(3, 2)));
+}
+
+TEST(BoundedSpeed, SelfParallelismLimitsBigJobs) {
+  // One job of work 4 in [0,2) on 4 machines: extra machines are useless, the
+  // job itself needs speed 2 (it cannot run on two processors at once).
+  Instance instance({Job{Q(0), Q(2), Q(4)}}, 4);
+  EXPECT_FALSE(feasible_with_cap(instance, Q(3, 2)));
+  EXPECT_TRUE(feasible_with_cap(instance, Q(2)));
+  EXPECT_EQ(minimal_peak_speed(instance), Q(2));
+}
+
+TEST(BoundedSpeed, RejectsBadCap) {
+  Instance instance({Job{Q(0), Q(1), Q(1)}}, 1);
+  EXPECT_THROW((void)feasible_with_cap(instance, Q(0)), std::invalid_argument);
+  EXPECT_THROW((void)schedule_with_cap(instance, Q(-1)), std::invalid_argument);
+}
+
+TEST(BoundedSpeed, ZeroWorkAlwaysFeasible) {
+  Instance instance({Job{Q(0), Q(1), Q(0)}}, 1);
+  EXPECT_TRUE(feasible_with_cap(instance, Q(1, 1000)));
+  EXPECT_EQ(minimal_peak_speed(instance), Q(0));
+}
+
+TEST(BoundedSpeed, MinimalPeakMatchesFlowOracle) {
+  // Cross-check the identity "minimal cap == optimal top speed" against the
+  // independent flow-based feasibility oracle: feasible at s_1, infeasible just
+  // below (exact rational probe).
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Instance instance = generate_uniform({.jobs = 9, .machines = 3, .horizon = 14,
+                                          .max_window = 7, .max_work = 6}, seed);
+    Q peak = minimal_peak_speed(instance);
+    ASSERT_GT(peak.sign(), 0) << seed;
+    EXPECT_TRUE(feasible_with_cap(instance, peak)) << seed;
+    Q just_below = peak * Q(999, 1000);
+    EXPECT_FALSE(feasible_with_cap(instance, just_below)) << seed;
+  }
+}
+
+TEST(BoundedSpeed, ScheduleWithCapReturnsOptimumOrThrows) {
+  Instance instance = generate_bursty({.bursts = 2, .jobs_per_burst = 4,
+                                       .machines = 2, .horizon = 12,
+                                       .burst_window = 3, .max_work = 5}, 2);
+  Q peak = minimal_peak_speed(instance);
+  auto result = schedule_with_cap(instance, peak);
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+  EXPECT_EQ(result.schedule.max_speed(), peak);
+  EXPECT_THROW((void)schedule_with_cap(instance, peak * Q(9, 10)),
+               std::invalid_argument);
+}
+
+TEST(BoundedSpeed, CapMonotonicity) {
+  // Feasibility is monotone in the cap.
+  Instance instance = generate_laminar({.jobs = 8, .machines = 2, .depth = 3,
+                                        .max_work = 6}, 5);
+  Q peak = minimal_peak_speed(instance);
+  for (int factor = 1; factor <= 4; ++factor) {
+    EXPECT_TRUE(feasible_with_cap(instance, peak * Q(factor)));
+  }
+  EXPECT_FALSE(feasible_with_cap(instance, peak / Q(2)));
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,85 @@
+// Tests for the closed-form competitive bounds quoted by the paper (S19).
+
+#include "mpss/online/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpss {
+namespace {
+
+TEST(Bounds, OaBoundValues) {
+  EXPECT_DOUBLE_EQ(oa_competitive_bound(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(oa_competitive_bound(3.0), 27.0);
+  EXPECT_THROW((void)oa_competitive_bound(1.0), std::invalid_argument);
+}
+
+TEST(Bounds, AvrBoundValues) {
+  EXPECT_DOUBLE_EQ(avr_single_competitive_bound(2.0), 8.0);    // (4)^2 / 2
+  EXPECT_DOUBLE_EQ(avr_multi_competitive_bound(2.0), 9.0);     // + 1
+  EXPECT_DOUBLE_EQ(avr_single_competitive_bound(3.0), 108.0);  // 6^3 / 2
+  EXPECT_DOUBLE_EQ(avr_multi_competitive_bound(3.0), 109.0);
+}
+
+TEST(Bounds, AvrLowerBoundApproachesUpper) {
+  // ((2 - delta) * alpha)^alpha / 2 -> (2 alpha)^alpha / 2 as delta -> 0.
+  EXPECT_DOUBLE_EQ(avr_lower_bound(2.0, 0.0), avr_single_competitive_bound(2.0));
+  EXPECT_LT(avr_lower_bound(2.0, 0.5), avr_single_competitive_bound(2.0));
+  EXPECT_THROW((void)avr_lower_bound(2.0, 2.5), std::invalid_argument);
+}
+
+TEST(Bounds, DeterministicLowerBoundBelowOaBound) {
+  for (double alpha : {1.5, 2.0, 3.0, 5.0}) {
+    double lower = deterministic_lower_bound(alpha);
+    EXPECT_GT(lower, 0.0);
+    EXPECT_LT(lower, oa_competitive_bound(alpha)) << alpha;
+  }
+  EXPECT_DOUBLE_EQ(deterministic_lower_bound(2.0), std::exp(1.0) / 2.0);
+}
+
+TEST(Bounds, BkpBeatsOaForLargeAlpha) {
+  // The paper's motivation for the open problem: 2(a/(a-1))e^a grows like e^a,
+  // alpha^alpha grows much faster.
+  EXPECT_GT(bkp_competitive_bound(2.0), oa_competitive_bound(2.0));  // small alpha: OA wins
+  EXPECT_LT(bkp_competitive_bound(8.0), oa_competitive_bound(8.0));  // large alpha: BKP wins
+  EXPECT_LT(bkp_competitive_bound(20.0), oa_competitive_bound(20.0));
+}
+
+TEST(Bounds, BellNumbersExactPrefix) {
+  // B_0..B_10 = 1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975.
+  const double expected[] = {1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975};
+  for (std::size_t n = 0; n <= 10; ++n) {
+    EXPECT_DOUBLE_EQ(bell_number(n), expected[n]) << n;
+  }
+}
+
+TEST(Bounds, FractionalBellMatchesIntegerBell) {
+  for (std::size_t n = 1; n <= 8; ++n) {
+    EXPECT_NEAR(bell_number_fractional(static_cast<double>(n)), bell_number(n),
+                1e-6 * bell_number(n))
+        << n;
+  }
+}
+
+TEST(Bounds, FractionalBellMonotoneInAlpha) {
+  double previous = 0.0;
+  for (double alpha = 1.0; alpha <= 6.0; alpha += 0.5) {
+    double value = bell_number_fractional(alpha);
+    EXPECT_GT(value, previous);
+    previous = value;
+  }
+  EXPECT_DOUBLE_EQ(nonmigratory_approx_bound(3.0), bell_number_fractional(3.0));
+}
+
+TEST(Bounds, OrderingOfBoundsMatchesPaperNarrative) {
+  // For every alpha: deterministic lower bound <= OA bound <= AVR bound
+  // (OA is the stronger algorithm; AVR pays for obliviousness).
+  for (double alpha : {1.2, 1.5, 2.0, 2.5, 3.0, 4.0}) {
+    EXPECT_LE(deterministic_lower_bound(alpha), oa_competitive_bound(alpha)) << alpha;
+    EXPECT_LE(oa_competitive_bound(alpha), avr_multi_competitive_bound(alpha)) << alpha;
+  }
+}
+
+}  // namespace
+}  // namespace mpss

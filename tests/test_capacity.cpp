@@ -1,0 +1,81 @@
+// Tests for the capacity-planning helpers (S39).
+
+#include "mpss/ext/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/ext/bounded_speed.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(Capacity, MachinesNeededOnContendedWindow) {
+  // 6 unit jobs in [0,1): peak speed with m machines is 6/m (until m >= 6).
+  std::vector<Job> jobs(6, Job{Q(0), Q(1), Q(1)});
+  Instance instance(jobs, 1);
+  EXPECT_EQ(machines_needed(instance, Q(6)), 1u);
+  EXPECT_EQ(machines_needed(instance, Q(3)), 2u);
+  EXPECT_EQ(machines_needed(instance, Q(2)), 3u);
+  EXPECT_EQ(machines_needed(instance, Q(1)), 6u);
+  // Below any single job's density: impossible at any machine count.
+  EXPECT_EQ(machines_needed(instance, Q(1, 2)), 0u);
+}
+
+TEST(Capacity, MachinesNeededRespectsMaxMachines) {
+  std::vector<Job> jobs(8, Job{Q(0), Q(1), Q(1)});
+  Instance instance(jobs, 1);
+  EXPECT_EQ(machines_needed(instance, Q(1), 8), 8u);
+  EXPECT_EQ(machines_needed(instance, Q(1), 4), 0u);  // not enough allowed
+}
+
+TEST(Capacity, MachinesNeededValidation) {
+  Instance instance({Job{Q(0), Q(1), Q(1)}}, 1);
+  EXPECT_THROW((void)machines_needed(instance, Q(0)), std::invalid_argument);
+  EXPECT_THROW((void)machines_needed(instance, Q(1), 0), std::invalid_argument);
+  Instance zero({Job{Q(0), Q(1), Q(0)}}, 1);
+  EXPECT_EQ(machines_needed(zero, Q(1, 100)), 1u);
+}
+
+TEST(Capacity, MachinesNeededConsistentWithFeasibilityOracle) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Instance instance = generate_bursty({.bursts = 2, .jobs_per_burst = 5,
+                                         .machines = 1, .horizon = 14,
+                                         .burst_window = 3, .max_work = 5}, seed);
+    Q cap(3);
+    std::size_t needed = machines_needed(instance, cap, 32);
+    if (needed == 0) {
+      EXPECT_FALSE(feasible_with_cap(instance.with_machines(32), cap)) << seed;
+      continue;
+    }
+    EXPECT_TRUE(feasible_with_cap(instance.with_machines(needed), cap)) << seed;
+    if (needed > 1) {
+      EXPECT_FALSE(feasible_with_cap(instance.with_machines(needed - 1), cap))
+          << seed;
+    }
+  }
+}
+
+TEST(Capacity, CurveIsMonotone) {
+  AlphaPower p(2.5);
+  Instance instance = generate_uniform({.jobs = 10, .machines = 1, .horizon = 12,
+                                        .max_window = 6, .max_work = 5}, 4);
+  auto curve = capacity_curve(instance, p, 6);
+  ASSERT_EQ(curve.size(), 6u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].machines, i + 1);
+    EXPECT_LE(curve[i].energy, curve[i - 1].energy * (1 + 1e-12)) << i;
+    EXPECT_LE(curve[i].peak_speed, curve[i - 1].peak_speed) << i;
+  }
+  // Diminishing returns: the curve flattens once m exceeds peak parallelism.
+  EXPECT_NEAR(curve[5].energy, curve[4].energy, 1e-9 + 0.25 * curve[4].energy);
+}
+
+TEST(Capacity, CurveValidation) {
+  Instance instance({Job{Q(0), Q(1), Q(1)}}, 1);
+  EXPECT_THROW((void)capacity_curve(instance, AlphaPower(2.0), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpss

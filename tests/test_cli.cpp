@@ -1,0 +1,70 @@
+// Tests for the command-line flag parser used by examples and experiments.
+
+#include "mpss/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpss {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv, std::vector<std::string> spec) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()), argv.data(), std::move(spec));
+}
+
+TEST(Cli, EqualsForm) {
+  auto args = parse({"--alpha=2.5", "--n=30"}, {"alpha", "n"});
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 2.5);
+  EXPECT_EQ(args.get_int("n", 0), 30);
+}
+
+TEST(Cli, SpaceSeparatedForm) {
+  auto args = parse({"--alpha", "3", "--name", "run1"}, {"alpha", "name"});
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 3.0);
+  EXPECT_EQ(args.get("name", ""), "run1");
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+  auto args = parse({"--verbose"}, {"verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(Cli, BooleanExplicitValues) {
+  EXPECT_TRUE(parse({"--x=true"}, {"x"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}, {"x"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=yes"}, {"x"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=false"}, {"x"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}, {"x"}).get_bool("x", true));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  auto args = parse({}, {"alpha"});
+  EXPECT_FALSE(args.has("alpha"));
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 2.0), 2.0);
+  EXPECT_EQ(args.get_int("alpha", 7), 7);
+  EXPECT_EQ(args.get("alpha", "dflt"), "dflt");
+  EXPECT_TRUE(args.get_bool("alpha", true));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  EXPECT_THROW(parse({"--oops=1"}, {"alpha"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--alhpa", "2"}, {"alpha"}), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgumentsPreserved) {
+  auto args = parse({"input.csv", "--n=3", "output.csv"}, {"n"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.positional()[1], "output.csv");
+}
+
+TEST(Cli, ValueStartingWithDashesTreatedAsNextFlag) {
+  // "--a --b": a becomes boolean, b captured.
+  auto args = parse({"--a", "--b"}, {"a", "b"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_TRUE(args.has("b"));
+}
+
+}  // namespace
+}  // namespace mpss

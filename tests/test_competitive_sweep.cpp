@@ -1,0 +1,91 @@
+// Parameterized competitive-ratio sweep over the power exponent alpha: Theorems 2
+// and 3 and the potential invariant, per alpha (TEST_P) on a shared seed batch.
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/online/avr.hpp"
+#include "mpss/online/bounds.hpp"
+#include "mpss/online/oa.hpp"
+#include "mpss/online/potential.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+class AlphaSweep : public testing::TestWithParam<double> {
+ protected:
+  static std::vector<Instance> corpus(std::size_t machines) {
+    std::vector<Instance> out;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      out.push_back(generate_bursty({.bursts = 3, .jobs_per_burst = 3,
+                                     .machines = machines, .horizon = 18,
+                                     .burst_window = 4, .max_work = 5}, seed));
+    }
+    out.push_back(generate_avr_adversary(12, machines));
+    return out;
+  }
+};
+
+TEST_P(AlphaSweep, Theorem2OaWithinBound) {
+  const double alpha = GetParam();
+  AlphaPower p(alpha);
+  const double bound = oa_competitive_bound(alpha);
+  for (std::size_t machines : {1u, 3u}) {
+    for (const Instance& instance : corpus(machines)) {
+      double ratio = oa_energy(instance, p) / optimal_energy(instance, p);
+      EXPECT_GE(ratio, 1.0 - 1e-9) << instance.summary();
+      EXPECT_LE(ratio, bound + 1e-9) << instance.summary();
+    }
+  }
+}
+
+TEST_P(AlphaSweep, Theorem3AvrWithinBound) {
+  const double alpha = GetParam();
+  AlphaPower p(alpha);
+  const double bound = avr_multi_competitive_bound(alpha);
+  for (std::size_t machines : {1u, 3u}) {
+    for (const Instance& instance : corpus(machines)) {
+      double ratio = avr_energy(instance, p) / optimal_energy(instance, p);
+      EXPECT_GE(ratio, 1.0 - 1e-9) << instance.summary();
+      EXPECT_LE(ratio, bound + 1e-9) << instance.summary();
+    }
+  }
+}
+
+TEST_P(AlphaSweep, PotentialInvariantHolds) {
+  const double alpha = GetParam();
+  for (std::size_t machines : {1u, 2u}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      Instance instance = generate_uniform({.jobs = 7, .machines = machines,
+                                            .horizon = 12, .max_window = 6,
+                                            .max_work = 4}, seed);
+      auto trace = oa_potential_trace(instance, alpha, 1e-7);
+      EXPECT_TRUE(trace.invariant_holds)
+          << "alpha " << alpha << " m " << machines << " seed " << seed
+          << " worst violation " << trace.worst_violation;
+    }
+  }
+}
+
+TEST_P(AlphaSweep, BoundsAreOrderedAndFinite) {
+  const double alpha = GetParam();
+  EXPECT_GT(oa_competitive_bound(alpha), 1.0);
+  EXPECT_GT(avr_single_competitive_bound(alpha), 1.0);
+  EXPECT_LT(avr_single_competitive_bound(alpha), avr_multi_competitive_bound(alpha));
+  EXPECT_LE(deterministic_lower_bound(alpha), oa_competitive_bound(alpha));
+}
+
+std::string alpha_name(const testing::TestParamInfo<double>& info) {
+  std::string name = "alpha" + std::to_string(info.param);
+  for (char& c : name) {
+    if (c == '.') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep, testing::Values(1.25, 1.5, 2.0, 2.5, 3.0),
+                         alpha_name);
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,76 @@
+// Golden regression corpus: checked-in instances with checked-in EXACT optimal
+// per-job speeds (regenerate with tools/make_corpus after intentional algorithm
+// changes). Any refactor of the offline algorithm that alters an output breaks
+// these tests with a precise diff.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/util/csv.hpp"
+#include "mpss/workload/traces.hpp"
+
+#ifndef MPSS_DATA_DIR
+#error "MPSS_DATA_DIR must point at data/corpus"
+#endif
+
+namespace mpss {
+namespace {
+
+std::vector<std::string> corpus_names() {
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(MPSS_DATA_DIR)) {
+    std::string file = entry.path().filename().string();
+    const std::string suffix = ".instance.csv";
+    if (file.size() > suffix.size() &&
+        file.compare(file.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      names.push_back(file.substr(0, file.size() - suffix.size()));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class Corpus : public testing::TestWithParam<std::string> {};
+
+TEST_P(Corpus, OptimalSpeedsMatchGoldenExactly) {
+  std::string base = std::string(MPSS_DATA_DIR) + "/" + GetParam();
+  Instance instance = load_instance(base + ".instance.csv");
+  auto golden_rows = parse_csv(read_file(base + ".golden.csv"));
+  ASSERT_GE(golden_rows.size(), 1u);
+  ASSERT_EQ(golden_rows[0], (std::vector<std::string>{"job", "speed"}));
+  ASSERT_EQ(golden_rows.size(), instance.size() + 1);
+
+  auto result = optimal_schedule(instance);
+  ASSERT_TRUE(check_schedule(instance, result.schedule).feasible);
+  for (std::size_t row = 1; row < golden_rows.size(); ++row) {
+    ASSERT_EQ(golden_rows[row].size(), 2u);
+    auto job = static_cast<std::size_t>(std::stoull(golden_rows[row][0]));
+    Q expected = Q::from_string(golden_rows[row][1]);
+    EXPECT_EQ(result.speed_of_job(job), expected)
+        << GetParam() << " job " << job << ": got "
+        << result.speed_of_job(job).to_string() << ", golden "
+        << expected.to_string();
+  }
+}
+
+TEST(CorpusMeta, CorpusIsNonEmpty) { EXPECT_GE(corpus_names().size(), 8u); }
+
+INSTANTIATE_TEST_SUITE_P(GoldenInstances, Corpus, testing::ValuesIn(corpus_names()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,136 @@
+// Differential tests: the exact-arithmetic and max-flow kernels validated against
+// independent reference computations (__int128 arithmetic, long-double arithmetic,
+// exhaustive min-cut enumeration). These kernels carry the correctness of the
+// entire scheduler, so they get oracle treatment beyond their unit tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpss/flow/dinic.hpp"
+#include "mpss/util/bigint.hpp"
+#include "mpss/util/random.hpp"
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+namespace {
+
+/// Reference conversion: renders the 128-bit value in decimal and parses it, so
+/// the only BigInt operation trusted here is from_string (itself unit-tested
+/// against known digit strings).
+BigInt from_int128(__int128 value) {
+  bool negative = value < 0;
+  unsigned __int128 magnitude = negative ? -static_cast<unsigned __int128>(value)
+                                         : static_cast<unsigned __int128>(value);
+  std::string digits;
+  if (magnitude == 0) digits = "0";
+  while (magnitude != 0) {
+    digits.insert(digits.begin(),
+                  static_cast<char>('0' + static_cast<int>(magnitude % 10)));
+    magnitude /= 10;
+  }
+  BigInt out = BigInt::from_string(digits);
+  return negative ? out.negated() : out;
+}
+
+TEST(Differential, BigIntMatchesInt128Ring) {
+  Xoshiro256 rng(2024);
+  for (int round = 0; round < 2000; ++round) {
+    std::int64_t a = rng.uniform_int(-3'000'000'000LL, 3'000'000'000LL);
+    std::int64_t b = rng.uniform_int(-3'000'000'000LL, 3'000'000'000LL);
+    BigInt big_a(a), big_b(b);
+    EXPECT_EQ(big_a + big_b, from_int128(static_cast<__int128>(a) + b));
+    EXPECT_EQ(big_a - big_b, from_int128(static_cast<__int128>(a) - b));
+    EXPECT_EQ(big_a * big_b, from_int128(static_cast<__int128>(a) * b));
+    if (b != 0) {
+      EXPECT_EQ(big_a / big_b, from_int128(static_cast<__int128>(a) / b));
+      EXPECT_EQ(big_a % big_b, from_int128(static_cast<__int128>(a) % b));
+    }
+    EXPECT_EQ(big_a < big_b, a < b);
+  }
+}
+
+TEST(Differential, BigIntWideProductsMatchInt128) {
+  // Products spanning 3-4 limbs, against native 128-bit multiplication.
+  Xoshiro256 rng(7);
+  for (int round = 0; round < 1000; ++round) {
+    std::int64_t a = rng.uniform_int(-(1LL << 62), 1LL << 62);
+    std::int64_t b = rng.uniform_int(-(1LL << 62), 1LL << 62);
+    EXPECT_EQ(BigInt(a) * BigInt(b), from_int128(static_cast<__int128>(a) * b));
+  }
+}
+
+TEST(Differential, RationalTracksLongDouble) {
+  Xoshiro256 rng(11);
+  for (int round = 0; round < 1000; ++round) {
+    std::int64_t an = rng.uniform_int(-500, 500), ad = rng.uniform_int(1, 500);
+    std::int64_t bn = rng.uniform_int(-500, 500), bd = rng.uniform_int(1, 500);
+    Q a(an, ad), b(bn, bd);
+    long double fa = static_cast<long double>(an) / static_cast<long double>(ad);
+    long double fb = static_cast<long double>(bn) / static_cast<long double>(bd);
+    EXPECT_NEAR((a + b).to_double(), static_cast<double>(fa + fb), 1e-12);
+    EXPECT_NEAR((a * b).to_double(), static_cast<double>(fa * fb), 1e-12);
+    if (!b.is_zero()) {
+      EXPECT_NEAR((a / b).to_double(), static_cast<double>(fa / fb), 1e-9);
+    }
+    // Ordering agrees whenever the doubles are clearly separated.
+    if (std::abs(static_cast<double>(fa - fb)) > 1e-9) {
+      EXPECT_EQ(a < b, fa < fb);
+    }
+  }
+}
+
+TEST(Differential, DinicMatchesExhaustiveMinCut) {
+  // Max-flow == min-cut; on graphs with <= 7 nodes the min cut is enumerable.
+  Xoshiro256 rng(33);
+  for (int round = 0; round < 150; ++round) {
+    std::size_t nodes = 3 + rng.below(5);  // 3..7
+    struct Edge {
+      std::size_t from, to;
+      std::int64_t cap;
+    };
+    std::vector<Edge> edges;
+    FlowNetwork<std::int64_t> net;
+    net.add_nodes(nodes);
+    std::size_t edge_count = nodes + rng.below(2 * nodes);
+    for (std::size_t e = 0; e < edge_count; ++e) {
+      std::size_t from = rng.below(nodes);
+      std::size_t to = rng.below(nodes);
+      if (from == to) continue;
+      std::int64_t cap = rng.uniform_int(0, 12);
+      edges.push_back(Edge{from, to, cap});
+      net.add_edge(from, to, cap);
+    }
+    const std::size_t source = 0, sink = nodes - 1;
+    std::int64_t flow = net.max_flow(source, sink);
+
+    std::int64_t best_cut = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t mask = 0; mask < (std::size_t{1} << nodes); ++mask) {
+      if (!(mask & (std::size_t{1} << source))) continue;
+      if (mask & (std::size_t{1} << sink)) continue;
+      std::int64_t cut = 0;
+      for (const Edge& edge : edges) {
+        bool from_in = mask & (std::size_t{1} << edge.from);
+        bool to_in = mask & (std::size_t{1} << edge.to);
+        if (from_in && !to_in) cut += edge.cap;
+      }
+      best_cut = std::min(best_cut, cut);
+    }
+    EXPECT_EQ(flow, best_cut) << "round " << round;
+  }
+}
+
+TEST(Differential, RationalSumsAgainstFractionOracle) {
+  // sum_{k=1}^{n} 1/(k(k+1)) telescopes to n/(n+1): a closed-form oracle that
+  // stresses gcd normalization over many unlike denominators.
+  for (int n : {1, 5, 37, 200}) {
+    Q sum;
+    for (int k = 1; k <= n; ++k) {
+      sum += Q(1, static_cast<std::int64_t>(k) * (k + 1));
+    }
+    EXPECT_EQ(sum, Q(n, n + 1)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,108 @@
+// Tests for the discrete speed-level post-processor (S18, experiment E10).
+
+#include "mpss/ext/discrete_speeds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(DiscreteSpeeds, ExactLevelPassesThrough) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(2), Q(3), 0});
+  auto out = discretize_speeds(schedule, {Q(1), Q(3), Q(5)});
+  ASSERT_EQ(out.slice_count(), 1u);
+  EXPECT_EQ(out.machine(0)[0].speed, Q(3));
+}
+
+TEST(DiscreteSpeeds, SplitsBetweenAdjacentLevels) {
+  // Speed 2 between levels 1 and 3: x*3 + (d-x)*1 = 2d -> x = d/2.
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(2), Q(2), 0});
+  auto out = discretize_speeds(schedule, {Q(1), Q(3)});
+  auto slices = out.machine(0);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].speed, Q(3));
+  EXPECT_EQ(slices[0].end, Q(1));
+  EXPECT_EQ(slices[1].speed, Q(1));
+  EXPECT_EQ(slices[1].end, Q(2));
+  EXPECT_EQ(out.work_on(0), Q(4));  // work preserved
+}
+
+TEST(DiscreteSpeeds, BelowLowestLevelShortens) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(4), Q(1, 2), 0});  // work 2 at speed 1/2
+  auto out = discretize_speeds(schedule, {Q(1), Q(2)});
+  auto slices = out.machine(0);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].speed, Q(1));
+  EXPECT_EQ(slices[0].end, Q(2));  // 2 work at speed 1
+  EXPECT_EQ(out.work_on(0), Q(2));
+}
+
+TEST(DiscreteSpeeds, AboveHighestLevelThrows) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(1), Q(10), 0});
+  EXPECT_THROW((void)discretize_speeds(schedule, {Q(1), Q(2)}),
+               std::invalid_argument);
+}
+
+TEST(DiscreteSpeeds, ValidatesLevels) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(1), Q(1), 0});
+  EXPECT_THROW((void)discretize_speeds(schedule, {}), std::invalid_argument);
+  EXPECT_THROW((void)discretize_speeds(schedule, {Q(0), Q(1)}), std::invalid_argument);
+  EXPECT_THROW((void)discretize_speeds(schedule, {Q(2), Q(1)}), std::invalid_argument);
+}
+
+TEST(DiscreteSpeeds, PreservesFeasibilityOnOptimalSchedules) {
+  AlphaPower p(2.0);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Instance instance = generate_uniform({.jobs = 8, .machines = 2, .horizon = 12,
+                                          .max_window = 6, .max_work = 5}, seed);
+    auto optimal = optimal_schedule(instance);
+    Q top = optimal.schedule.max_speed() * Q(2);
+    auto levels = geometric_levels(top, Q(5, 4), 12);
+    Schedule discrete = discretize_speeds(optimal.schedule, levels);
+    auto report = check_schedule(instance, discrete);
+    ASSERT_TRUE(report.feasible) << "seed " << seed << ": "
+                                 << report.violations.front();
+    // Discretization can only cost energy (convexity).
+    double continuous = optimal.schedule.energy(p);
+    double fine = discrete.energy(p);
+    EXPECT_GE(fine, continuous - 1e-9) << seed;
+  }
+}
+
+TEST(DiscreteSpeeds, LadderContainingAllSpeedsIsFree) {
+  // When every phase speed is itself a level, discretization is the identity.
+  Instance instance = generate_laminar({.jobs = 8, .machines = 2, .depth = 3,
+                                        .max_work = 5}, 4);
+  auto optimal = optimal_schedule(instance);
+  std::vector<Q> levels;
+  for (const PhaseInfo& phase : optimal.phases) levels.push_back(phase.speed);
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  Schedule discrete = discretize_speeds(optimal.schedule, levels);
+  AlphaPower p(3.0);
+  EXPECT_NEAR(discrete.energy(p), optimal.schedule.energy(p), 1e-12);
+  EXPECT_EQ(discrete.slice_count(), optimal.schedule.slice_count());
+}
+
+TEST(DiscreteSpeeds, GeometricLevelsShape) {
+  auto levels = geometric_levels(Q(8), Q(2), 4);
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_EQ(levels[0], Q(1));
+  EXPECT_EQ(levels[1], Q(2));
+  EXPECT_EQ(levels[2], Q(4));
+  EXPECT_EQ(levels[3], Q(8));
+  EXPECT_THROW((void)geometric_levels(Q(0), Q(2), 3), std::invalid_argument);
+  EXPECT_THROW((void)geometric_levels(Q(1), Q(1), 3), std::invalid_argument);
+  EXPECT_THROW((void)geometric_levels(Q(1), Q(2), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpss

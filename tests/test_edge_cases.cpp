@@ -1,0 +1,134 @@
+// Cross-module edge cases that don't belong to any single module's suite:
+// degenerate shapes, extreme multiplicities, offset horizons, deep rationals.
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/gantt.hpp"
+#include "mpss/core/optimal.hpp"
+#include "mpss/core/optimal_fast.hpp"
+#include "mpss/core/profile.hpp"
+#include "mpss/online/avr.hpp"
+#include "mpss/online/oa.hpp"
+#include "mpss/util/random.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(EdgeCases, ManyIdenticalJobsOnePhase) {
+  // 60 identical unit jobs in one window on 7 machines: a single phase at the
+  // exact speed 60/7, wrapped with chunks of 7/60 each.
+  std::vector<Job> jobs(60, Job{Q(0), Q(1), Q(1)});
+  Instance instance(jobs, 7);
+  auto result = optimal_schedule(instance);
+  ASSERT_EQ(result.phases.size(), 1u);
+  EXPECT_EQ(result.phases[0].speed, Q(60, 7));
+  auto report = check_schedule(instance, result.schedule);
+  EXPECT_TRUE(report.feasible) << report.violations.front();
+}
+
+TEST(EdgeCases, StaircaseWindows) {
+  // Overlapping chain [i, i+2), each with work 2: uniform speed 1 everywhere on
+  // m = 2 except the half-loaded ends.
+  std::vector<Job> jobs;
+  for (std::int64_t i = 0; i < 8; ++i) jobs.push_back(Job{Q(i), Q(i + 2), Q(2)});
+  Instance instance(jobs, 2);
+  auto result = optimal_schedule(instance);
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+  // Interior load: 2 active jobs of density 1 each on 2 machines.
+  auto aggregate = aggregate_speed_profile(result.schedule);
+  EXPECT_EQ(aggregate.integral(), Q(16));
+}
+
+TEST(EdgeCases, TouchingWindowsShareNoCapacity) {
+  // Back-to-back windows [0,1) and [1,2): atomic intervals never bleed into each
+  // other even when a job's deadline equals another's release.
+  Instance instance({Job{Q(0), Q(1), Q(3)}, Job{Q(1), Q(2), Q(5)}}, 1);
+  auto result = optimal_schedule(instance);
+  EXPECT_EQ(result.speed_of_job(0), Q(3));
+  EXPECT_EQ(result.speed_of_job(1), Q(5));
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+}
+
+TEST(EdgeCases, AvrWithFarOffsetHorizon) {
+  // Integral horizon starting at 1000: AVR's unit-interval loop must start at
+  // the horizon start, not at zero.
+  Instance instance({Job{Q(1000), Q(1004), Q(8)}, Job{Q(1001), Q(1003), Q(2)}}, 2);
+  auto result = avr_schedule(instance);
+  auto report = check_schedule(instance, result.schedule);
+  ASSERT_TRUE(report.feasible) << report.violations.front();
+  EXPECT_EQ(result.schedule.work_on_in(0, Q(1000), Q(1001)), Q(2));
+}
+
+TEST(EdgeCases, OaWithZeroWorkLateArrival) {
+  // A zero-work job arriving mid-run must not disturb OA at all.
+  Instance with_zero({Job{Q(0), Q(4), Q(4)}, Job{Q(2), Q(4), Q(0)}}, 1);
+  Instance without({Job{Q(0), Q(4), Q(4)}}, 1);
+  AlphaPower p(2.0);
+  EXPECT_DOUBLE_EQ(oa_energy(with_zero, p), oa_energy(without, p));
+}
+
+TEST(EdgeCases, GanttJobIdsAboveNineWrapToDigits) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(1), Q(1), 15});  // glyph '5'
+  GanttOptions options;
+  options.width = 20;
+  options.show_speeds = false;
+  std::string out = render_gantt(schedule, options);
+  EXPECT_NE(out.find(std::string(20, '5')), std::string::npos);
+}
+
+TEST(EdgeCases, FastScheduleMaxSpeed) {
+  Instance instance({Job{Q(0), Q(1), Q(6)}, Job{Q(0), Q(3), Q(1)}}, 2);
+  auto fast = optimal_schedule_fast(instance);
+  EXPECT_NEAR(fast.schedule.max_speed(), 6.0, 1e-12);
+}
+
+TEST(EdgeCases, StepFunctionPlusMergesEqualValues) {
+  StepFunction a({{Q(0), Q(1)}}, Q(2));
+  StepFunction b({{Q(2), Q(1)}}, Q(4));
+  StepFunction sum = a.plus(b);
+  // Two abutting segments of equal value canonicalize into one.
+  EXPECT_EQ(sum.breakpoints().size(), 2u);
+  EXPECT_EQ(sum, StepFunction({{Q(0), Q(1)}}, Q(4)));
+}
+
+TEST(EdgeCases, DeepRationalIterationStaysManageable) {
+  // x <- (x + 1/3) / 2, 60 iterations: converges to 1/3 with denominators
+  // growing geometrically but remaining exact.
+  Q x(1);
+  for (int i = 0; i < 60; ++i) x = (x + Q(1, 3)) / Q(2);
+  EXPECT_NEAR(x.to_double(), 1.0 / 3.0, 1e-15);
+  EXPECT_LT(x.den().bit_length(), 80u);  // ~2^61 * 3
+}
+
+TEST(EdgeCases, HugeDigitStringsRoundTrip) {
+  Xoshiro256 rng(2);
+  for (int round = 0; round < 50; ++round) {
+    std::string digits;
+    digits.push_back(static_cast<char>('1' + rng.below(9)));
+    std::size_t length = 20 + rng.below(180);
+    for (std::size_t i = 1; i < length; ++i) {
+      digits.push_back(static_cast<char>('0' + rng.below(10)));
+    }
+    EXPECT_EQ(BigInt::from_string(digits).to_string(), digits);
+  }
+}
+
+TEST(EdgeCases, SingleMicroscopicJob) {
+  Instance instance({Job{Q(0), Q(1, 1000000), Q(1, 1000000000)}}, 1);
+  auto result = optimal_schedule(instance);
+  EXPECT_EQ(result.phases[0].speed, Q(1, 1000));
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+}
+
+TEST(EdgeCases, WideMachineCountDoesNotBlowUp) {
+  std::vector<Job> jobs(5, Job{Q(0), Q(2), Q(2)});
+  Instance instance(jobs, 1000);
+  auto result = optimal_schedule(instance);
+  ASSERT_EQ(result.phases.size(), 1u);
+  EXPECT_EQ(result.phases[0].speed, Q(1));  // each job alone at its density
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+}
+
+}  // namespace
+}  // namespace mpss

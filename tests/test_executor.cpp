@@ -1,0 +1,128 @@
+// Tests for the schedule executor (S35): completion semantics, flow times,
+// anomaly detection.
+
+#include "mpss/sim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/online/avr.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(Executor, SingleSliceCompletion) {
+  Instance instance({Job{Q(0), Q(4), Q(4)}}, 1);
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(4), Q(1), 0});
+  auto trace = execute_schedule(instance, schedule);
+  ASSERT_TRUE(trace.consistent()) << trace.anomalies.front();
+  EXPECT_TRUE(trace.jobs[0].scheduled);
+  EXPECT_EQ(trace.jobs[0].first_start, Q(0));
+  EXPECT_EQ(trace.jobs[0].completion, Q(4));
+  EXPECT_EQ(trace.jobs[0].flow_time, Q(4));
+  EXPECT_EQ(trace.makespan, Q(4));
+  EXPECT_EQ(trace.machine_busy[0], Q(4));
+}
+
+TEST(Executor, CompletionInsideASlice) {
+  // Faster than needed: work 4 at speed 2 in a 4-long slice completes at t=2 --
+  // but then the slice keeps "running" the job: anomaly.
+  Instance instance({Job{Q(0), Q(4), Q(4)}}, 1);
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(4), Q(2), 0});
+  auto trace = execute_schedule(instance, schedule);
+  EXPECT_EQ(trace.jobs[0].completion, Q(2));
+  EXPECT_FALSE(trace.consistent());  // overshoot reported
+}
+
+TEST(Executor, MultiSliceExactCompletion) {
+  Instance instance({Job{Q(0), Q(10), Q(5)}}, 2);
+  Schedule schedule(2);
+  schedule.add(0, Slice{Q(0), Q(2), Q(1), 0});   // 2 units
+  schedule.add(1, Slice{Q(4), Q(6), Q(3, 2), 0});  // completes mid-slice at 4+3/(3/2)=6
+  auto trace = execute_schedule(instance, schedule);
+  ASSERT_TRUE(trace.consistent()) << trace.anomalies.front();
+  EXPECT_EQ(trace.jobs[0].completion, Q(6));
+  EXPECT_EQ(trace.jobs[0].first_start, Q(0));
+}
+
+TEST(Executor, DetectsUnfinishedWork) {
+  Instance instance({Job{Q(0), Q(4), Q(4)}}, 1);
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(2), Q(1), 0});  // only 2 of 4
+  auto trace = execute_schedule(instance, schedule);
+  EXPECT_FALSE(trace.consistent());
+  EXPECT_NE(trace.anomalies.front().find("finishes only"), std::string::npos);
+}
+
+TEST(Executor, DetectsSelfParallelism) {
+  Instance instance({Job{Q(0), Q(4), Q(4)}}, 2);
+  Schedule schedule(2);
+  schedule.add(0, Slice{Q(0), Q(2), Q(1), 0});
+  schedule.add(1, Slice{Q(1), Q(3), Q(1), 0});
+  auto trace = execute_schedule(instance, schedule);
+  EXPECT_FALSE(trace.consistent());
+  bool found = false;
+  for (const auto& anomaly : trace.anomalies) {
+    found |= anomaly.find("simultaneously") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Executor, NeverScheduledPositiveWorkIsAnomalous) {
+  Instance instance({Job{Q(0), Q(4), Q(1)}, Job{Q(0), Q(4), Q(0)}}, 1);
+  Schedule schedule(1);
+  auto trace = execute_schedule(instance, schedule);
+  EXPECT_FALSE(trace.consistent());  // job 0 never runs
+  EXPECT_FALSE(trace.jobs[1].scheduled);  // zero-work job is fine
+  EXPECT_EQ(trace.anomalies.size(), 1u);
+}
+
+TEST(Executor, ConsistentOnAllLibrarySchedules) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Instance instance = generate_uniform({.jobs = 10, .machines = 3, .horizon = 15,
+                                          .max_window = 7, .max_work = 5}, seed);
+    auto opt = optimal_schedule(instance);
+    auto trace = execute_schedule(instance, opt.schedule);
+    ASSERT_TRUE(trace.consistent()) << seed << ": " << trace.anomalies.front();
+    // Completions never exceed deadlines; flow times are positive.
+    for (std::size_t k = 0; k < instance.size(); ++k) {
+      if (!trace.jobs[k].scheduled) continue;
+      EXPECT_LE(trace.jobs[k].completion, instance.job(k).deadline) << seed;
+      EXPECT_GT(trace.jobs[k].flow_time.sign(), 0) << seed;
+    }
+    EXPECT_GT(trace.mean_flow_time(), 0.0);
+    EXPECT_LE(Q(0), trace.max_flow_time());
+  }
+}
+
+TEST(Executor, AvrProcrastinatesIntoTheLastUnitInterval) {
+  // AVR schedules delta_i units of every active job in EVERY unit interval of
+  // its window -- so each job only completes somewhere inside its final unit
+  // interval (deadline - 1, deadline]: maximal procrastination.
+  Instance instance = generate_agreeable({.jobs = 8, .machines = 2, .horizon = 14,
+                                          .min_window = 2, .max_window = 6,
+                                          .max_work = 5}, 3);
+  auto avr = avr_schedule(instance);
+  auto trace = execute_schedule(instance, avr.schedule);
+  ASSERT_TRUE(trace.consistent()) << trace.anomalies.front();
+  for (std::size_t k = 0; k < instance.size(); ++k) {
+    if (trace.jobs[k].scheduled) {
+      EXPECT_LE(trace.jobs[k].completion, instance.job(k).deadline) << k;
+      EXPECT_LT(instance.job(k).deadline - Q(1), trace.jobs[k].completion) << k;
+    }
+  }
+}
+
+TEST(Executor, EmptyScheduleEmptyInstance) {
+  Instance instance({}, 2);
+  auto trace = execute_schedule(instance, Schedule(2));
+  EXPECT_TRUE(trace.consistent());
+  EXPECT_EQ(trace.makespan, Q(0));
+  EXPECT_DOUBLE_EQ(trace.mean_flow_time(), 0.0);
+}
+
+}  // namespace
+}  // namespace mpss

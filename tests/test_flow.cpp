@@ -1,0 +1,213 @@
+// Tests for the templated Dinic max-flow solver (S3) on int64, double and exact
+// rational capacities.
+
+#include "mpss/flow/dinic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/util/random.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(Flow, SingleEdge) {
+  FlowNetwork<std::int64_t> net;
+  auto s = net.add_node();
+  auto t = net.add_node();
+  auto e = net.add_edge(s, t, 5);
+  EXPECT_EQ(net.max_flow(s, t), 5);
+  EXPECT_EQ(net.flow(e), 5);
+  EXPECT_TRUE(net.saturated(e));
+}
+
+TEST(Flow, SeriesBottleneck) {
+  FlowNetwork<std::int64_t> net;
+  auto nodes = net.add_nodes(3);
+  net.add_edge(nodes, nodes + 1, 10);
+  auto narrow = net.add_edge(nodes + 1, nodes + 2, 3);
+  EXPECT_EQ(net.max_flow(nodes, nodes + 2), 3);
+  EXPECT_TRUE(net.saturated(narrow));
+}
+
+TEST(Flow, ParallelPathsAdd) {
+  FlowNetwork<std::int64_t> net;
+  auto s = net.add_node();
+  auto a = net.add_node();
+  auto b = net.add_node();
+  auto t = net.add_node();
+  net.add_edge(s, a, 4);
+  net.add_edge(a, t, 4);
+  net.add_edge(s, b, 6);
+  net.add_edge(b, t, 5);
+  EXPECT_EQ(net.max_flow(s, t), 9);
+}
+
+TEST(Flow, ClassicCrossNetwork) {
+  // The textbook 6-node network with a cross edge; max flow 23.
+  FlowNetwork<std::int64_t> net;
+  auto v = net.add_nodes(6);
+  net.add_edge(v + 0, v + 1, 16);
+  net.add_edge(v + 0, v + 2, 13);
+  net.add_edge(v + 1, v + 2, 10);
+  net.add_edge(v + 2, v + 1, 4);
+  net.add_edge(v + 1, v + 3, 12);
+  net.add_edge(v + 3, v + 2, 9);
+  net.add_edge(v + 2, v + 4, 14);
+  net.add_edge(v + 4, v + 3, 7);
+  net.add_edge(v + 3, v + 5, 20);
+  net.add_edge(v + 4, v + 5, 4);
+  EXPECT_EQ(net.max_flow(v + 0, v + 5), 23);
+}
+
+TEST(Flow, DisconnectedSinkGivesZero) {
+  FlowNetwork<std::int64_t> net;
+  auto s = net.add_node();
+  auto mid = net.add_node();
+  auto t = net.add_node();
+  net.add_edge(s, mid, 10);
+  EXPECT_EQ(net.max_flow(s, t), 0);
+}
+
+TEST(Flow, ZeroCapacityEdgeCarriesNothing) {
+  FlowNetwork<std::int64_t> net;
+  auto s = net.add_node();
+  auto t = net.add_node();
+  auto e = net.add_edge(s, t, 0);
+  EXPECT_EQ(net.max_flow(s, t), 0);
+  EXPECT_EQ(net.flow(e), 0);
+}
+
+TEST(Flow, RejectsBadArguments) {
+  FlowNetwork<std::int64_t> net;
+  auto s = net.add_node();
+  auto t = net.add_node();
+  EXPECT_THROW((void)net.add_edge(s, 7, 1), std::invalid_argument);
+  EXPECT_THROW((void)net.add_edge(s, t, -1), std::invalid_argument);
+  EXPECT_THROW((void)net.max_flow(s, s), std::invalid_argument);
+  EXPECT_THROW((void)net.max_flow(s, 9), std::invalid_argument);
+}
+
+TEST(Flow, FlowBeforeSolveIsAnError) {
+  FlowNetwork<std::int64_t> net;
+  auto s = net.add_node();
+  auto t = net.add_node();
+  auto e = net.add_edge(s, t, 1);
+  EXPECT_THROW((void)net.flow(e), InternalError);
+}
+
+TEST(Flow, RationalCapacitiesExact) {
+  FlowNetwork<Q> net;
+  auto s = net.add_node();
+  auto a = net.add_node();
+  auto t = net.add_node();
+  net.add_edge(s, a, Q(1, 3));
+  net.add_edge(a, t, Q(1, 2));
+  EXPECT_EQ(net.max_flow(s, t), Q(1, 3));
+}
+
+TEST(Flow, RationalParallelExactSum) {
+  FlowNetwork<Q> net;
+  auto s = net.add_node();
+  auto a = net.add_node();
+  auto b = net.add_node();
+  auto t = net.add_node();
+  net.add_edge(s, a, Q(1, 7));
+  net.add_edge(a, t, Q(2, 7));
+  net.add_edge(s, b, Q(3, 11));
+  net.add_edge(b, t, Q(1, 11));
+  EXPECT_EQ(net.max_flow(s, t), Q(1, 7) + Q(1, 11));  // = 18/77 exactly
+}
+
+TEST(Flow, DoubleCapacities) {
+  FlowNetwork<double> net;
+  auto s = net.add_node();
+  auto a = net.add_node();
+  auto t = net.add_node();
+  net.add_edge(s, a, 0.75);
+  net.add_edge(a, t, 0.5);
+  EXPECT_NEAR(net.max_flow(s, t), 0.5, 1e-9);
+}
+
+TEST(Flow, MinCutSeparatesSourceFromSink) {
+  FlowNetwork<std::int64_t> net;
+  auto v = net.add_nodes(4);
+  net.add_edge(v + 0, v + 1, 100);
+  net.add_edge(v + 1, v + 2, 1);  // the cut
+  net.add_edge(v + 2, v + 3, 100);
+  EXPECT_EQ(net.max_flow(v + 0, v + 3), 1);
+  auto cut = net.min_cut_source_side(v + 0);
+  EXPECT_TRUE(cut[v + 0]);
+  EXPECT_TRUE(cut[v + 1]);
+  EXPECT_FALSE(cut[v + 2]);
+  EXPECT_FALSE(cut[v + 3]);
+}
+
+TEST(Flow, FlowConservationOnRandomBipartiteGraphs) {
+  Xoshiro256 rng(3);
+  for (int round = 0; round < 30; ++round) {
+    // Bipartite transportation instance: L supplies, R demands.
+    std::size_t left = 3 + rng.below(5);
+    std::size_t right = 3 + rng.below(5);
+    FlowNetwork<std::int64_t> net;
+    auto s = net.add_node();
+    auto l0 = net.add_nodes(left);
+    auto r0 = net.add_nodes(right);
+    auto t = net.add_node();
+    std::int64_t supply_total = 0;
+    std::vector<FlowNetwork<std::int64_t>::EdgeId> supply_edges, demand_edges;
+    std::vector<std::vector<FlowNetwork<std::int64_t>::EdgeId>> cross(left);
+    for (std::size_t i = 0; i < left; ++i) {
+      std::int64_t cap = rng.uniform_int(1, 20);
+      supply_total += cap;
+      supply_edges.push_back(net.add_edge(s, l0 + i, cap));
+      for (std::size_t j = 0; j < right; ++j) {
+        if (rng.bernoulli(0.6)) {
+          cross[i].push_back(net.add_edge(l0 + i, r0 + j, rng.uniform_int(1, 15)));
+        }
+      }
+    }
+    for (std::size_t j = 0; j < right; ++j) {
+      demand_edges.push_back(net.add_edge(r0 + j, t, rng.uniform_int(1, 20)));
+    }
+    std::int64_t value = net.max_flow(s, t);
+    EXPECT_GE(value, 0);
+    EXPECT_LE(value, supply_total);
+    // Conservation: flow out of source equals flow into sink.
+    std::int64_t out_of_source = 0, into_sink = 0;
+    for (auto e : supply_edges) out_of_source += net.flow(e);
+    for (auto e : demand_edges) into_sink += net.flow(e);
+    EXPECT_EQ(out_of_source, value);
+    EXPECT_EQ(into_sink, value);
+    // Max-flow == min-cut: every edge from the cut's source side to the sink side
+    // is saturated.
+    auto side = net.min_cut_source_side(s);
+    EXPECT_TRUE(side[s]);
+    EXPECT_FALSE(side[t]);
+  }
+}
+
+TEST(Flow, LargeLayeredGraph) {
+  // 20 layers of 10 nodes; capacity 1 edges between consecutive layers.
+  constexpr std::size_t kLayers = 20, kWidth = 10;
+  FlowNetwork<std::int64_t> net;
+  auto s = net.add_node();
+  auto t = net.add_node();
+  std::vector<std::vector<std::size_t>> layer(kLayers);
+  for (auto& nodes : layer) {
+    for (std::size_t i = 0; i < kWidth; ++i) nodes.push_back(net.add_node());
+  }
+  for (std::size_t i = 0; i < kWidth; ++i) {
+    net.add_edge(s, layer[0][i], 1);
+    net.add_edge(layer[kLayers - 1][i], t, 1);
+  }
+  for (std::size_t l = 0; l + 1 < kLayers; ++l) {
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      net.add_edge(layer[l][i], layer[l + 1][i], 1);
+      net.add_edge(layer[l][i], layer[l + 1][(i + 1) % kWidth], 1);
+    }
+  }
+  EXPECT_EQ(net.max_flow(s, t), static_cast<std::int64_t>(kWidth));
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,117 @@
+// Tests for the ASCII Gantt renderer.
+
+#include "mpss/core/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t next = text.find('\n', pos);
+    if (next == std::string::npos) next = text.size();
+    lines.push_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return lines;
+}
+
+TEST(Gantt, EmptySchedule) {
+  Schedule schedule(2);
+  EXPECT_EQ(render_gantt(schedule), "(empty schedule)\n");
+}
+
+TEST(Gantt, SingleSliceFillsItsSpan) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(4), Q(2), 7});
+  GanttOptions options;
+  options.width = 40;
+  std::string out = render_gantt(schedule, options);
+  auto lines = lines_of(out);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "t=[0, 4)");
+  // Machine row is 40 '7' glyphs between pipes.
+  EXPECT_EQ(lines[1], "m0 |" + std::string(40, '7') + "|");
+  // Speed lane carries the label "2".
+  EXPECT_NE(lines[2].find('2'), std::string::npos);
+}
+
+TEST(Gantt, IdleRenderedAsDots) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(1), Q(1), 0});
+  schedule.add(0, Slice{Q(3), Q(4), Q(1), 1});
+  GanttOptions options;
+  options.width = 40;
+  options.show_speeds = false;
+  auto lines = lines_of(render_gantt(schedule, options));
+  ASSERT_EQ(lines.size(), 2u);
+  // First quarter 0s, middle half dots, last quarter 1s.
+  EXPECT_EQ(lines[1].substr(4, 10), std::string(10, '0'));
+  EXPECT_EQ(lines[1].substr(14, 20), std::string(20, '.'));
+  EXPECT_EQ(lines[1].substr(34, 10), std::string(10, '1'));
+}
+
+TEST(Gantt, OneRowPerMachinePlusSpeedLane) {
+  Schedule schedule(3);
+  schedule.add(0, Slice{Q(0), Q(1), Q(1), 0});
+  auto with_speeds = lines_of(render_gantt(schedule));
+  EXPECT_EQ(with_speeds.size(), 1u + 3u * 2u);
+  GanttOptions no_speeds;
+  no_speeds.show_speeds = false;
+  EXPECT_EQ(lines_of(render_gantt(schedule, no_speeds)).size(), 1u + 3u);
+}
+
+TEST(Gantt, MicroSlicesStayVisible) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(1, 1000), Q(1), 5});
+  schedule.add(0, Slice{Q(1), Q(2), Q(1), 6});
+  GanttOptions options;
+  options.width = 30;
+  options.show_speeds = false;
+  std::string out = render_gantt(schedule, options);
+  EXPECT_NE(out.find('5'), std::string::npos);  // still rendered
+}
+
+TEST(Gantt, ExplicitWindowClips) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(10), Q(1), 3});
+  GanttOptions options;
+  options.width = 20;
+  options.window_start = Q(4);
+  options.window_end = Q(6);
+  options.show_speeds = false;
+  auto lines = lines_of(render_gantt(schedule, options));
+  EXPECT_EQ(lines[0], "t=[4, 6)");
+  EXPECT_EQ(lines[1], "m0 |" + std::string(20, '3') + "|");
+}
+
+TEST(Gantt, RejectsNarrowWidth) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(1), Q(1), 0});
+  GanttOptions options;
+  options.width = 5;
+  EXPECT_THROW((void)render_gantt(schedule, options), std::invalid_argument);
+}
+
+TEST(Gantt, RendersRealOptimalSchedules) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Instance instance = generate_uniform({.jobs = 8, .machines = 3, .horizon = 12,
+                                          .max_window = 6, .max_work = 4}, seed);
+    auto result = optimal_schedule(instance);
+    std::string out = render_gantt(result.schedule);
+    auto lines = lines_of(out);
+    EXPECT_EQ(lines.size(), 1u + 3u * 2u);
+    // Every machine row has exactly width + 5-ish framing chars; all rows align.
+    EXPECT_EQ(lines[1].size(), lines[3].size());
+    EXPECT_EQ(lines[3].size(), lines[5].size());
+  }
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,110 @@
+// Tests for the atomic-interval decomposition (S5): intervals between sorted
+// release/deadline points, the backbone of the paper's flow construction.
+
+#include "mpss/core/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpss {
+namespace {
+
+std::vector<Job> two_jobs() {
+  return {Job{Q(0), Q(4), Q(1)}, Job{Q(2), Q(6), Q(1)}};
+}
+
+TEST(Intervals, SplitsAtAllReleasesAndDeadlines) {
+  auto jobs = two_jobs();
+  IntervalDecomposition iv(jobs);
+  // Points {0, 2, 4, 6} -> 3 intervals.
+  ASSERT_EQ(iv.count(), 3u);
+  EXPECT_EQ(iv.start(0), Q(0));
+  EXPECT_EQ(iv.end(0), Q(2));
+  EXPECT_EQ(iv.start(1), Q(2));
+  EXPECT_EQ(iv.end(1), Q(4));
+  EXPECT_EQ(iv.start(2), Q(4));
+  EXPECT_EQ(iv.end(2), Q(6));
+  EXPECT_EQ(iv.length(1), Q(2));
+}
+
+TEST(Intervals, DeduplicatesSharedPoints) {
+  std::vector<Job> jobs{Job{Q(0), Q(4), Q(1)}, Job{Q(0), Q(4), Q(1)},
+                        Job{Q(4), Q(8), Q(1)}};
+  IntervalDecomposition iv(jobs);
+  EXPECT_EQ(iv.count(), 2u);
+}
+
+TEST(Intervals, ActivePredicateMatchesContainment) {
+  auto jobs = two_jobs();
+  IntervalDecomposition iv(jobs);
+  // Job 0 window [0,4): active in I_0, I_1 only.
+  EXPECT_TRUE(iv.active(jobs[0], 0));
+  EXPECT_TRUE(iv.active(jobs[0], 1));
+  EXPECT_FALSE(iv.active(jobs[0], 2));
+  // Job 1 window [2,6): active in I_1, I_2 only.
+  EXPECT_FALSE(iv.active(jobs[1], 0));
+  EXPECT_TRUE(iv.active(jobs[1], 1));
+  EXPECT_TRUE(iv.active(jobs[1], 2));
+}
+
+TEST(Intervals, RationalTimePoints) {
+  std::vector<Job> jobs{Job{Q(0), Q(1, 2), Q(1)}, Job{Q(1, 3), Q(1), Q(1)}};
+  IntervalDecomposition iv(jobs);
+  // Points {0, 1/3, 1/2, 1}.
+  ASSERT_EQ(iv.count(), 3u);
+  EXPECT_EQ(iv.length(0), Q(1, 3));
+  EXPECT_EQ(iv.length(1), Q(1, 6));
+  EXPECT_EQ(iv.length(2), Q(1, 2));
+}
+
+TEST(Intervals, ExtraPointsSplitFurther) {
+  auto jobs = two_jobs();
+  std::vector<Q> extra{Q(3)};
+  IntervalDecomposition iv(jobs, extra);
+  // Points {0, 2, 3, 4, 6} -> 4 intervals.
+  EXPECT_EQ(iv.count(), 4u);
+  EXPECT_EQ(iv.end(1), Q(3));
+}
+
+TEST(Intervals, EmptyJobListHasNoIntervals) {
+  std::vector<Job> none;
+  IntervalDecomposition iv(none);
+  EXPECT_EQ(iv.count(), 0u);
+}
+
+TEST(Intervals, SinglePointYieldsNoIntervals) {
+  // Only extra points, all equal: no span.
+  std::vector<Job> none;
+  std::vector<Q> extra{Q(5), Q(5)};
+  IntervalDecomposition iv(none, extra);
+  EXPECT_EQ(iv.count(), 0u);
+}
+
+TEST(Intervals, IntervalOfLocatesTimes) {
+  auto jobs = two_jobs();
+  IntervalDecomposition iv(jobs);
+  EXPECT_EQ(iv.interval_of(Q(0)), 0u);
+  EXPECT_EQ(iv.interval_of(Q(1)), 0u);
+  EXPECT_EQ(iv.interval_of(Q(2)), 1u);  // boundary belongs to the right interval
+  EXPECT_EQ(iv.interval_of(Q(7, 2)), 1u);
+  EXPECT_EQ(iv.interval_of(Q(5)), 2u);
+  EXPECT_THROW((void)iv.interval_of(Q(6)), std::invalid_argument);  // horizon end
+  EXPECT_THROW((void)iv.interval_of(Q(-1)), std::invalid_argument);
+}
+
+TEST(Intervals, ActiveJobsConstantWithinInterval) {
+  // Property: for random instances, a job's activity in I_j equals containment of
+  // I_j in its window -- probed at the midpoint.
+  std::vector<Job> jobs{Job{Q(0), Q(10), Q(1)}, Job{Q(3), Q(7), Q(1)},
+                        Job{Q(5), Q(6), Q(1)}, Job{Q(7), Q(10), Q(1)}};
+  IntervalDecomposition iv(jobs);
+  for (std::size_t j = 0; j < iv.count(); ++j) {
+    Q midpoint = (iv.start(j) + iv.end(j)) / Q(2);
+    for (const Job& job : jobs) {
+      bool contains_midpoint = job.release <= midpoint && midpoint < job.deadline;
+      EXPECT_EQ(iv.active(job, j), contains_midpoint);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpss

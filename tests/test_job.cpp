@@ -1,0 +1,84 @@
+// Tests for the job / instance model (S5).
+
+#include "mpss/core/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpss {
+namespace {
+
+TEST(Job, WindowAndDensity) {
+  Job job{Q(2), Q(6), Q(8)};
+  EXPECT_EQ(job.window(), Q(4));
+  EXPECT_EQ(job.density(), Q(2));
+  Job fractional{Q(0), Q(3), Q(1)};
+  EXPECT_EQ(fractional.density(), Q(1, 3));
+}
+
+TEST(Instance, ValidatesJobs) {
+  EXPECT_THROW(Instance({Job{Q(5), Q(5), Q(1)}}, 1), std::invalid_argument);
+  EXPECT_THROW(Instance({Job{Q(6), Q(5), Q(1)}}, 1), std::invalid_argument);
+  EXPECT_THROW(Instance({Job{Q(0), Q(5), Q(-1)}}, 1), std::invalid_argument);
+  EXPECT_THROW(Instance({Job{Q(0), Q(5), Q(1)}}, 0), std::invalid_argument);
+  EXPECT_NO_THROW(Instance({Job{Q(0), Q(5), Q(0)}}, 1));  // zero work is legal
+}
+
+TEST(Instance, Accessors) {
+  Instance instance({Job{Q(0), Q(4), Q(2)}, Job{Q(1), Q(3), Q(5)}}, 3);
+  EXPECT_EQ(instance.size(), 2u);
+  EXPECT_EQ(instance.machines(), 3u);
+  EXPECT_EQ(instance.job(1).work, Q(5));
+  EXPECT_EQ(instance.total_work(), Q(7));
+  EXPECT_THROW((void)instance.job(2), std::out_of_range);
+}
+
+TEST(Instance, Horizon) {
+  Instance instance({Job{Q(3), Q(9), Q(1)}, Job{Q(1), Q(4), Q(1)}}, 1);
+  EXPECT_EQ(instance.horizon_start(), Q(1));
+  EXPECT_EQ(instance.horizon_end(), Q(9));
+  Instance empty({}, 2);
+  EXPECT_EQ(empty.horizon_start(), Q(0));
+  EXPECT_EQ(empty.horizon_end(), Q(0));
+}
+
+TEST(Instance, IntegralTimesDetection) {
+  EXPECT_TRUE(Instance({Job{Q(0), Q(4), Q(1, 2)}}, 1).has_integral_times());
+  EXPECT_FALSE(Instance({Job{Q(1, 2), Q(4), Q(1)}}, 1).has_integral_times());
+  EXPECT_FALSE(Instance({Job{Q(0), Q(7, 3), Q(1)}}, 1).has_integral_times());
+}
+
+TEST(Instance, ScaledToIntegralTimes) {
+  Instance fractional({Job{Q(1, 2), Q(3, 2), Q(1)}, Job{Q(0), Q(5, 3), Q(2)}}, 2);
+  Instance scaled = fractional.scaled_to_integral_times();
+  EXPECT_TRUE(scaled.has_integral_times());
+  // lcm(2, 2, 1, 3) = 6.
+  EXPECT_EQ(scaled.job(0).release, Q(3));
+  EXPECT_EQ(scaled.job(0).deadline, Q(9));
+  EXPECT_EQ(scaled.job(0).work, Q(6));
+  EXPECT_EQ(scaled.job(1).deadline, Q(10));
+  EXPECT_EQ(scaled.machines(), 2u);
+  // Already integral: unchanged.
+  Instance integral({Job{Q(0), Q(2), Q(1, 3)}}, 1);
+  Instance same = integral.scaled_to_integral_times();
+  EXPECT_EQ(same.job(0).deadline, Q(2));
+  EXPECT_EQ(same.job(0).work, Q(1, 3));
+}
+
+TEST(Instance, WithMachines) {
+  Instance instance({Job{Q(0), Q(4), Q(2)}}, 3);
+  Instance more = instance.with_machines(8);
+  EXPECT_EQ(more.machines(), 8u);
+  EXPECT_EQ(more.size(), 1u);
+  EXPECT_EQ(instance.machines(), 3u);  // original untouched
+}
+
+TEST(Instance, SummaryMentionsKeyFigures) {
+  Instance instance({Job{Q(0), Q(4), Q(2)}}, 3);
+  std::string summary = instance.summary();
+  EXPECT_NE(summary.find("n=1"), std::string::npos);
+  EXPECT_NE(summary.find("m=3"), std::string::npos);
+  EXPECT_NE(summary.find("W=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpss

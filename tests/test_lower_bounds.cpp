@@ -1,0 +1,101 @@
+// Tests for the closed-form energy lower bounds: every bound must sit at or
+// below the optimal energy, and be tight on its characteristic instances.
+
+#include "mpss/core/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(LowerBounds, DensityBoundTightForIsolatedJobs) {
+  // Non-overlapping jobs on enough machines: OPT runs each at its density, so the
+  // density bound is exact.
+  Instance instance({Job{Q(0), Q(2), Q(4)}, Job{Q(3), Q(5), Q(2)}}, 2);
+  AlphaPower p(2.0);
+  double opt = optimal_energy(instance, p);
+  EXPECT_NEAR(density_lower_bound(instance, p), opt, 1e-9);
+}
+
+TEST(LowerBounds, AggregationBoundTightForParallelBatch) {
+  // m identical unit jobs in one slot: single-machine OPT runs at m * w, so
+  // m^(1-a) * E^1 = m^(1-a) * (m w)^a = m * w^a = E_OPT(m) exactly.
+  Instance instance = generate_parallel_batch(1, 4, 3);
+  double opt = optimal_energy(instance, AlphaPower(2.0));
+  EXPECT_NEAR(aggregation_lower_bound(instance, 2.0), opt, 1e-9);
+}
+
+TEST(LowerBounds, IntervalLoadBoundTightOnSaturatedWindow) {
+  // More jobs than machines in one window: OPT spreads at W/(m * span).
+  Instance instance({Job{Q(0), Q(2), Q(3)}, Job{Q(0), Q(2), Q(3)},
+                     Job{Q(0), Q(2), Q(3)}}, 2);
+  AlphaPower p(3.0);
+  double opt = optimal_energy(instance, p);
+  EXPECT_NEAR(interval_load_lower_bound(instance, p), opt, 1e-9);
+}
+
+TEST(LowerBounds, AllBoundsBelowOptimalOnRandomInstances) {
+  for (double alpha : {1.5, 2.0, 3.0}) {
+    AlphaPower p(alpha);
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+      Instance instance = generate_uniform({.jobs = 10, .machines = 3, .horizon = 16,
+                                            .max_window = 8, .max_work = 6}, seed);
+      double opt = optimal_energy(instance, p);
+      EXPECT_LE(density_lower_bound(instance, p), opt + 1e-9)
+          << "density, seed " << seed;
+      EXPECT_LE(aggregation_lower_bound(instance, alpha), opt + 1e-9)
+          << "aggregation, seed " << seed;
+      EXPECT_LE(interval_load_lower_bound(instance, p), opt + 1e-9)
+          << "interval, seed " << seed;
+      double best = best_lower_bound(instance, p, alpha);
+      EXPECT_LE(best, opt + 1e-9) << "best, seed " << seed;
+      EXPECT_GT(best, 0.0) << seed;
+    }
+  }
+}
+
+TEST(LowerBounds, BestTakesTheMaximum) {
+  Instance instance = generate_bursty({.bursts = 2, .jobs_per_burst = 4,
+                                       .machines = 2, .horizon = 12,
+                                       .burst_window = 3, .max_work = 5}, 3);
+  AlphaPower p(2.5);
+  double best = best_lower_bound(instance, p, 2.5);
+  EXPECT_GE(best, density_lower_bound(instance, p) - 1e-12);
+  EXPECT_GE(best, aggregation_lower_bound(instance, 2.5) - 1e-12);
+  EXPECT_GE(best, interval_load_lower_bound(instance, p) - 1e-12);
+  // Skipping the aggregation bound (alpha <= 1) still yields a valid bound.
+  double without = best_lower_bound(instance, p, 0.0);
+  EXPECT_LE(without, best + 1e-12);
+  EXPECT_GT(without, 0.0);
+}
+
+TEST(LowerBounds, EmptyAndZeroWorkInstances) {
+  Instance empty({}, 2);
+  AlphaPower p(2.0);
+  EXPECT_DOUBLE_EQ(density_lower_bound(empty, p), 0.0);
+  EXPECT_DOUBLE_EQ(aggregation_lower_bound(empty, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(interval_load_lower_bound(empty, p), 0.0);
+  Instance zero({Job{Q(0), Q(3), Q(0)}}, 1);
+  EXPECT_DOUBLE_EQ(best_lower_bound(zero, p, 2.0), 0.0);
+}
+
+TEST(LowerBounds, BoundsSandwichOptimalWithHeuristics) {
+  // The certificate pattern the module exists for: lower bound <= OPT <= heuristic
+  // on the same instance verifies optimality without a second optimal solver.
+  AlphaPower p(2.0);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Instance instance = generate_laminar({.jobs = 8, .machines = 2, .depth = 3,
+                                          .max_work = 5}, seed);
+    double lower = best_lower_bound(instance, p, 2.0);
+    double opt = optimal_energy(instance, p);
+    EXPECT_LE(lower, opt + 1e-9) << seed;
+    // The gap must be modest on these instances (bound quality check).
+    EXPECT_GE(lower, 0.25 * opt) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mpss

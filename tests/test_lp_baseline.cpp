@@ -1,0 +1,96 @@
+// Tests for the discretized-speed LP baseline (S16), the stand-in for the
+// Bingham-Greenstreet LP approach [6].
+
+#include "mpss/lp/lp_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(LpBaseline, SingleJobSingleMachineExact) {
+  // One job, window [0,2), work 4: OPT runs at speed 2; energy 2^alpha * 2.
+  Instance instance({Job{Q(0), Q(2), Q(4)}}, 1);
+  AlphaPower p(2.0);
+  // Grid that contains the exact optimal speed (top 4, 8 levels -> 0.5 steps).
+  auto result = lp_baseline(instance, p, 8, 4.0);
+  ASSERT_EQ(result.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(result.energy, 8.0, 1e-6);
+}
+
+TEST(LpBaseline, ConvergesFromAboveToOptimal) {
+  Instance instance = generate_uniform({.jobs = 5, .machines = 2, .horizon = 10,
+                                        .max_window = 6, .max_work = 4}, 17);
+  AlphaPower p(2.0);
+  double opt = optimal_energy(instance, p);
+  double previous = std::numeric_limits<double>::infinity();
+  for (std::size_t grid : {4u, 8u, 16u, 32u}) {
+    auto result = lp_baseline(instance, p, grid);
+    ASSERT_EQ(result.status, LpSolution::Status::kOptimal) << "grid " << grid;
+    // Upper bound on OPT (restricted speeds + convexity), and improving.
+    EXPECT_GE(result.energy, opt - 1e-6) << "grid " << grid;
+    EXPECT_LE(result.energy, previous + 1e-6);
+    previous = result.energy;
+  }
+  // Fine grid should be close.
+  EXPECT_LE(previous, opt * 1.05);
+}
+
+TEST(LpBaseline, MultiMachineUsesParallelism) {
+  // 2 identical jobs, one machine vs two machines: LP energy should halve the
+  // speed (quarter the power each, double the runtime...) -- with m=2 each job can
+  // run at speed 1 instead of sharing one machine at speed 2.
+  std::vector<Job> jobs{Job{Q(0), Q(1), Q(1)}, Job{Q(0), Q(1), Q(1)}};
+  AlphaPower p(2.0);
+  auto one = lp_baseline(Instance(jobs, 1), p, 16, 4.0);
+  auto two = lp_baseline(Instance(jobs, 2), p, 16, 4.0);
+  ASSERT_EQ(one.status, LpSolution::Status::kOptimal);
+  ASSERT_EQ(two.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(one.energy, 4.0, 1e-6);  // speed 2 for 1 time unit
+  EXPECT_NEAR(two.energy, 2.0, 1e-6);  // speed 1 on each machine
+}
+
+TEST(LpBaseline, ZeroWorkInstance) {
+  Instance instance({Job{Q(0), Q(1), Q(0)}}, 1);
+  auto result = lp_baseline(instance, AlphaPower(2.0), 4);
+  EXPECT_EQ(result.status, LpSolution::Status::kOptimal);
+  EXPECT_DOUBLE_EQ(result.energy, 0.0);
+}
+
+TEST(LpBaseline, ReportsProblemSize) {
+  Instance instance = generate_uniform({.jobs = 4, .machines = 2, .horizon = 8,
+                                        .max_window = 5, .max_work = 3}, 3);
+  auto result = lp_baseline(instance, AlphaPower(2.0), 6);
+  EXPECT_GT(result.variables, 0u);
+  EXPECT_GT(result.constraints, 0u);
+  EXPECT_GT(result.iterations, 0u);
+}
+
+TEST(LpBaseline, RejectsTinyGrid) {
+  Instance instance({Job{Q(0), Q(2), Q(4)}}, 1);
+  EXPECT_THROW((void)lp_baseline(instance, AlphaPower(2.0), 1), std::invalid_argument);
+}
+
+TEST(LpBaseline, HintBelowRequiredSpeedIsInfeasible) {
+  // Work 4 in window [0,2) needs speed >= 2; a grid capped at 1 cannot finish.
+  Instance instance({Job{Q(0), Q(2), Q(4)}}, 1);
+  auto result = lp_baseline(instance, AlphaPower(2.0), 8, 1.0);
+  EXPECT_EQ(result.status, LpSolution::Status::kInfeasible);
+}
+
+TEST(LpBaseline, GeneralConvexPowerFunction) {
+  // The LP (like the combinatorial algorithm) accepts any convex non-decreasing P.
+  Instance instance({Job{Q(0), Q(2), Q(2)}, Job{Q(1), Q(3), Q(2)}}, 1);
+  PiecewiseLinearPower p({{0.0, 0.0}, {1.0, 1.0}, {2.0, 4.0}, {4.0, 16.0}});
+  auto lp = lp_baseline(instance, p, 16);
+  ASSERT_EQ(lp.status, LpSolution::Status::kOptimal);
+  double opt = optimal_schedule(instance).schedule.energy(p);
+  EXPECT_GE(lp.energy, opt - 1e-6);
+  EXPECT_LE(lp.energy, opt * 1.10);
+}
+
+}  // namespace
+}  // namespace mpss

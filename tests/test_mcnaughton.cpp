@@ -1,0 +1,136 @@
+// Tests for the McNaughton wrap-around packer (S7) -- the construction behind
+// Lemma 2 and AVR(m)'s uniform branch.
+
+#include "mpss/core/mcnaughton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/util/random.hpp"
+
+namespace mpss {
+namespace {
+
+// Validates the two invariants the construction promises: machine-local
+// non-overlap and no job running on two machines simultaneously.
+void expect_wrap_invariants(const Schedule& schedule, std::size_t jobs) {
+  for (std::size_t machine = 0; machine < schedule.machines(); ++machine) {
+    auto slices = schedule.machine(machine);
+    for (std::size_t i = 0; i + 1 < slices.size(); ++i) {
+      EXPECT_LE(slices[i].end, slices[i + 1].start) << "machine overlap";
+    }
+  }
+  for (std::size_t job = 0; job < jobs; ++job) {
+    auto slices = schedule.slices_of(job);
+    for (std::size_t i = 0; i + 1 < slices.size(); ++i) {
+      EXPECT_LE(slices[i].end, slices[i + 1].start) << "job self-parallelism";
+    }
+  }
+}
+
+TEST(McNaughton, SingleMachineSequential) {
+  Schedule schedule(1);
+  std::vector<Chunk> chunks{{0, Q(1, 2)}, {1, Q(1, 4)}, {2, Q(1, 4)}};
+  mcnaughton_pack(schedule, Q(10), Q(1), 0, 1, Q(3), chunks);
+  auto slices = schedule.machine(0);
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0].start, Q(10));
+  EXPECT_EQ(slices[2].end, Q(11));
+  expect_wrap_invariants(schedule, 3);
+}
+
+TEST(McNaughton, WrapsAcrossMachines) {
+  Schedule schedule(2);
+  // Three chunks of 2/3 in a unit interval on 2 machines: the middle one wraps.
+  std::vector<Chunk> chunks{{0, Q(2, 3)}, {1, Q(2, 3)}, {2, Q(2, 3)}};
+  mcnaughton_pack(schedule, Q(0), Q(1), 0, 2, Q(1), chunks);
+  expect_wrap_invariants(schedule, 3);
+  // Job 1 is split: [2/3, 1) on machine 0 and [0, 1/3) on machine 1.
+  auto split = schedule.slices_of(1);
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0].start, Q(0));
+  EXPECT_EQ(split[0].end, Q(1, 3));
+  EXPECT_EQ(split[1].start, Q(2, 3));
+  EXPECT_EQ(split[1].end, Q(1));
+  // Totals preserved.
+  EXPECT_EQ(schedule.work_on(1), Q(2, 3));
+}
+
+TEST(McNaughton, FullLengthChunkMidMachine) {
+  // A chunk of exactly the interval length starting mid-machine splits into two
+  // complementary pieces that tile the window without overlapping.
+  Schedule schedule(2);
+  std::vector<Chunk> chunks{{0, Q(1, 2)}, {1, Q(1)}, {2, Q(1, 2)}};
+  mcnaughton_pack(schedule, Q(0), Q(1), 0, 2, Q(1), chunks);
+  expect_wrap_invariants(schedule, 3);
+  EXPECT_EQ(schedule.work_on(1), Q(1));
+}
+
+TEST(McNaughton, UsesRequestedMachineRange) {
+  Schedule schedule(5);
+  std::vector<Chunk> chunks{{0, Q(1)}, {1, Q(1)}};
+  mcnaughton_pack(schedule, Q(0), Q(1), 3, 2, Q(2), chunks);
+  EXPECT_TRUE(schedule.machine(0).empty());
+  EXPECT_TRUE(schedule.machine(2).empty());
+  EXPECT_EQ(schedule.machine(3).size(), 1u);
+  EXPECT_EQ(schedule.machine(4).size(), 1u);
+}
+
+TEST(McNaughton, SkipsZeroDurationChunks) {
+  Schedule schedule(1);
+  std::vector<Chunk> chunks{{0, Q(0)}, {1, Q(1, 2)}};
+  mcnaughton_pack(schedule, Q(0), Q(1), 0, 1, Q(1), chunks);
+  EXPECT_EQ(schedule.slice_count(), 1u);
+  EXPECT_EQ(schedule.machine(0)[0].job, 1u);
+}
+
+TEST(McNaughton, RejectsOversizedChunks) {
+  Schedule schedule(2);
+  std::vector<Chunk> too_long{{0, Q(3, 2)}};
+  EXPECT_THROW(mcnaughton_pack(schedule, Q(0), Q(1), 0, 2, Q(1), too_long),
+               std::invalid_argument);
+  std::vector<Chunk> too_much{{0, Q(1)}, {1, Q(1)}, {2, Q(1)}};
+  EXPECT_THROW(mcnaughton_pack(schedule, Q(0), Q(1), 0, 2, Q(1), too_much),
+               std::invalid_argument);
+}
+
+TEST(McNaughton, RejectsBadIntervalOrSpeed) {
+  Schedule schedule(1);
+  std::vector<Chunk> chunks{{0, Q(1, 2)}};
+  EXPECT_THROW(mcnaughton_pack(schedule, Q(0), Q(0), 0, 1, Q(1), chunks),
+               std::invalid_argument);
+  EXPECT_THROW(mcnaughton_pack(schedule, Q(0), Q(1), 0, 1, Q(0), chunks),
+               std::invalid_argument);
+}
+
+TEST(McNaughton, RandomizedInvariantSweep) {
+  Xoshiro256 rng(31);
+  for (int round = 0; round < 200; ++round) {
+    std::size_t machines = 1 + rng.below(5);
+    Q length(rng.uniform_int(1, 5), rng.uniform_int(1, 3));
+    // Random chunks, each <= length, total <= machines * length.
+    std::vector<Chunk> chunks;
+    Q budget = length * Q(static_cast<std::int64_t>(machines));
+    Q used;
+    std::size_t job = 0;
+    while (true) {
+      Q chunk(rng.uniform_int(1, 12), 12);
+      chunk = min(chunk * length, length);  // scale into (0, length]
+      if (budget - used < chunk) break;
+      chunks.push_back(Chunk{job++, chunk});
+      used += chunk;
+      if (chunks.size() > 20) break;
+    }
+    if (chunks.empty()) continue;
+    Schedule schedule(machines);
+    mcnaughton_pack(schedule, Q(rng.uniform_int(0, 10)), length, 0, machines, Q(1),
+                    chunks);
+    expect_wrap_invariants(schedule, job);
+    // Work conservation per chunk.
+    for (const Chunk& chunk : chunks) {
+      EXPECT_EQ(schedule.work_on(chunk.job), chunk.duration);  // speed 1
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,136 @@
+// Tests for the non-migratory baselines (S15) and the value-of-migration
+// comparison (experiment E7).
+
+#include "mpss/nomig/nonmigratory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+Instance small_instance(std::uint64_t seed) {
+  return generate_uniform({.jobs = 6, .machines = 2, .horizon = 10, .max_window = 5,
+                           .max_work = 4}, seed);
+}
+
+TEST(Nomig, ScheduleForAssignmentIsFeasibleAndPinned) {
+  Instance instance = small_instance(1);
+  std::vector<std::size_t> assignment{0, 1, 0, 1, 0, 1};
+  AlphaPower p(2.0);
+  auto result = schedule_for_assignment(instance, assignment, p);
+  auto report = check_schedule(instance, result.schedule);
+  ASSERT_TRUE(report.feasible) << report.violations.front();
+  // Non-migratory: every job's slices live on its assigned machine only.
+  for (std::size_t k = 0; k < instance.size(); ++k) {
+    for (std::size_t machine = 0; machine < 2; ++machine) {
+      for (const Slice& slice : result.schedule.machine(machine)) {
+        if (slice.job == k) {
+          EXPECT_EQ(machine, assignment[k]);
+        }
+      }
+    }
+  }
+  EXPECT_GT(result.energy, 0.0);
+}
+
+TEST(Nomig, ScheduleForAssignmentValidatesInput) {
+  Instance instance = small_instance(1);
+  AlphaPower p(2.0);
+  EXPECT_THROW((void)schedule_for_assignment(instance, {0, 1}, p),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)schedule_for_assignment(instance, {0, 1, 2, 0, 1, 9}, p),
+      std::invalid_argument);
+}
+
+TEST(Nomig, ExactBeatsOrMatchesEveryHeuristic) {
+  AlphaPower p(2.0);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Instance instance = small_instance(seed);
+    auto exact = nonmigratory_exact(instance, p);
+    auto greedy = nonmigratory_greedy(instance, p);
+    auto round_robin = nonmigratory_round_robin(instance, p);
+    auto random_best = nonmigratory_random_best(instance, p, seed, 20);
+    EXPECT_LE(exact.energy, greedy.energy + 1e-9) << seed;
+    EXPECT_LE(exact.energy, round_robin.energy + 1e-9) << seed;
+    EXPECT_LE(exact.energy, random_best.energy + 1e-9) << seed;
+  }
+}
+
+TEST(Nomig, MigratoryOptimumLowerBoundsNonMigratory) {
+  // Migration only helps: OPT(migratory) <= OPT(non-migratory) on every instance.
+  AlphaPower p(2.5);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Instance instance = small_instance(seed);
+    double migratory = optimal_energy(instance, p);
+    auto exact = nonmigratory_exact(instance, p);
+    EXPECT_LE(migratory, exact.energy + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Nomig, MigrationStrictlyHelpsOnCraftedInstance) {
+  // 3 identical unit jobs, 2 machines, one shared window: migration balances
+  // 3 jobs on 2 machines at speed 3/2; without migration one machine must run two
+  // jobs sequentially at speed 2.
+  Instance instance({Job{Q(0), Q(1), Q(1)}, Job{Q(0), Q(1), Q(1)},
+                     Job{Q(0), Q(1), Q(1)}}, 2);
+  AlphaPower p(2.0);
+  double migratory = optimal_energy(instance, p);
+  auto exact = nonmigratory_exact(instance, p);
+  EXPECT_NEAR(migratory, 2.0 * 2.25, 1e-9);  // 2 machines at (3/2)^2
+  EXPECT_NEAR(exact.energy, 4.0 + 1.0, 1e-9);  // speed-2 machine + speed-1 machine
+  EXPECT_LT(migratory, exact.energy);
+}
+
+TEST(Nomig, ExactEnumerationGuard) {
+  // 2^30 assignments exceed the default limit.
+  std::vector<Job> jobs(30, Job{Q(0), Q(1), Q(1)});
+  Instance instance(jobs, 2);
+  EXPECT_THROW((void)nonmigratory_exact(instance, AlphaPower(2.0)),
+               std::invalid_argument);
+}
+
+TEST(Nomig, HeuristicsProduceFeasibleSchedules) {
+  AlphaPower p(3.0);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Instance instance = generate_bursty({.bursts = 3, .jobs_per_burst = 4,
+                                         .machines = 3, .horizon = 20,
+                                         .burst_window = 4, .max_work = 5}, seed);
+    for (const auto& result :
+         {nonmigratory_greedy(instance, p), nonmigratory_round_robin(instance, p),
+          nonmigratory_random_best(instance, p, seed, 10)}) {
+      auto report = check_schedule(instance, result.schedule);
+      ASSERT_TRUE(report.feasible) << "seed " << seed << ": "
+                                   << report.violations.front();
+      EXPECT_EQ(result.assignment.size(), instance.size());
+    }
+  }
+}
+
+TEST(Nomig, SingleMachineAllAgree) {
+  // With m = 1 every strategy degenerates to YDS on the whole instance.
+  Instance instance = generate_uniform({.jobs = 6, .machines = 1, .horizon = 10,
+                                        .max_window = 5, .max_work = 4}, 5);
+  AlphaPower p(2.0);
+  auto exact = nonmigratory_exact(instance, p);
+  auto greedy = nonmigratory_greedy(instance, p);
+  double opt = optimal_energy(instance, p);
+  EXPECT_NEAR(exact.energy, opt, 1e-9);
+  EXPECT_NEAR(greedy.energy, opt, 1e-9);
+}
+
+TEST(Nomig, RandomBestImprovesWithMoreTries) {
+  Instance instance = small_instance(9);
+  AlphaPower p(2.0);
+  auto one = nonmigratory_random_best(instance, p, 123, 1);
+  auto many = nonmigratory_random_best(instance, p, 123, 50);
+  EXPECT_LE(many.energy, one.energy + 1e-9);
+  EXPECT_THROW((void)nonmigratory_random_best(instance, p, 1, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,115 @@
+// Tests for the Lemma 2 / Lemma 6 normal-form transformation.
+
+#include "mpss/core/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/online/avr.hpp"
+#include "mpss/online/oa.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(Normalize, DetectsConstantIntervalSpeeds) {
+  Instance instance({Job{Q(0), Q(2), Q(2)}, Job{Q(0), Q(2), Q(4)}}, 1);
+  // One machine, two speeds inside the single atomic interval [0,2).
+  Schedule mixed(1);
+  mixed.add(0, Slice{Q(0), Q(1), Q(2), 0});
+  mixed.add(0, Slice{Q(1), Q(2), Q(4), 1});
+  EXPECT_FALSE(has_constant_interval_speeds(instance, mixed));
+
+  Schedule constant(1);
+  constant.add(0, Slice{Q(0), Q(2), Q(3), 0});
+  EXPECT_TRUE(has_constant_interval_speeds(instance, constant));
+}
+
+TEST(Normalize, IdentityOnAlreadyNormalSchedules) {
+  Instance instance = generate_uniform({.jobs = 8, .machines = 3, .horizon = 12,
+                                        .max_window = 6, .max_work = 5}, 2);
+  auto optimal = optimal_schedule(instance);
+  Schedule normal = lemma2_normal_form(instance, optimal.schedule);
+  AlphaPower p(2.5);
+  EXPECT_NEAR(normal.energy(p), optimal.schedule.energy(p), 1e-12);
+  EXPECT_TRUE(check_schedule(instance, normal).feasible);
+  EXPECT_TRUE(has_constant_interval_speeds(instance, normal));
+}
+
+TEST(Normalize, RestoresNormalFormAfterMachinePermutation) {
+  // Scramble the optimal schedule across machines (feasibility-preserving but
+  // order-destroying), then normalize: the normal form must come back.
+  Instance instance = generate_bursty({.bursts = 3, .jobs_per_burst = 4,
+                                       .machines = 3, .horizon = 18,
+                                       .burst_window = 4, .max_work = 5}, 7);
+  auto optimal = optimal_schedule(instance);
+
+  Schedule scrambled(3);
+  for (std::size_t machine = 0; machine < 3; ++machine) {
+    for (const Slice& slice : optimal.schedule.machine(machine)) {
+      scrambled.add((machine + 1) % 3, slice);  // rotate machines
+    }
+  }
+  ASSERT_TRUE(check_schedule(instance, scrambled).feasible);
+
+  Schedule normal = lemma2_normal_form(instance, scrambled);
+  auto report = check_schedule(instance, normal);
+  ASSERT_TRUE(report.feasible) << report.violations.front();
+  EXPECT_TRUE(has_constant_interval_speeds(instance, normal));
+  AlphaPower p(3.0);
+  EXPECT_NEAR(normal.energy(p), optimal.schedule.energy(p), 1e-9);
+  // Faster machines first: per-interval speeds non-increasing in machine index.
+  IntervalDecomposition intervals(instance.jobs());
+  for (std::size_t j = 0; j < intervals.count(); ++j) {
+    Q midpoint = (intervals.start(j) + intervals.end(j)) / Q(2);
+    auto speeds = normal.speeds_at(midpoint);
+    for (std::size_t l = 1; l < speeds.size(); ++l) {
+      EXPECT_LE(speeds[l], speeds[l - 1]);
+    }
+  }
+}
+
+TEST(Normalize, WorksOnAvrAndOaOutputs) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Instance instance = generate_uniform({.jobs = 9, .machines = 3, .horizon = 14,
+                                          .max_window = 7, .max_work = 5}, seed);
+    auto avr = avr_schedule(instance);
+    auto oa = oa_schedule(instance);
+    for (const Schedule* schedule : {&avr.schedule, &oa.schedule}) {
+      Schedule normal = lemma2_normal_form(instance, *schedule);
+      auto report = check_schedule(instance, normal);
+      ASSERT_TRUE(report.feasible) << "seed " << seed << ": "
+                                   << report.violations.front();
+      EXPECT_TRUE(has_constant_interval_speeds(instance, normal)) << seed;
+      AlphaPower p(2.0);
+      EXPECT_NEAR(normal.energy(p), schedule->energy(p), 1e-9) << seed;
+    }
+  }
+}
+
+TEST(Normalize, RejectsTwoSpeedJobs) {
+  Instance instance({Job{Q(0), Q(2), Q(3)}}, 1);
+  Schedule two_speeds(1);
+  two_speeds.add(0, Slice{Q(0), Q(1), Q(1), 0});
+  two_speeds.add(0, Slice{Q(1), Q(2), Q(2), 0});
+  EXPECT_THROW((void)lemma2_normal_form(instance, two_speeds), std::invalid_argument);
+}
+
+TEST(Normalize, RejectsPartialGroups) {
+  // One job busy for half the interval: its speed group does not fill a whole
+  // processor, so the Lemma 2 form does not exist for this schedule.
+  Instance instance({Job{Q(0), Q(2), Q(1)}}, 1);
+  Schedule half(1);
+  half.add(0, Slice{Q(0), Q(1), Q(1), 0});
+  EXPECT_THROW((void)lemma2_normal_form(instance, half), std::invalid_argument);
+}
+
+TEST(Normalize, EmptyScheduleStaysEmpty) {
+  Instance instance({Job{Q(0), Q(1), Q(0)}}, 2);
+  Schedule empty(2);
+  Schedule normal = lemma2_normal_form(instance, empty);
+  EXPECT_EQ(normal.slice_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mpss

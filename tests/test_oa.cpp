@@ -1,0 +1,123 @@
+// Tests for OA(m) (Section 3.1 / Theorem 2): feasibility, optimality on
+// no-surprise inputs, speed monotonicity under arrivals (Lemmas 7/8 in spirit),
+// and the alpha^alpha competitive bound on random sweeps.
+
+#include "mpss/online/oa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/online/bounds.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(Oa, CommonReleaseEqualsOffline) {
+  // With every job released at time 0 there are no surprises: OA(m)'s first plan
+  // is the offline optimum and is never revised.
+  Instance instance({Job{Q(0), Q(4), Q(3)}, Job{Q(0), Q(2), Q(2)},
+                     Job{Q(0), Q(6), Q(1)}}, 2);
+  auto run = oa_schedule(instance);
+  EXPECT_EQ(run.replans, 1u);
+  AlphaPower p(2.0);
+  EXPECT_NEAR(run.schedule.energy(p), optimal_energy(instance, p), 1e-9);
+  EXPECT_TRUE(check_schedule(instance, run.schedule).feasible);
+}
+
+TEST(Oa, AlwaysFeasible) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Instance instance = generate_uniform({.jobs = 9, .machines = 3, .horizon = 18,
+                                          .max_window = 8, .max_work = 6}, seed);
+    auto run = oa_schedule(instance);
+    auto report = check_schedule(instance, run.schedule);
+    ASSERT_TRUE(report.feasible) << "seed " << seed << ": "
+                                 << report.violations.front();
+  }
+}
+
+TEST(Oa, RespectsAlphaAlphaBoundOnRandomInstances) {
+  // Theorem 2: E_OA <= alpha^alpha * E_OPT. Empirical ratios must sit inside the
+  // bound for every instance (the bound is worst-case, so typical ratios are far
+  // smaller -- we also sanity-check they are >= 1).
+  for (double alpha : {1.5, 2.0, 3.0}) {
+    AlphaPower p(alpha);
+    double bound = oa_competitive_bound(alpha);
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      Instance instance = generate_bursty({.bursts = 3, .jobs_per_burst = 4,
+                                           .machines = 3, .horizon = 24,
+                                           .burst_window = 5, .max_work = 5}, seed);
+      double oa = oa_energy(instance, p);
+      double opt = optimal_energy(instance, p);
+      ASSERT_GT(opt, 0.0);
+      double ratio = oa / opt;
+      EXPECT_GE(ratio, 1.0 - 1e-9) << "seed " << seed << " alpha " << alpha;
+      EXPECT_LE(ratio, bound + 1e-9) << "seed " << seed << " alpha " << alpha;
+    }
+  }
+}
+
+TEST(Oa, SingleProcessorReproducesClassicOa) {
+  // m = 1 is the Yao et al. / Bansal et al. setting; ratio must respect
+  // alpha^alpha there too.
+  AlphaPower p(2.0);
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Instance instance = generate_uniform({.jobs = 8, .machines = 1, .horizon = 16,
+                                          .max_window = 6, .max_work = 5}, seed);
+    double ratio = oa_energy(instance, p) / optimal_energy(instance, p);
+    EXPECT_GE(ratio, 1.0 - 1e-9);
+    EXPECT_LE(ratio, 4.0 + 1e-9);
+  }
+}
+
+TEST(Oa, SurpriseArrivalCostsEnergy) {
+  // The classic OA penalty: a late urgent job forces high speed at the end.
+  // OPT (clairvoyant) pre-spreads the early job; OA must beat neither.
+  Instance instance({Job{Q(0), Q(2), Q(2)}, Job{Q(1), Q(2), Q(2)}}, 1);
+  AlphaPower p(2.0);
+  double oa = oa_energy(instance, p);
+  double opt = optimal_energy(instance, p);
+  // OA: [0,1) at speed 1 (job 0 spread over [0,2)), then [1,2) must do 1+2 work
+  // at speed 3 -> energy 1 + 9 = 10. OPT: job 0 at speed 2 in [0,1), job 1 at
+  // speed 2 in [1,2) -> 8. (Any optimal schedule costs 8: total work 4 in 2 units.)
+  EXPECT_NEAR(oa, 10.0, 1e-9);
+  EXPECT_NEAR(opt, 8.0, 1e-9);
+  EXPECT_GT(oa / opt, 1.0);
+  EXPECT_LE(oa / opt, oa_competitive_bound(2.0));
+}
+
+TEST(Oa, JobSpeedsOnlyIncreaseOnArrival) {
+  // Lemma 7 (observable corollary): re-planning on an arrival never slows down a
+  // job that is still unfinished. We check the executed schedule: the speeds at
+  // which any single job runs are non-decreasing over time.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Instance instance = generate_uniform({.jobs = 8, .machines = 2, .horizon = 14,
+                                          .max_window = 7, .max_work = 5}, seed);
+    auto run = oa_schedule(instance);
+    for (std::size_t k = 0; k < instance.size(); ++k) {
+      auto slices = run.schedule.slices_of(k);
+      for (std::size_t i = 1; i < slices.size(); ++i) {
+        EXPECT_LE(slices[i - 1].speed, slices[i].speed)
+            << "seed " << seed << " job " << k << " slowed down";
+      }
+    }
+  }
+}
+
+TEST(Oa, MoreMachinesNeverHurt) {
+  AlphaPower p(2.5);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Instance base = generate_bursty({.bursts = 2, .jobs_per_burst = 5, .machines = 1,
+                                     .horizon = 20, .burst_window = 4, .max_work = 5},
+                                    seed);
+    double previous = std::numeric_limits<double>::infinity();
+    for (std::size_t m : {1u, 2u, 4u}) {
+      double energy = oa_energy(base.with_machines(m), p);
+      EXPECT_LE(energy, previous * (1 + 1e-9)) << "seed " << seed << " m " << m;
+      previous = energy;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpss

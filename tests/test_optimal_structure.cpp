@@ -1,0 +1,195 @@
+// Property suite (experiment E4): the structural lemmas of Section 2, checked on
+// every schedule the offline algorithm produces.
+//
+//   Lemma 1: each job runs at one constant speed.
+//   Lemma 2: within an atomic interval, each processor uses one constant speed.
+//   Lemma 3: m_ij = min(n_ij, m - sum_{l<i} m_lj), and reserved processors are
+//            busy for the whole interval.
+//   Lemma 6: for common-release instances, per-processor speeds are
+//            non-increasing over time.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/util/random.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+struct Labelled {
+  std::string name;
+  Instance instance;
+};
+
+std::vector<Labelled> structure_corpus() {
+  std::vector<Labelled> out;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    out.push_back({"uniform/" + std::to_string(seed),
+                   generate_uniform({.jobs = 10, .machines = 3, .horizon = 18,
+                                     .max_window = 9, .max_work = 7}, seed)});
+    out.push_back({"laminar/" + std::to_string(seed),
+                   generate_laminar({.jobs = 10, .machines = 2, .depth = 3,
+                                     .max_work = 6}, seed)});
+    out.push_back({"bursty/" + std::to_string(seed),
+                   generate_bursty({.bursts = 3, .jobs_per_burst = 4, .machines = 4,
+                                    .horizon = 24, .burst_window = 4, .max_work = 5},
+                                   seed)});
+  }
+  return out;
+}
+
+TEST(OptimalStructure, Lemma1ConstantSpeedPerJob) {
+  for (const auto& [name, instance] : structure_corpus()) {
+    auto result = optimal_schedule(instance);
+    for (std::size_t k = 0; k < instance.size(); ++k) {
+      Q speed = result.speed_of_job(k);
+      for (const Slice& slice : result.schedule.slices_of(k)) {
+        EXPECT_EQ(slice.speed, speed) << name << " job " << k;
+      }
+      // And the full work is done at that speed.
+      if (instance.job(k).work.sign() > 0) {
+        EXPECT_EQ(result.schedule.work_on(k), instance.job(k).work) << name;
+      }
+    }
+  }
+}
+
+TEST(OptimalStructure, Lemma2ConstantSpeedPerProcessorPerInterval) {
+  for (const auto& [name, instance] : structure_corpus()) {
+    auto result = optimal_schedule(instance);
+    const auto& intervals = result.intervals;
+    for (std::size_t machine = 0; machine < result.schedule.machines(); ++machine) {
+      for (std::size_t j = 0; j < intervals.count(); ++j) {
+        Q seen_speed(0);
+        bool any = false;
+        for (const Slice& slice : result.schedule.machine(machine)) {
+          Q lo = max(slice.start, intervals.start(j));
+          Q hi = min(slice.end, intervals.end(j));
+          if (!(lo < hi)) continue;
+          // Slices never straddle atomic interval boundaries.
+          EXPECT_LE(intervals.start(j), slice.start) << name;
+          EXPECT_LE(slice.end, intervals.end(j)) << name;
+          if (any) {
+            EXPECT_EQ(slice.speed, seen_speed)
+                << name << " machine " << machine << " interval " << j;
+          }
+          seen_speed = slice.speed;
+          any = true;
+        }
+      }
+    }
+  }
+}
+
+TEST(OptimalStructure, Lemma3ProcessorCounts) {
+  for (const auto& [name, instance] : structure_corpus()) {
+    auto result = optimal_schedule(instance);
+    const auto& intervals = result.intervals;
+    const std::size_t m = instance.machines();
+    std::vector<std::size_t> used(intervals.count(), 0);
+    for (const PhaseInfo& phase : result.phases) {
+      for (std::size_t j = 0; j < intervals.count(); ++j) {
+        std::size_t active = 0;
+        for (std::size_t k : phase.jobs) {
+          if (intervals.active(instance.job(k), j)) ++active;
+        }
+        std::size_t expected = std::min(active, m - used[j]);
+        EXPECT_EQ(phase.machines_per_interval[j], expected)
+            << name << " phase speed " << phase.speed << " interval " << j;
+        used[j] += phase.machines_per_interval[j];
+        EXPECT_LE(used[j], m) << name;
+      }
+    }
+  }
+}
+
+TEST(OptimalStructure, ReservedProcessorsAreBusyThroughout) {
+  // The choice s_i = W_i / P_i means the reserved processors never idle inside
+  // their intervals: busy time in I_j must be exactly (sum_i m_ij) * |I_j|.
+  for (const auto& [name, instance] : structure_corpus()) {
+    auto result = optimal_schedule(instance);
+    const auto& intervals = result.intervals;
+    for (std::size_t j = 0; j < intervals.count(); ++j) {
+      std::size_t reserved = 0;
+      for (const PhaseInfo& phase : result.phases) {
+        reserved += phase.machines_per_interval[j];
+      }
+      Q busy;
+      for (std::size_t machine = 0; machine < result.schedule.machines(); ++machine) {
+        for (const Slice& slice : result.schedule.machine(machine)) {
+          Q lo = max(slice.start, intervals.start(j));
+          Q hi = min(slice.end, intervals.end(j));
+          if (lo < hi) busy += hi - lo;
+        }
+      }
+      EXPECT_EQ(busy, intervals.length(j) * Q(static_cast<std::int64_t>(reserved)))
+          << name << " interval " << j;
+    }
+  }
+}
+
+TEST(OptimalStructure, FasterPhasesOccupyLowerMachineIndices) {
+  // The implementation assigns phase i the lowest-numbered free processors; within
+  // any interval, machine speeds are non-increasing in the machine index.
+  for (const auto& [name, instance] : structure_corpus()) {
+    auto result = optimal_schedule(instance);
+    const auto& intervals = result.intervals;
+    for (std::size_t j = 0; j < intervals.count(); ++j) {
+      Q midpoint = (intervals.start(j) + intervals.end(j)) / Q(2);
+      auto speeds = result.schedule.speeds_at(midpoint);
+      for (std::size_t l = 1; l < speeds.size(); ++l) {
+        EXPECT_LE(speeds[l], speeds[l - 1]) << name << " interval " << j;
+      }
+    }
+  }
+}
+
+TEST(OptimalStructure, Lemma6CommonReleaseMonotoneSpeeds) {
+  // OA(m)-style instances: all jobs released together, only deadlines differ.
+  // Then each processor's speed is non-increasing over time (Lemma 6).
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Xoshiro256 rng(seed);
+    std::vector<Job> jobs;
+    for (int i = 0; i < 10; ++i) {
+      jobs.push_back(Job{Q(0), Q(rng.uniform_int(1, 12)), Q(rng.uniform_int(1, 9))});
+    }
+    Instance instance(jobs, 3);
+    auto result = optimal_schedule(instance);
+    ASSERT_TRUE(check_schedule(instance, result.schedule).feasible) << seed;
+    const auto& intervals = result.intervals;
+    for (std::size_t machine = 0; machine < 3; ++machine) {
+      Q previous(-1);
+      for (std::size_t j = 0; j < intervals.count(); ++j) {
+        Q midpoint = (intervals.start(j) + intervals.end(j)) / Q(2);
+        Q speed = result.schedule.speeds_at(midpoint)[machine];
+        if (previous.sign() >= 0) {
+          EXPECT_LE(speed, previous) << "seed " << seed << " machine " << machine
+                                     << " interval " << j;
+        }
+        previous = speed;
+      }
+    }
+  }
+}
+
+TEST(OptimalStructure, PhasesPartitionThePositiveWorkJobs) {
+  for (const auto& [name, instance] : structure_corpus()) {
+    auto result = optimal_schedule(instance);
+    std::map<std::size_t, int> seen;
+    for (const PhaseInfo& phase : result.phases) {
+      EXPECT_FALSE(phase.jobs.empty()) << name;
+      EXPECT_GE(phase.rounds, 1u) << name;
+      for (std::size_t k : phase.jobs) ++seen[k];
+    }
+    for (std::size_t k = 0; k < instance.size(); ++k) {
+      int expected = instance.job(k).work.sign() > 0 ? 1 : 0;
+      EXPECT_EQ(seen.count(k) ? seen[k] : 0, expected) << name << " job " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,94 @@
+// Tests for the Theorem 2 potential-function checker (S23): the invariant
+// E_OA(t) + Phi(t) <= alpha^alpha * E_OPT(t) must hold at every sampled time on
+// every instance -- this is the paper's proof, executed.
+
+#include "mpss/online/potential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/online/bounds.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(Potential, EmptyInstance) {
+  Instance instance({}, 2);
+  auto trace = oa_potential_trace(instance, 2.0);
+  EXPECT_TRUE(trace.invariant_holds);
+  EXPECT_TRUE(trace.samples.empty());
+}
+
+TEST(Potential, RejectsBadAlpha) {
+  Instance instance({Job{Q(0), Q(2), Q(2)}}, 1);
+  EXPECT_THROW((void)oa_potential_trace(instance, 1.0), std::invalid_argument);
+}
+
+TEST(Potential, SingleJobTrace) {
+  Instance instance({Job{Q(0), Q(4), Q(8)}}, 1);
+  auto trace = oa_potential_trace(instance, 2.0);
+  EXPECT_TRUE(trace.invariant_holds);
+  ASSERT_GE(trace.samples.size(), 4u);
+  // At t = 0 nothing has run: Phi = a * s^(a-1) * (W - a*W) < 0, energies 0.
+  EXPECT_DOUBLE_EQ(trace.samples.front().oa_energy, 0.0);
+  EXPECT_LT(trace.samples.front().potential, 0.0);
+  // At the horizon both finished: Phi = 0 and E_OA = E_OPT (no surprises).
+  EXPECT_NEAR(trace.final_potential, 0.0, 1e-9);
+  EXPECT_NEAR(trace.samples.back().oa_energy, trace.samples.back().opt_energy, 1e-9);
+}
+
+TEST(Potential, SurpriseArrivalStaysInsideInvariant) {
+  // The classic OA-hurting instance (see test_oa.cpp): a late urgent job.
+  Instance instance({Job{Q(0), Q(2), Q(2)}, Job{Q(1), Q(2), Q(2)}}, 1);
+  auto trace = oa_potential_trace(instance, 2.0);
+  EXPECT_TRUE(trace.invariant_holds) << "worst violation " << trace.worst_violation;
+  // OA really does consume more than OPT here; the potential absorbs the excess.
+  EXPECT_GT(trace.samples.back().oa_energy, trace.samples.back().opt_energy);
+  EXPECT_NEAR(trace.final_potential, 0.0, 1e-9);
+}
+
+TEST(Potential, InvariantHoldsAcrossWorkloadsAlphasAndMachines) {
+  for (double alpha : {1.5, 2.0, 3.0}) {
+    for (std::size_t machines : {1u, 2u, 4u}) {
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        Instance instance = generate_bursty(
+            {.bursts = 3, .jobs_per_burst = 3, .machines = machines,
+             .horizon = 18, .burst_window = 4, .max_work = 5}, seed);
+        auto trace = oa_potential_trace(instance, alpha, 1e-7);
+        EXPECT_TRUE(trace.invariant_holds)
+            << "alpha " << alpha << " m " << machines << " seed " << seed
+            << " worst " << trace.worst_violation;
+        EXPECT_NEAR(trace.final_potential, 0.0, 1e-6);
+      }
+    }
+  }
+}
+
+TEST(Potential, SlackEndsAtTheoremTwoGap) {
+  // At the horizon, slack = alpha^alpha * E_OPT - E_OA: exactly Theorem 2's
+  // statement. Verify consistency with independently computed energies.
+  Instance instance = generate_uniform({.jobs = 8, .machines = 2, .horizon = 14,
+                                        .max_window = 7, .max_work = 5}, 9);
+  const double alpha = 2.0;
+  auto trace = oa_potential_trace(instance, alpha);
+  ASSERT_FALSE(trace.samples.empty());
+  const auto& last = trace.samples.back();
+  EXPECT_NEAR(last.slack,
+              oa_competitive_bound(alpha) * last.opt_energy - last.oa_energy, 1e-6);
+  EXPECT_GE(last.slack, 0.0);
+}
+
+TEST(Potential, SamplesAreTimeOrdered) {
+  Instance instance = generate_uniform({.jobs = 6, .machines = 2, .horizon = 10,
+                                        .max_window = 5, .max_work = 4}, 4);
+  auto trace = oa_potential_trace(instance, 2.5);
+  for (std::size_t i = 1; i < trace.samples.size(); ++i) {
+    EXPECT_LE(trace.samples[i - 1].time, trace.samples[i].time);
+    // Cumulative energies are non-decreasing in time.
+    EXPECT_LE(trace.samples[i - 1].oa_energy, trace.samples[i].oa_energy + 1e-12);
+    EXPECT_LE(trace.samples[i - 1].opt_energy, trace.samples[i].opt_energy + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,71 @@
+// Tests for the power-function models.
+
+#include "mpss/core/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpss {
+namespace {
+
+TEST(AlphaPower, EvaluatesPow) {
+  AlphaPower cube(3.0);
+  EXPECT_DOUBLE_EQ(cube.power(2.0), 8.0);
+  EXPECT_DOUBLE_EQ(cube.power(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cube.alpha(), 3.0);
+  EXPECT_EQ(cube.name(), "s^3");
+}
+
+TEST(AlphaPower, RejectsAlphaAtMostOne) {
+  EXPECT_THROW(AlphaPower(1.0), std::invalid_argument);
+  EXPECT_THROW(AlphaPower(0.5), std::invalid_argument);
+  EXPECT_NO_THROW(AlphaPower(1.0001));
+}
+
+TEST(AlphaPower, ConvexityProbe) {
+  AlphaPower p(2.5);
+  for (double a : {0.5, 1.0, 3.0}) {
+    for (double b : {0.1, 2.0, 7.0}) {
+      EXPECT_LE(p.power((a + b) / 2.0), (p.power(a) + p.power(b)) / 2.0 + 1e-12);
+    }
+  }
+}
+
+TEST(PiecewiseLinear, InterpolatesAndExtrapolates) {
+  PiecewiseLinearPower p({{0.0, 0.0}, {1.0, 1.0}, {2.0, 4.0}});
+  EXPECT_DOUBLE_EQ(p.power(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(p.power(1.5), 2.5);
+  EXPECT_DOUBLE_EQ(p.power(3.0), 7.0);  // last slope (3) continues
+  EXPECT_DOUBLE_EQ(p.power(0.0), 0.0);
+  EXPECT_EQ(p.name(), "piecewise[3]");
+}
+
+TEST(PiecewiseLinear, ValidatesShape) {
+  using Pt = PiecewiseLinearPower::Point;
+  EXPECT_THROW(PiecewiseLinearPower({Pt{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearPower({Pt{1, 0}, Pt{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearPower({Pt{0, 1}, Pt{1, 0}}), std::invalid_argument);
+  // Concave (slopes decreasing) is rejected.
+  EXPECT_THROW(PiecewiseLinearPower({Pt{0, 0}, Pt{1, 2}, Pt{2, 3}}),
+               std::invalid_argument);
+}
+
+TEST(CubicPlusLeakage, EvaluatesPolynomial) {
+  CubicPlusLeakagePower p(2.0, 3.0, 5.0);
+  EXPECT_DOUBLE_EQ(p.power(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.power(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.power(2.0), 16.0 + 6.0 + 5.0);
+  EXPECT_THROW(CubicPlusLeakagePower(-1.0, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(PowerFunction, PolymorphicUse) {
+  AlphaPower alpha(2.0);
+  CubicPlusLeakagePower cubic(1.0, 0.0, 0.0);
+  const PowerFunction* functions[] = {&alpha, &cubic};
+  EXPECT_DOUBLE_EQ(functions[0]->power(3.0), 9.0);
+  EXPECT_DOUBLE_EQ(functions[1]->power(3.0), 27.0);
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,146 @@
+// Tests for exact step functions and schedule speed profiles (S36), including
+// the AVR identity: aggregate AVR(m) speed == total active density Delta_t.
+
+#include "mpss/core/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/online/avr.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(StepFunction, ZeroFunction) {
+  StepFunction zero;
+  EXPECT_EQ(zero.at(Q(5)), Q(0));
+  EXPECT_EQ(zero.integral(), Q(0));
+  EXPECT_EQ(zero.maximum(), Q(0));
+  EXPECT_EQ(zero.to_string(), "(zero)");
+}
+
+TEST(StepFunction, BasicEvaluation) {
+  StepFunction f({{Q(0), Q(2)}, {Q(1), Q(3)}}, Q(4));
+  EXPECT_EQ(f.at(Q(-1)), Q(0));
+  EXPECT_EQ(f.at(Q(0)), Q(2));
+  EXPECT_EQ(f.at(Q(1, 2)), Q(2));
+  EXPECT_EQ(f.at(Q(1)), Q(3));     // right-continuous
+  EXPECT_EQ(f.at(Q(7, 2)), Q(3));
+  EXPECT_EQ(f.at(Q(4)), Q(0));     // half-open support
+  EXPECT_EQ(f.integral(), Q(2) + Q(9));
+  EXPECT_EQ(f.maximum(), Q(3));
+}
+
+TEST(StepFunction, CanonicalizesEqualNeighboursAndZeroEnds) {
+  StepFunction padded({{Q(0), Q(0)}, {Q(1), Q(2)}, {Q(2), Q(2)}, {Q(3), Q(0)}}, Q(5));
+  StepFunction plain({{Q(1), Q(2)}}, Q(3));
+  EXPECT_EQ(padded, plain);
+  EXPECT_EQ(padded.breakpoints().size(), 2u);
+}
+
+TEST(StepFunction, ValidatesInput) {
+  EXPECT_THROW(StepFunction({{Q(2), Q(1)}, {Q(1), Q(1)}}, Q(3)),
+               std::invalid_argument);
+  EXPECT_THROW(StepFunction({{Q(0), Q(1)}}, Q(0)), std::invalid_argument);
+}
+
+TEST(StepFunction, PlusMergesBreakpoints) {
+  StepFunction a({{Q(0), Q(1)}}, Q(2));
+  StepFunction b({{Q(1), Q(2)}}, Q(3));
+  StepFunction sum = a.plus(b);
+  EXPECT_EQ(sum.at(Q(1, 2)), Q(1));
+  EXPECT_EQ(sum.at(Q(3, 2)), Q(3));
+  EXPECT_EQ(sum.at(Q(5, 2)), Q(2));
+  EXPECT_EQ(sum.integral(), a.integral() + b.integral());
+  // Identity with the zero function.
+  EXPECT_EQ(sum.plus(StepFunction()), sum);
+  EXPECT_EQ(StepFunction().plus(sum), sum);
+}
+
+TEST(StepFunction, PowerIntegralMatchesHandComputation) {
+  StepFunction f({{Q(0), Q(2)}}, Q(3));
+  EXPECT_NEAR(f.power_integral(2.0), 12.0, 1e-12);
+  EXPECT_NEAR(f.power_integral(3.0), 24.0, 1e-12);
+}
+
+TEST(Profiles, MachineProfileWithIdleGap) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(1), Q(2), 0});
+  schedule.add(0, Slice{Q(3), Q(4), Q(5), 1});
+  StepFunction profile = machine_speed_profile(schedule, 0);
+  EXPECT_EQ(profile.at(Q(1, 2)), Q(2));
+  EXPECT_EQ(profile.at(Q(2)), Q(0));
+  EXPECT_EQ(profile.at(Q(7, 2)), Q(5));
+  EXPECT_EQ(profile.integral(), Q(7));
+}
+
+TEST(Profiles, AggregateSumsMachines) {
+  Schedule schedule(2);
+  schedule.add(0, Slice{Q(0), Q(2), Q(1), 0});
+  schedule.add(1, Slice{Q(1), Q(3), Q(2), 1});
+  StepFunction aggregate = aggregate_speed_profile(schedule);
+  EXPECT_EQ(aggregate.at(Q(1, 2)), Q(1));
+  EXPECT_EQ(aggregate.at(Q(3, 2)), Q(3));
+  EXPECT_EQ(aggregate.at(Q(5, 2)), Q(2));
+  // Integral equals total work.
+  EXPECT_EQ(aggregate.integral(), Q(2) + Q(4));
+}
+
+TEST(Profiles, ParallelismCountsBusyMachines) {
+  Schedule schedule(3);
+  schedule.add(0, Slice{Q(0), Q(2), Q(1), 0});
+  schedule.add(1, Slice{Q(1), Q(3), Q(1), 1});
+  schedule.add(2, Slice{Q(1), Q(2), Q(1), 2});
+  StepFunction parallelism = parallelism_profile(schedule);
+  EXPECT_EQ(parallelism.at(Q(1, 2)), Q(1));
+  EXPECT_EQ(parallelism.at(Q(3, 2)), Q(3));
+  EXPECT_EQ(parallelism.at(Q(5, 2)), Q(1));
+  EXPECT_EQ(parallelism.maximum(), Q(3));
+}
+
+TEST(Profiles, AvrAggregateSpeedEqualsDensityProfile) {
+  // The defining identity of AVR(m): at any time, the machines together run at
+  // exactly the total active density Delta_t (peeled jobs at their own density,
+  // the rest summing to Delta'). Exact equality, per unit interval.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Instance instance = generate_uniform({.jobs = 10, .machines = 3, .horizon = 12,
+                                          .max_window = 6, .max_work = 5}, seed);
+    auto avr = avr_schedule(instance);
+    StepFunction aggregate = aggregate_speed_profile(avr.schedule);
+    auto densities = avr_density_profile(instance);
+    Q start = instance.horizon_start();
+    for (std::size_t t = 0; t < densities.size(); ++t) {
+      // Probe mid-interval (the wrap may shuffle within the interval, but the
+      // aggregate is constant across it).
+      Q probe = start + Q(static_cast<std::int64_t>(t)) + Q(1, 2);
+      EXPECT_EQ(aggregate.at(probe), densities[t])
+          << "seed " << seed << " interval " << t;
+    }
+  }
+}
+
+TEST(Profiles, AggregateIntegralEqualsTotalWorkForAllAlgorithms) {
+  Instance instance = generate_bursty({.bursts = 3, .jobs_per_burst = 4,
+                                       .machines = 3, .horizon = 18,
+                                       .burst_window = 4, .max_work = 5}, 5);
+  auto opt = optimal_schedule(instance);
+  EXPECT_EQ(aggregate_speed_profile(opt.schedule).integral(), instance.total_work());
+  auto avr = avr_schedule(instance);
+  EXPECT_EQ(aggregate_speed_profile(avr.schedule).integral(), instance.total_work());
+}
+
+TEST(Profiles, OptimalMachineZeroIsTheFastest) {
+  // Machine 0 hosts the fastest phase everywhere (Lemma 6 discipline): its max
+  // speed equals the schedule's max speed.
+  Instance instance = generate_laminar({.jobs = 10, .machines = 2, .depth = 3,
+                                        .max_work = 6}, 6);
+  auto opt = optimal_schedule(instance);
+  EXPECT_EQ(machine_speed_profile(opt.schedule, 0).maximum(),
+            opt.schedule.max_speed());
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,176 @@
+// Parameterized property suite: the full invariant battery, swept over
+// (workload family) x (machine count) x (seed) with INSTANTIATE_TEST_SUITE_P.
+// Every algorithm in the library must uphold its contract on every cell.
+
+#include <gtest/gtest.h>
+
+#include <ostream>
+
+#include "mpss/core/lower_bounds.hpp"
+#include "mpss/core/optimal.hpp"
+#include "mpss/nomig/nonmigratory.hpp"
+#include "mpss/online/avr.hpp"
+#include "mpss/online/bounds.hpp"
+#include "mpss/online/oa.hpp"
+#include "mpss/workload/analysis.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+enum class Family {
+  kUniform,
+  kBursty,
+  kLaminar,
+  kAgreeable,
+  kPeriodic,
+  kHeavyTail,
+  kSurprise,
+};
+
+struct PropertyCase {
+  Family family;
+  std::size_t machines;
+  std::uint64_t seed;
+};
+
+const char* family_name(Family family) {
+  static const char* names[] = {"uniform",  "bursty",    "laminar", "agreeable",
+                                "periodic", "heavytail", "surprise"};
+  return names[static_cast<int>(family)];
+}
+
+std::ostream& operator<<(std::ostream& os, const PropertyCase& c) {
+  return os << family_name(c.family) << "/m" << c.machines << "/s" << c.seed;
+}
+
+Instance make_instance(const PropertyCase& c) {
+  switch (c.family) {
+    case Family::kUniform:
+      return generate_uniform({.jobs = 10, .machines = c.machines, .horizon = 18,
+                               .max_window = 8, .max_work = 6}, c.seed);
+    case Family::kBursty:
+      return generate_bursty({.bursts = 3, .jobs_per_burst = 4,
+                              .machines = c.machines, .horizon = 21,
+                              .burst_window = 4, .max_work = 5}, c.seed);
+    case Family::kLaminar:
+      return generate_laminar({.jobs = 10, .machines = c.machines, .depth = 3,
+                               .max_work = 6}, c.seed);
+    case Family::kAgreeable:
+      return generate_agreeable({.jobs = 10, .machines = c.machines, .horizon = 20,
+                                 .min_window = 2, .max_window = 7, .max_work = 5},
+                                c.seed);
+    case Family::kPeriodic:
+      return generate_periodic({.tasks = 4, .machines = c.machines,
+                                .hyperperiods = 1, .max_work = 4}, c.seed);
+    case Family::kHeavyTail:
+      return generate_heavy_tail({.jobs = 10, .machines = c.machines, .horizon = 24,
+                                  .shape = 1.4, .max_work = 24}, c.seed);
+    case Family::kSurprise:
+      return generate_surprise({.jobs = 10, .machines = c.machines, .horizon = 18,
+                                .max_work = 5, .urgent_window = 3}, c.seed);
+  }
+  throw std::logic_error("unreachable");
+}
+
+class PropertySweep : public testing::TestWithParam<PropertyCase> {};
+
+TEST_P(PropertySweep, OptimalScheduleContract) {
+  Instance instance = make_instance(GetParam());
+  auto result = optimal_schedule(instance);
+
+  auto report = check_schedule(instance, result.schedule);
+  ASSERT_TRUE(report.feasible) << report.violations.front();
+
+  // Lemma 1: one constant speed per job; phases partition, speeds decrease.
+  for (std::size_t i = 1; i < result.phases.size(); ++i) {
+    EXPECT_LT(result.phases[i].speed, result.phases[i - 1].speed);
+  }
+  for (std::size_t k = 0; k < instance.size(); ++k) {
+    Q speed = result.speed_of_job(k);
+    for (const Slice& slice : result.schedule.slices_of(k)) {
+      EXPECT_EQ(slice.speed, speed);
+    }
+  }
+
+  // Lemma 3 processor counts.
+  const auto& intervals = result.intervals;
+  std::vector<std::size_t> used(intervals.count(), 0);
+  for (const PhaseInfo& phase : result.phases) {
+    for (std::size_t j = 0; j < intervals.count(); ++j) {
+      std::size_t active = 0;
+      for (std::size_t k : phase.jobs) {
+        if (intervals.active(instance.job(k), j)) ++active;
+      }
+      EXPECT_EQ(phase.machines_per_interval[j],
+                std::min(active, instance.machines() - used[j]));
+      used[j] += phase.machines_per_interval[j];
+    }
+  }
+}
+
+TEST_P(PropertySweep, OptimalIsSandwichedByBoundsAndHeuristics) {
+  Instance instance = make_instance(GetParam());
+  AlphaPower p(2.0);
+  double opt = optimal_energy(instance, p);
+  EXPECT_GE(opt, best_lower_bound(instance, p, 2.0) - 1e-9);
+  EXPECT_LE(opt, nonmigratory_greedy(instance, p).energy + 1e-9);
+  EXPECT_LE(opt, nonmigratory_round_robin(instance, p).energy + 1e-9);
+}
+
+TEST_P(PropertySweep, OaContract) {
+  Instance instance = make_instance(GetParam());
+  auto run = oa_schedule(instance);
+  auto report = check_schedule(instance, run.schedule);
+  ASSERT_TRUE(report.feasible) << report.violations.front();
+  AlphaPower p(2.0);
+  double ratio = run.schedule.energy(p) / optimal_energy(instance, p);
+  EXPECT_GE(ratio, 1.0 - 1e-9);
+  EXPECT_LE(ratio, oa_competitive_bound(2.0) + 1e-9);
+}
+
+TEST_P(PropertySweep, AvrContract) {
+  Instance instance = make_instance(GetParam());
+  auto result = avr_schedule(instance);
+  auto report = check_schedule(instance, result.schedule);
+  ASSERT_TRUE(report.feasible) << report.violations.front();
+  AlphaPower p(2.0);
+  double ratio = result.schedule.energy(p) / optimal_energy(instance, p);
+  EXPECT_GE(ratio, 1.0 - 1e-9);
+  EXPECT_LE(ratio, avr_multi_competitive_bound(2.0) + 1e-9);
+  // AVR's peak machine speed never exceeds max(peak density / m, max density):
+  // peeled jobs run at their own density, shared machines at Delta'/|M| <= Delta/m.
+  auto profile = analyze(instance);
+  Q max_job_density(0);
+  for (const Job& job : instance.jobs()) {
+    if (job.work.sign() > 0) max_job_density = max(max_job_density, job.density());
+  }
+  Q cap = max(profile.peak_density / Q(static_cast<std::int64_t>(instance.machines())),
+              max_job_density);
+  EXPECT_LE(result.schedule.max_speed(), cap);
+}
+
+std::vector<PropertyCase> sweep_cases() {
+  std::vector<PropertyCase> cases;
+  for (Family family : {Family::kUniform, Family::kBursty, Family::kLaminar,
+                        Family::kAgreeable, Family::kPeriodic, Family::kHeavyTail,
+                        Family::kSurprise}) {
+    for (std::size_t machines : {1u, 2u, 4u}) {
+      for (std::uint64_t seed : {1u, 2u, 3u}) {
+        cases.push_back(PropertyCase{family, machines, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const testing::TestParamInfo<PropertyCase>& info) {
+  return std::string(family_name(info.param.family)) + "_m" +
+         std::to_string(info.param.machines) + "_s" + std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, PropertySweep, testing::ValuesIn(sweep_cases()),
+                         case_name);
+
+}  // namespace
+}  // namespace mpss

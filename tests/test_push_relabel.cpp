@@ -1,0 +1,143 @@
+// Tests for the push-relabel solver, including N-version cross-checks against
+// Dinic on randomized networks (the max-flow kernel carries the correctness of
+// the whole offline algorithm, so two independent implementations must agree).
+
+#include "mpss/flow/push_relabel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/flow/dinic.hpp"
+#include "mpss/util/random.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(PushRelabel, SingleEdge) {
+  PushRelabelNetwork<std::int64_t> net;
+  auto s = net.add_node();
+  auto t = net.add_node();
+  auto e = net.add_edge(s, t, 5);
+  EXPECT_EQ(net.max_flow(s, t), 5);
+  EXPECT_EQ(net.flow(e), 5);
+}
+
+TEST(PushRelabel, ClassicCrossNetwork) {
+  PushRelabelNetwork<std::int64_t> net;
+  auto v = net.add_nodes(6);
+  net.add_edge(v + 0, v + 1, 16);
+  net.add_edge(v + 0, v + 2, 13);
+  net.add_edge(v + 1, v + 2, 10);
+  net.add_edge(v + 2, v + 1, 4);
+  net.add_edge(v + 1, v + 3, 12);
+  net.add_edge(v + 3, v + 2, 9);
+  net.add_edge(v + 2, v + 4, 14);
+  net.add_edge(v + 4, v + 3, 7);
+  net.add_edge(v + 3, v + 5, 20);
+  net.add_edge(v + 4, v + 5, 4);
+  EXPECT_EQ(net.max_flow(v + 0, v + 5), 23);
+}
+
+TEST(PushRelabel, DisconnectedAndZeroCapacity) {
+  PushRelabelNetwork<std::int64_t> net;
+  auto s = net.add_node();
+  auto mid = net.add_node();
+  auto t = net.add_node();
+  net.add_edge(s, mid, 10);
+  auto zero = net.add_edge(mid, t, 0);
+  EXPECT_EQ(net.max_flow(s, t), 0);
+  EXPECT_EQ(net.flow(zero), 0);
+}
+
+TEST(PushRelabel, ExcessFlowsBackToSource) {
+  // Source pushes 100 out, only 1 can reach the sink; the rest must return.
+  PushRelabelNetwork<std::int64_t> net;
+  auto s = net.add_node();
+  auto a = net.add_node();
+  auto t = net.add_node();
+  net.add_edge(s, a, 100);
+  net.add_edge(a, t, 1);
+  EXPECT_EQ(net.max_flow(s, t), 1);
+}
+
+TEST(PushRelabel, RejectsBadArguments) {
+  PushRelabelNetwork<std::int64_t> net;
+  auto s = net.add_node();
+  auto t = net.add_node();
+  EXPECT_THROW((void)net.add_edge(s, 9, 1), std::invalid_argument);
+  EXPECT_THROW((void)net.add_edge(s, t, -2), std::invalid_argument);
+  EXPECT_THROW((void)net.max_flow(s, s), std::invalid_argument);
+  auto e = net.add_edge(s, t, 1);
+  EXPECT_THROW((void)net.flow(e), InternalError);  // before max_flow
+}
+
+TEST(PushRelabel, RationalCapacities) {
+  PushRelabelNetwork<Q> net;
+  auto s = net.add_node();
+  auto a = net.add_node();
+  auto t = net.add_node();
+  net.add_edge(s, a, Q(1, 3));
+  net.add_edge(a, t, Q(1, 2));
+  EXPECT_EQ(net.max_flow(s, t), Q(1, 3));
+}
+
+TEST(PushRelabel, AgreesWithDinicOnRandomGraphs) {
+  Xoshiro256 rng(77);
+  for (int round = 0; round < 60; ++round) {
+    std::size_t nodes = 4 + rng.below(12);
+    std::size_t edges = nodes + rng.below(3 * nodes);
+    FlowNetwork<std::int64_t> dinic;
+    PushRelabelNetwork<std::int64_t> push_relabel;
+    dinic.add_nodes(nodes);
+    push_relabel.add_nodes(nodes);
+    for (std::size_t e = 0; e < edges; ++e) {
+      std::size_t from = rng.below(nodes);
+      std::size_t to = rng.below(nodes);
+      if (from == to) continue;
+      std::int64_t cap = rng.uniform_int(0, 25);
+      dinic.add_edge(from, to, cap);
+      push_relabel.add_edge(from, to, cap);
+    }
+    std::size_t source = 0;
+    std::size_t sink = nodes - 1;
+    EXPECT_EQ(dinic.max_flow(source, sink), push_relabel.max_flow(source, sink))
+        << "round " << round;
+  }
+}
+
+TEST(PushRelabel, AgreesWithDinicOnSchedulerShapedRationalGraphs) {
+  // The exact shape the offline algorithm builds: source -> jobs -> intervals ->
+  // sink, with rational capacities.
+  Xoshiro256 rng(101);
+  for (int round = 0; round < 20; ++round) {
+    std::size_t jobs = 3 + rng.below(6);
+    std::size_t intervals = 3 + rng.below(8);
+    FlowNetwork<Q> dinic;
+    PushRelabelNetwork<Q> push_relabel;
+    auto build = [&](auto& net) {
+      auto s = net.add_node();
+      auto j0 = net.add_nodes(jobs);
+      auto i0 = net.add_nodes(intervals);
+      auto t = net.add_node();
+      Xoshiro256 local(round * 1000 + 5);
+      for (std::size_t k = 0; k < jobs; ++k) {
+        net.add_edge(s, j0 + k, Q(local.uniform_int(1, 9), local.uniform_int(1, 4)));
+        std::size_t first = local.below(intervals);
+        std::size_t span = 1 + local.below(intervals - first);
+        for (std::size_t j = first; j < first + span; ++j) {
+          net.add_edge(j0 + k, i0 + j, Q(local.uniform_int(1, 5), 2));
+        }
+      }
+      for (std::size_t j = 0; j < intervals; ++j) {
+        net.add_edge(i0 + j, t, Q(local.uniform_int(1, 10), local.uniform_int(1, 3)));
+      }
+      return std::pair{s, t};
+    };
+    auto [ds, dt] = build(dinic);
+    auto [ps, pt] = build(push_relabel);
+    EXPECT_EQ(dinic.max_flow(ds, dt), push_relabel.max_flow(ps, pt))
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace mpss

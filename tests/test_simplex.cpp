@@ -1,0 +1,216 @@
+// Tests for the two-phase simplex LP solver (S4).
+
+#include "mpss/lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpss/util/random.hpp"
+
+namespace mpss {
+namespace {
+
+constexpr double kTol = 1e-7;
+
+TEST(Simplex, TrivialBoundedMinimum) {
+  // min x  s.t. x >= 3  ->  x = 3.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_row({{0, 1.0}}, Relation::kGreaterEqual, 3.0);
+  auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, kTol);
+  EXPECT_NEAR(sol.values[0], 3.0, kTol);
+}
+
+TEST(Simplex, ClassicTwoVariableProblem) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min of the negation).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-3.0, -5.0};
+  lp.add_row({{0, 1.0}}, Relation::kLessEqual, 4.0);
+  lp.add_row({{1, 2.0}}, Relation::kLessEqual, 12.0);
+  lp.add_row({{0, 3.0}, {1, 2.0}}, Relation::kLessEqual, 18.0);
+  auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, kTol);
+  EXPECT_NEAR(sol.values[0], 2.0, kTol);
+  EXPECT_NEAR(sol.values[1], 6.0, kTol);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + 2y s.t. x + y = 10, x - y = 2  ->  x=6, y=4, objective 14.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 2.0};
+  lp.add_row({{0, 1.0}, {1, 1.0}}, Relation::kEqual, 10.0);
+  lp.add_row({{0, 1.0}, {1, -1.0}}, Relation::kEqual, 2.0);
+  auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(sol.values[0], 6.0, kTol);
+  EXPECT_NEAR(sol.values[1], 4.0, kTol);
+  EXPECT_NEAR(sol.objective, 14.0, kTol);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= 1 and x >= 2.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_row({{0, 1.0}}, Relation::kLessEqual, 1.0);
+  lp.add_row({{0, 1.0}}, Relation::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve_lp(lp).status, LpSolution::Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x with x only bounded below.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  lp.add_row({{0, 1.0}}, Relation::kGreaterEqual, 0.0);
+  EXPECT_EQ(solve_lp(lp).status, LpSolution::Status::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // -x <= -3 is x >= 3.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.add_row({{0, -1.0}}, Relation::kLessEqual, -3.0);
+  auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(sol.values[0], 3.0, kTol);
+}
+
+TEST(Simplex, RedundantConstraintHandled) {
+  // Duplicate equality rows force a leftover artificial in the basis.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.add_row({{0, 1.0}, {1, 1.0}}, Relation::kEqual, 4.0);
+  lp.add_row({{0, 2.0}, {1, 2.0}}, Relation::kEqual, 8.0);  // same hyperplane
+  auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 4.0, kTol);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Klee-Minty-flavoured degenerate corner; Bland's rule must not cycle.
+  LpProblem lp;
+  lp.num_vars = 3;
+  lp.objective = {-100.0, -10.0, -1.0};
+  lp.add_row({{0, 1.0}}, Relation::kLessEqual, 1.0);
+  lp.add_row({{0, 20.0}, {1, 1.0}}, Relation::kLessEqual, 100.0);
+  lp.add_row({{0, 200.0}, {1, 20.0}, {2, 1.0}}, Relation::kLessEqual, 10000.0);
+  auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(sol.objective, -10000.0, 1e-5);
+}
+
+TEST(Simplex, ZeroObjectiveReturnsFeasiblePoint) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {0.0, 0.0};
+  lp.add_row({{0, 1.0}, {1, 1.0}}, Relation::kEqual, 5.0);
+  auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(sol.values[0] + sol.values[1], 5.0, kTol);
+  EXPECT_GE(sol.values[0], -kTol);
+  EXPECT_GE(sol.values[1], -kTol);
+}
+
+TEST(Simplex, RejectsMalformedInput) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0};  // wrong size
+  EXPECT_THROW((void)solve_lp(lp), std::invalid_argument);
+  lp.objective = {1.0, 1.0};
+  lp.add_row({{5, 1.0}}, Relation::kEqual, 1.0);  // variable out of range
+  EXPECT_THROW((void)solve_lp(lp), std::invalid_argument);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 supplies (10, 20), 2 demands (15, 15); costs c11=1 c12=4 c21=2 c22=1.
+  // Optimal: x11=10, x21=5, x22=15 -> cost 10 + 10 + 15 = 35.
+  LpProblem lp;
+  lp.num_vars = 4;  // x11 x12 x21 x22
+  lp.objective = {1.0, 4.0, 2.0, 1.0};
+  lp.add_row({{0, 1.0}, {1, 1.0}}, Relation::kEqual, 10.0);
+  lp.add_row({{2, 1.0}, {3, 1.0}}, Relation::kEqual, 20.0);
+  lp.add_row({{0, 1.0}, {2, 1.0}}, Relation::kEqual, 15.0);
+  lp.add_row({{1, 1.0}, {3, 1.0}}, Relation::kEqual, 15.0);
+  auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 35.0, kTol);
+}
+
+TEST(Simplex, DifferentialAgainstVertexEnumeration) {
+  // Random bounded 2-variable LPs: the optimum sits at a vertex of the feasible
+  // polygon, which a brute-force intersection enumeration finds independently.
+  Xoshiro256 rng(404);
+  for (int round = 0; round < 200; ++round) {
+    struct Line {
+      double a, b, c;  // a*x + b*y <= c
+    };
+    std::vector<Line> lines;
+    // Box constraints keep everything bounded and feasible (0,0 is inside).
+    const double box = rng.uniform(2.0, 10.0);
+    lines.push_back({1.0, 0.0, box});
+    lines.push_back({0.0, 1.0, box});
+    std::size_t extra = rng.below(3);
+    for (std::size_t i = 0; i < extra; ++i) {
+      lines.push_back({rng.uniform(0.1, 3.0), rng.uniform(0.1, 3.0),
+                       rng.uniform(1.0, 12.0)});
+    }
+    double cx = rng.uniform(-5.0, 5.0);
+    double cy = rng.uniform(-5.0, 5.0);
+
+    LpProblem lp;
+    lp.num_vars = 2;
+    lp.objective = {cx, cy};
+    for (const Line& line : lines) {
+      lp.add_row({{0, line.a}, {1, line.b}}, Relation::kLessEqual, line.c);
+    }
+    auto solution = solve_lp(lp);
+    ASSERT_EQ(solution.status, LpSolution::Status::kOptimal) << round;
+
+    // Brute force: intersect every pair of boundary lines (incl. the axes).
+    std::vector<Line> boundaries = lines;
+    boundaries.push_back({-1.0, 0.0, 0.0});  // x >= 0
+    boundaries.push_back({0.0, -1.0, 0.0});  // y >= 0
+    double best = 0.0;  // (0,0) is feasible
+    for (std::size_t i = 0; i < boundaries.size(); ++i) {
+      for (std::size_t j = i + 1; j < boundaries.size(); ++j) {
+        double det = boundaries[i].a * boundaries[j].b -
+                     boundaries[j].a * boundaries[i].b;
+        if (std::abs(det) < 1e-9) continue;
+        double x = (boundaries[i].c * boundaries[j].b -
+                    boundaries[j].c * boundaries[i].b) / det;
+        double y = (boundaries[i].a * boundaries[j].c -
+                    boundaries[j].a * boundaries[i].c) / det;
+        if (x < -1e-9 || y < -1e-9) continue;
+        bool feasible = true;
+        for (const Line& line : lines) {
+          feasible &= line.a * x + line.b * y <= line.c + 1e-7;
+        }
+        if (feasible) best = std::min(best, cx * x + cy * y);
+      }
+    }
+    EXPECT_NEAR(solution.objective, best, 1e-5 * (1.0 + std::abs(best))) << round;
+  }
+}
+
+TEST(Simplex, StatusNames) {
+  LpSolution sol;
+  sol.status = LpSolution::Status::kOptimal;
+  EXPECT_EQ(sol.status_name(), "optimal");
+  sol.status = LpSolution::Status::kInfeasible;
+  EXPECT_EQ(sol.status_name(), "infeasible");
+  sol.status = LpSolution::Status::kUnbounded;
+  EXPECT_EQ(sol.status_name(), "unbounded");
+}
+
+}  // namespace
+}  // namespace mpss

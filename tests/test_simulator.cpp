@@ -1,0 +1,109 @@
+// Tests for the event-driven online replanning harness (S10).
+
+#include "mpss/online/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/util/error.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+Planner optimal_planner() {
+  return [](const Instance& available) { return optimal_schedule(available).schedule; };
+}
+
+TEST(Simulator, SingleJobExecutesPlanVerbatim) {
+  Instance instance({Job{Q(0), Q(4), Q(8)}}, 1);
+  auto run = run_replanning_online(instance, optimal_planner());
+  EXPECT_EQ(run.replans, 1u);
+  EXPECT_TRUE(check_schedule(instance, run.schedule).feasible);
+  EXPECT_EQ(run.schedule.work_on(0), Q(8));
+}
+
+TEST(Simulator, ReplansOncePerDistinctReleaseTime) {
+  Instance instance({Job{Q(0), Q(9), Q(1)}, Job{Q(0), Q(9), Q(1)},
+                     Job{Q(3), Q(9), Q(1)}, Job{Q(5), Q(9), Q(1)}}, 2);
+  auto run = run_replanning_online(instance, optimal_planner());
+  EXPECT_EQ(run.replans, 3u);  // releases at 0, 3, 5
+  EXPECT_TRUE(check_schedule(instance, run.schedule).feasible);
+}
+
+TEST(Simulator, LateArrivalForcesReplan) {
+  // Job 1 arrives mid-flight; the harness must carry job 0's remaining work into
+  // the second plan, and the final schedule must still finish both exactly.
+  Instance instance({Job{Q(0), Q(4), Q(4)}, Job{Q(2), Q(4), Q(4)}}, 1);
+  auto run = run_replanning_online(instance, optimal_planner());
+  EXPECT_EQ(run.replans, 2u);
+  auto report = check_schedule(instance, run.schedule);
+  EXPECT_TRUE(report.feasible) << report.violations.front();
+}
+
+TEST(Simulator, ZeroWorkJobsDoNotTriggerReplans) {
+  Instance instance({Job{Q(0), Q(4), Q(2)}, Job{Q(1), Q(4), Q(0)}}, 1);
+  auto run = run_replanning_online(instance, optimal_planner());
+  EXPECT_EQ(run.replans, 1u);  // only the release at 0 carries work
+  EXPECT_TRUE(check_schedule(instance, run.schedule).feasible);
+}
+
+TEST(Simulator, EmptyInstance) {
+  Instance instance({}, 2);
+  auto run = run_replanning_online(instance, optimal_planner());
+  EXPECT_EQ(run.replans, 0u);
+  EXPECT_EQ(run.schedule.slice_count(), 0u);
+}
+
+TEST(Simulator, PlannerSeesOnlyAvailableUnfinishedWork) {
+  // Capture the sub-instances handed to the planner and verify their invariants.
+  Instance instance({Job{Q(0), Q(10), Q(6)}, Job{Q(2), Q(6), Q(2)},
+                     Job{Q(4), Q(9), Q(3)}}, 2);
+  std::vector<Instance> seen;
+  Planner spy = [&seen](const Instance& available) {
+    seen.push_back(available);
+    return optimal_schedule(available).schedule;
+  };
+  auto run = run_replanning_online(instance, spy);
+  ASSERT_EQ(seen.size(), 3u);
+  // First plan: only job 0.
+  EXPECT_EQ(seen[0].size(), 1u);
+  EXPECT_EQ(seen[0].job(0).work, Q(6));
+  // Second plan at t=2: job 0 has 6 - (speed in [0,2)) work left, plus job 1;
+  // releases are reset to the replan time.
+  EXPECT_EQ(seen[1].size(), 2u);
+  for (const Job& job : seen[1].jobs()) EXPECT_EQ(job.release, Q(2));
+  // Third plan at t=4 includes job 2.
+  EXPECT_EQ(seen[2].size(), 3u);
+  for (const Job& job : seen[2].jobs()) EXPECT_EQ(job.release, Q(4));
+  EXPECT_TRUE(check_schedule(instance, run.schedule).feasible);
+}
+
+TEST(Simulator, MachineCountMismatchIsInternalError) {
+  Instance instance({Job{Q(0), Q(4), Q(2)}}, 2);
+  Planner broken = [](const Instance&) { return Schedule(1); };
+  EXPECT_THROW((void)run_replanning_online(instance, broken), InternalError);
+}
+
+TEST(Simulator, UnderdeliveringPlannerIsCaught) {
+  // A planner that never schedules anything leaves unfinished work -> error.
+  Instance instance({Job{Q(0), Q(4), Q(2)}}, 1);
+  Planner lazy = [](const Instance& available) {
+    return Schedule(available.machines());
+  };
+  EXPECT_THROW((void)run_replanning_online(instance, lazy), InternalError);
+}
+
+TEST(Simulator, RandomizedFeasibilitySweep) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Instance instance = generate_uniform({.jobs = 10, .machines = 3, .horizon = 20,
+                                          .max_window = 8, .max_work = 6}, seed);
+    auto run = run_replanning_online(instance, optimal_planner());
+    auto report = check_schedule(instance, run.schedule);
+    ASSERT_TRUE(report.feasible) << "seed " << seed << ": "
+                                 << report.violations.front();
+  }
+}
+
+}  // namespace
+}  // namespace mpss

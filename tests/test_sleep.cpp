@@ -1,0 +1,115 @@
+// Tests for the sleep-state extension (S22): critical speed, race-to-idle
+// transformation, and the awake/asleep energy accounting.
+
+#include "mpss/ext/sleep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(Sleep, CriticalSpeedFormula) {
+  // alpha = 3, C = 2: s_crit = (2/2)^(1/3) = 1.
+  SleepModel model{3.0, 2.0};
+  EXPECT_NEAR(model.critical_speed(), 1.0, 1e-12);
+  // alpha = 2, C = 4: s_crit = 4^(1/2) = 2.
+  EXPECT_NEAR((SleepModel{2.0, 4.0}).critical_speed(), 2.0, 1e-12);
+  // No static power: critical speed 0 (running arbitrarily slowly is free).
+  EXPECT_NEAR((SleepModel{3.0, 0.0}).critical_speed(), 0.0, 1e-12);
+  EXPECT_THROW((void)(SleepModel{1.0, 1.0}).critical_speed(), std::invalid_argument);
+  EXPECT_THROW((void)(SleepModel{2.0, -1.0}).critical_speed(), std::invalid_argument);
+}
+
+TEST(Sleep, CriticalSpeedMinimizesEnergyPerWork) {
+  SleepModel model{2.5, 3.0};
+  double s_crit = model.critical_speed();
+  auto energy_per_work = [&](double s) {
+    return (std::pow(s, model.alpha) + model.static_power) / s;
+  };
+  EXPECT_LT(energy_per_work(s_crit), energy_per_work(s_crit * 0.8));
+  EXPECT_LT(energy_per_work(s_crit), energy_per_work(s_crit * 1.25));
+}
+
+TEST(Sleep, RaceToIdleCompressesSlowSlices) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(4), Q(1, 2), 0});  // work 2 at speed 1/2
+  Schedule raced = race_to_idle(schedule, Q(2));
+  auto slices = raced.machine(0);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].speed, Q(2));
+  EXPECT_EQ(slices[0].end, Q(1));  // 2 work at speed 2
+  EXPECT_EQ(raced.work_on(0), Q(2));
+}
+
+TEST(Sleep, RaceToIdleLeavesFastSlicesAlone) {
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(1), Q(5), 0});
+  Schedule raced = race_to_idle(schedule, Q(2));
+  EXPECT_EQ(raced.machine(0)[0], schedule.machine(0)[0]);
+  EXPECT_THROW((void)race_to_idle(schedule, Q(0)), std::invalid_argument);
+}
+
+TEST(Sleep, RaceToIdlePreservesFeasibility) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Instance instance = generate_uniform({.jobs = 8, .machines = 2, .horizon = 12,
+                                          .max_window = 6, .max_work = 4}, seed);
+    auto optimal = optimal_schedule(instance);
+    SleepModel model{3.0, 1.0};
+    Schedule raced = race_to_idle(optimal.schedule,
+                                  critical_speed_rational(model));
+    auto report = check_schedule(instance, raced);
+    ASSERT_TRUE(report.feasible) << "seed " << seed << ": "
+                                 << report.violations.front();
+  }
+}
+
+TEST(Sleep, RacingReducesSleepAwareEnergy) {
+  // On a sparse schedule (slow speeds), racing to s_crit and sleeping beats
+  // crawling with leakage.
+  Instance instance({Job{Q(0), Q(10), Q(1)}}, 1);  // density 1/10
+  auto optimal = optimal_schedule(instance);
+  SleepModel model{3.0, 2.0};  // s_crit = 1 >> 1/10
+  Schedule raced = race_to_idle(optimal.schedule, critical_speed_rational(model));
+  EXPECT_LT(energy_with_sleep(raced, model), energy_with_sleep(optimal.schedule, model));
+}
+
+TEST(Sleep, RacingNeverHelpsWithoutSleep) {
+  // Against an always-on processor, the paper's optimum is still optimal: racing
+  // only raises dynamic energy while leakage is paid regardless.
+  Instance instance({Job{Q(0), Q(10), Q(1)}}, 1);
+  auto optimal = optimal_schedule(instance);
+  SleepModel model{3.0, 2.0};
+  Schedule raced = race_to_idle(optimal.schedule, critical_speed_rational(model));
+  EXPECT_GE(energy_always_on(raced, model, Q(0), Q(10)),
+            energy_always_on(optimal.schedule, model, Q(0), Q(10)));
+}
+
+TEST(Sleep, EnergyAccountingValues) {
+  Schedule schedule(2);
+  schedule.add(0, Slice{Q(0), Q(2), Q(2), 0});  // 2 time units at speed 2
+  SleepModel model{2.0, 3.0};
+  // With sleep: (2^2 + 3) * 2 = 14 (machine 1 sleeps for free).
+  EXPECT_NEAR(energy_with_sleep(schedule, model), 14.0, 1e-12);
+  // Always on over [0, 4): dynamic 8 + leakage 3 * (2 machines * 4) = 32.
+  EXPECT_NEAR(energy_always_on(schedule, model, Q(0), Q(4)), 8.0 + 24.0, 1e-12);
+  EXPECT_THROW((void)energy_always_on(schedule, model, Q(4), Q(0)),
+               std::invalid_argument);
+}
+
+TEST(Sleep, CriticalSpeedRationalFloorsTheTrueValue) {
+  SleepModel model{2.5, 3.0};
+  Q rational = critical_speed_rational(model, 4096);
+  EXPECT_LE(rational.to_double(), model.critical_speed() + 1e-12);
+  EXPECT_GE(rational.to_double(), model.critical_speed() - 1.0 / 4096.0 - 1e-12);
+  // Tiny critical speeds still give a positive floor.
+  EXPECT_GT(critical_speed_rational(SleepModel{3.0, 1e-12}, 16).sign(), 0);
+  EXPECT_THROW((void)critical_speed_rational(model, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,105 @@
+// Tests for the statistics accumulators used by the experiment harnesses.
+
+#include "mpss/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/util/random.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Xoshiro256 rng(5);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform(-10, 10);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // merging empty changes nothing
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SampleSet, QuantilesInterpolate) {
+  SampleSet set;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) set.add(x);
+  EXPECT_DOUBLE_EQ(set.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(set.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(set.median(), 2.5);
+  EXPECT_DOUBLE_EQ(set.quantile(1.0 / 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(set.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(set.min(), 1.0);
+  EXPECT_DOUBLE_EQ(set.max(), 4.0);
+}
+
+TEST(SampleSet, SingleSample) {
+  SampleSet set;
+  set.add(7.0);
+  EXPECT_DOUBLE_EQ(set.quantile(0.3), 7.0);
+  EXPECT_DOUBLE_EQ(set.median(), 7.0);
+}
+
+TEST(SampleSet, ErrorsOnEmptyOrBadQuantile) {
+  SampleSet set;
+  EXPECT_THROW((void)set.quantile(0.5), std::invalid_argument);
+  EXPECT_THROW((void)set.min(), std::invalid_argument);
+  set.add(1.0);
+  EXPECT_THROW((void)set.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)set.quantile(1.1), std::invalid_argument);
+}
+
+TEST(SampleSet, AddAfterQuantileStillWorks) {
+  SampleSet set;
+  set.add(3.0);
+  set.add(1.0);
+  EXPECT_DOUBLE_EQ(set.median(), 2.0);
+  set.add(2.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(set.median(), 2.0);
+  set.add(100.0);
+  EXPECT_DOUBLE_EQ(set.max(), 100.0);
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,79 @@
+// Tests for the console table renderer shared by all experiment binaries.
+
+#include "mpss/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mpss/util/rational.hpp"
+
+namespace mpss {
+namespace {
+
+std::string render(const Table& table) {
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
+
+TEST(Table, AlignsColumnsToWidestCell) {
+  Table table({"name", "v"});
+  table.row(std::string("a"), 1);
+  table.row(std::string("long-name"), 22);
+  std::string out = render(table);
+  EXPECT_NE(out.find("| name      | v  |"), std::string::npos);
+  EXPECT_NE(out.find("| a         | 1  |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 22 |"), std::string::npos);
+}
+
+TEST(Table, HeaderSeparatorPresent) {
+  Table table({"x"});
+  table.row(1);
+  std::string out = render(table);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, FormatsDoublesWithFixedPrecision) {
+  Table table({"ratio"});
+  table.row(1.23456789);
+  EXPECT_NE(render(table).find("1.2346"), std::string::npos);
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, AcceptsRationalsViaToString) {
+  Table table({"speed"});
+  table.row(Q(7, 3));
+  EXPECT_NE(render(table).find("7/3"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  std::string out = render(table);
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(Table, CsvOutputRoundTrips) {
+  Table table({"name", "value"});
+  table.row(std::string("with,comma"), 1.5);
+  table.row(std::string("plain"), 2);
+  std::ostringstream os;
+  table.print_csv(os);
+  const std::string& text = os.str();
+  EXPECT_EQ(text.substr(0, 11), "name,value\n");
+  EXPECT_NE(text.find("\"with,comma\",1.5"), std::string::npos);
+  EXPECT_NE(text.find("plain,2"), std::string::npos);
+}
+
+TEST(Table, EmptyTableRendersHeaderOnly) {
+  Table table({"h1", "h2"});
+  std::string out = render(table);
+  EXPECT_NE(out.find("h1"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,91 @@
+// Tests for the thread pool and parallel_for (sweep substrate S20).
+
+#include "mpss/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mpss {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeReflectsConstruction) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  ThreadPool defaulted(0);
+  EXPECT_GE(defaulted.size(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool survives and remains usable.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, ManyWaves) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 10; ++wave) {
+    for (int i = 0; i < 20; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&hits](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; }, 4);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&order](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));  // sequential => in order
+}
+
+TEST(ParallelFor, RethrowsFirstException) {
+  EXPECT_THROW(
+      parallel_for(100, [](std::size_t i) {
+        if (i == 37) throw std::logic_error("bad index");
+      }, 4),
+      std::logic_error);
+}
+
+TEST(ParallelFor, ResultMatchesSequentialReduction) {
+  std::vector<double> values(500);
+  std::iota(values.begin(), values.end(), 1.0);
+  std::vector<double> out(500);
+  parallel_for(500, [&](std::size_t i) { out[i] = values[i] * values[i]; }, 6);
+  double total = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 500.0 * 501.0 * 1001.0 / 6.0);
+}
+
+}  // namespace
+}  // namespace mpss

@@ -1,0 +1,117 @@
+// Exact covariance laws of the optimization under instance transformations
+// (S37): optimal schedules shift, time-scale and work-scale exactly as the
+// theory dictates.
+
+#include "mpss/workload/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+Instance test_instance(std::uint64_t seed) {
+  return generate_uniform({.jobs = 8, .machines = 2, .horizon = 12, .max_window = 6,
+                           .max_work = 5}, seed);
+}
+
+TEST(Transform, ShiftPreservesSpeedsAndEnergy) {
+  AlphaPower p(2.5);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Instance base = test_instance(seed);
+    Instance shifted = shift_time(base, Q(7, 3));
+    auto a = optimal_schedule(base);
+    auto b = optimal_schedule(shifted);
+    for (std::size_t k = 0; k < base.size(); ++k) {
+      EXPECT_EQ(a.speed_of_job(k), b.speed_of_job(k)) << seed;
+    }
+    EXPECT_NEAR(a.schedule.energy(p), b.schedule.energy(p),
+                1e-12 * (1 + a.schedule.energy(p)));
+    // Shifting the schedule itself stays feasible for the shifted instance.
+    Schedule moved = shift_time(a.schedule, Q(7, 3));
+    EXPECT_TRUE(check_schedule(shifted, moved).feasible) << seed;
+  }
+}
+
+TEST(Transform, NegativeShiftWorksToo) {
+  Instance base = shift_time(test_instance(3), Q(100));
+  Instance back = shift_time(base, Q(-100));
+  auto a = optimal_schedule(base);
+  auto b = optimal_schedule(back);
+  EXPECT_EQ(a.speed_of_job(0), b.speed_of_job(0));
+}
+
+TEST(Transform, TimeScaleCovariance) {
+  // t -> c*t: optimal speeds scale by exactly 1/c; energy by c^(1-alpha).
+  const Q c(3, 2);
+  const double alpha = 2.0;
+  AlphaPower p(alpha);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Instance base = test_instance(seed);
+    Instance stretched = scale_time(base, c);
+    auto a = optimal_schedule(base);
+    auto b = optimal_schedule(stretched);
+    for (std::size_t k = 0; k < base.size(); ++k) {
+      EXPECT_EQ(a.speed_of_job(k) / c, b.speed_of_job(k)) << seed << " job " << k;
+    }
+    double expected = std::pow(c.to_double(), 1.0 - alpha) * a.schedule.energy(p);
+    EXPECT_NEAR(b.schedule.energy(p), expected, 1e-9 * (1 + expected)) << seed;
+    // The transformed schedule is feasible and optimal for the stretched instance.
+    Schedule moved = scale_time(a.schedule, c);
+    EXPECT_TRUE(check_schedule(stretched, moved).feasible) << seed;
+    EXPECT_NEAR(moved.energy(p), expected, 1e-9 * (1 + expected)) << seed;
+  }
+}
+
+TEST(Transform, WorkScaleCovariance) {
+  // w -> c*w: optimal speeds scale by exactly c; energy by c^alpha.
+  const Q c(5, 2);
+  const double alpha = 3.0;
+  AlphaPower p(alpha);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Instance base = test_instance(seed);
+    Instance heavier = scale_work(base, c);
+    auto a = optimal_schedule(base);
+    auto b = optimal_schedule(heavier);
+    for (std::size_t k = 0; k < base.size(); ++k) {
+      EXPECT_EQ(a.speed_of_job(k) * c, b.speed_of_job(k)) << seed << " job " << k;
+    }
+    double expected = std::pow(c.to_double(), alpha) * a.schedule.energy(p);
+    EXPECT_NEAR(b.schedule.energy(p), expected, 1e-9 * (1 + expected)) << seed;
+    Schedule moved = scale_work(a.schedule, c);
+    EXPECT_TRUE(check_schedule(heavier, moved).feasible) << seed;
+  }
+}
+
+TEST(Transform, WorkScaleZeroEmptiesTheLoad) {
+  Instance zero = scale_work(test_instance(1), Q(0));
+  EXPECT_EQ(zero.total_work(), Q(0));
+  EXPECT_EQ(optimal_schedule(zero).schedule.slice_count(), 0u);
+}
+
+TEST(Transform, Validation) {
+  Instance base = test_instance(1);
+  EXPECT_THROW((void)scale_time(base, Q(0)), std::invalid_argument);
+  EXPECT_THROW((void)scale_time(base, Q(-1)), std::invalid_argument);
+  EXPECT_THROW((void)scale_work(base, Q(-1)), std::invalid_argument);
+  Schedule schedule(1);
+  schedule.add(0, Slice{Q(0), Q(1), Q(1), 0});
+  EXPECT_THROW((void)scale_work(schedule, Q(0)), std::invalid_argument);
+}
+
+TEST(Transform, CompositionRoundTrip) {
+  Instance base = test_instance(2);
+  Instance there = scale_time(shift_time(base, Q(5)), Q(2));
+  Instance back = shift_time(scale_time(there, Q(1, 2)), Q(-5));
+  ASSERT_EQ(back.size(), base.size());
+  for (std::size_t k = 0; k < base.size(); ++k) {
+    EXPECT_EQ(back.job(k), base.job(k));
+  }
+}
+
+}  // namespace
+}  // namespace mpss

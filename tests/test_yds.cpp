@@ -1,0 +1,136 @@
+// Tests for the single-processor YDS algorithm (S9) and the exact EDF simulator.
+
+#include "mpss/core/yds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpss/util/error.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace mpss {
+namespace {
+
+TEST(Edf, SingleJobRunsInWindow) {
+  std::vector<Job> jobs{Job{Q(2), Q(5), Q(3)}};
+  auto slices = edf_at_constant_speed(jobs, Q(1));
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].start, Q(2));
+  EXPECT_EQ(slices[0].end, Q(5));
+  EXPECT_EQ(slices[0].job, 0u);
+}
+
+TEST(Edf, PreemptsForEarlierDeadline) {
+  // Job 0 long window; job 1 arrives later with a tighter deadline.
+  std::vector<Job> jobs{Job{Q(0), Q(10), Q(4)}, Job{Q(1), Q(3), Q(2)}};
+  auto slices = edf_at_constant_speed(jobs, Q(1));
+  // Expect: job0 [0,1), job1 [1,3), job0 [3,6).
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0].job, 0u);
+  EXPECT_EQ(slices[1].job, 1u);
+  EXPECT_EQ(slices[1].start, Q(1));
+  EXPECT_EQ(slices[1].end, Q(3));
+  EXPECT_EQ(slices[2].job, 0u);
+  EXPECT_EQ(slices[2].end, Q(6));
+}
+
+TEST(Edf, IdleGapBetweenBatches) {
+  std::vector<Job> jobs{Job{Q(0), Q(1), Q(1)}, Job{Q(5), Q(6), Q(1)}};
+  auto slices = edf_at_constant_speed(jobs, Q(1));
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].end, Q(1));
+  EXPECT_EQ(slices[1].start, Q(5));
+}
+
+TEST(Edf, ThrowsOnInfeasibleSpeed) {
+  std::vector<Job> jobs{Job{Q(0), Q(1), Q(5)}};
+  EXPECT_THROW((void)edf_at_constant_speed(jobs, Q(1)), InternalError);
+  EXPECT_THROW((void)edf_at_constant_speed(jobs, Q(0)), std::invalid_argument);
+}
+
+TEST(Yds, SingleJobRunsAtDensity) {
+  Instance instance({Job{Q(0), Q(4), Q(8)}}, 1);
+  auto result = yds_schedule(instance);
+  EXPECT_EQ(result.job_speed[0], Q(2));
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+  EXPECT_EQ(result.iterations, 1u);
+}
+
+TEST(Yds, RejectsMultiMachineInstance) {
+  Instance instance({Job{Q(0), Q(4), Q(8)}}, 2);
+  EXPECT_THROW((void)yds_schedule(instance), std::invalid_argument);
+}
+
+TEST(Yds, TwoLevelSpeedStructure) {
+  // A dense inner job inside a sparse outer job: classic two-iteration YDS.
+  // Inner: [2,3) work 3 -> intensity 3. Outer: [0,6) work 3.
+  // After contracting [2,3], outer has 5 time units -> speed 3/5.
+  Instance instance({Job{Q(0), Q(6), Q(3)}, Job{Q(2), Q(3), Q(3)}}, 1);
+  auto result = yds_schedule(instance);
+  EXPECT_EQ(result.job_speed[1], Q(3));
+  EXPECT_EQ(result.job_speed[0], Q(3, 5));
+  EXPECT_EQ(result.iterations, 2u);
+  auto report = check_schedule(instance, result.schedule);
+  EXPECT_TRUE(report.feasible) << report.violations.front();
+}
+
+TEST(Yds, EqualDensityJobsShareOneLevel) {
+  Instance instance({Job{Q(0), Q(2), Q(2)}, Job{Q(2), Q(4), Q(2)}}, 1);
+  auto result = yds_schedule(instance);
+  EXPECT_EQ(result.job_speed[0], Q(1));
+  EXPECT_EQ(result.job_speed[1], Q(1));
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+}
+
+TEST(Yds, CriticalIntervalSpansMultipleJobs) {
+  // Jobs [0,2) w=3 and [1,3) w=3: the critical interval is [0,3) with intensity 2.
+  Instance instance({Job{Q(0), Q(2), Q(3)}, Job{Q(1), Q(3), Q(3)}}, 1);
+  auto result = yds_schedule(instance);
+  EXPECT_EQ(result.job_speed[0], Q(2));
+  EXPECT_EQ(result.job_speed[1], Q(2));
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+}
+
+TEST(Yds, ZeroWorkJobsIgnored) {
+  Instance instance({Job{Q(0), Q(4), Q(0)}, Job{Q(0), Q(4), Q(4)}}, 1);
+  auto result = yds_schedule(instance);
+  EXPECT_EQ(result.job_speed[0], Q(0));
+  EXPECT_EQ(result.job_speed[1], Q(1));
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+}
+
+TEST(Yds, EmptyInstance) {
+  Instance instance({}, 1);
+  auto result = yds_schedule(instance);
+  EXPECT_EQ(result.schedule.slice_count(), 0u);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(Yds, SpeedLevelsAreNonIncreasingAcrossIterations) {
+  // Property on random instances: job speeds sorted by YDS iteration order are
+  // non-increasing (each later critical interval has lower intensity), and the
+  // schedule is always exactly feasible.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Instance instance = generate_uniform({.jobs = 10, .machines = 1, .horizon = 20,
+                                          .max_window = 10, .max_work = 8}, seed);
+    auto result = yds_schedule(instance);
+    auto report = check_schedule(instance, result.schedule);
+    ASSERT_TRUE(report.feasible)
+        << "seed " << seed << ": " << report.violations.front();
+    // Each job runs at exactly one constant speed: every slice of job k has
+    // speed job_speed[k].
+    for (std::size_t k = 0; k < instance.size(); ++k) {
+      for (const Slice& slice : result.schedule.slices_of(k)) {
+        EXPECT_EQ(slice.speed, result.job_speed[k]);
+      }
+    }
+  }
+}
+
+TEST(Yds, HandlesFractionalTimes) {
+  Instance instance({Job{Q(0), Q(1, 2), Q(1)}, Job{Q(1, 3), Q(1), Q(1)}}, 1);
+  auto result = yds_schedule(instance);
+  EXPECT_TRUE(check_schedule(instance, result.schedule).feasible);
+}
+
+}  // namespace
+}  // namespace mpss
