@@ -50,6 +50,13 @@ void BM_DinicInt64(benchmark::State& state) {
     state.ResumeTiming();
     benchmark::DoNotOptimize(net.max_flow(0, net.node_count() - 1));
   }
+  // Kernel work counters from one untimed run (deterministic network).
+  auto net = scheduler_shaped_network<FlowNetwork<std::int64_t>>(
+      jobs, 2 * jobs, [](std::int64_t v) { return v; }, 7);
+  net.max_flow(0, net.node_count() - 1);
+  state.counters["bfs_rounds"] = static_cast<double>(net.kernel_stats().bfs_rounds);
+  state.counters["aug_paths"] =
+      static_cast<double>(net.kernel_stats().augmenting_paths);
 }
 BENCHMARK(BM_DinicInt64)->Arg(16)->Arg(64)->Arg(256);
 
@@ -117,6 +124,11 @@ void BM_PushRelabelInt64(benchmark::State& state) {
     state.ResumeTiming();
     benchmark::DoNotOptimize(net.max_flow(0, net.node_count() - 1));
   }
+  auto net = scheduler_shaped_network<mpss::PushRelabelNetwork<std::int64_t>>(
+      jobs, 2 * jobs, [](std::int64_t v) { return v; }, 7);
+  net.max_flow(0, net.node_count() - 1);
+  state.counters["pushes"] = static_cast<double>(net.kernel_stats().pushes);
+  state.counters["relabels"] = static_cast<double>(net.kernel_stats().relabels);
 }
 BENCHMARK(BM_PushRelabelInt64)->Arg(16)->Arg(64)->Arg(256);
 

@@ -54,6 +54,9 @@ void BM_SimplexTransportation(benchmark::State& state) {
     if (solution.status != LpSolution::Status::kOptimal) state.SkipWithError("not optimal");
     benchmark::DoNotOptimize(solution);
   }
+  auto solution = solve_lp(lp);
+  state.counters["pivots"] = static_cast<double>(solution.iterations);
+  state.counters["degenerate"] = static_cast<double>(solution.degenerate_pivots);
 }
 BENCHMARK(BM_SimplexTransportation)->Arg(4)->Arg(8)->Arg(12);
 
@@ -69,6 +72,12 @@ void BM_LpBaseline(benchmark::State& state) {
     if (result.status != LpSolution::Status::kOptimal) state.SkipWithError("LP failed");
     benchmark::DoNotOptimize(result);
   }
+  auto result = lp_baseline(instance, p, grid);
+  state.counters["pivots"] = static_cast<double>(result.stats.simplex_pivots);
+  state.counters["degenerate"] =
+      static_cast<double>(result.stats.simplex_degenerate_pivots);
+  state.counters["lp_vars"] = static_cast<double>(result.variables);
+  state.counters["lp_rows"] = static_cast<double>(result.constraints);
 }
 BENCHMARK(BM_LpBaseline)->Args({4, 8})->Args({6, 8})->Args({6, 16})->Args({8, 16});
 

@@ -22,6 +22,15 @@ int main(int argc, char** argv) {
   std::cout << "online race: " << jobs << " jobs, " << machines << " machines, "
             << seeds << " seeds per alpha\n\n";
 
+  // All three contenders run through the mpss::solve() facade -- the engine is
+  // just a knob here, which is exactly the use case the facade exists for.
+  auto energy_of = [](const Instance& instance, Engine engine, const PowerFunction& p) {
+    SolveOptions options;
+    options.engine = engine;
+    options.power = &p;
+    return solve(instance, options).energy;
+  };
+
   Table table({"alpha", "OA mean", "OA max", "OA bound", "AVR mean", "AVR max",
                "AVR bound"});
   for (double alpha : {1.5, 2.0, 2.5, 3.0}) {
@@ -31,9 +40,9 @@ int main(int argc, char** argv) {
       Instance instance = generate_uniform(
           {.jobs = jobs, .machines = machines, .horizon = 30,
            .max_window = 12, .max_work = 9}, seed);
-      double opt = optimal_energy(instance, p);
-      oa_ratio.add(oa_energy(instance, p) / opt);
-      avr_ratio.add(avr_energy(instance, p) / opt);
+      double opt = energy_of(instance, Engine::kExact, p);
+      oa_ratio.add(energy_of(instance, Engine::kOa, p) / opt);
+      avr_ratio.add(energy_of(instance, Engine::kAvr, p) / opt);
     }
     table.row(alpha, oa_ratio.mean(), oa_ratio.max(), oa_competitive_bound(alpha),
               avr_ratio.mean(), avr_ratio.max(), avr_multi_competitive_bound(alpha));

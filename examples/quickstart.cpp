@@ -63,15 +63,27 @@ int main() {
   std::cout << "energy under " << leaky.name() << ": " << result.schedule.energy(leaky)
             << '\n';
 
-  // Online comparison: OA(m) re-plans at each arrival; AVR(m) smears densities.
+  // Online comparison through the unified facade: every engine behind one call,
+  // with its telemetry in the common SolveStats record.
   double opt = result.schedule.energy(cube);
-  double oa = oa_energy(instance, cube);
-  double avr = avr_energy(instance, cube);
-  std::cout << "\nonline-vs-offline (alpha = 3):\n";
+  std::cout << "\nonline-vs-offline (alpha = 3, via mpss::solve):\n";
   std::cout << "  OPT  " << opt << "  (ratio 1)\n";
-  std::cout << "  OA   " << oa << "  (ratio " << oa / opt << ", bound "
-            << oa_competitive_bound(3.0) << ")\n";
-  std::cout << "  AVR  " << avr << "  (ratio " << avr / opt << ", bound "
-            << avr_multi_competitive_bound(3.0) << ")\n";
-  return report.feasible ? 0 : 1;
+
+  SolveOptions oa_options;
+  oa_options.engine = Engine::kOa;
+  oa_options.power = &cube;
+  SolveResult oa = solve(instance, oa_options);
+  std::cout << "  OA   " << oa.energy << "  (ratio " << oa.energy / opt << ", bound "
+            << oa_competitive_bound(3.0) << "; " << oa.stats.replans << " replans, "
+            << oa.stats.flow_computations << " inner flow computations)\n";
+
+  SolveOptions avr_options;
+  avr_options.engine = Engine::kAvr;
+  avr_options.power = &cube;
+  SolveResult avr = solve(instance, avr_options);
+  std::cout << "  AVR  " << avr.energy << "  (ratio " << avr.energy / opt
+            << ", bound " << avr_multi_competitive_bound(3.0) << "; "
+            << avr.stats.peel_events << " peels)\n";
+
+  return report.feasible && oa.ok() && avr.ok() ? 0 : 1;
 }

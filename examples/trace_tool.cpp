@@ -6,15 +6,19 @@
 //   gen   --family=uniform|bursty|laminar|agreeable|periodic --out=trace.csv
 //         [--jobs=12] [--machines=4] [--seed=1]
 //   info  <trace.csv>
-//   run   <trace.csv> --algo=opt|oa|avr|greedy [--alpha=3]
-//         [--gantt] [--save=schedule.csv]
+//   run   <trace.csv> --algo=opt|fast|oa|avr|lp|greedy [--alpha=3]
+//         [--gantt] [--save=schedule.csv] [--trace=events.jsonl]
+//
+// Everything except greedy goes through the mpss::solve() facade; --trace
+// attaches a JSONL sink whose output tools/mpss_trace summarizes.
 //
 // Examples:
 //   trace_tool gen --family=bursty --jobs=16 --machines=4 --out=/tmp/t.csv
 //   trace_tool info /tmp/t.csv
-//   trace_tool run /tmp/t.csv --algo=opt --gantt
+//   trace_tool run /tmp/t.csv --algo=opt --gantt --trace=/tmp/t.jsonl
 
 #include <iostream>
+#include <memory>
 
 #include "mpss/mpss.hpp"
 
@@ -79,49 +83,92 @@ int cmd_info(const CliArgs& args) {
 
 int cmd_run(const CliArgs& args) {
   if (args.positional().size() < 2) {
-    std::cerr << "usage: trace_tool run <trace.csv> --algo=opt|oa|avr|greedy\n";
+    std::cerr << "usage: trace_tool run <trace.csv> --algo=opt|fast|oa|avr|lp|greedy\n";
     return 2;
   }
   Instance instance = load_instance(args.positional()[1]);
   std::string algo = args.get("algo", "opt");
   AlphaPower p(args.get_double("alpha", 3.0));
 
-  Schedule schedule(instance.machines());
-  if (algo == "opt") {
-    auto result = optimal_schedule(instance);
-    schedule = std::move(result.schedule);
-    std::cout << "optimal: " << result.phases.size() << " speed levels, "
-              << result.flow_computations << " flow computations\n";
-  } else if (algo == "oa") {
-    auto result = oa_schedule(instance);
-    schedule = std::move(result.schedule);
-    std::cout << "OA(m): " << result.replans << " replans\n";
-  } else if (algo == "avr") {
-    auto result = avr_schedule(instance);
-    schedule = std::move(result.schedule);
-    std::cout << "AVR(m): " << result.peel_events << " peel events\n";
-  } else if (algo == "greedy") {
+  std::unique_ptr<obs::JsonlSink> sink;
+  if (args.has("trace")) {
+    sink = std::make_unique<obs::JsonlSink>(args.get("trace", "events.jsonl"));
+  }
+
+  if (algo == "greedy") {
+    // The non-migratory baseline is not a facade engine; it keeps its direct path.
     auto result = nonmigratory_greedy(instance, p);
-    schedule = std::move(result.schedule);
     std::cout << "non-migratory greedy\n";
+    auto report = check_schedule(instance, result.schedule);
+    std::cout << "feasible: " << (report.feasible ? "yes" : "NO") << "\n";
+    if (!report.feasible) return 1;
+    std::cout << "energy under " << p.name() << ": " << result.schedule.energy(p)
+              << "\n";
+    return 0;
+  }
+
+  SolveOptions options;
+  options.power = &p;
+  options.trace = sink.get();
+  if (algo == "opt") {
+    options.engine = Engine::kExact;
+  } else if (algo == "fast") {
+    options.engine = Engine::kFast;
+  } else if (algo == "oa") {
+    options.engine = Engine::kOa;
+  } else if (algo == "avr") {
+    options.engine = Engine::kAvr;
+  } else if (algo == "lp") {
+    options.engine = Engine::kLp;
+    options.lp_grid = static_cast<std::size_t>(args.get_int("lp-grid", 8));
   } else {
     std::cerr << "unknown --algo: " << algo << "\n";
     return 2;
   }
 
-  auto report = check_schedule(instance, schedule);
-  std::cout << "feasible: " << (report.feasible ? "yes" : "NO") << "\n";
-  if (!report.feasible) {
-    for (const auto& violation : report.violations) std::cout << "  " << violation << "\n";
+  SolveResult result = solve(instance, options);
+  if (sink) sink->flush();
+  std::cout << engine_name(options.engine) << ": "
+            << solve_status_name(result.status) << "\n";
+  if (!result.ok()) {
+    std::cerr << "  " << result.message << "\n";
     return 1;
   }
-  std::cout << "energy under " << p.name() << ": " << schedule.energy(p) << "\n";
-  if (args.get_bool("gantt", false)) {
-    std::cout << "\n" << render_gantt(schedule);
-  }
-  if (args.has("save")) {
-    save_schedule(schedule, args.get("save", "schedule.csv"));
-    std::cout << "schedule written to " << args.get("save", "schedule.csv") << "\n";
+  std::cout << "stats: " << result.stats.phases << " phases, "
+            << result.stats.flow_computations << " flow computations, "
+            << result.stats.candidate_removals << " removals, "
+            << result.stats.simplex_pivots << " pivots, " << result.stats.replans
+            << " replans, " << result.stats.peel_events << " peels, "
+            << Table::num(result.stats.wall_seconds, 6) << " s\n";
+
+  if (const Schedule* schedule = result.exact_schedule()) {
+    auto report = check_schedule(instance, *schedule);
+    std::cout << "feasible: " << (report.feasible ? "yes" : "NO") << "\n";
+    if (!report.feasible) {
+      for (const auto& violation : report.violations) {
+        std::cout << "  " << violation << "\n";
+      }
+      return 1;
+    }
+    std::cout << "energy under " << p.name() << ": " << result.energy << "\n";
+    if (args.get_bool("gantt", false)) {
+      std::cout << "\n" << render_gantt(*schedule);
+    }
+    if (args.has("save")) {
+      save_schedule(*schedule, args.get("save", "schedule.csv"));
+      std::cout << "schedule written to " << args.get("save", "schedule.csv") << "\n";
+    }
+  } else if (const FastSchedule* fast = result.fast_schedule()) {
+    std::size_t violations = count_fast_violations(instance, *fast);
+    std::cout << "feasible (1e-7 tolerance): " << (violations == 0 ? "yes" : "NO")
+              << "\n";
+    if (violations != 0) return 1;
+    std::cout << "energy under " << p.name() << ": " << result.energy << "\n";
+  } else {
+    // LP: an energy bound, no schedule.
+    std::cout << "LP bound under " << p.name() << ": " << result.energy << " ("
+              << result.stats.counters.value("lp.variables") << " vars, "
+              << result.stats.counters.value("lp.constraints") << " rows)\n";
   }
   return 0;
 }
@@ -132,7 +179,7 @@ int main(int argc, char** argv) {
   try {
     mpss::CliArgs args(argc, argv,
                        {"family", "jobs", "machines", "seed", "out", "algo", "alpha",
-                        "gantt", "save"});
+                        "gantt", "save", "trace", "lp-grid"});
     if (args.positional().empty()) {
       std::cerr << "usage: trace_tool <gen|info|run> [options]\n";
       return 2;

@@ -4,6 +4,7 @@
 
 #include "mpss/core/mcnaughton.hpp"
 #include "mpss/flow/dinic.hpp"
+#include "mpss/obs/trace.hpp"
 #include "mpss/util/error.hpp"
 #include "mpss/util/random.hpp"
 
@@ -86,12 +87,16 @@ OptimalResult optimal_schedule(const Instance& instance) {
 OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& options) {
   const bool paper_rule =
       options.removal_policy == OptimalOptions::RemovalPolicy::kPaperRule;
+  obs::TraceSink* trace = options.trace;
   Xoshiro256 ablation_rng(options.ablation_seed);
   IntervalDecomposition intervals(instance.jobs());
   const std::size_t interval_count = intervals.count();
   const std::size_t m = instance.machines();
 
-  OptimalResult result{Schedule(m), intervals, {}, 0};
+  OptimalResult result{Schedule(m), intervals, {}, 0, {}};
+  obs::ScopedTimer timer;
+  result.stats.counters.set("optimal.intervals", interval_count);
+  obs::emit(trace, obs::EventKind::kSolveStart, "optimal.solve", instance.size(), m);
 
   // Jobs with positive work; zero-work jobs are trivially complete.
   std::vector<std::size_t> remaining;
@@ -115,6 +120,9 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
     // ---- one phase: identify the next job set J_i and its speed s_i ----
     std::vector<std::size_t> candidates = remaining;  // invariant: J_i is a subset
     std::size_t rounds = 0;
+    const std::size_t phase_index = result.phases.size();
+    obs::emit(trace, obs::EventKind::kPhaseStart, "optimal.phase", phase_index,
+              candidates.size());
 
     std::vector<std::size_t> reserved(interval_count, 0);
     Q speed;
@@ -148,6 +156,12 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
 
       round = build_network(instance, intervals, candidates, active, reserved, speed);
       Q flow_value = round.net.max_flow(round.source, round.sink);
+      result.stats.flow_bfs_rounds += round.net.kernel_stats().bfs_rounds;
+      result.stats.flow_augmenting_paths += round.net.kernel_stats().augmenting_paths;
+      // value = attained flow as a fraction of the target F_G = W/s = P; exactly
+      // 1.0 on the round that closes the phase.
+      obs::emit(trace, obs::EventKind::kFlowRound, "optimal.round", phase_index,
+                rounds, (flow_value / reserved_time).to_double());
 
       // Target F_G = W / s = P: all source and sink edges saturated.
       if (flow_value == reserved_time) break;
@@ -156,6 +170,9 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
         // Ablated removal (experiment E12): drop a random candidate. Feasibility
         // of the final schedule survives; optimality does not.
         std::size_t victim = ablation_rng.below(candidates.size());
+        ++result.stats.candidate_removals;
+        obs::emit(trace, obs::EventKind::kCandidateRemoved, "optimal.ablated_removal",
+                  phase_index, candidates[victim]);
         candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(victim));
         continue;
       }
@@ -177,6 +194,9 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
       }
       check_internal(victim_pos != static_cast<std::size_t>(-1),
                      "optimal_schedule: flow below target but no removable job found");
+      ++result.stats.candidate_removals;
+      obs::emit(trace, obs::EventKind::kCandidateRemoved, "optimal.lemma4_removal",
+                phase_index, candidates[victim_pos]);
       candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(victim_pos));
     }
 
@@ -213,6 +233,8 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
                       reserved[j], speed, chunks);
       used[j] += reserved[j];
     }
+    obs::emit(trace, obs::EventKind::kPhaseEnd, "optimal.phase", phase_index, rounds,
+              speed.to_double());
     result.phases.push_back(std::move(phase));
 
     // Drop the scheduled jobs from the remaining set.
@@ -226,6 +248,11 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
     remaining = std::move(next);
   }
 
+  result.stats.phases = result.phases.size();
+  result.stats.flow_computations = result.flow_computations;
+  obs::emit(trace, obs::EventKind::kSolveEnd, "optimal.solve", result.phases.size(),
+            result.flow_computations);
+  result.stats.wall_seconds = timer.elapsed_seconds();
   return result;
 }
 

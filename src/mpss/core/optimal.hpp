@@ -33,6 +33,7 @@
 #include "mpss/core/intervals.hpp"
 #include "mpss/core/job.hpp"
 #include "mpss/core/schedule.hpp"
+#include "mpss/obs/stats.hpp"
 #include "mpss/util/rational.hpp"
 
 namespace mpss {
@@ -58,6 +59,10 @@ struct OptimalResult {
   std::vector<PhaseInfo> phases;
   /// Total max-flow computations (sum of phase rounds).
   std::size_t flow_computations = 0;
+  /// Telemetry: phase/round/removal counts plus flow-kernel work and wall time.
+  /// `stats.flow_computations` mirrors the field above; `stats.phases` equals
+  /// `phases.size()`.
+  obs::SolveStats stats;
 
   /// Speed at which `job` is processed (0 for zero-work jobs, which belong to no
   /// phase). Throws std::invalid_argument for unknown indices.
@@ -80,6 +85,10 @@ struct OptimalOptions {
   };
   RemovalPolicy removal_policy = RemovalPolicy::kPaperRule;
   std::uint64_t ablation_seed = 0;  // PRNG seed for kRandomCandidate
+  /// Optional trace sink: phase boundaries, per-round flow values, and candidate
+  /// removals are recorded as obs events. Null falls back to the process-wide
+  /// sink in obs::Registry (itself null by default -> no emission).
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Computes an energy-optimal schedule for `instance` (Theorem 1 of the paper).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "mpss/flow/dinic.hpp"
+#include "mpss/obs/trace.hpp"
 #include "mpss/util/error.hpp"
 
 namespace mpss {
@@ -99,7 +100,8 @@ std::size_t count_fast_violations(const Instance& instance,
   return violations;
 }
 
-FastOptimalResult optimal_schedule_fast(const Instance& instance, double epsilon) {
+FastOptimalResult optimal_schedule_fast(const Instance& instance, double epsilon,
+                                        obs::TraceSink* trace) {
   check_arg(epsilon > 0.0 && epsilon < 0.1, "optimal_schedule_fast: bad epsilon");
   FastIntervals intervals(instance);
   const std::size_t interval_count = intervals.count();
@@ -107,6 +109,10 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance, double epsilon
 
   FastOptimalResult result;
   result.schedule.machines.resize(m);
+  obs::ScopedTimer timer;
+  result.stats.counters.set("optimal_fast.intervals", interval_count);
+  obs::emit(trace, obs::EventKind::kSolveStart, "optimal_fast.solve",
+            instance.size(), m);
 
   std::vector<std::size_t> remaining;
   std::vector<double> work(instance.size(), 0.0);
@@ -132,6 +138,10 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance, double epsilon
     std::vector<std::size_t> candidates = remaining;
     std::vector<std::size_t> reserved(interval_count, 0);
     double speed = 0.0;
+    const std::size_t phase_index = result.phase_speeds.size();
+    std::size_t rounds = 0;
+    obs::emit(trace, obs::EventKind::kPhaseStart, "optimal_fast.phase", phase_index,
+              candidates.size());
 
     // Per-round flow bookkeeping for extraction.
     std::vector<std::vector<std::pair<std::size_t, FlowNetwork<double>::EdgeId>>>
@@ -141,6 +151,7 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance, double epsilon
     for (;;) {
       check_internal(!candidates.empty(),
                      "optimal_schedule_fast: candidate set emptied");
+      ++rounds;
       ++result.flow_computations;
 
       std::vector<std::size_t> count_active(interval_count, 0);
@@ -191,6 +202,10 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance, double epsilon
       }
 
       double flow_value = net.max_flow(source, sink);
+      result.stats.flow_bfs_rounds += net.kernel_stats().bfs_rounds;
+      result.stats.flow_augmenting_paths += net.kernel_stats().augmenting_paths;
+      obs::emit(trace, obs::EventKind::kFlowRound, "optimal_fast.round", phase_index,
+                rounds, flow_value / reserved_time);
       if (flow_value >= reserved_time * (1.0 - epsilon)) break;
 
       // Removal rule, epsilon-guarded.
@@ -211,9 +226,14 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance, double epsilon
       }
       check_internal(victim != static_cast<std::size_t>(-1),
                      "optimal_schedule_fast: no removable job found");
+      ++result.stats.candidate_removals;
+      obs::emit(trace, obs::EventKind::kCandidateRemoved,
+                "optimal_fast.lemma4_removal", phase_index, candidates[victim]);
       candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(victim));
     }
 
+    obs::emit(trace, obs::EventKind::kPhaseEnd, "optimal_fast.phase", phase_index,
+              rounds, speed);
     result.phase_speeds.push_back(speed);
 
     // Extract: per interval, wrap the chunks over the reserved machines.
@@ -264,6 +284,11 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance, double epsilon
     }
     remaining = std::move(next);
   }
+  result.stats.phases = result.phase_speeds.size();
+  result.stats.flow_computations = result.flow_computations;
+  obs::emit(trace, obs::EventKind::kSolveEnd, "optimal_fast.solve",
+            result.phase_speeds.size(), result.flow_computations);
+  result.stats.wall_seconds = timer.elapsed_seconds();
   return result;
 }
 

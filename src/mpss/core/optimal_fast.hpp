@@ -17,6 +17,7 @@
 
 #include "mpss/core/job.hpp"
 #include "mpss/core/power.hpp"
+#include "mpss/obs/stats.hpp"
 
 namespace mpss {
 
@@ -42,6 +43,9 @@ struct FastOptimalResult {
   FastSchedule schedule;
   std::vector<double> phase_speeds;  // descending (within tolerance)
   std::size_t flow_computations = 0;
+  /// Telemetry mirroring the exact engine's (phases/rounds/removals, flow-kernel
+  /// work, wall time) so bench_offline can compare the two paths event-for-event.
+  obs::SolveStats stats;
 };
 
 /// Approximate feasibility: window containment and machine overlap within
@@ -53,8 +57,11 @@ struct FastOptimalResult {
 
 /// The offline algorithm over doubles. `epsilon` is the relative tolerance of the
 /// flow-saturation tests (default 1e-9; looser values risk misclassifying phases
-/// on near-degenerate instances -- experiment E13 quantifies this).
+/// on near-degenerate instances -- experiment E13 quantifies this). With a
+/// non-null `trace`, emits the same event stream as the exact engine under
+/// "optimal_fast.*" labels.
 [[nodiscard]] FastOptimalResult optimal_schedule_fast(const Instance& instance,
-                                                      double epsilon = 1e-9);
+                                                      double epsilon = 1e-9,
+                                                      obs::TraceSink* trace = nullptr);
 
 }  // namespace mpss

@@ -32,6 +32,15 @@ struct FlowTraits<double> {
   static bool is_positive(double value) { return value > kEpsilon; }
 };
 
+/// Work counters of one max_flow() run, exposed for the observability layer
+/// (obs::SolveStats aggregates them across the scheduler's feasibility tests).
+struct FlowKernelStats {
+  /// Level graphs built (BFS passes), including the final failed one.
+  std::size_t bfs_rounds = 0;
+  /// Augmenting paths pushed across all blocking-flow phases.
+  std::size_t augmenting_paths = 0;
+};
+
 /// Directed flow network with residual arcs. Nodes are dense indices created via
 /// add_node(); arcs keep their insertion id so callers can read per-edge flow after
 /// max_flow() (the scheduler converts edge flows into processing times).
@@ -78,6 +87,7 @@ class FlowNetwork {
     for (const Arc& arc : arcs_) original_capacity_.push_back(arc.residual);
 
     Cap total = FlowTraits<Cap>::zero();
+    stats_ = FlowKernelStats{};
     level_.assign(adjacency_.size(), -1);
     iterator_.assign(adjacency_.size(), 0);
     while (build_levels(source, sink)) {
@@ -85,12 +95,16 @@ class FlowNetwork {
       for (;;) {
         Cap pushed = blocking_path(source, sink, Cap{}, /*unbounded=*/true);
         if (!FlowTraits<Cap>::is_positive(pushed)) break;
+        ++stats_.augmenting_paths;
         total += pushed;
       }
     }
     solved_ = true;
     return total;
   }
+
+  /// Work counters of the last max_flow() run (zeros before the first run).
+  [[nodiscard]] const FlowKernelStats& kernel_stats() const { return stats_; }
 
   /// Flow routed along edge `id` (only meaningful after max_flow()).
   [[nodiscard]] Cap flow(EdgeId id) const {
@@ -140,6 +154,7 @@ class FlowNetwork {
   };
 
   bool build_levels(std::size_t source, std::size_t sink) {
+    ++stats_.bfs_rounds;
     level_.assign(adjacency_.size(), -1);
     queue_.clear();
     queue_.push_back(source);
@@ -186,6 +201,7 @@ class FlowNetwork {
   std::vector<int> level_;
   std::vector<std::size_t> iterator_;
   std::vector<std::size_t> queue_;
+  FlowKernelStats stats_;
   bool solved_ = false;
 };
 

@@ -10,6 +10,7 @@ Cap PushRelabelNetwork<Cap>::max_flow(std::size_t source, std::size_t sink) {
             "PushRelabelNetwork::max_flow: node index out of range");
   check_arg(source != sink, "PushRelabelNetwork::max_flow: source == sink");
   const std::size_t n = adjacency_.size();
+  stats_ = PushRelabelKernelStats{};
   excess_.assign(n, Cap{});
   height_.assign(n, 0);
   height_[source] = n;
@@ -54,6 +55,7 @@ Cap PushRelabelNetwork<Cap>::max_flow(std::size_t source, std::size_t sink) {
       excess_[forward.target] += amount;
       excess_[node] -= amount;
       if (target_was_inactive) activate(forward.target);
+      ++stats_.pushes;
       pushed = true;
       if (!(Cap{} < excess_[node])) break;
     }
@@ -70,6 +72,7 @@ Cap PushRelabelNetwork<Cap>::max_flow(std::size_t source, std::size_t sink) {
                      "push_relabel: active node with no residual arcs");
       height_[node] = best;
       current[node] = 0;
+      ++stats_.relabels;
     }
   }
 

@@ -16,6 +16,13 @@
 
 namespace mpss {
 
+/// Work counters of one PushRelabelNetwork::max_flow() run (the push-relabel
+/// analogue of FlowKernelStats; bench_flow reports both side by side).
+struct PushRelabelKernelStats {
+  std::size_t pushes = 0;
+  std::size_t relabels = 0;
+};
+
 /// Standalone solver mirroring FlowNetwork's interface (add_nodes/add_edge/
 /// max_flow/flow). Kept separate rather than templated-over-strategy so each
 /// algorithm stays independently readable and independently buggy.
@@ -52,6 +59,9 @@ class PushRelabelNetwork {
     return arcs_[edge_arc_.at(id) ^ 1].residual;
   }
 
+  /// Work counters of the last max_flow() run (zeros before the first run).
+  [[nodiscard]] const PushRelabelKernelStats& kernel_stats() const { return stats_; }
+
  private:
   struct Arc {
     std::size_t target;
@@ -64,6 +74,7 @@ class PushRelabelNetwork {
   std::vector<Cap> excess_;
   std::vector<std::size_t> height_;
   std::vector<std::size_t> active_;  // stack of active nodes
+  PushRelabelKernelStats stats_;
   bool solved_ = false;
 };
 

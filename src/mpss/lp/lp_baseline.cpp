@@ -3,19 +3,27 @@
 #include <vector>
 
 #include "mpss/core/intervals.hpp"
+#include "mpss/obs/counters.hpp"
+#include "mpss/obs/trace.hpp"
 #include "mpss/util/error.hpp"
 
 namespace mpss {
 
 LpBaselineResult lp_baseline(const Instance& instance, const PowerFunction& p,
-                             std::size_t grid_size, double max_speed_hint) {
+                             std::size_t grid_size, double max_speed_hint,
+                             obs::TraceSink* trace) {
   check_arg(grid_size >= 2, "lp_baseline: grid needs at least two speed levels");
 
   IntervalDecomposition intervals(instance.jobs());
   const std::size_t interval_count = intervals.count();
   LpBaselineResult result;
+  obs::ScopedTimer timer;
+  obs::emit(trace, obs::EventKind::kSolveStart, "lp.solve", instance.size(),
+            grid_size);
   if (interval_count == 0 || instance.total_work().is_zero()) {
     result.status = LpSolution::Status::kOptimal;
+    obs::emit(trace, obs::EventKind::kSolveEnd, "lp.solve");
+    result.stats.wall_seconds = timer.elapsed_seconds();
     return result;
   }
 
@@ -96,10 +104,17 @@ LpBaselineResult lp_baseline(const Instance& instance, const PowerFunction& p,
 
   result.variables = problem.num_vars;
   result.constraints = problem.rows.size();
-  LpSolution solution = solve_lp(problem);
+  LpSolution solution = solve_lp(problem, trace);
   result.status = solution.status;
   result.energy = solution.objective;
   result.iterations = solution.iterations;
+  result.stats.simplex_pivots = solution.iterations;
+  result.stats.simplex_degenerate_pivots = solution.degenerate_pivots;
+  result.stats.counters.add("lp.variables", result.variables);
+  result.stats.counters.add("lp.constraints", result.constraints);
+  obs::emit(trace, obs::EventKind::kSolveEnd, "lp.solve", solution.iterations, 0,
+            solution.objective);
+  result.stats.wall_seconds = timer.elapsed_seconds();
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "mpss/core/job.hpp"
 #include "mpss/core/power.hpp"
 #include "mpss/lp/simplex.hpp"
+#include "mpss/obs/stats.hpp"
 
 namespace mpss {
 
@@ -30,16 +31,21 @@ struct LpBaselineResult {
   std::size_t variables = 0;  // LP size, reported by experiment E8
   std::size_t constraints = 0;
   std::size_t iterations = 0;  // simplex pivots
+  /// Telemetry: simplex pivot counts (total + degenerate), wall time, and the
+  /// LP dimensions under "lp.variables" / "lp.constraints".
+  obs::SolveStats stats;
 };
 
 /// Solves the discretized-speed LP. `grid_size` is the number of speed levels
 /// (>= 2); `max_speed_hint`, when positive, overrides the built-in safe upper
 /// bound W_total / min_interval_length (pass the known optimal top speed to get a
 /// tight grid). Returns kInfeasible only if the grid's top speed is too low, which
-/// cannot happen with the built-in bound.
+/// cannot happen with the built-in bound. With a non-null `trace`, simplex pivots
+/// are emitted as trace events.
 [[nodiscard]] LpBaselineResult lp_baseline(const Instance& instance,
                                            const PowerFunction& p,
                                            std::size_t grid_size,
-                                           double max_speed_hint = 0.0);
+                                           double max_speed_hint = 0.0,
+                                           obs::TraceSink* trace = nullptr);
 
 }  // namespace mpss

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "mpss/obs/trace.hpp"
 #include "mpss/util/error.hpp"
 
 namespace mpss {
@@ -30,7 +31,7 @@ enum class PhaseOutcome { kOptimal, kUnbounded };
 /// `reduced` is scratch for the objective row. Returns the outcome; the objective
 /// value is recoverable from the basis.
 PhaseOutcome run_simplex(Tableau& t, const std::vector<double>& cost,
-                         std::size_t* iterations) {
+                         LpSolution* solution, obs::TraceSink* trace) {
   // Reduced-cost row r_j = c_j - sum_i c_B(i) * a(i, j).
   std::vector<double> reduced(t.cols + 1, 0.0);
   for (std::size_t j = 0; j <= t.cols; ++j) {
@@ -67,7 +68,10 @@ PhaseOutcome run_simplex(Tableau& t, const std::vector<double>& cost,
     if (leaving == t.rows) return PhaseOutcome::kUnbounded;
 
     // Pivot on (leaving, entering).
-    ++*iterations;
+    ++solution->iterations;
+    if (best_ratio <= kEps) ++solution->degenerate_pivots;
+    obs::emit(trace, obs::EventKind::kSimplexPivot, "simplex.pivot", entering,
+              t.basis[leaving], best_ratio);
     double pivot = t.a[leaving][entering];
     for (std::size_t j = 0; j <= t.cols; ++j) t.a[leaving][j] /= pivot;
     for (std::size_t i = 0; i < t.rows; ++i) {
@@ -103,7 +107,7 @@ std::string LpSolution::status_name() const {
   return "unknown";
 }
 
-LpSolution solve_lp(const LpProblem& problem) {
+LpSolution solve_lp(const LpProblem& problem, obs::TraceSink* trace) {
   check_arg(problem.objective.size() == problem.num_vars,
             "solve_lp: objective size must equal num_vars");
   for (const auto& row : problem.rows) {
@@ -171,7 +175,7 @@ LpSolution solve_lp(const LpProblem& problem) {
   for (std::size_t j = 0; j < t.cols; ++j) {
     if (is_artificial[j]) phase1_cost[j] = 1.0;
   }
-  if (run_simplex(t, phase1_cost, &solution.iterations) == PhaseOutcome::kUnbounded) {
+  if (run_simplex(t, phase1_cost, &solution, trace) == PhaseOutcome::kUnbounded) {
     // Phase 1 objective is bounded below by 0; unbounded means a logic error.
     throw InternalError("solve_lp: phase-1 simplex reported unbounded");
   }
@@ -220,7 +224,7 @@ LpSolution solve_lp(const LpProblem& problem) {
   }
   std::vector<double> phase2_cost(t.cols, 0.0);
   for (std::size_t j = 0; j < n; ++j) phase2_cost[j] = problem.objective[j];
-  if (run_simplex(t, phase2_cost, &solution.iterations) == PhaseOutcome::kUnbounded) {
+  if (run_simplex(t, phase2_cost, &solution, trace) == PhaseOutcome::kUnbounded) {
     solution.status = LpSolution::Status::kUnbounded;
     return solution;
   }

@@ -14,6 +14,10 @@
 
 namespace mpss {
 
+namespace obs {
+class TraceSink;
+}  // namespace obs
+
 /// Row relation in a linear constraint.
 enum class Relation { kLessEqual, kEqual, kGreaterEqual };
 
@@ -40,12 +44,19 @@ struct LpSolution {
   double objective = 0.0;
   std::vector<double> values;  // primal solution, size num_vars (when optimal)
   std::size_t iterations = 0;  // total pivots across both phases
+  /// Pivots whose ratio test was (numerically) zero -- the objective did not
+  /// move. Bland's rule guarantees these terminate; telemetry exposes how much
+  /// of the pivot budget degeneracy eats.
+  std::size_t degenerate_pivots = 0;
 
   [[nodiscard]] std::string status_name() const;
 };
 
 /// Solves the LP. Throws std::invalid_argument on malformed input (objective size
-/// mismatch, variable index out of range).
-[[nodiscard]] LpSolution solve_lp(const LpProblem& problem);
+/// mismatch, variable index out of range). With a non-null `trace`, every pivot
+/// emits an obs::EventKind::kSimplexPivot event (a=entering column, b=leaving
+/// row's basic variable, value=ratio).
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem,
+                                  obs::TraceSink* trace = nullptr);
 
 }  // namespace mpss

@@ -6,6 +6,7 @@
 //   * optimal_schedule()  -- the paper's combinatorial offline algorithm (Sec. 2),
 //   * oa_schedule()       -- Optimal Available for m processors (Sec. 3.1),
 //   * avr_schedule()      -- Average Rate for m processors (Sec. 3.2),
+//   * solve()             -- one facade over all engines, with telemetry,
 // plus every substrate they stand on (exact rationals, max-flow, YDS, LP baseline,
 // non-migratory baselines, workload generators). See README.md for a tour.
 
@@ -31,6 +32,10 @@
 #include "mpss/lp/lp_baseline.hpp"
 #include "mpss/lp/simplex.hpp"
 #include "mpss/nomig/nonmigratory.hpp"
+#include "mpss/obs/counters.hpp"
+#include "mpss/obs/registry.hpp"
+#include "mpss/obs/stats.hpp"
+#include "mpss/obs/trace.hpp"
 #include "mpss/online/adversary_search.hpp"
 #include "mpss/online/avr.hpp"
 #include "mpss/online/bkp.hpp"
@@ -39,6 +44,7 @@
 #include "mpss/online/potential.hpp"
 #include "mpss/online/simulator.hpp"
 #include "mpss/sim/executor.hpp"
+#include "mpss/solve.hpp"
 #include "mpss/util/cli.hpp"
 #include "mpss/util/csv.hpp"
 #include "mpss/util/error.hpp"

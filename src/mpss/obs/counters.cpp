@@ -1,0 +1,59 @@
+#include "mpss/obs/counters.hpp"
+
+namespace mpss::obs {
+
+void Counters::add(std::string_view name, std::uint64_t delta) {
+  auto it = items_.find(name);
+  if (it == items_.end()) {
+    items_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Counters::set(std::string_view name, std::uint64_t value) {
+  auto it = items_.find(name);
+  if (it == items_.end()) {
+    items_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+std::uint64_t Counters::value(std::string_view name) const {
+  auto it = items_.find(name);
+  return it == items_.end() ? 0 : it->second;
+}
+
+void Counters::merge(const Counters& other) {
+  for (const auto& [name, value] : other.items_) add(name, value);
+}
+
+ScopedTimer::ScopedTimer() : start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::ScopedTimer(double& seconds)
+    : start_(std::chrono::steady_clock::now()), seconds_(&seconds) {}
+
+ScopedTimer::ScopedTimer(Counters& counters, std::string name)
+    : start_(std::chrono::steady_clock::now()),
+      counters_(&counters),
+      name_(std::move(name)) {}
+
+double ScopedTimer::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+ScopedTimer::~ScopedTimer() {
+  auto elapsed = std::chrono::steady_clock::now() - start_;
+  if (seconds_ != nullptr) {
+    *seconds_ += std::chrono::duration<double>(elapsed).count();
+  }
+  if (counters_ != nullptr) {
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    counters_->add(name_ + ".ns", static_cast<std::uint64_t>(ns));
+    counters_->add(name_ + ".calls", 1);
+  }
+}
+
+}  // namespace mpss::obs

@@ -1,0 +1,84 @@
+#pragma once
+// Counter and timer primitives of the observability subsystem (S40, see
+// DESIGN.md).
+//
+// `Counters` is a small named-counter bag used by the solver engines to expose
+// how much work they did (flow rounds, pivots, removals, ...) without committing
+// to a fixed schema; `ScopedTimer` is the matching RAII wall-clock accumulator.
+// Neither is thread-safe on its own -- concurrent paths keep a per-thread
+// instance and merge into obs::Registry (registry.hpp), mirroring how
+// RunningStats handles parallel sweeps.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace mpss::obs {
+
+/// Named monotonic counters. Lookup of a missing name yields 0, so readers never
+/// have to guess which counters an engine happened to bump.
+class Counters {
+ public:
+  using Map = std::map<std::string, std::uint64_t, std::less<>>;
+
+  /// Adds `delta` to counter `name` (creating it at 0 first).
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Sets counter `name` to `value` (gauges: LP sizes, interval counts, ...).
+  void set(std::string_view name, std::uint64_t value);
+
+  /// Current value of `name`; 0 when the counter was never touched.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  /// Adds every counter of `other` into this one.
+  void merge(const Counters& other);
+
+  void clear() { items_.clear(); }
+
+  /// All counters in name order (stable for table output and tests).
+  [[nodiscard]] const Map& items() const { return items_; }
+
+ private:
+  Map items_;
+};
+
+/// RAII wall-clock timer. On destruction it adds the elapsed time either to a
+/// plain seconds accumulator or to a Counters pair "<name>.ns" / "<name>.calls"
+/// (integral nanoseconds keep Counters uniform). Coarse-grained by design: time
+/// whole solves and phases, not inner loops.
+class ScopedTimer {
+ public:
+  /// Free-standing stopwatch: accumulates nowhere; read via elapsed_seconds().
+  /// The engines use this (rather than the accumulator form) to stamp a result
+  /// field right before returning it -- binding the destructor to the result
+  /// would make the recorded value depend on whether NRVO fired.
+  ScopedTimer();
+
+  /// Accumulates elapsed seconds into `seconds` on destruction.
+  explicit ScopedTimer(double& seconds);
+
+  /// Bumps `counters["<name>.ns"]` by the elapsed nanoseconds and
+  /// `counters["<name>.calls"]` by 1 on destruction.
+  ScopedTimer(Counters& counters, std::string name);
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer();
+
+  /// Seconds elapsed since construction (without stopping the timer).
+  [[nodiscard]] double elapsed_seconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  double* seconds_ = nullptr;
+  Counters* counters_ = nullptr;
+  std::string name_;
+};
+
+}  // namespace mpss::obs

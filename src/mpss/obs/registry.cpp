@@ -1,0 +1,30 @@
+#include "mpss/obs/registry.hpp"
+
+namespace mpss::obs {
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+void Registry::add(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.add(name, delta);
+}
+
+void Registry::merge(const Counters& counters) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.merge(counters);
+}
+
+Counters Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+}
+
+}  // namespace mpss::obs

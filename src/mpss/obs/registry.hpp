@@ -1,0 +1,64 @@
+#pragma once
+// Process-wide, thread-safe aggregation point of the observability subsystem
+// (S40, see DESIGN.md).
+//
+// Two jobs:
+//   * a global named-counter store that concurrent paths (ThreadPool workers,
+//     the schedule executor, parallel experiment sweeps) bump or merge into
+//     without any plumbing through their call sites;
+//   * the process-wide default TraceSink that obs::emit() falls back to when an
+//     engine was not handed an explicit sink (how the CLI tools turn tracing on
+//     globally).
+//
+// The registry never owns the sink -- callers attach/detach a sink they own and
+// must keep alive while attached.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "mpss/obs/counters.hpp"
+
+namespace mpss::obs {
+
+class TraceSink;
+
+class Registry {
+ public:
+  /// The process-wide registry.
+  static Registry& global();
+
+  /// Thread-safe counter bump.
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Thread-safe merge of a locally accumulated Counters (the per-thread
+  /// pattern: accumulate privately, merge once).
+  void merge(const Counters& counters);
+
+  /// Copy of the current counters.
+  [[nodiscard]] Counters snapshot() const;
+
+  /// Drops all counters (tests and benchmark harness resets).
+  void reset();
+
+  /// Attaches (or with nullptr detaches) the process-wide default sink.
+  void attach_sink(TraceSink* sink) { sink_.store(sink, std::memory_order_release); }
+  [[nodiscard]] TraceSink* sink() const {
+    return sink_.load(std::memory_order_acquire);
+  }
+
+  /// Next global event sequence number (shared by all sinks so interleavings
+  /// across threads stay reconstructible).
+  std::uint64_t next_seq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  Counters counters_;
+  std::atomic<TraceSink*> sink_{nullptr};
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+}  // namespace mpss::obs

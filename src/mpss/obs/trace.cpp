@@ -1,0 +1,275 @@
+#include "mpss/obs/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <chrono>
+#include <sstream>
+
+#include "mpss/obs/registry.hpp"
+#include "mpss/util/error.hpp"
+
+namespace mpss::obs {
+namespace {
+
+constexpr const char* kKindNames[] = {
+    "solve_start", "solve_end",     "phase_start", "phase_end",    "flow_round",
+    "candidate_removed", "simplex_pivot", "arrival", "peel", "counter",
+};
+constexpr std::size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
+
+/// Round-trippable double formatting for the JSON payloads.
+std::string format_double(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+/// Minimal escaping: labels are dotted identifiers by convention, but a sink
+/// must not emit broken JSON for any input.
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+/// Flat one-line JSON object scanner: extracts string and number fields. Only
+/// the subset to_jsonl() produces is understood, which is all the parser
+/// promises.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : text_(line) {}
+
+  TraceEvent parse() {
+    TraceEvent event;
+    skip_space();
+    expect('{');
+    skip_space();
+    if (peek() == '}') {
+      ++pos_;
+      return event;
+    }
+    for (;;) {
+      std::string key = parse_string();
+      skip_space();
+      expect(':');
+      skip_space();
+      if (peek() == '"') {
+        std::string value = parse_string();
+        if (key == "kind") {
+          event.kind = event_kind_from_name(value);
+        } else if (key == "label") {
+          event.label = std::move(value);
+        }  // unknown string keys ignored
+      } else {
+        double number = parse_number();
+        if (key == "a") {
+          event.a = static_cast<std::uint64_t>(number);
+        } else if (key == "b") {
+          event.b = static_cast<std::uint64_t>(number);
+        } else if (key == "seq") {
+          event.seq = static_cast<std::uint64_t>(number);
+        } else if (key == "value") {
+          event.value = number;
+        } else if (key == "t") {
+          event.t_seconds = number;
+        }  // unknown numeric keys ignored
+      }
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        skip_space();
+        continue;
+      }
+      expect('}');
+      return event;
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::invalid_argument(std::string("parse_trace_jsonl: ") + what + ": " +
+                                std::string(text_));
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void expect(char c) {
+    if (peek() != c) fail("malformed line");
+    ++pos_;
+  }
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    expect('"');
+    return out;
+  }
+  double parse_number() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    double value = 0.0;
+    auto result = std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (result.ec != std::errc{}) fail("bad number");
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  auto index = static_cast<std::size_t>(kind);
+  check_internal(index < kKindCount, "event_kind_name: unknown EventKind");
+  return kKindNames[index];
+}
+
+EventKind event_kind_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    if (name == kKindNames[i]) return static_cast<EventKind>(i);
+  }
+  throw std::invalid_argument("event_kind_from_name: unknown kind '" +
+                              std::string(name) + "'");
+}
+
+void MemorySink::record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> MemorySink::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t MemorySink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::size_t MemorySink::count(EventKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::size_t MemorySink::count_label(std::string_view label) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [label](const TraceEvent& e) { return e.label == label; }));
+}
+
+void MemorySink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+
+JsonlSink::JsonlSink(const std::string& path) : file_(path), out_(&file_) {
+  check_arg(static_cast<bool>(file_), "JsonlSink: cannot open trace file");
+}
+
+void JsonlSink::record(const TraceEvent& event) {
+  std::string line = to_jsonl(event);
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << line << '\n';
+}
+
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_->flush();
+}
+
+std::string to_jsonl(const TraceEvent& event) {
+  std::string out = "{\"seq\":" + std::to_string(event.seq) + ",\"kind\":\"" +
+                    event_kind_name(event.kind) + "\",\"label\":";
+  append_json_string(out, event.label);
+  out += ",\"a\":" + std::to_string(event.a);
+  out += ",\"b\":" + std::to_string(event.b);
+  out += ",\"value\":" + format_double(event.value);
+  out += ",\"t\":" + format_double(event.t_seconds);
+  out += '}';
+  return out;
+}
+
+std::vector<TraceEvent> parse_trace_jsonl(std::string_view text) {
+  std::vector<TraceEvent> events;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    bool blank = line.find_first_not_of(" \t\r") == std::string_view::npos;
+    if (!blank) events.push_back(LineParser(line).parse());
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return events;
+}
+
+std::vector<TraceEvent> parse_trace_jsonl(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  return parse_trace_jsonl(std::string_view(text));
+}
+
+void emit(TraceSink* sink, EventKind kind, std::string_view label, std::uint64_t a,
+          std::uint64_t b, double value) {
+  if (sink == nullptr) sink = Registry::global().sink();
+  if (sink == nullptr) return;
+  TraceEvent event;
+  event.kind = kind;
+  event.label = std::string(label);
+  event.a = a;
+  event.b = b;
+  event.value = value;
+  event.seq = Registry::global().next_seq();
+  if constexpr (kTimestampedTracing) {
+    event.t_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+  }
+  sink->record(event);
+}
+
+}  // namespace mpss::obs

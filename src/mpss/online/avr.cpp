@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mpss/core/mcnaughton.hpp"
+#include "mpss/obs/trace.hpp"
 #include "mpss/util/error.hpp"
 
 namespace mpss {
@@ -56,8 +57,13 @@ AvrResult avr_schedule(const Instance& instance) {
 
 AvrResult avr_schedule(const Instance& instance, const AvrOptions& options) {
   auto [t_begin, t_end] = integral_horizon(instance);
-  AvrResult result{Schedule(instance.machines()), 0};
+  AvrResult result{Schedule(instance.machines()), 0, {}};
   const std::size_t m = instance.machines();
+  obs::TraceSink* trace = options.trace;
+  obs::ScopedTimer timer;
+  result.stats.counters.set("avr.unit_intervals",
+                            static_cast<std::uint64_t>(t_end - t_begin));
+  obs::emit(trace, obs::EventKind::kSolveStart, "avr.solve", instance.size(), m);
 
   for (std::int64_t t = t_begin; t < t_end; ++t) {
     Q interval_start(t);
@@ -75,6 +81,7 @@ AvrResult avr_schedule(const Instance& instance, const AvrOptions& options) {
       }
     }
     if (active.empty()) continue;
+    result.stats.counters.add("avr.active_pairs", active.size());
     std::sort(active.begin(), active.end(), [](const ActiveJob& a, const ActiveJob& b) {
       return b.density < a.density;  // descending; stable job order on ties
     });
@@ -98,8 +105,12 @@ AvrResult avr_schedule(const Instance& instance, const AvrOptions& options) {
       result.schedule.add(peeled, Slice{interval_start, interval_end,
                                         active[peeled].density, active[peeled].job});
       pending_density -= active[peeled].density;
+      obs::emit(trace, obs::EventKind::kPeel, "avr.peel",
+                static_cast<std::uint64_t>(t - t_begin), active[peeled].job,
+                active[peeled].density.to_double());
       ++peeled;
       ++result.peel_events;
+      ++result.stats.peel_events;
       check_internal(peeled < m || peeled == active.size(),
                      "avr_schedule: peeled all machines with jobs left");
     }
@@ -116,6 +127,8 @@ AvrResult avr_schedule(const Instance& instance, const AvrOptions& options) {
     mcnaughton_pack(result.schedule, interval_start, Q(1), peeled, m - peeled,
                     uniform_speed, chunks);
   }
+  obs::emit(trace, obs::EventKind::kSolveEnd, "avr.solve", result.peel_events);
+  result.stats.wall_seconds = timer.elapsed_seconds();
   return result;
 }
 

@@ -20,6 +20,7 @@
 #include "mpss/core/job.hpp"
 #include "mpss/core/power.hpp"
 #include "mpss/core/schedule.hpp"
+#include "mpss/obs/stats.hpp"
 
 namespace mpss {
 
@@ -29,6 +30,10 @@ namespace mpss {
 struct AvrResult {
   Schedule schedule;
   std::size_t peel_events = 0;
+  /// Telemetry: `stats.peel_events` mirrors the field above; "avr.unit_intervals"
+  /// (horizon length) and "avr.active_pairs" (scheduled (interval, job) pairs)
+  /// live in the counters.
+  obs::SolveStats stats;
 };
 
 /// Ablation knob (experiment E12): with peeling disabled, every unit interval is
@@ -38,6 +43,9 @@ struct AvrResult {
 /// peel-off exists to prevent. check_schedule() exposes it.
 struct AvrOptions {
   bool enable_peeling = true;
+  /// Optional trace sink: one kPeel event per dedicated-processor branch. Null
+  /// falls back to the process-wide sink in obs::Registry.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Runs AVR(m). Throws std::invalid_argument when the instance has non-integral

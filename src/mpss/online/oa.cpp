@@ -1,13 +1,32 @@
 #include "mpss/online/oa.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "mpss/core/optimal.hpp"
 
 namespace mpss {
 
+OnlineRunResult oa_schedule(const Instance& instance, obs::TraceSink* trace) {
+  // The planner's per-call stats are merged outside the lambda: the harness
+  // wall-clocks each call itself, and merging after the run keeps the lambda
+  // copyable (Planner is a std::function).
+  auto inner = std::make_shared<obs::SolveStats>();
+  OnlineRunResult result =
+      run_replanning_online(instance, [inner](const Instance& available) {
+        OptimalResult planned = optimal_schedule(available);
+        // Keep planner wall time out of the merge: the harness already measures
+        // the call, and double-counting would inflate stats.wall_seconds.
+        planned.stats.wall_seconds = 0.0;
+        inner->merge(planned.stats);
+        return std::move(planned.schedule);
+      }, trace);
+  result.stats.merge(*inner);
+  return result;
+}
+
 OnlineRunResult oa_schedule(const Instance& instance) {
-  return run_replanning_online(instance, [](const Instance& available) {
-    return optimal_schedule(available).schedule;
-  });
+  return oa_schedule(instance, nullptr);
 }
 
 double oa_energy(const Instance& instance, const PowerFunction& p) {

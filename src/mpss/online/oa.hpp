@@ -15,7 +15,13 @@
 namespace mpss {
 
 /// Runs OA(m) on `instance` (any m >= 1; m = 1 reproduces classic OA). The
-/// returned schedule covers the whole horizon and is always feasible.
+/// returned schedule covers the whole horizon and is always feasible. With a
+/// non-null `trace` the harness's arrival events are recorded; the returned
+/// stats aggregate the per-arrival exact-engine solves (phases, flow rounds,
+/// removals) on top of the harness's own counters.
+[[nodiscard]] OnlineRunResult oa_schedule(const Instance& instance,
+                                          obs::TraceSink* trace);
+
 [[nodiscard]] OnlineRunResult oa_schedule(const Instance& instance);
 
 /// Convenience: OA(m) energy under P (runs the simulation and measures).

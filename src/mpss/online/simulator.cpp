@@ -2,12 +2,17 @@
 
 #include <algorithm>
 
+#include "mpss/obs/trace.hpp"
 #include "mpss/util/error.hpp"
 
 namespace mpss {
 
-OnlineRunResult run_replanning_online(const Instance& instance, const Planner& planner) {
-  OnlineRunResult result{Schedule(instance.machines()), 0};
+OnlineRunResult run_replanning_online(const Instance& instance, const Planner& planner,
+                                      obs::TraceSink* trace) {
+  OnlineRunResult result{Schedule(instance.machines()), 0, {}};
+  obs::ScopedTimer total_timer;
+  obs::emit(trace, obs::EventKind::kSolveStart, "online.run", instance.size(),
+            instance.machines());
 
   std::vector<Q> events;
   for (const Job& job : instance.jobs()) {
@@ -15,7 +20,11 @@ OnlineRunResult run_replanning_online(const Instance& instance, const Planner& p
   }
   std::sort(events.begin(), events.end());
   events.erase(std::unique(events.begin(), events.end()), events.end());
-  if (events.empty()) return result;
+  if (events.empty()) {
+    obs::emit(trace, obs::EventKind::kSolveEnd, "online.run");
+    result.stats.wall_seconds = total_timer.elapsed_seconds();
+    return result;
+  }
 
   const Q horizon_end = instance.horizon_end();
   std::vector<Q> remaining;
@@ -37,8 +46,20 @@ OnlineRunResult run_replanning_online(const Instance& instance, const Planner& p
     }
     if (available.empty()) continue;
 
-    Schedule plan = planner(Instance(std::move(sub_jobs), instance.machines()));
+    double plan_seconds = 0.0;
+    Schedule plan = [&] {
+      // Destructor scope covers exactly the planner call, so "online.plan.ns" /
+      // ".calls" measure planning alone (not clipping or remapping).
+      obs::ScopedTimer plan_timer(plan_seconds);
+      return planner(Instance(std::move(sub_jobs), instance.machines()));
+    }();
+    result.stats.counters.add("online.plan.ns",
+                              static_cast<std::uint64_t>(plan_seconds * 1e9));
+    result.stats.counters.add("online.plan.calls", 1);
     ++result.replans;
+    ++result.stats.replans;
+    obs::emit(trace, obs::EventKind::kArrival, "online.arrival", e, available.size(),
+              plan_seconds);
     check_internal(plan.machines() == instance.machines(),
                    "run_replanning_online: planner changed the machine count");
 
@@ -61,6 +82,9 @@ OnlineRunResult run_replanning_online(const Instance& instance, const Planner& p
   for (const Q& rest : remaining) {
     check_internal(rest.is_zero(), "run_replanning_online: unfinished work at horizon");
   }
+  result.stats.counters.set("online.arrivals", events.size());
+  obs::emit(trace, obs::EventKind::kSolveEnd, "online.run", result.replans);
+  result.stats.wall_seconds = total_timer.elapsed_seconds();
   return result;
 }
 

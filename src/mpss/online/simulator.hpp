@@ -14,6 +14,7 @@
 
 #include "mpss/core/job.hpp"
 #include "mpss/core/schedule.hpp"
+#include "mpss/obs/stats.hpp"
 
 namespace mpss {
 
@@ -28,13 +29,19 @@ using Planner = std::function<Schedule(const Instance& available)>;
 struct OnlineRunResult {
   Schedule schedule;
   std::size_t replans = 0;
+  /// Telemetry: `stats.replans` mirrors the field above; "online.arrivals" and
+  /// per-arrival planner seconds ("online.plan.ns"/".calls") live in the
+  /// counters. Planner-internal stats are merged in by oa_schedule.
+  obs::SolveStats stats;
 };
 
 /// Replays `instance` online, re-planning at every distinct release time. The
 /// produced schedule is feasible whenever the planner's schedules are (the harness
 /// executes each plan only up to the next arrival, then hands the planner the
-/// exact remaining work).
+/// exact remaining work). With a non-null `trace` every arrival emits a kArrival
+/// event (a=arrival index, b=available jobs, value=planner seconds).
 [[nodiscard]] OnlineRunResult run_replanning_online(const Instance& instance,
-                                                    const Planner& planner);
+                                                    const Planner& planner,
+                                                    obs::TraceSink* trace = nullptr);
 
 }  // namespace mpss

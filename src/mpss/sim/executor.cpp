@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "mpss/obs/registry.hpp"
+
 namespace mpss {
 
 double ExecutionTrace::mean_flow_time() const {
@@ -90,6 +92,14 @@ ExecutionTrace execute_schedule(const Instance& instance, const Schedule& schedu
     }
     execution.flow_time = execution.completion - job.release;
   }
+
+  // Per-thread pattern: accumulate locally, merge once (execute_schedule runs
+  // concurrently in the experiment sweeps).
+  obs::Counters local;
+  local.add("executor.runs");
+  local.add("executor.slices", schedule.slice_count());
+  local.add("executor.anomalies", trace.anomalies.size());
+  obs::Registry::global().merge(local);
   return trace;
 }
 

@@ -1,0 +1,114 @@
+#include "mpss/solve.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "mpss/lp/lp_baseline.hpp"
+#include "mpss/online/oa.hpp"
+
+namespace mpss {
+namespace {
+
+const PowerFunction& effective_power(const SolveOptions& options) {
+  static const AlphaPower kCube(3.0);
+  return options.power != nullptr ? *options.power : kCube;
+}
+
+SolveResult run_engine(const Instance& instance, const SolveOptions& options) {
+  const PowerFunction& p = effective_power(options);
+  SolveResult result;
+
+  switch (options.engine) {
+    case Engine::kExact: {
+      OptimalOptions exact = options.exact;
+      if (options.trace != nullptr) exact.trace = options.trace;
+      OptimalResult r = optimal_schedule(instance, exact);
+      result.energy = r.schedule.energy(p);
+      result.stats = std::move(r.stats);
+      result.schedule = std::move(r.schedule);
+      return result;
+    }
+    case Engine::kFast: {
+      FastOptimalResult r =
+          optimal_schedule_fast(instance, options.fast_epsilon, options.trace);
+      result.energy = r.schedule.energy(p);
+      result.stats = std::move(r.stats);
+      result.schedule = std::move(r.schedule);
+      return result;
+    }
+    case Engine::kOa: {
+      OnlineRunResult r = oa_schedule(instance, options.trace);
+      result.energy = r.schedule.energy(p);
+      result.stats = std::move(r.stats);
+      result.schedule = std::move(r.schedule);
+      return result;
+    }
+    case Engine::kAvr: {
+      AvrOptions avr = options.avr;
+      if (options.trace != nullptr) avr.trace = options.trace;
+      AvrResult r = avr_schedule(instance, avr);
+      result.energy = r.schedule.energy(p);
+      result.stats = std::move(r.stats);
+      result.schedule = std::move(r.schedule);
+      return result;
+    }
+    case Engine::kLp: {
+      LpBaselineResult r = lp_baseline(instance, p, options.lp_grid,
+                                       options.lp_max_speed_hint, options.trace);
+      result.stats = std::move(r.stats);
+      switch (r.status) {
+        case LpSolution::Status::kOptimal:
+          result.energy = r.energy;
+          break;
+        case LpSolution::Status::kInfeasible:
+          result.status = SolveStatus::kInfeasible;
+          result.message = "lp_baseline: speed grid too low for the instance";
+          break;
+        case LpSolution::Status::kUnbounded:
+          result.status = SolveStatus::kUnbounded;
+          result.message = "lp_baseline: LP reported unbounded";
+          break;
+      }
+      return result;
+    }
+  }
+  throw std::invalid_argument("solve: unknown engine");
+}
+
+}  // namespace
+
+const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kExact: return "exact";
+    case Engine::kFast: return "fast";
+    case Engine::kOa: return "oa";
+    case Engine::kAvr: return "avr";
+    case Engine::kLp: return "lp";
+  }
+  return "unknown";
+}
+
+const char* solve_status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk: return "ok";
+    case SolveStatus::kInvalidInstance: return "invalid_instance";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+  }
+  return "unknown";
+}
+
+SolveResult solve(const Instance& instance, const SolveOptions& options) {
+  try {
+    return run_engine(instance, options);
+  } catch (const std::invalid_argument& error) {
+    // Caller errors (check_arg across the engines) become a status; an
+    // InternalError stays an exception -- it marks a library bug.
+    SolveResult result;
+    result.status = SolveStatus::kInvalidInstance;
+    result.message = error.what();
+    return result;
+  }
+}
+
+}  // namespace mpss

@@ -1,0 +1,117 @@
+#pragma once
+// Unified solve() facade (S41, see DESIGN.md): one entry point over every
+// scheduling engine the library implements.
+//
+// The per-engine free functions (optimal_schedule, optimal_schedule_fast,
+// oa_schedule, avr_schedule, lp_baseline) remain the primary API for callers
+// that want an engine's full result type. The facade serves callers that treat
+// the engine as a knob -- the CLI tools, the benches, and comparative
+// experiments -- and gives them a common result shape: a status code instead of
+// an exception for predictable input errors, one energy number, the schedule
+// (exact or double-precision, whichever the engine produces), and the engine's
+// obs::SolveStats telemetry.
+
+#include <cstddef>
+#include <string>
+#include <variant>
+
+#include "mpss/core/job.hpp"
+#include "mpss/core/optimal.hpp"
+#include "mpss/core/optimal_fast.hpp"
+#include "mpss/core/power.hpp"
+#include "mpss/core/schedule.hpp"
+#include "mpss/obs/stats.hpp"
+#include "mpss/online/avr.hpp"
+
+namespace mpss {
+
+/// The scheduling engines reachable through solve().
+enum class Engine {
+  kExact,  // optimal_schedule: the paper's combinatorial algorithm, exact Q
+  kFast,   // optimal_schedule_fast: same structure over doubles
+  kOa,     // oa_schedule: Optimal Available, re-planning at every arrival
+  kAvr,    // avr_schedule: Average Rate (needs integral release/deadlines)
+  kLp,     // lp_baseline: discretized-speed LP upper bound
+};
+
+/// Stable lowercase name ("exact", "fast", "oa", "avr", "lp") for CLI flags and
+/// table headers.
+[[nodiscard]] const char* engine_name(Engine engine);
+
+/// How a solve() call ended. Predictable input problems come back as statuses;
+/// exceptions are reserved for InternalError (broken invariants -- a bug, not
+/// an input).
+enum class SolveStatus {
+  kOk,
+  kInvalidInstance,  // engine rejected the input (e.g. AVR on fractional times)
+  kInfeasible,       // LP grid's top speed too low for the instance
+  kUnbounded,        // LP reported unbounded (cannot happen on valid input)
+};
+
+/// Stable lowercase name ("ok", "invalid_instance", "infeasible", "unbounded").
+[[nodiscard]] const char* solve_status_name(SolveStatus status);
+
+/// Knobs of solve(). Default-constructed options run the exact engine with the
+/// library defaults and P(s) = s^3.
+struct SolveOptions {
+  Engine engine = Engine::kExact;
+
+  /// Power function used to measure the returned energy (and to drive the LP
+  /// objective). Null means P(s) = s^3. Not owned; must outlive the call.
+  const PowerFunction* power = nullptr;
+
+  /// Exact engine (also the planner inside OA).
+  OptimalOptions exact;
+
+  /// Fast engine: relative tolerance of the flow-saturation tests.
+  double fast_epsilon = 1e-9;
+
+  /// AVR engine.
+  AvrOptions avr;
+
+  /// LP engine: number of speed levels (>= 2) and optional top-speed override.
+  std::size_t lp_grid = 8;
+  double lp_max_speed_hint = 0.0;
+
+  /// Trace sink handed to the engine (overrides the per-engine sinks inside
+  /// `exact` / `avr`). Null falls back to the process-wide sink in
+  /// obs::Registry. Not owned; must outlive the call.
+  obs::TraceSink* trace = nullptr;
+};
+
+/// Common result shape of every engine.
+struct SolveResult {
+  SolveStatus status = SolveStatus::kOk;
+  /// Human-readable detail when status != kOk (the rejecting check's message).
+  std::string message;
+
+  /// Energy of the produced schedule under the options' power function
+  /// (the LP engine reports its objective). 0 when status != kOk.
+  double energy = 0.0;
+
+  /// The schedule, when the engine produces one: exact engines yield Schedule,
+  /// the fast engine yields FastSchedule, the LP engine yields no schedule
+  /// (it is an energy bound). Monostate also on failure.
+  std::variant<std::monostate, Schedule, FastSchedule> schedule;
+
+  /// The engine's telemetry (fields the engine does not exercise stay 0).
+  obs::SolveStats stats;
+
+  [[nodiscard]] bool ok() const { return status == SolveStatus::kOk; }
+
+  /// The exact schedule, or null if this result does not hold one.
+  [[nodiscard]] const Schedule* exact_schedule() const {
+    return std::get_if<Schedule>(&schedule);
+  }
+  /// The double-precision schedule, or null if this result does not hold one.
+  [[nodiscard]] const FastSchedule* fast_schedule() const {
+    return std::get_if<FastSchedule>(&schedule);
+  }
+};
+
+/// Runs the selected engine on `instance`. Never throws on predictable input
+/// problems (those come back as statuses); InternalError still propagates.
+[[nodiscard]] SolveResult solve(const Instance& instance,
+                                const SolveOptions& options = SolveOptions{});
+
+}  // namespace mpss

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "mpss/obs/registry.hpp"
+
 namespace mpss {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -31,6 +33,7 @@ void ThreadPool::submit(std::function<void()> task) {
     tasks_.push(std::move(task));
     ++in_flight_;
   }
+  obs::Registry::global().add("pool.tasks");
   task_available_.notify_one();
 }
 
@@ -75,6 +78,14 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
     if (threads == 0) threads = 1;
   }
   threads = std::min(threads, count);
+  // One registry merge per call, not per item: concurrent bodies must not
+  // serialize on the registry mutex.
+  {
+    obs::Counters local;
+    local.add("pool.parallel_for.calls");
+    local.add("pool.parallel_for.items", count);
+    obs::Registry::global().merge(local);
+  }
   if (threads == 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;

@@ -91,6 +91,26 @@ TEST(ApiSurface, EverySubsystemReachableThroughUmbrellaHeader) {
   (void)machines_needed(instance, Q(10), 4);
   (void)capacity_curve(instance, alpha_power, 2);
 
+  // observability
+  obs::Counters counters;
+  counters.add("api.touch");
+  obs::Registry::global().merge(counters);
+  obs::MemorySink memory_sink;
+  obs::emit(&memory_sink, obs::EventKind::kCounter, "api.surface");
+  (void)obs::to_jsonl(memory_sink.events().front());
+  (void)obs::parse_trace_jsonl(std::string_view(""));
+  obs::SolveStats merged;
+  merged.merge(optimal.stats);
+
+  // the solve() facade
+  SolveResult facade = solve(instance);
+  SolveOptions lp_options;
+  lp_options.engine = Engine::kLp;
+  lp_options.lp_grid = 4;
+  SolveResult lp_facade = solve(instance, lp_options);
+  (void)engine_name(Engine::kFast);
+  (void)solve_status_name(facade.status);
+
   // workloads & traces
   (void)generate_uniform({.jobs = 2, .machines = 1, .horizon = 4, .max_window = 2,
                           .max_work = 2}, 1);
@@ -112,6 +132,13 @@ TEST(ApiSurface, EverySubsystemReachableThroughUmbrellaHeader) {
   EXPECT_EQ(oa.schedule.machines(), 2u);
   EXPECT_EQ(avr.schedule.machines(), avr_opts.schedule.machines());
   EXPECT_GT(rng(), 0u);
+  EXPECT_EQ(memory_sink.count_label("api.surface"), 1u);
+  EXPECT_EQ(merged.phases, optimal.phases.size());
+  ASSERT_TRUE(facade.ok());
+  ASSERT_NE(facade.exact_schedule(), nullptr);
+  EXPECT_TRUE(lp_facade.ok());
+  EXPECT_DOUBLE_EQ(facade.energy,
+                   optimal.schedule.energy(AlphaPower(3.0)));
 }
 
 }  // namespace

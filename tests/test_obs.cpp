@@ -1,0 +1,318 @@
+// Observability subsystem (S40): counter/timer primitives, the trace-event
+// model with its JSONL encoding, the process-wide registry, and -- the part
+// that ties telemetry to the paper -- a differential check that the exact
+// engine's trace reproduces the phase/round structure of OptimalResult on
+// every corpus instance.
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/obs/counters.hpp"
+#include "mpss/obs/registry.hpp"
+#include "mpss/obs/stats.hpp"
+#include "mpss/obs/trace.hpp"
+#include "mpss/util/thread_pool.hpp"
+#include "mpss/workload/traces.hpp"
+
+#ifndef MPSS_DATA_DIR
+#error "MPSS_DATA_DIR must point at data/corpus"
+#endif
+
+namespace mpss::obs {
+namespace {
+
+TEST(Counters, AddSetValueAndMissingReadsZero) {
+  Counters counters;
+  EXPECT_TRUE(counters.empty());
+  EXPECT_EQ(counters.value("never.touched"), 0u);
+
+  counters.add("rounds");             // default delta 1
+  counters.add("rounds", 4);
+  counters.add("paths", 7);
+  EXPECT_EQ(counters.value("rounds"), 5u);
+  EXPECT_EQ(counters.value("paths"), 7u);
+  EXPECT_EQ(counters.size(), 2u);
+
+  counters.set("rounds", 2);  // gauge semantics overwrite
+  EXPECT_EQ(counters.value("rounds"), 2u);
+
+  counters.clear();
+  EXPECT_TRUE(counters.empty());
+  EXPECT_EQ(counters.value("rounds"), 0u);
+}
+
+TEST(Counters, MergeAddsEveryCounterAndItemsAreNameOrdered) {
+  Counters a, b;
+  a.add("x", 1);
+  a.add("y", 2);
+  b.add("y", 10);
+  b.add("z", 3);
+  a.merge(b);
+  EXPECT_EQ(a.value("x"), 1u);
+  EXPECT_EQ(a.value("y"), 12u);
+  EXPECT_EQ(a.value("z"), 3u);
+
+  std::vector<std::string> names;
+  for (const auto& [name, value] : a.items()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST(ScopedTimer, AccumulatesIntoSecondsOnDestruction) {
+  double seconds = 0.0;
+  {
+    ScopedTimer timer(seconds);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_GT(timer.elapsed_seconds(), 0.0);
+  }
+  EXPECT_GT(seconds, 0.0);
+  double first = seconds;
+  { ScopedTimer timer(seconds); }  // accumulates, does not overwrite
+  EXPECT_GE(seconds, first);
+}
+
+TEST(ScopedTimer, CountersFormBumpsNsAndCalls) {
+  Counters counters;
+  {
+    ScopedTimer timer(counters, "plan");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  { ScopedTimer timer(counters, "plan"); }
+  EXPECT_EQ(counters.value("plan.calls"), 2u);
+  EXPECT_GE(counters.value("plan.ns"), 1'000'000u);  // slept >= 1 ms
+}
+
+TEST(ScopedTimer, FreeStandingStopwatchReadsWithoutAccumulating) {
+  ScopedTimer stopwatch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  double early = stopwatch.elapsed_seconds();
+  EXPECT_GT(early, 0.0);
+  EXPECT_GE(stopwatch.elapsed_seconds(), early);  // keeps running
+}
+
+TEST(Trace, KindNamesRoundTrip) {
+  for (auto kind : {EventKind::kSolveStart, EventKind::kSolveEnd,
+                    EventKind::kPhaseStart, EventKind::kPhaseEnd,
+                    EventKind::kFlowRound, EventKind::kCandidateRemoved,
+                    EventKind::kSimplexPivot, EventKind::kArrival,
+                    EventKind::kPeel, EventKind::kCounter}) {
+    EXPECT_EQ(event_kind_from_name(event_kind_name(kind)), kind);
+  }
+  EXPECT_THROW((void)event_kind_from_name("no_such_kind"), std::invalid_argument);
+}
+
+std::vector<TraceEvent> sample_events() {
+  std::vector<TraceEvent> events;
+  events.push_back({EventKind::kSolveStart, "optimal.solve", 12, 4, 0.0, 0, 0.0});
+  events.push_back({EventKind::kFlowRound, "optimal.round", 2, 7, 0.875, 1, 1.5});
+  // Labels with characters the JSON encoder must escape.
+  events.push_back({EventKind::kCounter, "weird \"label\"\\with\n\tescapes", 0, 0,
+                    -3.25e-7, 2, 0.0});
+  events.push_back({EventKind::kSolveEnd, "optimal.solve", 41, 36, 0.125, 3, 2.0});
+  return events;
+}
+
+TEST(Trace, JsonlRoundTripPreservesEveryField) {
+  std::string text;
+  for (const TraceEvent& event : sample_events()) text += to_jsonl(event) + "\n";
+  EXPECT_EQ(parse_trace_jsonl(std::string_view(text)), sample_events());
+}
+
+TEST(Trace, ParserSkipsBlankLinesAndIgnoresUnknownKeys) {
+  std::string text =
+      "\n  \t\n"
+      R"({"seq":5,"kind":"peel","label":"avr.peel","a":1,"b":2,"value":0.5,"t":0,"future_key":9})"
+      "\n\n";
+  auto events = parse_trace_jsonl(std::string_view(text));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kPeel);
+  EXPECT_EQ(events[0].label, "avr.peel");
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[0].b, 2u);
+  EXPECT_DOUBLE_EQ(events[0].value, 0.5);
+}
+
+TEST(Trace, MalformedLinesThrow) {
+  EXPECT_THROW((void)parse_trace_jsonl(std::string_view("not json")),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_trace_jsonl(std::string_view(R"({"kind":"nope"})")),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_trace_jsonl(std::string_view(R"({"a":})")),
+               std::invalid_argument);
+}
+
+TEST(Trace, JsonlSinkWritesParsableStream) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  for (const TraceEvent& event : sample_events()) sink.record(event);
+  sink.flush();
+  std::istringstream in(out.str());
+  EXPECT_EQ(parse_trace_jsonl(in), sample_events());
+}
+
+TEST(Trace, JsonlSinkPathConstructorThrowsOnUnwritablePath) {
+  EXPECT_THROW(JsonlSink("/nonexistent-dir-xyzzy/trace.jsonl"),
+               std::invalid_argument);
+}
+
+TEST(Trace, MemorySinkCountsByKindAndLabel) {
+  MemorySink sink;
+  for (const TraceEvent& event : sample_events()) sink.record(event);
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.count(EventKind::kSolveStart), 1u);
+  EXPECT_EQ(sink.count(EventKind::kPhaseEnd), 0u);
+  EXPECT_EQ(sink.count_label("optimal.solve"), 2u);
+  EXPECT_EQ(sink.events()[1].b, 7u);
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(Trace, MemorySinkSurvivesConcurrentEmission) {
+  MemorySink sink;
+  constexpr std::size_t kEvents = 2000;
+  parallel_for(kEvents, [&sink](std::size_t i) {
+    emit(&sink, EventKind::kCounter, "stress", i);
+  }, 4);
+  ASSERT_EQ(sink.size(), kEvents);
+  // Global sequence numbers must be unique even under contention.
+  std::vector<std::uint64_t> seqs;
+  for (const TraceEvent& event : sink.events()) seqs.push_back(event.seq);
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(std::unique(seqs.begin(), seqs.end()), seqs.end());
+}
+
+TEST(Trace, EmitFallsBackToRegistrySinkAndIsNoOpWithoutOne) {
+  Registry::global().attach_sink(nullptr);
+  emit(nullptr, EventKind::kCounter, "dropped");  // no sink anywhere: no-op
+
+  MemorySink sink;
+  Registry::global().attach_sink(&sink);
+  emit(nullptr, EventKind::kCounter, "via.registry", 3, 4, 0.5);
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.events()[0].label, "via.registry");
+  EXPECT_EQ(sink.events()[0].a, 3u);
+
+  // NullSink swallows but an explicit sink still wins over the registry one.
+  NullSink null;
+  emit(&null, EventKind::kCounter, "swallowed");
+  EXPECT_EQ(sink.size(), 1u);
+
+  Registry::global().attach_sink(nullptr);
+  emit(nullptr, EventKind::kCounter, "dropped.again");
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(RegistryCounters, AddMergeSnapshotReset) {
+  Registry& registry = Registry::global();
+  registry.reset();
+  registry.add("test.hits");
+  registry.add("test.hits", 2);
+  Counters local;
+  local.add("test.merged", 5);
+  registry.merge(local);
+  Counters snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.value("test.hits"), 3u);
+  EXPECT_EQ(snapshot.value("test.merged"), 5u);
+  registry.reset();
+  EXPECT_TRUE(registry.snapshot().empty());
+}
+
+TEST(RegistryCounters, ConcurrentAddsAreLossless) {
+  Registry& registry = Registry::global();
+  registry.reset();
+  constexpr std::size_t kAdds = 4000;
+  parallel_for(kAdds, [&registry](std::size_t) { registry.add("test.race"); }, 4);
+  EXPECT_EQ(registry.snapshot().value("test.race"), kAdds);
+  registry.reset();
+}
+
+// --- Telemetry differential: the trace must reproduce the paper's phase/round
+// structure exactly as OptimalResult reports it, on every corpus instance. ---
+
+std::vector<std::string> corpus_paths() {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(MPSS_DATA_DIR)) {
+    std::string path = entry.path().string();
+    const std::string suffix = ".instance.csv";
+    if (path.size() > suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      paths.push_back(path);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(TelemetryDifferential, TraceMatchesPhaseStructureOnCorpus) {
+  auto paths = corpus_paths();
+  ASSERT_GE(paths.size(), 8u);
+  for (const std::string& path : paths) {
+    SCOPED_TRACE(path);
+    Instance instance = load_instance(path);
+    MemorySink sink;
+    OptimalOptions options;
+    options.trace = &sink;
+    OptimalResult result = optimal_schedule(instance, options);
+
+    // SolveStats mirrors the result's own structural fields.
+    EXPECT_EQ(result.stats.phases, result.phases.size());
+    EXPECT_EQ(result.stats.flow_computations, result.flow_computations);
+    EXPECT_EQ(result.stats.candidate_removals,
+              result.flow_computations - result.phases.size());
+    EXPECT_GT(result.stats.wall_seconds, 0.0);
+
+    // flow_computations == sum of per-phase rounds, each phase >= 1 round.
+    std::size_t total_rounds = 0;
+    for (const PhaseInfo& phase : result.phases) {
+      EXPECT_GE(phase.rounds, 1u);
+      total_rounds += phase.rounds;
+    }
+    EXPECT_EQ(total_rounds, result.flow_computations);
+
+    // The trace tells the same story: one kFlowRound per feasibility test
+    // (grouped by phase via the `a` payload), one kPhaseEnd per phase, and a
+    // kCandidateRemoved for every round that did not close a phase.
+    auto events = sink.events();
+    EXPECT_EQ(sink.count(EventKind::kSolveStart), 1u);
+    EXPECT_EQ(sink.count(EventKind::kSolveEnd), 1u);
+    EXPECT_EQ(sink.count(EventKind::kPhaseEnd), result.phases.size());
+    EXPECT_EQ(sink.count(EventKind::kFlowRound), result.flow_computations);
+    EXPECT_EQ(sink.count(EventKind::kCandidateRemoved),
+              result.stats.candidate_removals);
+    for (std::size_t i = 0; i < result.phases.size(); ++i) {
+      std::size_t rounds_in_trace = 0;
+      for (const TraceEvent& event : events) {
+        if (event.kind == EventKind::kFlowRound && event.label == "optimal.round" &&
+            event.a == i) {
+          ++rounds_in_trace;
+        }
+      }
+      EXPECT_EQ(rounds_in_trace, result.phases[i].rounds) << "phase " << i;
+    }
+  }
+}
+
+TEST(TelemetryDifferential, StatsSchemaDocumentedCountersArePresent) {
+  Instance instance = load_instance(corpus_paths().front());
+  OptimalResult result = optimal_schedule(instance);
+  EXPECT_GT(result.stats.counters.value("optimal.intervals"), 0u);
+  EXPECT_GT(result.stats.flow_bfs_rounds, 0u);
+  EXPECT_GT(result.stats.flow_augmenting_paths, 0u);
+
+  // merge() is field-wise additive (OA aggregates inner solves through it).
+  SolveStats sum;
+  sum.merge(result.stats);
+  sum.merge(result.stats);
+  EXPECT_EQ(sum.phases, 2 * result.stats.phases);
+  EXPECT_EQ(sum.flow_computations, 2 * result.stats.flow_computations);
+  EXPECT_EQ(sum.counters.value("optimal.intervals"),
+            2 * result.stats.counters.value("optimal.intervals"));
+}
+
+}  // namespace
+}  // namespace mpss::obs

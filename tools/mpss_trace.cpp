@@ -1,0 +1,163 @@
+// mpss_trace: summarizes a JSONL solver trace (obs::JsonlSink output) into
+// per-stage tables.
+//
+//   mpss_trace <trace.jsonl> [--csv] [--events]
+//
+// Prints, per engine run found in the trace:
+//   * an event-kind summary (count per kind),
+//   * a per-phase table (rounds, removals, final speed) for the offline
+//     engines -- the paper's phase structure read straight off the trace,
+//   * a simplex summary when LP pivots are present,
+//   * an arrival table when online re-planning events are present.
+//
+// Exits 0 on success, 1 on unreadable input or malformed JSONL (so CI can use
+// "mpss_trace <file>" as a trace round-trip check). --csv switches the tables
+// to RFC-4180 CSV; --events dumps the raw events back out (parse check only).
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpss/obs/trace.hpp"
+#include "mpss/util/cli.hpp"
+#include "mpss/util/table.hpp"
+
+namespace {
+
+using mpss::Table;
+using mpss::obs::EventKind;
+using mpss::obs::TraceEvent;
+
+void print_table(const Table& table, bool csv) {
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+/// Label prefix up to the first '.' ("optimal.round" -> "optimal"): one engine
+/// run's events share a prefix, which keeps mixed traces readable.
+std::string label_prefix(const std::string& label) {
+  auto dot = label.find('.');
+  return dot == std::string::npos ? label : label.substr(0, dot);
+}
+
+void kind_summary(const std::vector<TraceEvent>& events, bool csv) {
+  std::map<std::string, std::size_t> counts;
+  for (const TraceEvent& event : events) {
+    ++counts[mpss::obs::event_kind_name(event.kind)];
+  }
+  Table table({"kind", "events"});
+  for (const auto& [kind, count] : counts) table.row(kind, count);
+  print_table(table, csv);
+}
+
+void phase_tables(const std::vector<TraceEvent>& events, bool csv) {
+  // Per engine prefix: phase -> (rounds from kPhaseEnd, removal count).
+  struct PhaseRow {
+    std::size_t rounds = 0;
+    std::size_t removals = 0;
+    double speed = 0.0;
+    bool seen = false;
+  };
+  std::map<std::string, std::map<std::uint64_t, PhaseRow>> engines;
+  for (const TraceEvent& event : events) {
+    std::string prefix = label_prefix(event.label);
+    if (event.kind == EventKind::kPhaseEnd) {
+      PhaseRow& row = engines[prefix][event.a];
+      row.rounds = event.b;
+      row.speed = event.value;
+      row.seen = true;
+    } else if (event.kind == EventKind::kCandidateRemoved) {
+      ++engines[prefix][event.a].removals;
+    }
+  }
+  for (const auto& [engine, phases] : engines) {
+    std::cout << "phases [" << engine << "]\n";
+    Table table({"phase", "rounds", "removals", "speed"});
+    std::size_t total_rounds = 0;
+    for (const auto& [phase, row] : phases) {
+      table.row(phase, row.rounds, row.removals, Table::num(row.speed, 6));
+      total_rounds += row.rounds;
+    }
+    table.row("total", total_rounds,
+              std::count_if(events.begin(), events.end(),
+                            [&engine](const TraceEvent& e) {
+                              return e.kind == EventKind::kCandidateRemoved &&
+                                     label_prefix(e.label) == engine;
+                            }),
+              "");
+    print_table(table, csv);
+  }
+}
+
+void simplex_table(const std::vector<TraceEvent>& events, bool csv) {
+  std::size_t pivots = 0;
+  std::size_t degenerate = 0;
+  for (const TraceEvent& event : events) {
+    if (event.kind != EventKind::kSimplexPivot) continue;
+    ++pivots;
+    if (event.value <= 1e-9) ++degenerate;
+  }
+  if (pivots == 0) return;
+  std::cout << "simplex\n";
+  Table table({"pivots", "degenerate"});
+  table.row(pivots, degenerate);
+  print_table(table, csv);
+}
+
+void arrival_table(const std::vector<TraceEvent>& events, bool csv) {
+  bool any = false;
+  Table table({"arrival", "available", "plan_seconds"});
+  for (const TraceEvent& event : events) {
+    if (event.kind != EventKind::kArrival) continue;
+    any = true;
+    table.row(event.a, event.b, Table::num(event.value, 6));
+  }
+  if (!any) return;
+  std::cout << "arrivals\n";
+  print_table(table, csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    mpss::CliArgs args(argc, argv, {"csv", "events", "help"});
+    if (args.get_bool("help", false) || args.positional().size() != 1) {
+      std::cerr << "usage: mpss_trace <trace.jsonl> [--csv] [--events]\n";
+      return args.get_bool("help", false) ? 0 : 1;
+    }
+    const std::string& path = args.positional()[0];
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "mpss_trace: cannot open " << path << "\n";
+      return 1;
+    }
+    std::vector<TraceEvent> events = mpss::obs::parse_trace_jsonl(in);
+
+    if (args.get_bool("events", false)) {
+      for (const TraceEvent& event : events) {
+        std::cout << mpss::obs::to_jsonl(event) << "\n";
+      }
+      return 0;
+    }
+
+    const bool csv = args.get_bool("csv", false);
+    std::cout << events.size() << " events\n\n";
+    if (events.empty()) return 0;
+    kind_summary(events, csv);
+    phase_tables(events, csv);
+    simplex_table(events, csv);
+    arrival_table(events, csv);
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "mpss_trace: " << error.what() << "\n";
+    return 1;
+  }
+}
