@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "mpss/util/bigint.hpp"
+#include "mpss/util/numeric_counters.hpp"
 #include "mpss/util/random.hpp"
 #include "mpss/util/rational.hpp"
 
@@ -11,6 +12,28 @@ namespace {
 
 using mpss::BigInt;
 using mpss::Q;
+
+// Small-vs-promoted benchmarks: Arg(0) runs word-sized operands through the
+// inline-int64 fast path; Arg(1) forces the pre-PR limb-vector path on the SAME
+// values via BigInt's test hook, so the pair isolates the representation cost.
+constexpr std::int64_t kSmallArg = 0;
+constexpr std::int64_t kForcedArg = 1;
+
+class ForceBigGuard {
+ public:
+  explicit ForceBigGuard(bool force) { BigInt::set_test_force_big(force); }
+  ~ForceBigGuard() { BigInt::set_test_force_big(false); }
+};
+
+/// Publishes the fast-path hit/promotion distribution of one timed run.
+void report_numeric_counters(benchmark::State& state) {
+  const mpss::NumericCounters& counters = mpss::numeric_counters();
+  state.counters["small_hits"] = static_cast<double>(counters.bigint_small_hits);
+  state.counters["promotions"] = static_cast<double>(counters.bigint_promotions);
+  state.counters["norm_small"] =
+      static_cast<double>(counters.rational_norm_small);
+  mpss::publish_numeric_counters();  // reset for the next benchmark
+}
 
 BigInt random_bigint(mpss::Xoshiro256& rng, int limbs) {
   BigInt out(1);
@@ -59,6 +82,42 @@ void BM_BigIntToString(benchmark::State& state) {
 }
 BENCHMARK(BM_BigIntToString)->Arg(4)->Arg(32);
 
+void BM_BigIntWordSizedAdd(benchmark::State& state) {
+  ForceBigGuard guard(state.range(0) == kForcedArg);
+  mpss::Xoshiro256 rng(11);
+  BigInt a(static_cast<std::int64_t>(rng() >> 2));
+  BigInt b(static_cast<std::int64_t>(rng() >> 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a + b);
+  }
+  report_numeric_counters(state);
+}
+BENCHMARK(BM_BigIntWordSizedAdd)->Arg(kSmallArg)->Arg(kForcedArg);
+
+void BM_BigIntWordSizedMul(benchmark::State& state) {
+  ForceBigGuard guard(state.range(0) == kForcedArg);
+  mpss::Xoshiro256 rng(12);
+  BigInt a(static_cast<std::int64_t>(rng() >> 34));
+  BigInt b(static_cast<std::int64_t>(rng() >> 34));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  report_numeric_counters(state);
+}
+BENCHMARK(BM_BigIntWordSizedMul)->Arg(kSmallArg)->Arg(kForcedArg);
+
+void BM_BigIntWordSizedGcd(benchmark::State& state) {
+  ForceBigGuard guard(state.range(0) == kForcedArg);
+  mpss::Xoshiro256 rng(13);
+  BigInt a(static_cast<std::int64_t>(rng() >> 2));
+  BigInt b(static_cast<std::int64_t>(rng() >> 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::gcd(a, b));
+  }
+  report_numeric_counters(state);
+}
+BENCHMARK(BM_BigIntWordSizedGcd)->Arg(kSmallArg)->Arg(kForcedArg);
+
 void BM_RationalAdd(benchmark::State& state) {
   // Denominator sizes typical of interval arithmetic in the scheduler.
   mpss::Xoshiro256 rng(5);
@@ -78,6 +137,38 @@ void BM_RationalCompare(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RationalCompare);
+
+void BM_RationalWordSizedAdd(benchmark::State& state) {
+  ForceBigGuard guard(state.range(0) == kForcedArg);
+  Q a(123456789, 987654321);
+  Q b(987654321, 123456791);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a + b);
+  }
+  report_numeric_counters(state);
+}
+BENCHMARK(BM_RationalWordSizedAdd)->Arg(kSmallArg)->Arg(kForcedArg);
+
+void BM_RationalWordSizedMul(benchmark::State& state) {
+  ForceBigGuard guard(state.range(0) == kForcedArg);
+  Q a(123456789, 987654321);
+  Q b(-987654321, 123456791);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  report_numeric_counters(state);
+}
+BENCHMARK(BM_RationalWordSizedMul)->Arg(kSmallArg)->Arg(kForcedArg);
+
+void BM_RationalWordSizedNormalize(benchmark::State& state) {
+  // Construction normalizes: gcd + two divisions, all word-sized here.
+  ForceBigGuard guard(state.range(0) == kForcedArg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Q(246913578, -1975308642));
+  }
+  report_numeric_counters(state);
+}
+BENCHMARK(BM_RationalWordSizedNormalize)->Arg(kSmallArg)->Arg(kForcedArg);
 
 void BM_HarmonicSum(benchmark::State& state) {
   // Worst-case denominator growth: sum of 1/k.

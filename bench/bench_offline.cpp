@@ -6,6 +6,7 @@
 #include "mpss/core/optimal.hpp"
 #include "mpss/core/optimal_fast.hpp"
 #include "mpss/core/yds.hpp"
+#include "mpss/util/numeric_counters.hpp"
 #include "mpss/workload/generators.hpp"
 
 namespace {
@@ -29,6 +30,20 @@ void report_stats(benchmark::State& state, const mpss::obs::SolveStats& stats) {
   state.counters["removals"] = static_cast<double>(stats.candidate_removals);
 }
 
+/// Publishes the BigInt/Rational fast-path distribution of one untimed solve:
+/// how much of the exact engine's arithmetic stayed inline vs promoted to
+/// limb vectors. small_hits >> promotions is the whole point of the fast path.
+void report_numeric_profile(benchmark::State& state, const Instance& instance) {
+  mpss::publish_numeric_counters();  // drop whatever the timed loop accumulated
+  benchmark::DoNotOptimize(optimal_schedule(instance));
+  const mpss::NumericCounters& counters = mpss::numeric_counters();
+  state.counters["small_hits"] = static_cast<double>(counters.bigint_small_hits);
+  state.counters["promotions"] = static_cast<double>(counters.bigint_promotions);
+  state.counters["norm_small"] =
+      static_cast<double>(counters.rational_norm_small);
+  mpss::publish_numeric_counters();
+}
+
 void BM_OptimalScheduleByJobs(benchmark::State& state) {
   Instance instance = bench_instance(static_cast<std::size_t>(state.range(0)), 4, 1);
   for (auto _ : state) {
@@ -36,8 +51,24 @@ void BM_OptimalScheduleByJobs(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
   report_stats(state, optimal_schedule(instance).stats);
+  report_numeric_profile(state, instance);
 }
 BENCHMARK(BM_OptimalScheduleByJobs)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_OptimalScheduleForcedLimbPath(benchmark::State& state) {
+  // The pre-fast-path cost model: identical algorithm, every BigInt forced
+  // through the limb-vector representation. The ratio of this benchmark to
+  // BM_OptimalScheduleByJobs on the same Arg is the end-to-end speedup.
+  Instance instance = bench_instance(static_cast<std::size_t>(state.range(0)), 4, 1);
+  BigInt::set_test_force_big(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_schedule(instance));
+  }
+  BigInt::set_test_force_big(false);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OptimalScheduleForcedLimbPath)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
 
 void BM_OptimalScheduleByMachines(benchmark::State& state) {
   Instance instance = bench_instance(32, static_cast<std::size_t>(state.range(0)), 2);
@@ -55,6 +86,7 @@ void BM_LaminarDeepPhases(benchmark::State& state) {
     benchmark::DoNotOptimize(optimal_schedule(instance));
   }
   report_stats(state, optimal_schedule(instance).stats);
+  report_numeric_profile(state, instance);
 }
 BENCHMARK(BM_LaminarDeepPhases)->Arg(16)->Arg(32);
 

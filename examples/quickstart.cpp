@@ -85,5 +85,9 @@ int main() {
             << ", bound " << avr_multi_competitive_bound(3.0) << "; "
             << avr.stats.peel_events << " peels)\n";
 
-  return report.feasible && oa.ok() && avr.ok() ? 0 : 1;
+  // SolveResult::violations dispatches to the right checker for whichever
+  // schedule variant the engine produced -- no std::variant visitation here.
+  bool online_feasible =
+      oa.violations(instance) == 0 && avr.violations(instance) == 0;
+  return report.feasible && oa.ok() && avr.ok() && online_feasible ? 0 : 1;
 }

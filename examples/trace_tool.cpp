@@ -110,20 +110,14 @@ int cmd_run(const CliArgs& args) {
   SolveOptions options;
   options.power = &p;
   options.trace = sink.get();
-  if (algo == "opt") {
-    options.engine = Engine::kExact;
-  } else if (algo == "fast") {
-    options.engine = Engine::kFast;
-  } else if (algo == "oa") {
-    options.engine = Engine::kOa;
-  } else if (algo == "avr") {
-    options.engine = Engine::kAvr;
-  } else if (algo == "lp") {
-    options.engine = Engine::kLp;
-    options.lp_grid = static_cast<std::size_t>(args.get_int("lp-grid", 8));
-  } else {
+  std::optional<Engine> engine = engine_from_name(algo);
+  if (!engine) {
     std::cerr << "unknown --algo: " << algo << "\n";
     return 2;
+  }
+  options.engine = *engine;
+  if (options.engine == Engine::kLp) {
+    options.lp_grid = static_cast<std::size_t>(args.get_int("lp-grid", 8));
   }
 
   SolveResult result = solve(instance, options);
@@ -158,8 +152,8 @@ int cmd_run(const CliArgs& args) {
       save_schedule(*schedule, args.get("save", "schedule.csv"));
       std::cout << "schedule written to " << args.get("save", "schedule.csv") << "\n";
     }
-  } else if (const FastSchedule* fast = result.fast_schedule()) {
-    std::size_t violations = count_fast_violations(instance, *fast);
+  } else if (result.fast_schedule() != nullptr) {
+    std::size_t violations = result.violations(instance);
     std::cout << "feasible (1e-7 tolerance): " << (violations == 0 ? "yes" : "NO")
               << "\n";
     if (violations != 0) return 1;

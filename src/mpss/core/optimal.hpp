@@ -88,6 +88,10 @@ struct OptimalOptions {
   /// Optional trace sink: phase boundaries, per-round flow values, and candidate
   /// removals are recorded as obs events. Null falls back to the process-wide
   /// sink in obs::Registry (itself null by default -> no emission).
+  ///
+  /// DEPRECATED as a user-facing knob: prefer SolveOptions::trace and the
+  /// solve() facade, which owns sink resolution (precedence documented in
+  /// solve.hpp). Still honored for direct optimal_schedule() callers.
   obs::TraceSink* trace = nullptr;
 };
 

@@ -207,4 +207,8 @@ FeasibilityReport check_schedule(const Instance& instance, const Schedule& sched
   return report;
 }
 
+std::size_t count_violations(const Instance& instance, const Schedule& schedule) {
+  return check_schedule(instance, schedule).violations.size();
+}
+
 }  // namespace mpss

@@ -104,4 +104,11 @@ struct FeasibilityReport {
 [[nodiscard]] FeasibilityReport check_schedule(const Instance& instance,
                                                const Schedule& schedule);
 
+/// Number of violations check_schedule finds (0 = feasible). Capped at
+/// FeasibilityReport::kMaxViolations, like the report it summarizes. The
+/// counterpart of count_fast_violations for exact schedules; SolveResult's
+/// violations() helper dispatches between the two.
+[[nodiscard]] std::size_t count_violations(const Instance& instance,
+                                           const Schedule& schedule);
+
 }  // namespace mpss

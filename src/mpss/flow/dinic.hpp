@@ -32,6 +32,15 @@ struct FlowTraits<double> {
   static bool is_positive(double value) { return value > kEpsilon; }
 };
 
+/// Exact rationals: positivity is a sign read, not a comparison against a
+/// constructed zero -- keeps the hot residual tests off Rational's operator<
+/// (which cross-multiplies) and on the numerator's inline-int64 fast path.
+template <>
+struct FlowTraits<Rational> {
+  static Rational zero() { return Rational(); }
+  static bool is_positive(const Rational& value) { return value.sign() > 0; }
+};
+
 /// Work counters of one max_flow() run, exposed for the observability layer
 /// (obs::SolveStats aggregates them across the scheduler's feasibility tests).
 struct FlowKernelStats {

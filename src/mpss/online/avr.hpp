@@ -45,6 +45,10 @@ struct AvrOptions {
   bool enable_peeling = true;
   /// Optional trace sink: one kPeel event per dedicated-processor branch. Null
   /// falls back to the process-wide sink in obs::Registry.
+  ///
+  /// DEPRECATED as a user-facing knob: prefer SolveOptions::trace and the
+  /// solve() facade, which owns sink resolution (precedence documented in
+  /// solve.hpp). Still honored for direct avr_schedule() callers.
   obs::TraceSink* trace = nullptr;
 };
 

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "mpss/lp/lp_baseline.hpp"
+#include "mpss/obs/registry.hpp"
 #include "mpss/online/oa.hpp"
+#include "mpss/util/numeric_counters.hpp"
 
 namespace mpss {
 namespace {
@@ -14,14 +16,35 @@ const PowerFunction& effective_power(const SolveOptions& options) {
   return options.power != nullptr ? *options.power : kCube;
 }
 
+/// The one place sink precedence is decided (documented on SolveOptions::trace):
+/// facade knob > deprecated per-engine sink > process-wide Registry default.
+/// Engines get the resolved sink explicitly, so their own fallback never runs.
+obs::TraceSink* resolve_trace_sink(const SolveOptions& options) {
+  if (options.trace != nullptr) return options.trace;
+  switch (options.engine) {
+    case Engine::kExact:
+    case Engine::kOa:  // OA replans through the exact engine's options
+      if (options.exact.trace != nullptr) return options.exact.trace;
+      break;
+    case Engine::kAvr:
+      if (options.avr.trace != nullptr) return options.avr.trace;
+      break;
+    case Engine::kFast:
+    case Engine::kLp:
+      break;  // these engines never had a per-engine sink field
+  }
+  return obs::Registry::global().sink();
+}
+
 SolveResult run_engine(const Instance& instance, const SolveOptions& options) {
   const PowerFunction& p = effective_power(options);
+  obs::TraceSink* sink = resolve_trace_sink(options);
   SolveResult result;
 
   switch (options.engine) {
     case Engine::kExact: {
       OptimalOptions exact = options.exact;
-      if (options.trace != nullptr) exact.trace = options.trace;
+      exact.trace = sink;
       OptimalResult r = optimal_schedule(instance, exact);
       result.energy = r.schedule.energy(p);
       result.stats = std::move(r.stats);
@@ -29,15 +52,14 @@ SolveResult run_engine(const Instance& instance, const SolveOptions& options) {
       return result;
     }
     case Engine::kFast: {
-      FastOptimalResult r =
-          optimal_schedule_fast(instance, options.fast_epsilon, options.trace);
+      FastOptimalResult r = optimal_schedule_fast(instance, options.fast_epsilon, sink);
       result.energy = r.schedule.energy(p);
       result.stats = std::move(r.stats);
       result.schedule = std::move(r.schedule);
       return result;
     }
     case Engine::kOa: {
-      OnlineRunResult r = oa_schedule(instance, options.trace);
+      OnlineRunResult r = oa_schedule(instance, sink);
       result.energy = r.schedule.energy(p);
       result.stats = std::move(r.stats);
       result.schedule = std::move(r.schedule);
@@ -45,7 +67,7 @@ SolveResult run_engine(const Instance& instance, const SolveOptions& options) {
     }
     case Engine::kAvr: {
       AvrOptions avr = options.avr;
-      if (options.trace != nullptr) avr.trace = options.trace;
+      avr.trace = sink;
       AvrResult r = avr_schedule(instance, avr);
       result.energy = r.schedule.energy(p);
       result.stats = std::move(r.stats);
@@ -54,7 +76,7 @@ SolveResult run_engine(const Instance& instance, const SolveOptions& options) {
     }
     case Engine::kLp: {
       LpBaselineResult r = lp_baseline(instance, p, options.lp_grid,
-                                       options.lp_max_speed_hint, options.trace);
+                                       options.lp_max_speed_hint, sink);
       result.stats = std::move(r.stats);
       switch (r.status) {
         case LpSolution::Status::kOptimal:
@@ -88,6 +110,15 @@ const char* engine_name(Engine engine) {
   return "unknown";
 }
 
+std::optional<Engine> engine_from_name(std::string_view name) {
+  if (name == "exact" || name == "opt") return Engine::kExact;
+  if (name == "fast") return Engine::kFast;
+  if (name == "oa") return Engine::kOa;
+  if (name == "avr") return Engine::kAvr;
+  if (name == "lp") return Engine::kLp;
+  return std::nullopt;
+}
+
 const char* solve_status_name(SolveStatus status) {
   switch (status) {
     case SolveStatus::kOk: return "ok";
@@ -98,16 +129,48 @@ const char* solve_status_name(SolveStatus status) {
   return "unknown";
 }
 
+std::optional<SolveStatus> solve_status_from_name(std::string_view name) {
+  if (name == "ok") return SolveStatus::kOk;
+  if (name == "invalid_instance") return SolveStatus::kInvalidInstance;
+  if (name == "infeasible") return SolveStatus::kInfeasible;
+  if (name == "unbounded") return SolveStatus::kUnbounded;
+  return std::nullopt;
+}
+
+std::size_t SolveResult::violations(const Instance& instance,
+                                    double fast_tolerance) const {
+  if (const Schedule* exact = exact_schedule())
+    return count_violations(instance, *exact);
+  if (const FastSchedule* fast = fast_schedule())
+    return count_fast_violations(instance, *fast, fast_tolerance);
+  return 0;
+}
+
 SolveResult solve(const Instance& instance, const SolveOptions& options) {
+  // Delta the numeric-substrate counters across the engine run so each result
+  // reports how well the BigInt small path served this solve, then publish the
+  // same deltas process-wide.
+  const NumericCounters before = numeric_counters();
+  auto finish = [&](SolveResult result) {
+    const NumericCounters& after = numeric_counters();
+    std::uint64_t small_hits = after.bigint_small_hits - before.bigint_small_hits;
+    std::uint64_t promotions = after.bigint_promotions - before.bigint_promotions;
+    std::uint64_t norm_small = after.rational_norm_small - before.rational_norm_small;
+    if (small_hits != 0) result.stats.counters.add("bigint.small_hits", small_hits);
+    if (promotions != 0) result.stats.counters.add("bigint.promotions", promotions);
+    if (norm_small != 0) result.stats.counters.add("rational.norm_small", norm_small);
+    publish_numeric_counters();
+    return result;
+  };
   try {
-    return run_engine(instance, options);
+    return finish(run_engine(instance, options));
   } catch (const std::invalid_argument& error) {
     // Caller errors (check_arg across the engines) become a status; an
     // InternalError stays an exception -- it marks a library bug.
     SolveResult result;
     result.status = SolveStatus::kInvalidInstance;
     result.message = error.what();
-    return result;
+    return finish(std::move(result));
   }
 }
 

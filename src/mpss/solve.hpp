@@ -12,7 +12,9 @@
 // obs::SolveStats telemetry.
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <variant>
 
 #include "mpss/core/job.hpp"
@@ -38,6 +40,12 @@ enum class Engine {
 /// table headers.
 [[nodiscard]] const char* engine_name(Engine engine);
 
+/// Inverse of engine_name: the one engine-flag parser for CLI tools, examples,
+/// and benches. Round-trips every Engine (engine_from_name(engine_name(e)) ==
+/// e) and additionally accepts the historical CLI alias "opt" for the exact
+/// engine. Unknown names yield nullopt -- the caller owns the error message.
+[[nodiscard]] std::optional<Engine> engine_from_name(std::string_view name);
+
 /// How a solve() call ended. Predictable input problems come back as statuses;
 /// exceptions are reserved for InternalError (broken invariants -- a bug, not
 /// an input).
@@ -50,6 +58,10 @@ enum class SolveStatus {
 
 /// Stable lowercase name ("ok", "invalid_instance", "infeasible", "unbounded").
 [[nodiscard]] const char* solve_status_name(SolveStatus status);
+
+/// Inverse of solve_status_name (exact names only); nullopt for unknown names.
+[[nodiscard]] std::optional<SolveStatus> solve_status_from_name(
+    std::string_view name);
 
 /// Knobs of solve(). Default-constructed options run the exact engine with the
 /// library defaults and P(s) = s^3.
@@ -73,9 +85,17 @@ struct SolveOptions {
   std::size_t lp_grid = 8;
   double lp_max_speed_hint = 0.0;
 
-  /// Trace sink handed to the engine (overrides the per-engine sinks inside
-  /// `exact` / `avr`). Null falls back to the process-wide sink in
-  /// obs::Registry. Not owned; must outlive the call.
+  /// THE trace-sink knob of the facade. solve() is the single place that
+  /// resolves which sink an engine sees; precedence, highest first:
+  ///
+  ///   1. this field,
+  ///   2. the deprecated per-engine sink fields (`exact.trace`, `avr.trace`) --
+  ///      kept working for callers that still populate them,
+  ///   3. the process-wide default attached to obs::Registry::global().
+  ///
+  /// The facade resolves the chain eagerly and hands every engine an explicit
+  /// sink, so the engines' own Registry fallback never triggers on this path.
+  /// Not owned; must outlive the call.
   obs::TraceSink* trace = nullptr;
 };
 
@@ -107,6 +127,13 @@ struct SolveResult {
   [[nodiscard]] const FastSchedule* fast_schedule() const {
     return std::get_if<FastSchedule>(&schedule);
   }
+
+  /// Feasibility violations of whichever schedule variant this result holds:
+  /// count_violations (exact check) for Schedule, count_fast_violations with
+  /// `fast_tolerance` for FastSchedule, and 0 when there is no schedule (the
+  /// LP engine, or a failed solve). Saves callers the std::variant visitation.
+  [[nodiscard]] std::size_t violations(const Instance& instance,
+                                       double fast_tolerance = 1e-7) const;
 };
 
 /// Runs the selected engine on `instance`. Never throws on predictable input

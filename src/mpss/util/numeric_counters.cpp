@@ -1,0 +1,24 @@
+#include "mpss/util/numeric_counters.hpp"
+
+#include "mpss/obs/registry.hpp"
+
+namespace mpss {
+
+namespace {
+thread_local NumericCounters g_numeric_counters;
+}  // namespace
+
+NumericCounters& numeric_counters() noexcept { return g_numeric_counters; }
+
+void publish_numeric_counters() {
+  NumericCounters& local = numeric_counters();
+  if (local.bigint_small_hits != 0)
+    obs::Registry::global().add("bigint.small_hits", local.bigint_small_hits);
+  if (local.bigint_promotions != 0)
+    obs::Registry::global().add("bigint.promotions", local.bigint_promotions);
+  if (local.rational_norm_small != 0)
+    obs::Registry::global().add("rational.norm_small", local.rational_norm_small);
+  local = NumericCounters{};
+}
+
+}  // namespace mpss

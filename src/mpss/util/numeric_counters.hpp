@@ -1,0 +1,36 @@
+#pragma once
+// Thread-local telemetry of the exact-arithmetic substrate (S1/S2).
+//
+// BigInt and Rational sit under every flow computation of the offline optimal
+// algorithm, so their counters cannot afford a mutex (or even an atomic) per
+// operation. Each thread accumulates into this plain struct; callers that want
+// the numbers in obs::Registry (the solve() facade, the benches) call
+// publish_numeric_counters() once per solve, which merges the deltas under the
+// canonical counter names and resets the local slots.
+
+#include <cstdint>
+
+namespace mpss {
+
+/// Per-thread counters of the small-value fast path (see bigint.hpp).
+struct NumericCounters {
+  /// Arithmetic operations served entirely by the inline-int64 representation
+  /// (published as "bigint.small_hits").
+  std::uint64_t bigint_small_hits = 0;
+  /// Small-path overflows that forced promotion to the limb-vector
+  /// representation (published as "bigint.promotions").
+  std::uint64_t bigint_promotions = 0;
+  /// Rational normalizations that ran allocation-free because numerator and
+  /// denominator were both small (published as "rational.norm_small").
+  std::uint64_t rational_norm_small = 0;
+};
+
+/// The calling thread's counters. Constant-initialized: no TLS guard on access.
+[[nodiscard]] NumericCounters& numeric_counters() noexcept;
+
+/// Merges the calling thread's counters into obs::Registry::global() under
+/// "bigint.small_hits" / "bigint.promotions" / "rational.norm_small" and resets
+/// them, so repeated publishes never double-count.
+void publish_numeric_counters();
+
+}  // namespace mpss

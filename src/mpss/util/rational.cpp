@@ -1,8 +1,12 @@
 #include "mpss/util/rational.hpp"
 
+#include <cstdint>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
+
+#include "mpss/util/numeric_counters.hpp"
 
 namespace mpss {
 
@@ -12,6 +16,37 @@ Rational::Rational(BigInt num, BigInt den) : num_(std::move(num)), den_(std::mov
 }
 
 void Rational::normalize() {
+  // Small path: both parts word-sized (the overwhelmingly common case on
+  // realistic instances). Sign fixup, binary GCD, and the divisions all run on
+  // int64 with zero allocations. INT64_MIN is excluded so every negation below
+  // stays in range.
+  if (num_.is_small() && den_.is_small() && !BigInt::test_force_big()) {
+    std::int64_t n = num_.small_value();
+    std::int64_t d = den_.small_value();
+    if (n != std::numeric_limits<std::int64_t>::min() &&
+        d != std::numeric_limits<std::int64_t>::min()) {
+      ++numeric_counters().rational_norm_small;
+      if (d < 0) {
+        n = -n;
+        d = -d;
+      }
+      if (n == 0) {
+        num_ = BigInt();
+        den_ = BigInt(1);
+        return;
+      }
+      std::uint64_t g = BigInt::gcd_u64(n < 0 ? static_cast<std::uint64_t>(-n)
+                                              : static_cast<std::uint64_t>(n),
+                                        static_cast<std::uint64_t>(d));
+      if (g != 1) {
+        n /= static_cast<std::int64_t>(g);
+        d /= static_cast<std::int64_t>(g);
+      }
+      num_ = BigInt(n);
+      den_ = BigInt(d);
+      return;
+    }
+  }
   if (den_.sign() < 0) {
     num_ = num_.negated();
     den_ = den_.negated();

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "mpss/util/numeric_counters.hpp"
 #include "mpss/util/random.hpp"
 
 namespace mpss {
@@ -181,6 +182,171 @@ TEST(BigInt, BitLength) {
 TEST(BigInt, HashDistinguishesSign) {
   EXPECT_NE(BigInt(5).hash(), BigInt(-5).hash());
   EXPECT_EQ(BigInt(5).hash(), BigInt(5).hash());
+}
+
+TEST(BigInt, SmallValuesLiveInline) {
+  EXPECT_TRUE(BigInt().is_small());
+  EXPECT_TRUE(BigInt(42).is_small());
+  EXPECT_TRUE(BigInt(std::numeric_limits<std::int64_t>::max()).is_small());
+  EXPECT_TRUE(BigInt(std::numeric_limits<std::int64_t>::min()).is_small());
+  EXPECT_EQ(BigInt(-7).small_value(), -7);
+  // One past int64: promoted.
+  BigInt past_max = BigInt(std::numeric_limits<std::int64_t>::max()) + BigInt(1);
+  EXPECT_FALSE(past_max.is_small());
+  // ... and coming back into range demotes to the inline representation.
+  BigInt back = past_max - BigInt(1);
+  EXPECT_TRUE(back.is_small());
+  EXPECT_EQ(back.small_value(), std::numeric_limits<std::int64_t>::max());
+  BigInt below_min = BigInt(std::numeric_limits<std::int64_t>::min()) - BigInt(1);
+  EXPECT_FALSE(below_min.is_small());
+  EXPECT_TRUE((below_min + BigInt(1)).is_small());
+}
+
+TEST(BigInt, ForceBigIsARepresentationChangeOnly) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         std::int64_t{123456789}, -(std::int64_t{1} << 40),
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::numeric_limits<std::int64_t>::min()}) {
+    BigInt small(v);
+    BigInt forced(v);
+    forced.force_big();
+    EXPECT_FALSE(forced.is_small()) << v;
+    EXPECT_EQ(small, forced) << v;
+    EXPECT_EQ(forced, small) << v;
+    EXPECT_EQ(small.hash(), forced.hash()) << v;
+    EXPECT_EQ(small.to_string(), forced.to_string()) << v;
+    EXPECT_EQ(small <=> forced, std::strong_ordering::equal) << v;
+    EXPECT_EQ(forced.to_int64(), v) << v;
+    EXPECT_TRUE(forced.fits_int64()) << v;
+    EXPECT_EQ(small.bit_length(), forced.bit_length()) << v;
+    EXPECT_EQ(small.sign(), forced.sign()) << v;
+  }
+  // Mixed-representation ordering across distinct values.
+  BigInt two(2), three(3);
+  three.force_big();
+  EXPECT_LT(two, three);
+  EXPECT_GT(three, two);
+  BigInt minus_two(-2);
+  minus_two.force_big();
+  EXPECT_LT(minus_two, two);
+}
+
+TEST(BigInt, SmallVsForcedLimbPathDifferentialAtInt64Boundary) {
+  // The fast path and the limb path must agree operation-for-operation on
+  // operands straddling +/-2^63, where the overflow checks decide the route.
+  Xoshiro256 rng(2024);
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  auto boundary_operand = [&]() -> std::int64_t {
+    switch (rng.uniform_int(0, 5)) {
+      case 0: return kMax - rng.uniform_int(0, 3);
+      case 1: return kMin + rng.uniform_int(0, 3);
+      case 2: return rng.uniform_int(-3, 3);
+      case 3: return (std::int64_t{1} << 62) + rng.uniform_int(-2, 2);
+      case 4: return -(std::int64_t{1} << 62) + rng.uniform_int(-2, 2);
+      default: return rng.uniform_int(kMin / 2, kMax / 2);
+    }
+  };
+  for (int round = 0; round < 2000; ++round) {
+    std::int64_t x = boundary_operand();
+    std::int64_t y = boundary_operand();
+    BigInt a(x), b(y);
+    BigInt fa(x), fb(y);
+    fa.force_big();
+    fb.force_big();
+
+    EXPECT_EQ(a + b, fa + fb) << x << " + " << y;
+    EXPECT_EQ(a - b, fa - fb) << x << " - " << y;
+    EXPECT_EQ(a * b, fa * fb) << x << " * " << y;
+    EXPECT_EQ(a <=> b, fa <=> fb) << x << " <=> " << y;
+    EXPECT_EQ(BigInt::gcd(a, b), BigInt::gcd(fa, fb)) << "gcd " << x << "," << y;
+    if (y != 0) {
+      auto [q_small, r_small] = BigInt::divmod(a, b);
+      auto [q_big, r_big] = BigInt::divmod(fa, fb);
+      EXPECT_EQ(q_small, q_big) << x << " / " << y;
+      EXPECT_EQ(r_small, r_big) << x << " % " << y;
+      EXPECT_EQ(q_small * b + r_small, a) << x << " divmod " << y;
+    }
+    // Mixed representation: small op forced-big and vice versa.
+    EXPECT_EQ(a + fb, fa + b) << x << " + " << y;
+    EXPECT_EQ(a * fb, fa * b) << x << " * " << y;
+  }
+}
+
+TEST(BigInt, SmallPathOverflowEdgeCases) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ((BigInt(kMax) + BigInt(kMax)).to_string(), "18446744073709551614");
+  EXPECT_EQ((BigInt(kMin) + BigInt(kMin)).to_string(), "-18446744073709551616");
+  EXPECT_EQ((BigInt(kMax) - BigInt(kMin)).to_string(), "18446744073709551615");
+  EXPECT_EQ((BigInt(kMin) - BigInt(kMax)).to_string(), "-18446744073709551615");
+  EXPECT_EQ((BigInt(kMin) * BigInt(kMin)).to_string(),
+            "85070591730234615865843651857942052864");
+  // INT64_MIN / -1 is the lone divmod overflow.
+  auto [q, r] = BigInt::divmod(BigInt(kMin), BigInt(-1));
+  EXPECT_EQ(q.to_string(), "9223372036854775808");
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_FALSE(q.is_small());
+  // Negation at the boundary.
+  EXPECT_EQ(BigInt(kMin).negated().to_string(), "9223372036854775808");
+  EXPECT_EQ(BigInt(kMin).abs().to_string(), "9223372036854775808");
+  // gcd involving INT64_MIN magnitudes.
+  EXPECT_EQ(BigInt::gcd(BigInt(kMin), BigInt(kMin)).to_string(),
+            "9223372036854775808");
+  EXPECT_EQ(BigInt::gcd(BigInt(kMin), BigInt(0)).to_string(),
+            "9223372036854775808");
+}
+
+TEST(BigInt, BinaryGcdU64MatchesEuclid) {
+  Xoshiro256 rng(11);
+  auto euclid = [](std::uint64_t a, std::uint64_t b) {
+    while (b != 0) {
+      std::uint64_t r = a % b;
+      a = b;
+      b = r;
+    }
+    return a;
+  };
+  EXPECT_EQ(BigInt::gcd_u64(0, 0), 0u);
+  EXPECT_EQ(BigInt::gcd_u64(0, 7), 7u);
+  EXPECT_EQ(BigInt::gcd_u64(7, 0), 7u);
+  EXPECT_EQ(BigInt::gcd_u64(std::uint64_t{1} << 63, std::uint64_t{1} << 63),
+            std::uint64_t{1} << 63);
+  for (int round = 0; round < 2000; ++round) {
+    std::uint64_t a = rng();
+    std::uint64_t b = rng();
+    // Mix in shared power-of-two factors, the binary algorithm's special case.
+    int shift = static_cast<int>(rng.uniform_int(0, 20));
+    a <<= shift;
+    b <<= shift;
+    EXPECT_EQ(BigInt::gcd_u64(a, b), euclid(a, b)) << a << "," << b;
+  }
+}
+
+TEST(BigInt, TestForceBigModeReplaysLimbPath) {
+  // The global mode promotes at construction and never demotes, so whole
+  // expressions run on limbs; values must be unchanged.
+  BigInt small_sum = BigInt(123456789) * BigInt(987654321) + BigInt(42);
+  EXPECT_TRUE(small_sum.is_small());
+  BigInt::set_test_force_big(true);
+  BigInt forced_sum = BigInt(123456789) * BigInt(987654321) + BigInt(42);
+  EXPECT_FALSE(forced_sum.is_small());
+  BigInt::set_test_force_big(false);
+  EXPECT_EQ(small_sum, forced_sum);
+  EXPECT_EQ(small_sum.to_string(), forced_sum.to_string());
+}
+
+TEST(BigInt, CountersObserveSmallHitsAndPromotions) {
+  NumericCounters& counters = numeric_counters();
+  std::uint64_t hits_before = counters.bigint_small_hits;
+  BigInt a = BigInt(1000) + BigInt(2000);
+  EXPECT_TRUE(a.is_small());
+  EXPECT_GT(counters.bigint_small_hits, hits_before);
+
+  std::uint64_t promotions_before = counters.bigint_promotions;
+  BigInt b = BigInt(std::numeric_limits<std::int64_t>::max()) + BigInt(1);
+  EXPECT_FALSE(b.is_small());
+  EXPECT_GT(counters.bigint_promotions, promotions_before);
 }
 
 TEST(BigInt, RingAxiomsRandomized) {

@@ -65,6 +65,29 @@ TEST_P(Corpus, OptimalSpeedsMatchGoldenExactly) {
   }
 }
 
+// The BigInt small-value fast path is an internal representation change only:
+// replaying the whole corpus with the limb path forced must reproduce the
+// golden per-job speeds bit-for-bit (same canonical num/den strings).
+TEST_P(Corpus, ForcedLimbPathIsBitIdenticalToTheSmallPath) {
+  std::string base = std::string(MPSS_DATA_DIR) + "/" + GetParam();
+  Instance instance = load_instance(base + ".instance.csv");
+
+  auto small = optimal_schedule(instance);
+  BigInt::set_test_force_big(true);
+  auto forced = optimal_schedule(instance);
+  BigInt::set_test_force_big(false);
+
+  ASSERT_EQ(small.phases.size(), forced.phases.size());
+  for (std::size_t job = 0; job < instance.size(); ++job) {
+    EXPECT_EQ(small.speed_of_job(job).to_string(),
+              forced.speed_of_job(job).to_string())
+        << GetParam() << " job " << job;
+  }
+  AlphaPower cube(3.0);
+  EXPECT_EQ(small.schedule.energy(cube), forced.schedule.energy(cube))
+      << GetParam();
+}
+
 TEST(CorpusMeta, CorpusIsNonEmpty) { EXPECT_GE(corpus_names().size(), 8u); }
 
 INSTANTIATE_TEST_SUITE_P(GoldenInstances, Corpus, testing::ValuesIn(corpus_names()),

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
+#include "mpss/util/numeric_counters.hpp"
 #include "mpss/util/random.hpp"
 
 namespace mpss {
@@ -136,6 +140,54 @@ TEST(Rational, DenominatorGrowthStaysCanonical) {
   EXPECT_EQ(BigInt::gcd(sum.num(), sum.den()), BigInt(1));
   EXPECT_EQ(sum, Q(BigInt::from_string("9304682830147"),
                    BigInt::from_string("2329089562800")));
+}
+
+TEST(Rational, SmallNormalizationStaysAllocationFreeAndCanonical) {
+  NumericCounters& counters = numeric_counters();
+  std::uint64_t before = counters.rational_norm_small;
+  Q value(6, -10);
+  EXPECT_GT(counters.rational_norm_small, before);
+  EXPECT_EQ(value.num(), BigInt(-3));
+  EXPECT_EQ(value.den(), BigInt(5));
+  EXPECT_TRUE(value.num().is_small());
+  EXPECT_TRUE(value.den().is_small());
+}
+
+TEST(Rational, Int64MinOperandsFallBackToTheGeneralPath) {
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  Q a(kMin, 2);
+  EXPECT_EQ(a.num(), BigInt(kMin / 2));
+  EXPECT_EQ(a.den(), BigInt(1));
+  Q b(1, kMin);  // negative denominator of magnitude 2^63
+  EXPECT_EQ(b.num(), BigInt(-1));
+  EXPECT_EQ(b.den().to_string(), "9223372036854775808");
+  Q c(kMin, kMin);
+  EXPECT_EQ(c, Q(1));
+}
+
+TEST(Rational, SmallVsForcedLimbArithmeticDifferential) {
+  // Rational arithmetic over forced-big components must agree bit-for-bit with
+  // the small path: same canonical numerator/denominator, same hash.
+  Xoshiro256 rng(77);
+  auto forced = [](const Q& q) {
+    BigInt num = q.num();
+    BigInt den = q.den();
+    num.force_big();
+    den.force_big();
+    return Q(std::move(num), std::move(den));
+  };
+  for (int round = 0; round < 500; ++round) {
+    Q a(rng.uniform_int(-1'000'000, 1'000'000), rng.uniform_int(1, 1'000'000));
+    Q b(rng.uniform_int(-1'000'000, 1'000'000), rng.uniform_int(1, 1'000'000));
+    Q fa = forced(a);
+    Q fb = forced(b);
+    EXPECT_EQ(a + b, fa + fb);
+    EXPECT_EQ(a - b, fa - fb);
+    EXPECT_EQ(a * b, fa * fb);
+    if (!b.is_zero()) EXPECT_EQ(a / b, fa / fb);
+    EXPECT_EQ(a <=> b, fa <=> fb);
+    EXPECT_EQ((a + b).hash(), (fa + fb).hash());
+  }
 }
 
 TEST(Rational, HashConsistentWithEquality) {

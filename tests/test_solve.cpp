@@ -42,6 +42,97 @@ TEST(Solve, NamesAreStable) {
   EXPECT_STREQ(solve_status_name(SolveStatus::kUnbounded), "unbounded");
 }
 
+TEST(Solve, EngineNamesRoundTripThroughTheInverseParser) {
+  for (Engine engine : {Engine::kExact, Engine::kFast, Engine::kOa, Engine::kAvr,
+                        Engine::kLp}) {
+    SCOPED_TRACE(engine_name(engine));
+    auto parsed = engine_from_name(engine_name(engine));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, engine);
+  }
+  // Historical CLI alias.
+  ASSERT_TRUE(engine_from_name("opt").has_value());
+  EXPECT_EQ(*engine_from_name("opt"), Engine::kExact);
+  EXPECT_FALSE(engine_from_name("").has_value());
+  EXPECT_FALSE(engine_from_name("EXACT").has_value());
+  EXPECT_FALSE(engine_from_name("greedy").has_value());
+}
+
+TEST(Solve, StatusNamesRoundTripThroughTheInverseParser) {
+  for (SolveStatus status : {SolveStatus::kOk, SolveStatus::kInvalidInstance,
+                             SolveStatus::kInfeasible, SolveStatus::kUnbounded}) {
+    SCOPED_TRACE(solve_status_name(status));
+    auto parsed = solve_status_from_name(solve_status_name(status));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, status);
+  }
+  EXPECT_FALSE(solve_status_from_name("failed").has_value());
+  EXPECT_FALSE(solve_status_from_name("").has_value());
+}
+
+TEST(Solve, ViolationsHelperDispatchesOverScheduleVariants) {
+  Instance instance = test_instance();
+  // Exact schedule -> exact checker.
+  SolveResult exact = run(instance, Engine::kExact);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.violations(instance), 0u);
+  EXPECT_EQ(exact.violations(instance),
+            count_violations(instance, *exact.exact_schedule()));
+  // Fast schedule -> tolerance checker.
+  SolveResult fast = run(instance, Engine::kFast);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast.violations(instance), 0u);
+  EXPECT_EQ(fast.violations(instance),
+            count_fast_violations(instance, *fast.fast_schedule()));
+  // No schedule (LP bound, failed solve) -> 0 by definition.
+  SolveResult lp = run(instance, Engine::kLp);
+  ASSERT_TRUE(lp.ok());
+  EXPECT_EQ(lp.violations(instance), 0u);
+  SolveOptions bad;
+  bad.engine = Engine::kLp;
+  bad.lp_grid = 1;
+  EXPECT_EQ(solve(instance, bad).violations(instance), 0u);
+}
+
+TEST(Solve, ExactEngineReportsNumericSubstrateCounters) {
+  SolveResult result = run(test_instance(), Engine::kExact);
+  ASSERT_TRUE(result.ok());
+  // The exact engine is wall-to-wall Q arithmetic: the small path must carry
+  // essentially all of it on a word-sized instance.
+  EXPECT_GT(result.stats.counters.value("bigint.small_hits"), 0u);
+  EXPECT_GT(result.stats.counters.value("rational.norm_small"), 0u);
+  EXPECT_GT(result.stats.counters.value("bigint.small_hits"),
+            100 * result.stats.counters.value("bigint.promotions"));
+}
+
+TEST(Solve, DeprecatedPerEngineSinksStillResolveThroughTheFacade) {
+  Instance instance = test_instance();
+  // Facade knob absent, deprecated OptimalOptions::trace set: still honored.
+  obs::MemorySink exact_sink;
+  SolveOptions exact;
+  exact.engine = Engine::kExact;
+  exact.exact.trace = &exact_sink;
+  ASSERT_TRUE(solve(instance, exact).ok());
+  EXPECT_GE(exact_sink.count(obs::EventKind::kSolveStart), 1u);
+
+  obs::MemorySink avr_sink;
+  SolveOptions avr;
+  avr.engine = Engine::kAvr;
+  avr.avr.trace = &avr_sink;
+  ASSERT_TRUE(solve(instance, avr).ok());
+  EXPECT_GE(avr_sink.count(obs::EventKind::kSolveStart), 1u);
+
+  // SolveOptions::trace wins over the per-engine field.
+  obs::MemorySink facade_sink, engine_sink;
+  SolveOptions both;
+  both.engine = Engine::kExact;
+  both.trace = &facade_sink;
+  both.exact.trace = &engine_sink;
+  ASSERT_TRUE(solve(instance, both).ok());
+  EXPECT_GE(facade_sink.count(obs::EventKind::kSolveStart), 1u);
+  EXPECT_EQ(engine_sink.count(obs::EventKind::kSolveStart), 0u);
+}
+
 TEST(Solve, ExactEngineReturnsScheduleAndPhaseTelemetry) {
   Instance instance = test_instance();
   SolveResult result = run(instance, Engine::kExact);
