@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Snapshots the offline-engine micro-benchmarks into BENCH_offline.json at the
+# repository root (machine-readable: google-benchmark JSON, including the
+# bfs_rounds/aug_paths counters the warm-start acceptance criterion reads).
+#
+#   scripts/bench_snapshot.sh [extra benchmark args...]
+#
+# Builds if needed, then runs bench_offline with --benchmark_format=json.
+# Narrow the run with e.g.:
+#   scripts/bench_snapshot.sh --benchmark_filter='IncrementalRounds'
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -x build/bench/bench_offline ]; then
+  cmake -B build -G Ninja
+  cmake --build build --target bench_offline
+fi
+
+build/bench/bench_offline \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_offline.json \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "Wrote BENCH_offline.json"

@@ -1,6 +1,7 @@
 #include "mpss/core/optimal.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "mpss/core/mcnaughton.hpp"
 #include "mpss/flow/dinic.hpp"
@@ -11,18 +12,24 @@
 namespace mpss {
 namespace {
 
-/// One phase-round flow network G(J, m, s) plus the bookkeeping needed to read
-/// per-(job, interval) processing times back out of the solved flow.
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// One phase's flow network G(J, m, s) plus the bookkeeping needed to read
+/// per-(job, interval) processing times back out of the solved flow and to
+/// edit capacities in place between rounds. Edge vectors are addressed by
+/// position in the candidate set the network was *built* for; on the
+/// incremental path the round loop maps current candidate positions back to
+/// build positions.
 struct RoundNetwork {
   FlowNetwork<Q> net;
   std::size_t source = 0;
   std::size_t sink = 0;
-  // edge ids, addressed by candidate-set position / interval index
   std::vector<FlowNetwork<Q>::EdgeId> source_edges;           // u_0 -> u_k
   std::vector<std::vector<std::size_t>> job_edge_interval;    // per job: interval j
   std::vector<std::vector<FlowNetwork<Q>::EdgeId>> job_edges; // per job: edge ids
   std::vector<FlowNetwork<Q>::EdgeId> sink_edges;             // v_j -> v_0 (mj > 0)
   std::vector<std::size_t> sink_edge_interval;                // interval j of each
+  std::vector<std::size_t> interval_sink_edge;                // inverse (kNone if none)
 };
 
 /// Builds G(J, m, s): source -> job vertices (capacity w_k / s), job -> interval
@@ -31,15 +38,26 @@ struct RoundNetwork {
 RoundNetwork build_network(const Instance& instance,
                            const IntervalDecomposition& intervals,
                            const std::vector<std::size_t>& candidates,
-                           const std::vector<std::vector<bool>>& active,
+                           const ActiveBitmap& active,
+                           const std::vector<std::size_t>& count_active,
                            const std::vector<std::size_t>& reserved, const Q& speed) {
   RoundNetwork round;
   const std::size_t interval_count = intervals.count();
 
+  std::size_t live_intervals = 0;
+  std::size_t job_edge_count = 0;
+  for (std::size_t j = 0; j < interval_count; ++j) {
+    if (reserved[j] == 0) continue;
+    ++live_intervals;
+    job_edge_count += count_active[j];
+  }
+  round.net.reserve_nodes(2 + candidates.size() + live_intervals);
+  round.net.reserve_edges(candidates.size() + job_edge_count + live_intervals);
+
   round.source = round.net.add_node();
   std::size_t first_job_node = round.net.add_nodes(candidates.size());
 
-  std::vector<std::size_t> interval_node(interval_count, static_cast<std::size_t>(-1));
+  std::vector<std::size_t> interval_node(interval_count, kNone);
   for (std::size_t j = 0; j < interval_count; ++j) {
     if (reserved[j] > 0) interval_node[j] = round.net.add_node();
   }
@@ -53,14 +71,16 @@ RoundNetwork build_network(const Instance& instance,
     round.source_edges.push_back(round.net.add_edge(
         round.source, first_job_node + pos, instance.job(job).work / speed));
     for (std::size_t j = 0; j < interval_count; ++j) {
-      if (reserved[j] == 0 || !active[job][j]) continue;
+      if (reserved[j] == 0 || !active.test(j, job)) continue;
       round.job_edges[pos].push_back(
           round.net.add_edge(first_job_node + pos, interval_node[j], intervals.length(j)));
       round.job_edge_interval[pos].push_back(j);
     }
   }
+  round.interval_sink_edge.assign(interval_count, kNone);
   for (std::size_t j = 0; j < interval_count; ++j) {
     if (reserved[j] == 0) continue;
+    round.interval_sink_edge[j] = round.sink_edges.size();
     round.sink_edges.push_back(round.net.add_edge(
         interval_node[j], round.sink,
         intervals.length(j) * Q(static_cast<std::int64_t>(reserved[j]))));
@@ -69,9 +89,39 @@ RoundNetwork build_network(const Instance& instance,
   return round;
 }
 
+/// Retracts `amount` flow entering build-position `bpos`'s job vertex, greedily
+/// over its job->interval edges. Every unit of flow sits on a length-3 path
+/// (source, u_k, v_j, sink) because the network is strictly layered, so each
+/// retraction is an edge triple and no general flow decomposition is needed.
+/// Returns the number of per-edge-triple retraction operations performed (the
+/// flow.retracted_units telemetry).
+std::uint64_t retract_job_flow(RoundNetwork& round, std::size_t bpos, Q amount) {
+  std::uint64_t operations = 0;
+  for (std::size_t idx = 0; idx < round.job_edges[bpos].size(); ++idx) {
+    if (!(amount.sign() > 0)) break;
+    FlowNetwork<Q>::EdgeId edge = round.job_edges[bpos][idx];
+    Q carried = round.net.flow(edge);
+    if (!(carried.sign() > 0)) continue;
+    Q delta = carried < amount ? carried : amount;
+    std::size_t j = round.job_edge_interval[bpos][idx];
+    round.net.retract_flow(edge, delta);
+    round.net.retract_flow(round.source_edges[bpos], delta);
+    round.net.retract_flow(round.sink_edges[round.interval_sink_edge[j]], delta);
+    amount -= delta;
+    ++operations;
+  }
+  check_internal(amount.sign() == 0, "optimal_schedule: flow retraction left residue");
+  return operations;
+}
+
 }  // namespace
 
 Q OptimalResult::speed_of_job(std::size_t job) const {
+  if (job < job_phase.size()) {
+    std::size_t phase = job_phase[job];
+    return phase == kNoPhase ? Q(0) : phases[phase].speed;
+  }
+  // Indices past the instance (or hand-built results without the index): scan.
   for (const PhaseInfo& phase : phases) {
     if (std::find(phase.jobs.begin(), phase.jobs.end(), job) != phase.jobs.end()) {
       return phase.speed;
@@ -93,7 +143,7 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
   const std::size_t interval_count = intervals.count();
   const std::size_t m = instance.machines();
 
-  OptimalResult result{Schedule(m), intervals, {}, 0, {}};
+  OptimalResult result{Schedule(m), intervals, {}, 0, {}, {}};
   obs::ScopedTimer timer;
   result.stats.counters.set("optimal.intervals", interval_count);
   obs::emit(trace, obs::EventKind::kSolveStart, "optimal.solve", instance.size(), m);
@@ -104,21 +154,26 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
     if (instance.job(k).work.sign() > 0) remaining.push_back(k);
   }
 
-  // active[k][j]: is job k active in interval I_j (I_j inside its window)?
-  std::vector<std::vector<bool>> active(instance.size(),
-                                        std::vector<bool>(interval_count, false));
-  for (std::size_t k = 0; k < instance.size(); ++k) {
-    for (std::size_t j = 0; j < interval_count; ++j) {
-      active[k][j] = intervals.active(instance.job(k), j);
-    }
-  }
+  // Row j, column k: is job k active in interval I_j (I_j inside its window)?
+  ActiveBitmap active = make_active_bitmap(instance.jobs(), intervals);
+  // Bit k set iff job k is in the current phase's candidate set; ANDed against
+  // bitmap rows for the per-round n_j recount, and doubling as the membership
+  // test when the phase's jobs are dropped from `remaining`.
+  std::vector<std::uint64_t> candidate_mask(ActiveBitmap::words_for(instance.size()), 0);
 
   // used[j]: processors already occupied in I_j by earlier (faster) phases.
   std::vector<std::size_t> used(interval_count, 0);
+  std::vector<std::size_t> count_active(interval_count, 0);
+
+  std::uint64_t warm_starts = 0;
+  std::uint64_t retracted_units = 0;
+  std::uint64_t resume_bfs = 0;
 
   while (!remaining.empty()) {
     // ---- one phase: identify the next job set J_i and its speed s_i ----
     std::vector<std::size_t> candidates = remaining;  // invariant: J_i is a subset
+    std::ranges::fill(candidate_mask, 0);
+    for (std::size_t job : candidates) ActiveBitmap::mask_set(candidate_mask, job);
     std::size_t rounds = 0;
     const std::size_t phase_index = result.phases.size();
     obs::emit(trace, obs::EventKind::kPhaseStart, "optimal.phase", phase_index,
@@ -127,6 +182,12 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
     std::vector<std::size_t> reserved(interval_count, 0);
     Q speed;
     RoundNetwork round;
+    // Maps current candidate position -> position at network build time (the
+    // index into round.source_edges / round.job_edges). Identity right after a
+    // build; kept in sync with `candidates` erases on the incremental path.
+    std::vector<std::size_t> built_pos;
+    bool built = false;      // round.net holds a usable network (incremental only)
+    bool canonical = true;   // round.net's flow came from a from-zero solve
 
     for (;;) {
       check_internal(!candidates.empty(),
@@ -135,18 +196,22 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
       ++result.flow_computations;
 
       // Reserve m_j = min(n_j, m - used_j) processors per interval (Lemma 3).
-      std::vector<std::size_t> count_active(interval_count, 0);
-      for (std::size_t job : candidates) {
-        for (std::size_t j = 0; j < interval_count; ++j) {
-          if (active[job][j]) ++count_active[j];
-        }
-      }
+      // Within a phase n_j only shrinks, so on the incremental path a changed
+      // reservation is a capacity *decrease* on an existing sink edge; the
+      // victim's retraction already lowered the carried flow below the new cap
+      // (see DESIGN.md "Warm-start invariant").
       Q reserved_time;  // P
       Q work;           // W
       for (std::size_t j = 0; j < interval_count; ++j) {
-        reserved[j] = std::min(count_active[j], m - used[j]);
-        if (reserved[j] > 0) {
-          reserved_time += intervals.length(j) * Q(static_cast<std::int64_t>(reserved[j]));
+        count_active[j] = active.row_and_popcount(j, candidate_mask);
+        const std::size_t r = std::min(count_active[j], m - used[j]);
+        if (built && r != reserved[j]) {
+          round.net.set_capacity(round.sink_edges[round.interval_sink_edge[j]],
+                                 intervals.length(j) * Q(static_cast<std::int64_t>(r)));
+        }
+        reserved[j] = r;
+        if (r > 0) {
+          reserved_time += intervals.length(j) * Q(static_cast<std::int64_t>(r));
         }
       }
       for (std::size_t job : candidates) work += instance.job(job).work;
@@ -154,8 +219,36 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
                      "optimal_schedule: no processing capacity left for pending jobs");
       speed = work / reserved_time;
 
-      round = build_network(instance, intervals, candidates, active, reserved, speed);
-      Q flow_value = round.net.max_flow(round.source, round.sink);
+      Q flow_value;
+      if (!built) {
+        round = build_network(instance, intervals, candidates, active, count_active,
+                              reserved, speed);
+        built_pos.resize(candidates.size());
+        std::iota(built_pos.begin(), built_pos.end(), std::size_t{0});
+        built = options.incremental;  // rebuild path: tear down every round
+        flow_value = round.net.max_flow(round.source, round.sink);
+        canonical = true;
+      } else {
+        // Warm start: rescale the surviving source capacities to the new speed
+        // and resume Dinic from the carried flow. The new speed can *exceed*
+        // the old one (a removal can shed more reserved time than work), so a
+        // source edge may have to drain down to its shrunken capacity first.
+        for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+          FlowNetwork<Q>::EdgeId edge = round.source_edges[built_pos[pos]];
+          Q cap = instance.job(candidates[pos]).work / speed;
+          Q excess = round.net.flow(edge) - cap;
+          if (excess.sign() > 0) {
+            retracted_units += retract_job_flow(round, built_pos[pos], excess);
+          }
+          round.net.set_capacity(edge, cap);
+        }
+        flow_value = round.net.max_flow_resume(round.source, round.sink);
+        ++warm_starts;
+        resume_bfs += round.net.kernel_stats().bfs_rounds;
+        canonical = false;
+        obs::emit(trace, obs::EventKind::kCounter, "optimal.warm_start", phase_index,
+                  rounds, static_cast<double>(round.net.kernel_stats().bfs_rounds));
+      }
       result.stats.flow_bfs_rounds += round.net.kernel_stats().bfs_rounds;
       result.stats.flow_augmenting_paths += round.net.kernel_stats().augmenting_paths;
       // value = attained flow as a fraction of the target F_G = W/s = P; exactly
@@ -164,39 +257,66 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
                 rounds, (flow_value / reserved_time).to_double());
 
       // Target F_G = W / s = P: all source and sink edges saturated.
-      if (flow_value == reserved_time) break;
+      if (flow_value == reserved_time) {
+        if (!canonical) {
+          // The resumed flow has the optimal *value* but not necessarily the
+          // rebuild path's per-edge split, and the schedule is extracted from
+          // per-edge flows. Re-solve from zero on the reused network: dead
+          // vertices (sealed source edges, drained intervals) are invisible to
+          // Dinic, so this reproduces the fresh-build flow bit for bit.
+          Q confirm = round.net.max_flow(round.source, round.sink);
+          result.stats.flow_bfs_rounds += round.net.kernel_stats().bfs_rounds;
+          result.stats.flow_augmenting_paths +=
+              round.net.kernel_stats().augmenting_paths;
+          check_internal(confirm == flow_value,
+                         "optimal_schedule: canonical re-solve changed the flow value");
+        }
+        break;
+      }
 
-      if (!paper_rule) {
+      std::size_t victim_pos = kNone;
+      if (paper_rule) {
+        // Lemma 4: pick an unsaturated sink edge (v_j, v_0), then a job active in
+        // I_j whose edge (u_k, v_j) is below capacity; that job is not in J_i.
+        for (std::size_t e = 0; e < round.sink_edges.size() && victim_pos == kNone; ++e) {
+          if (round.net.saturated(round.sink_edges[e])) continue;
+          std::size_t j = round.sink_edge_interval[e];
+          for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+            const std::size_t bpos = built_pos[pos];
+            for (std::size_t idx = 0; idx < round.job_edge_interval[bpos].size(); ++idx) {
+              if (round.job_edge_interval[bpos][idx] != j) continue;
+              if (!round.net.saturated(round.job_edges[bpos][idx])) victim_pos = pos;
+              break;  // a job has at most one edge per interval
+            }
+            if (victim_pos != kNone) break;
+          }
+        }
+        check_internal(victim_pos != kNone,
+                       "optimal_schedule: flow below target but no removable job found");
+        ++result.stats.candidate_removals;
+        obs::emit(trace, obs::EventKind::kCandidateRemoved, "optimal.lemma4_removal",
+                  phase_index, candidates[victim_pos]);
+      } else {
         // Ablated removal (experiment E12): drop a random candidate. Feasibility
         // of the final schedule survives; optimality does not.
-        std::size_t victim = ablation_rng.below(candidates.size());
+        victim_pos = ablation_rng.below(candidates.size());
         ++result.stats.candidate_removals;
         obs::emit(trace, obs::EventKind::kCandidateRemoved, "optimal.ablated_removal",
-                  phase_index, candidates[victim]);
-        candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(victim));
-        continue;
+                  phase_index, candidates[victim_pos]);
       }
 
-      // Lemma 4: pick an unsaturated sink edge (v_j, v_0), then a job active in
-      // I_j whose edge (u_k, v_j) is below capacity; that job is not in J_i.
-      std::size_t victim_pos = static_cast<std::size_t>(-1);
-      for (std::size_t e = 0; e < round.sink_edges.size() && victim_pos == static_cast<std::size_t>(-1); ++e) {
-        if (round.net.saturated(round.sink_edges[e])) continue;
-        std::size_t j = round.sink_edge_interval[e];
-        for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
-          for (std::size_t idx = 0; idx < round.job_edge_interval[pos].size(); ++idx) {
-            if (round.job_edge_interval[pos][idx] != j) continue;
-            if (!round.net.saturated(round.job_edges[pos][idx])) victim_pos = pos;
-            break;  // a job has at most one edge per interval
-          }
-          if (victim_pos != static_cast<std::size_t>(-1)) break;
+      if (built) {
+        // Retract the victim's flow (leaving a feasible flow on the surviving
+        // jobs) and seal its source edge so resumed searches cannot refill it.
+        FlowNetwork<Q>::EdgeId edge = round.source_edges[built_pos[victim_pos]];
+        Q carried = round.net.flow(edge);
+        if (carried.sign() > 0) {
+          retracted_units += retract_job_flow(round, built_pos[victim_pos], carried);
         }
+        round.net.set_capacity(edge, Q(0));
+        built_pos.erase(built_pos.begin() + static_cast<std::ptrdiff_t>(victim_pos));
       }
-      check_internal(victim_pos != static_cast<std::size_t>(-1),
-                     "optimal_schedule: flow below target but no removable job found");
-      ++result.stats.candidate_removals;
-      obs::emit(trace, obs::EventKind::kCandidateRemoved, "optimal.lemma4_removal",
-                phase_index, candidates[victim_pos]);
+      ActiveBitmap::mask_clear(candidate_mask, candidates[victim_pos]);
       candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(victim_pos));
     }
 
@@ -217,9 +337,10 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
       if (reserved[j] == 0) continue;
       std::vector<Chunk> chunks;
       for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
-        for (std::size_t idx = 0; idx < round.job_edge_interval[pos].size(); ++idx) {
-          if (round.job_edge_interval[pos][idx] != j) continue;
-          Q t = round.net.flow(round.job_edges[pos][idx]);
+        const std::size_t bpos = built_pos[pos];
+        for (std::size_t idx = 0; idx < round.job_edge_interval[bpos].size(); ++idx) {
+          if (round.job_edge_interval[bpos][idx] != j) continue;
+          Q t = round.net.flow(round.job_edges[bpos][idx]);
           if (t.sign() > 0) chunks.push_back(Chunk{candidates[pos], std::move(t)});
           break;
         }
@@ -237,19 +358,26 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
               speed.to_double());
     result.phases.push_back(std::move(phase));
 
-    // Drop the scheduled jobs from the remaining set.
+    // Drop the scheduled jobs from the remaining set; the candidate mask holds
+    // exactly the phase's jobs at this point, giving an O(1) membership test.
     std::vector<std::size_t> next;
     next.reserve(remaining.size() - candidates.size());
     for (std::size_t job : remaining) {
-      if (std::find(candidates.begin(), candidates.end(), job) == candidates.end()) {
-        next.push_back(job);
-      }
+      if (!ActiveBitmap::mask_test(candidate_mask, job)) next.push_back(job);
     }
     remaining = std::move(next);
   }
 
+  result.job_phase.assign(instance.size(), OptimalResult::kNoPhase);
+  for (std::size_t i = 0; i < result.phases.size(); ++i) {
+    for (std::size_t job : result.phases[i].jobs) result.job_phase[job] = i;
+  }
+
   result.stats.phases = result.phases.size();
   result.stats.flow_computations = result.flow_computations;
+  result.stats.counters.set("flow.warm_starts", warm_starts);
+  result.stats.counters.set("flow.retracted_units", retracted_units);
+  result.stats.counters.set("flow.resume_bfs", resume_bfs);
   obs::emit(trace, obs::EventKind::kSolveEnd, "optimal.solve", result.phases.size(),
             result.flow_computations);
   result.stats.wall_seconds = timer.elapsed_seconds();

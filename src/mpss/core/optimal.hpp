@@ -54,6 +54,9 @@ struct PhaseInfo {
 /// Output of the offline algorithm: the schedule plus the full phase structure
 /// (which the structural property tests and the OA(m) analysis hooks inspect).
 struct OptimalResult {
+  /// job_phase value for jobs that belong to no phase (zero work).
+  static constexpr std::size_t kNoPhase = static_cast<std::size_t>(-1);
+
   Schedule schedule;
   IntervalDecomposition intervals;
   std::vector<PhaseInfo> phases;
@@ -63,9 +66,12 @@ struct OptimalResult {
   /// `stats.flow_computations` mirrors the field above; `stats.phases` equals
   /// `phases.size()`.
   obs::SolveStats stats;
+  /// Index into `phases` per job (kNoPhase for zero-work jobs), filled once by
+  /// optimal_schedule() so speed_of_job is O(1) instead of a phase scan.
+  std::vector<std::size_t> job_phase;
 
-  /// Speed at which `job` is processed (0 for zero-work jobs, which belong to no
-  /// phase). Throws std::invalid_argument for unknown indices.
+  /// Speed at which `job` is processed. Returns 0 for zero-work jobs (which
+  /// belong to no phase) and for indices the instance does not contain.
   [[nodiscard]] Q speed_of_job(std::size_t job) const;
 
   /// Number of distinct speed levels p.
@@ -85,6 +91,13 @@ struct OptimalOptions {
   };
   RemovalPolicy removal_policy = RemovalPolicy::kPaperRule;
   std::uint64_t ablation_seed = 0;  // PRNG seed for kRandomCandidate
+  /// Warm-started phase rounds (the default): build the flow network once per
+  /// phase, then per removal round retract the victim's flow, rescale the
+  /// source capacities to the new speed, and resume Dinic from the carried
+  /// feasible flow. `false` rebuilds the network from scratch every round (the
+  /// differential reference path). The two paths produce bit-identical results
+  /// -- phases, speeds, and schedules -- see DESIGN.md "Warm-start invariant".
+  bool incremental = true;
   /// Optional trace sink: phase boundaries, per-round flow values, and candidate
   /// removals are recorded as obs events. Null falls back to the process-wide
   /// sink in obs::Registry (itself null by default -> no emission).

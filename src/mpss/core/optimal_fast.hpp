@@ -55,6 +55,22 @@ struct FastOptimalResult {
                                                 const FastSchedule& schedule,
                                                 double tolerance = 1e-7);
 
+/// Knobs for the fast path (the subset of OptimalOptions that applies here).
+struct FastOptimalOptions {
+  /// Relative tolerance of the flow-saturation tests (looser values risk
+  /// misclassifying phases on near-degenerate instances -- experiment E13).
+  double epsilon = 1e-9;
+  /// Warm-started phase rounds (the default): build the flow network once per
+  /// phase, then per removal round retract the victim's flow, rescale source
+  /// capacities, and resume Dinic. `false` rebuilds every round. Unlike the
+  /// exact engine the two paths agree only within the usual double tolerances
+  /// (flow splits are rounding-sensitive), not bit for bit.
+  bool incremental = true;
+  /// Optional trace sink ("optimal_fast.*" labels); null falls back to the
+  /// process-wide sink in obs::Registry.
+  obs::TraceSink* trace = nullptr;
+};
+
 /// The offline algorithm over doubles. `epsilon` is the relative tolerance of the
 /// flow-saturation tests (default 1e-9; looser values risk misclassifying phases
 /// on near-degenerate instances -- experiment E13 quantifies this). With a
@@ -63,5 +79,9 @@ struct FastOptimalResult {
 [[nodiscard]] FastOptimalResult optimal_schedule_fast(const Instance& instance,
                                                       double epsilon = 1e-9,
                                                       obs::TraceSink* trace = nullptr);
+
+/// As above with the full option set (incremental warm starts, tracing).
+[[nodiscard]] FastOptimalResult optimal_schedule_fast(const Instance& instance,
+                                                      const FastOptimalOptions& options);
 
 }  // namespace mpss

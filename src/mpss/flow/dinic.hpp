@@ -6,6 +6,13 @@
 // Dinic performs O(V) blocking-flow phases of O(VE) augmentations each regardless of
 // capacity magnitudes, so exact arithmetic never affects termination. int64 and
 // double instantiations exist for micro-benchmarks and generic reuse.
+//
+// Beyond the classic one-shot max_flow(), the network supports warm-started
+// incremental rounds (the offline engines' candidate-removal loop, DESIGN S42):
+// set_capacity() adjusts an edge in place, retract_flow() removes flow from an
+// edge while keeping its twin consistent (callers retract along whole
+// source-to-sink paths to preserve conservation), and max_flow_resume()
+// continues augmenting from the current feasible flow instead of from zero.
 
 #include <cstddef>
 #include <limits>
@@ -41,8 +48,10 @@ struct FlowTraits<Rational> {
   static bool is_positive(const Rational& value) { return value.sign() > 0; }
 };
 
-/// Work counters of one max_flow() run, exposed for the observability layer
-/// (obs::SolveStats aggregates them across the scheduler's feasibility tests).
+/// Work counters of one max_flow() / max_flow_resume() run, exposed for the
+/// observability layer (obs::SolveStats aggregates them across the scheduler's
+/// feasibility tests). Reset at the start of every solver call, so callers that
+/// aggregate read them after each call.
 struct FlowKernelStats {
   /// Level graphs built (BFS passes), including the final failed one.
   std::size_t bfs_rounds = 0;
@@ -58,6 +67,18 @@ class FlowNetwork {
  public:
   /// Identifier returned by add_edge.
   using EdgeId = std::size_t;
+
+  /// Pre-sizes the adjacency table (node storage). Callers that know the final
+  /// graph shape (the offline engines build source + jobs + intervals + sink)
+  /// reserve up front so add_node/add_edge never regrow vectors mid-build.
+  void reserve_nodes(std::size_t count) { adjacency_.reserve(count); }
+
+  /// Pre-sizes arc and per-edge storage for `count` edges (2 arcs each).
+  void reserve_edges(std::size_t count) {
+    arcs_.reserve(2 * count);
+    edge_arc_.reserve(count);
+    capacity_.reserve(count);
+  }
 
   /// Creates `count` fresh nodes, returning the index of the first.
   std::size_t add_nodes(std::size_t count) {
@@ -82,37 +103,72 @@ class FlowNetwork {
     arcs_.push_back(Arc{to, capacity});
     adjacency_[to].push_back(arcs_.size());
     arcs_.push_back(Arc{from, FlowTraits<Cap>::zero()});
+    capacity_.push_back(std::move(capacity));
     return id;
   }
 
-  /// Computes the maximum flow from source to sink. May be called once per network
-  /// (it mutates residual capacities). Returns the flow value.
+  /// Computes the maximum flow from source to sink, starting from the empty
+  /// flow. Re-runnable: any flow present from earlier max_flow()/resume calls is
+  /// discarded first, so repeated calls on the same network (possibly with
+  /// capacities changed in between) always yield the from-scratch Dinic flow.
   Cap max_flow(std::size_t source, std::size_t sink) {
-    check_arg(source < adjacency_.size() && sink < adjacency_.size(),
-              "FlowNetwork::max_flow: node index out of range");
-    check_arg(source != sink, "FlowNetwork::max_flow: source == sink");
-    original_capacity_.clear();
-    original_capacity_.reserve(arcs_.size());
-    for (const Arc& arc : arcs_) original_capacity_.push_back(arc.residual);
-
-    Cap total = FlowTraits<Cap>::zero();
-    stats_ = FlowKernelStats{};
-    level_.assign(adjacency_.size(), -1);
-    iterator_.assign(adjacency_.size(), 0);
-    while (build_levels(source, sink)) {
-      iterator_.assign(adjacency_.size(), 0);
-      for (;;) {
-        Cap pushed = blocking_path(source, sink, Cap{}, /*unbounded=*/true);
-        if (!FlowTraits<Cap>::is_positive(pushed)) break;
-        ++stats_.augmenting_paths;
-        total += pushed;
-      }
-    }
+    check_endpoints(source, sink, "FlowNetwork::max_flow");
+    reset_flow();
     solved_ = true;
-    return total;
+    return augment(source, sink);
   }
 
-  /// Work counters of the last max_flow() run (zeros before the first run).
+  /// Continues Dinic from the current flow (the warm-start path): augments until
+  /// no residual source-sink path remains and returns the resulting TOTAL flow
+  /// value (previous flow plus newly pushed flow). The current flow must be
+  /// feasible -- callers arrive here via retract_flow()/set_capacity(), both of
+  /// which preserve feasibility. Work counters cover only this call.
+  Cap max_flow_resume(std::size_t source, std::size_t sink) {
+    check_endpoints(source, sink, "FlowNetwork::max_flow_resume");
+    Cap carried = current_flow_from(source);
+    solved_ = true;
+    return carried + augment(source, sink);
+  }
+
+  /// Discards all flow: forward residuals return to the edge capacities, twin
+  /// residuals to zero. Capacities set via set_capacity() are kept.
+  void reset_flow() {
+    for (std::size_t id = 0; id < edge_arc_.size(); ++id) {
+      std::size_t arc = edge_arc_[id];
+      arcs_[arc].residual = capacity_[id];
+      arcs_[arc ^ 1].residual = FlowTraits<Cap>::zero();
+    }
+  }
+
+  /// Replaces the capacity of edge `id` in place, keeping its current flow: the
+  /// forward residual becomes `capacity - flow`. Requires flow <= capacity (the
+  /// epsilon-guarded test for floating point), i.e. callers must retract
+  /// excess flow before shrinking an edge below its current load.
+  void set_capacity(EdgeId id, Cap capacity) {
+    std::size_t arc = edge_arc_.at(id);
+    const Cap& carried = arcs_[arc ^ 1].residual;  // flow == twin residual
+    check_arg(!FlowTraits<Cap>::is_positive(carried - capacity),
+              "FlowNetwork::set_capacity: capacity below current flow");
+    arcs_[arc].residual = capacity - carried;
+    capacity_[id] = std::move(capacity);
+  }
+
+  /// Removes `amount` flow from edge `id` (forward residual grows, twin residual
+  /// shrinks). Conservation is the caller's contract: retract the same amount
+  /// along a whole source-to-sink path (the offline engines' networks are
+  /// layered, so their paths are the explicit source/job/sink edge triples).
+  void retract_flow(EdgeId id, const Cap& amount) {
+    std::size_t arc = edge_arc_.at(id);
+    Arc& forward = arcs_[arc];
+    Arc& twin = arcs_[arc ^ 1];
+    check_arg(!FlowTraits<Cap>::is_positive(amount - twin.residual),
+              "FlowNetwork::retract_flow: amount exceeds edge flow");
+    forward.residual += amount;
+    twin.residual -= amount;
+  }
+
+  /// Work counters of the last max_flow()/max_flow_resume() run (zeros before
+  /// the first run).
   [[nodiscard]] const FlowKernelStats& kernel_stats() const { return stats_; }
 
   /// Flow routed along edge `id` (only meaningful after max_flow()).
@@ -123,11 +179,9 @@ class FlowNetwork {
     return arcs_[arc ^ 1].residual;
   }
 
-  /// The capacity the edge was created with.
-  [[nodiscard]] Cap capacity(EdgeId id) const {
-    std::size_t arc = edge_arc_.at(id);
-    return solved_ ? original_capacity_[arc] : arcs_[arc].residual;
-  }
+  /// The capacity the edge currently has (its creation capacity unless
+  /// set_capacity() replaced it).
+  [[nodiscard]] const Cap& capacity(EdgeId id) const { return capacity_.at(id); }
 
   /// True iff edge `id` carries exactly its capacity (exact types) or is within
   /// epsilon of it (double).
@@ -161,6 +215,44 @@ class FlowNetwork {
     std::size_t target;
     Cap residual;
   };
+
+  void check_endpoints(std::size_t source, std::size_t sink, const char*) const {
+    check_arg(source < adjacency_.size() && sink < adjacency_.size(),
+              "FlowNetwork: node index out of range");
+    check_arg(source != sink, "FlowNetwork: source == sink");
+  }
+
+  /// Net flow currently leaving `source` (forward arcs out minus flow coming
+  /// back in) -- the value a resumed run starts from.
+  Cap current_flow_from(std::size_t source) const {
+    Cap value = FlowTraits<Cap>::zero();
+    for (std::size_t arc : adjacency_[source]) {
+      if ((arc & 1) == 0) {
+        value += arcs_[arc ^ 1].residual;  // flow out on a forward arc
+      } else {
+        value -= arcs_[arc].residual;  // flow in on some edge into source
+      }
+    }
+    return value;
+  }
+
+  /// The Dinic loop proper: augments from whatever flow the residuals encode.
+  Cap augment(std::size_t source, std::size_t sink) {
+    Cap total = FlowTraits<Cap>::zero();
+    stats_ = FlowKernelStats{};
+    level_.assign(adjacency_.size(), -1);
+    iterator_.assign(adjacency_.size(), 0);
+    while (build_levels(source, sink)) {
+      iterator_.assign(adjacency_.size(), 0);
+      for (;;) {
+        Cap pushed = blocking_path(source, sink, Cap{}, /*unbounded=*/true);
+        if (!FlowTraits<Cap>::is_positive(pushed)) break;
+        ++stats_.augmenting_paths;
+        total += pushed;
+      }
+    }
+    return total;
+  }
 
   bool build_levels(std::size_t source, std::size_t sink) {
     ++stats_.bfs_rounds;
@@ -206,7 +298,7 @@ class FlowNetwork {
   std::vector<std::vector<std::size_t>> adjacency_;  // node -> arc indices
   std::vector<Arc> arcs_;                            // paired: arc ^ 1 is the twin
   std::vector<std::size_t> edge_arc_;                // edge id -> forward arc index
-  std::vector<Cap> original_capacity_;
+  std::vector<Cap> capacity_;                        // edge id -> current capacity
   std::vector<int> level_;
   std::vector<std::size_t> iterator_;
   std::vector<std::size_t> queue_;

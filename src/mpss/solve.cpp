@@ -52,7 +52,11 @@ SolveResult run_engine(const Instance& instance, const SolveOptions& options) {
       return result;
     }
     case Engine::kFast: {
-      FastOptimalResult r = optimal_schedule_fast(instance, options.fast_epsilon, sink);
+      FastOptimalOptions fast;
+      fast.epsilon = options.fast_epsilon;
+      fast.incremental = options.fast_incremental;
+      fast.trace = sink;
+      FastOptimalResult r = optimal_schedule_fast(instance, fast);
       result.energy = r.schedule.energy(p);
       result.stats = std::move(r.stats);
       result.schedule = std::move(r.schedule);
@@ -160,6 +164,13 @@ SolveResult solve(const Instance& instance, const SolveOptions& options) {
     if (promotions != 0) result.stats.counters.add("bigint.promotions", promotions);
     if (norm_small != 0) result.stats.counters.add("rational.norm_small", norm_small);
     publish_numeric_counters();
+    // Publish the warm-start telemetry of the offline engines process-wide,
+    // mirroring the numeric counters above (process dashboards read Registry).
+    for (const auto& [name, value] : result.stats.counters.items()) {
+      if (value != 0 && name.starts_with("flow.")) {
+        obs::Registry::global().add(name, value);
+      }
+    }
     return result;
   };
   try {

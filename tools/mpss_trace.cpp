@@ -7,6 +7,8 @@
 //   * an event-kind summary (count per kind),
 //   * a per-phase table (rounds, removals, final speed) for the offline
 //     engines -- the paper's phase structure read straight off the trace,
+//   * a warm-start summary (resumed flow rounds and their BFS passes) when the
+//     offline engines ran incrementally,
 //   * a simplex summary when LP pivots are present,
 //   * an arrival table when online re-planning events are present.
 //
@@ -96,6 +98,33 @@ void phase_tables(const std::vector<TraceEvent>& events, bool csv) {
   }
 }
 
+void warm_start_table(const std::vector<TraceEvent>& events, bool csv) {
+  // The offline engines emit one "<engine>.warm_start" kCounter event per
+  // resumed flow round (a = phase, b = round, value = resume BFS passes).
+  struct WarmRow {
+    std::size_t resumes = 0;
+    double resume_bfs = 0.0;
+  };
+  std::map<std::string, WarmRow> engines;
+  for (const TraceEvent& event : events) {
+    if (event.kind != EventKind::kCounter) continue;
+    const std::string& label = event.label;
+    if (label.size() < 11 || label.compare(label.size() - 11, 11, ".warm_start") != 0) {
+      continue;
+    }
+    WarmRow& row = engines[label_prefix(label)];
+    ++row.resumes;
+    row.resume_bfs += event.value;
+  }
+  if (engines.empty()) return;
+  std::cout << "warm starts\n";
+  Table table({"engine", "resumes", "resume_bfs"});
+  for (const auto& [engine, row] : engines) {
+    table.row(engine, row.resumes, static_cast<std::size_t>(row.resume_bfs));
+  }
+  print_table(table, csv);
+}
+
 void simplex_table(const std::vector<TraceEvent>& events, bool csv) {
   std::size_t pivots = 0;
   std::size_t degenerate = 0;
@@ -153,6 +182,7 @@ int main(int argc, char** argv) {
     if (events.empty()) return 0;
     kind_summary(events, csv);
     phase_tables(events, csv);
+    warm_start_table(events, csv);
     simplex_table(events, csv);
     arrival_table(events, csv);
     return 0;
