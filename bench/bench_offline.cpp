@@ -6,6 +6,7 @@
 #include "mpss/core/optimal.hpp"
 #include "mpss/core/optimal_fast.hpp"
 #include "mpss/core/yds.hpp"
+#include "mpss/obs/ring_sink.hpp"
 #include "mpss/util/numeric_counters.hpp"
 #include "mpss/workload/generators.hpp"
 
@@ -77,6 +78,27 @@ void BM_OptimalScheduleByMachines(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OptimalScheduleByMachines)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_OptimalScheduleRingTraced(benchmark::State& state) {
+  // Tracing overhead (S43 budget): same solve as BM_OptimalScheduleByJobs but
+  // every event and span lands in a lock-free RingSink. Compare against the
+  // untraced run at the same Arg; the delta is the full instrumented-emit cost
+  // (span clock reads included). Rings are drained per iteration so a full
+  // buffer never silently turns emits into cheap drops.
+  Instance instance = bench_instance(static_cast<std::size_t>(state.range(0)), 4, 1);
+  mpss::obs::RingSink ring(1 << 16);
+  mpss::OptimalOptions options;
+  options.trace = &ring;
+  std::size_t events = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_schedule(instance, options));
+    events += ring.drain().size();
+  }
+  state.counters["events"] =
+      static_cast<double>(events) / static_cast<double>(state.iterations());
+  state.counters["ring_dropped"] = static_cast<double>(ring.dropped());
+}
+BENCHMARK(BM_OptimalScheduleRingTraced)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_LaminarDeepPhases(benchmark::State& state) {
   // Laminar instances maximize the number of distinct speed levels (phases).

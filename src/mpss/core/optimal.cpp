@@ -5,6 +5,8 @@
 
 #include "mpss/core/mcnaughton.hpp"
 #include "mpss/flow/dinic.hpp"
+#include "mpss/obs/histogram.hpp"
+#include "mpss/obs/span.hpp"
 #include "mpss/obs/trace.hpp"
 #include "mpss/util/error.hpp"
 #include "mpss/util/random.hpp"
@@ -144,6 +146,10 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
   const std::size_t m = instance.machines();
 
   OptimalResult result{Schedule(m), intervals, {}, 0, {}, {}};
+  // Span opens before the timer starts and closes after the timer is read, so
+  // the solve span provably covers stats.wall_seconds (the --report coverage
+  // criterion).
+  obs::SpanScope solve_span(trace, "optimal.solve");
   obs::ScopedTimer timer;
   result.stats.counters.set("optimal.intervals", interval_count);
   obs::emit(trace, obs::EventKind::kSolveStart, "optimal.solve", instance.size(), m);
@@ -169,8 +175,14 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
   std::uint64_t retracted_units = 0;
   std::uint64_t resume_bfs = 0;
 
+  // Per-solve distributions (S43): folded into stats.histograms on return.
+  obs::HistogramData round_us;          // wall microseconds per flow round
+  obs::HistogramData rounds_per_phase;  // Lemma-4 chain length per phase
+  obs::HistogramData resume_bfs_hist;   // BFS passes per warm-started resume
+
   while (!remaining.empty()) {
     // ---- one phase: identify the next job set J_i and its speed s_i ----
+    obs::SpanScope phase_span(trace, "optimal.phase");
     std::vector<std::size_t> candidates = remaining;  // invariant: J_i is a subset
     std::ranges::fill(candidate_mask, 0);
     for (std::size_t job : candidates) ActiveBitmap::mask_set(candidate_mask, job);
@@ -190,6 +202,8 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
     bool canonical = true;   // round.net's flow came from a from-zero solve
 
     for (;;) {
+      obs::SpanScope round_span(trace, "optimal.round");
+      obs::ScopedHistogramTimer round_timer(round_us);
       check_internal(!candidates.empty(),
                      "optimal_schedule: candidate set emptied; Lemma 4 invariant broken");
       ++rounds;
@@ -245,6 +259,7 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
         flow_value = round.net.max_flow_resume(round.source, round.sink);
         ++warm_starts;
         resume_bfs += round.net.kernel_stats().bfs_rounds;
+        resume_bfs_hist.record(round.net.kernel_stats().bfs_rounds);
         canonical = false;
         obs::emit(trace, obs::EventKind::kCounter, "optimal.warm_start", phase_index,
                   rounds, static_cast<double>(round.net.kernel_stats().bfs_rounds));
@@ -356,6 +371,7 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
     }
     obs::emit(trace, obs::EventKind::kPhaseEnd, "optimal.phase", phase_index, rounds,
               speed.to_double());
+    rounds_per_phase.record(rounds);
     result.phases.push_back(std::move(phase));
 
     // Drop the scheduled jobs from the remaining set; the candidate mask holds
@@ -378,6 +394,13 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
   result.stats.counters.set("flow.warm_starts", warm_starts);
   result.stats.counters.set("flow.retracted_units", retracted_units);
   result.stats.counters.set("flow.resume_bfs", resume_bfs);
+  if (!round_us.empty()) result.stats.histograms["optimal.round_us"] = round_us;
+  if (!rounds_per_phase.empty()) {
+    result.stats.histograms["optimal.rounds_per_phase"] = rounds_per_phase;
+  }
+  if (!resume_bfs_hist.empty()) {
+    result.stats.histograms["optimal.resume_bfs"] = resume_bfs_hist;
+  }
   obs::emit(trace, obs::EventKind::kSolveEnd, "optimal.solve", result.phases.size(),
             result.flow_computations);
   result.stats.wall_seconds = timer.elapsed_seconds();

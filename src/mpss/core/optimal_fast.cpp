@@ -6,6 +6,8 @@
 
 #include "mpss/core/intervals.hpp"
 #include "mpss/flow/dinic.hpp"
+#include "mpss/obs/histogram.hpp"
+#include "mpss/obs/span.hpp"
 #include "mpss/obs/trace.hpp"
 #include "mpss/util/error.hpp"
 
@@ -216,6 +218,8 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
 
   FastOptimalResult result;
   result.schedule.machines.resize(m);
+  // Span before timer: the solve span covers stats.wall_seconds (see optimal.cpp).
+  obs::SpanScope solve_span(trace, "optimal_fast.solve");
   obs::ScopedTimer timer;
   result.stats.counters.set("optimal_fast.intervals", interval_count);
   obs::emit(trace, obs::EventKind::kSolveStart, "optimal_fast.solve",
@@ -250,7 +254,12 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
   std::uint64_t retracted_units = 0;
   std::uint64_t resume_bfs = 0;
 
+  obs::HistogramData round_us;
+  obs::HistogramData rounds_per_phase;
+  obs::HistogramData resume_bfs_hist;
+
   while (!remaining.empty()) {
+    obs::SpanScope phase_span(trace, "optimal_fast.phase");
     std::vector<std::size_t> candidates = remaining;
     std::ranges::fill(candidate_mask, 0);
     for (std::size_t job : candidates) ActiveBitmap::mask_set(candidate_mask, job);
@@ -266,6 +275,8 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
     bool built = false;
 
     for (;;) {
+      obs::SpanScope round_span(trace, "optimal_fast.round");
+      obs::ScopedHistogramTimer round_timer(round_us);
       check_internal(!candidates.empty(),
                      "optimal_schedule_fast: candidate set emptied");
       ++rounds;
@@ -312,6 +323,7 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
         flow_value = round.net.max_flow_resume(round.source, round.sink);
         ++warm_starts;
         resume_bfs += round.net.kernel_stats().bfs_rounds;
+        resume_bfs_hist.record(round.net.kernel_stats().bfs_rounds);
         obs::emit(trace, obs::EventKind::kCounter, "optimal_fast.warm_start",
                   phase_index, rounds,
                   static_cast<double>(round.net.kernel_stats().bfs_rounds));
@@ -362,6 +374,7 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
 
     obs::emit(trace, obs::EventKind::kPhaseEnd, "optimal_fast.phase", phase_index,
               rounds, speed);
+    rounds_per_phase.record(rounds);
     result.phase_speeds.push_back(speed);
 
     // Extract: per interval, wrap the chunks over the reserved machines.
@@ -418,6 +431,13 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
   result.stats.counters.set("flow.warm_starts", warm_starts);
   result.stats.counters.set("flow.retracted_units", retracted_units);
   result.stats.counters.set("flow.resume_bfs", resume_bfs);
+  if (!round_us.empty()) result.stats.histograms["optimal_fast.round_us"] = round_us;
+  if (!rounds_per_phase.empty()) {
+    result.stats.histograms["optimal_fast.rounds_per_phase"] = rounds_per_phase;
+  }
+  if (!resume_bfs_hist.empty()) {
+    result.stats.histograms["optimal_fast.resume_bfs"] = resume_bfs_hist;
+  }
   obs::emit(trace, obs::EventKind::kSolveEnd, "optimal_fast.solve",
             result.phase_speeds.size(), result.flow_computations);
   result.stats.wall_seconds = timer.elapsed_seconds();

@@ -4,6 +4,8 @@
 
 #include "mpss/core/intervals.hpp"
 #include "mpss/obs/counters.hpp"
+#include "mpss/obs/histogram.hpp"
+#include "mpss/obs/span.hpp"
 #include "mpss/obs/trace.hpp"
 #include "mpss/util/error.hpp"
 
@@ -17,6 +19,9 @@ LpBaselineResult lp_baseline(const Instance& instance, const PowerFunction& p,
   IntervalDecomposition intervals(instance.jobs());
   const std::size_t interval_count = intervals.count();
   LpBaselineResult result;
+  // Span before timer: the solve span covers stats.wall_seconds (see optimal.cpp).
+  // Declared before the early return below so trivial instances are spanned too.
+  obs::SpanScope solve_span(trace, "lp.solve");
   obs::ScopedTimer timer;
   obs::emit(trace, obs::EventKind::kSolveStart, "lp.solve", instance.size(),
             grid_size);
@@ -112,6 +117,7 @@ LpBaselineResult lp_baseline(const Instance& instance, const PowerFunction& p,
   result.stats.simplex_degenerate_pivots = solution.degenerate_pivots;
   result.stats.counters.add("lp.variables", result.variables);
   result.stats.counters.add("lp.constraints", result.constraints);
+  result.stats.histograms["lp.pivots_per_solve"].record(solution.iterations);
   obs::emit(trace, obs::EventKind::kSolveEnd, "lp.solve", solution.iterations, 0,
             solution.objective);
   result.stats.wall_seconds = timer.elapsed_seconds();

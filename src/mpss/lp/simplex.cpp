@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "mpss/obs/span.hpp"
 #include "mpss/obs/trace.hpp"
 #include "mpss/util/error.hpp"
 
@@ -32,6 +33,9 @@ enum class PhaseOutcome { kOptimal, kUnbounded };
 /// value is recoverable from the basis.
 PhaseOutcome run_simplex(Tableau& t, const std::vector<double>& cost,
                          LpSolution* solution, obs::TraceSink* trace) {
+  // One span per simplex phase (two per two-phase solve); the kSimplexPivot
+  // events below nest under it.
+  obs::SpanScope simplex_span(trace, "lp.simplex");
   // Reduced-cost row r_j = c_j - sum_i c_B(i) * a(i, j).
   std::vector<double> reduced(t.cols + 1, 0.0);
   for (std::size_t j = 0; j <= t.cols; ++j) {

@@ -1,0 +1,118 @@
+#include "mpss/obs/histogram.hpp"
+
+#include <algorithm>
+
+namespace mpss::obs {
+
+void HistogramData::record(std::uint64_t value) {
+  ++buckets[bucket_of(value)];
+  ++count;
+  sum += value;
+  if (count == 1) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) buckets[i] += other.buckets[i];
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+std::uint64_t HistogramData::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based; q = 0 maps to the first sample.
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t next = seen + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate linearly across the bucket's value range by the fraction of
+      // the bucket's population below the target rank.
+      const double within =
+          buckets[i] == 0
+              ? 0.0
+              : (target - static_cast<double>(seen)) / static_cast<double>(buckets[i]);
+      const double lo = static_cast<double>(bucket_lower(i));
+      const double hi = static_cast<double>(bucket_upper(i));
+      auto estimate = static_cast<std::uint64_t>(lo + within * (hi - lo));
+      return std::clamp(estimate, min, max);
+    }
+    seen = next;
+  }
+  return max;
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[HistogramData::bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::merge(const HistogramData& data) {
+  if (data.count == 0) return;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (data.buckets[i] != 0) {
+      buckets_[i].fetch_add(data.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(data.count, std::memory_order_relaxed);
+  sum_.fetch_add(data.sum, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (data.min < seen &&
+         !min_.compare_exchange_weak(seen, data.min, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (data.max > seen &&
+         !max_.compare_exchange_weak(seen, data.max, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData data;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    data.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  data.count = count_.load(std::memory_order_relaxed);
+  data.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  data.min = data.count == 0 ? 0 : min;
+  data.max = max_.load(std::memory_order_relaxed);
+  return data;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void merge_histograms(HistogramMap& into, const HistogramMap& other) {
+  for (const auto& [name, data] : other) into[name].merge(data);
+}
+
+}  // namespace mpss::obs

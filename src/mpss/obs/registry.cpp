@@ -22,9 +22,33 @@ Counters Registry::snapshot() const {
   return counters_;
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+HistogramMap Registry::histogram_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramMap snapshot;
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot[name] = histogram->snapshot();
+  }
+  return snapshot;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
+  // Zero in place: references handed out by histogram() must stay valid.
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+  // Rewind the id wells so traces are deterministic across test cases and
+  // differential runs (see the header's test-isolation contract).
+  seq_.store(0, std::memory_order_relaxed);
+  span_seq_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace mpss::obs

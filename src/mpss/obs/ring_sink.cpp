@@ -1,0 +1,109 @@
+#include "mpss/obs/ring_sink.hpp"
+
+#include <algorithm>
+
+namespace mpss::obs {
+namespace {
+
+std::uint64_t next_sink_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread cache of (sink id -> ring) so record() skips the registration
+/// mutex after a thread's first event. Keyed by the sink's process-unique id,
+/// not its address, so a new RingSink allocated where a destroyed one lived
+/// can never match a stale entry. Entries for dead sinks linger (a pointer
+/// per sink per thread) until the thread exits; they are never dereferenced.
+struct TlEntry {
+  std::uint64_t sink_id;
+  void* buffer;
+};
+thread_local std::vector<TlEntry> tl_rings;
+
+}  // namespace
+
+/// One thread's SPSC ring. The owning thread is the only producer (writes
+/// slots and tail); flush()/drain() are the consumer (reads slots, writes
+/// head), serialized by consumer_mutex_. tail is stored with release after
+/// the slot write and loaded with acquire by the consumer; symmetrically for
+/// head, so slot reuse never races with a slot still being read.
+struct RingSink::Buffer {
+  explicit Buffer(std::size_t capacity) : slots(capacity) {}
+
+  std::vector<TraceEvent> slots;
+  std::atomic<std::uint64_t> head{0};  // consumer cursor
+  std::atomic<std::uint64_t> tail{0};  // producer cursor
+};
+
+RingSink::RingSink(std::size_t capacity, TraceSink* downstream)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      downstream_(downstream),
+      id_(next_sink_id()) {}
+
+RingSink::~RingSink() {
+  if (downstream_ == nullptr) return;
+  // Best effort final drain; producers must be done by now (sink lifetime is
+  // the caller's contract, as with every TraceSink).
+  for (const TraceEvent& event : drain()) downstream_->record(event);
+  downstream_->flush();
+}
+
+RingSink::Buffer& RingSink::local_buffer() {
+  for (const TlEntry& entry : tl_rings) {
+    if (entry.sink_id == id_) return *static_cast<Buffer*>(entry.buffer);
+  }
+  auto buffer = std::make_unique<Buffer>(capacity_);
+  Buffer* raw = buffer.get();
+  {
+    std::lock_guard<std::mutex> lock(consumer_mutex_);
+    buffers_.push_back(std::move(buffer));
+  }
+  tl_rings.push_back(TlEntry{id_, raw});
+  return *raw;
+}
+
+void RingSink::record(const TraceEvent& event) {
+  Buffer& buffer = local_buffer();
+  const std::uint64_t tail = buffer.tail.load(std::memory_order_relaxed);
+  if (tail - buffer.head.load(std::memory_order_acquire) >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);  // full: drop the newest
+    return;
+  }
+  buffer.slots[tail % capacity_] = event;
+  buffer.tail.store(tail + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> RingSink::consume() {
+  std::vector<TraceEvent> events;
+  for (const std::unique_ptr<Buffer>& buffer : buffers_) {
+    std::uint64_t head = buffer->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = buffer->tail.load(std::memory_order_acquire);
+    for (; head != tail; ++head) {
+      events.push_back(std::move(buffer->slots[head % capacity_]));
+    }
+    buffer->head.store(head, std::memory_order_release);
+  }
+  // The global sequence numbers reconstruct the cross-thread interleaving.
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  return events;
+}
+
+void RingSink::flush() {
+  if (downstream_ == nullptr) return;
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(consumer_mutex_);
+    events = consume();
+  }
+  for (const TraceEvent& event : events) downstream_->record(event);
+  downstream_->flush();
+}
+
+std::vector<TraceEvent> RingSink::drain() {
+  std::lock_guard<std::mutex> lock(consumer_mutex_);
+  return consume();
+}
+
+}  // namespace mpss::obs

@@ -1,0 +1,76 @@
+#include "mpss/obs/span.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "mpss/obs/registry.hpp"
+
+namespace mpss::obs {
+namespace {
+
+thread_local SpanId tl_current_span = 0;
+
+constexpr std::uint64_t kUnassigned = ~std::uint64_t{0};
+std::atomic<std::uint64_t> next_thread_index{0};
+thread_local std::uint64_t tl_thread_index = kUnassigned;
+
+double epoch_seconds(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace
+
+SpanId current_span() { return tl_current_span; }
+
+std::uint64_t thread_index() {
+  if (tl_thread_index == kUnassigned) {
+    tl_thread_index = next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tl_thread_index;
+}
+
+SpanScope::SpanScope(TraceSink* sink, std::string_view label) {
+  if (sink == nullptr) sink = Registry::global().sink();
+  if (sink == nullptr) return;  // inactive: the documented one-branch path
+  sink_ = sink;
+  id_ = Registry::global().next_span_id();
+  parent_ = std::exchange(tl_current_span, id_);
+  label_ = label;
+  start_ = std::chrono::steady_clock::now();
+
+  TraceEvent event;
+  event.kind = EventKind::kSpanBegin;
+  event.label = label_;
+  event.a = id_;
+  event.b = parent_;
+  event.value = static_cast<double>(thread_index());
+  event.seq = Registry::global().next_seq();
+  event.span = parent_;
+  event.t_seconds = epoch_seconds(start_);  // stamped even without MPSS_TRACING
+  sink_->record(event);
+}
+
+SpanScope::~SpanScope() {
+  if (id_ == 0) return;
+  auto end = std::chrono::steady_clock::now();
+  tl_current_span = parent_;
+
+  TraceEvent event;
+  event.kind = EventKind::kSpanEnd;
+  event.label = label_;
+  event.a = id_;
+  event.b = parent_;
+  event.value = std::chrono::duration<double>(end - start_).count();
+  event.seq = Registry::global().next_seq();
+  event.span = parent_;
+  event.t_seconds = epoch_seconds(end);
+  sink_->record(event);
+}
+
+double SpanScope::elapsed_seconds() const {
+  if (id_ == 0) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+}  // namespace mpss::obs

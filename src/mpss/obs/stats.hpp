@@ -12,6 +12,7 @@
 #include <cstddef>
 
 #include "mpss/obs/counters.hpp"
+#include "mpss/obs/histogram.hpp"
 
 namespace mpss::obs {
 
@@ -42,6 +43,12 @@ struct SolveStats {
   /// Engine-specific named extras ("optimal.intervals", "lp.variables", ...).
   Counters counters;
 
+  /// Engine-specific distributions ("optimal.round_us" flow-round durations,
+  /// "lp.pivots_per_solve", "optimal.rounds_per_phase", ...), log-bucketed
+  /// (histogram.hpp). The solve() facade publishes them into the Registry's
+  /// global histograms alongside the counters.
+  HistogramMap histograms;
+
   /// Field-wise sum; used when one run aggregates many inner solves (OA's
   /// per-arrival planner calls).
   void merge(const SolveStats& other) {
@@ -56,6 +63,7 @@ struct SolveStats {
     peel_events += other.peel_events;
     wall_seconds += other.wall_seconds;
     counters.merge(other.counters);
+    merge_histograms(histograms, other.histograms);
   }
 };
 

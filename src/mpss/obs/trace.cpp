@@ -5,8 +5,10 @@
 #include <charconv>
 #include <chrono>
 #include <sstream>
+#include <stdexcept>
 
 #include "mpss/obs/registry.hpp"
+#include "mpss/obs/span.hpp"
 #include "mpss/util/error.hpp"
 
 namespace mpss::obs {
@@ -15,6 +17,7 @@ namespace {
 constexpr const char* kKindNames[] = {
     "solve_start", "solve_end",     "phase_start", "phase_end",    "flow_round",
     "candidate_removed", "simplex_pivot", "arrival", "peel", "counter",
+    "span_begin", "span_end",
 };
 constexpr std::size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
 
@@ -26,9 +29,12 @@ std::string format_double(double value) {
   return out.str();
 }
 
-/// Minimal escaping: labels are dotted identifiers by convention, but a sink
-/// must not emit broken JSON for any input.
+/// Labels are dotted identifiers by convention, but a sink must not emit
+/// broken JSON for any input: quotes/backslashes and the common control
+/// characters get short escapes, remaining control characters \u00XX, and
+/// multi-byte UTF-8 passes through untouched.
 void append_json_string(std::string& out, std::string_view text) {
+  static constexpr char kHex[] = "0123456789abcdef";
   out += '"';
   for (char c : text) {
     switch (c) {
@@ -37,7 +43,14 @@ void append_json_string(std::string& out, std::string_view text) {
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
-      default: out += c;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
     }
   }
   out += '"';
@@ -79,6 +92,8 @@ class LineParser {
           event.b = static_cast<std::uint64_t>(number);
         } else if (key == "seq") {
           event.seq = static_cast<std::uint64_t>(number);
+        } else if (key == "span") {
+          event.span = static_cast<std::uint64_t>(number);
         } else if (key == "value") {
           event.value = number;
         } else if (key == "t") {
@@ -124,6 +139,7 @@ class LineParser {
           case 'n': out += '\n'; break;
           case 't': out += '\t'; break;
           case 'r': out += '\r'; break;
+          case 'u': out += parse_unicode_escape(); break;
           default: out += e;
         }
       } else {
@@ -131,6 +147,32 @@ class LineParser {
       }
     }
     expect('"');
+    return out;
+  }
+  /// Decodes the 4 hex digits after "\u" into UTF-8 (BMP code points; the
+  /// encoder only produces \u00XX, but accepting the full range is free).
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
     return out;
   }
   double parse_number() {
@@ -208,6 +250,14 @@ JsonlSink::JsonlSink(const std::string& path) : file_(path), out_(&file_) {
   check_arg(static_cast<bool>(file_), "JsonlSink: cannot open trace file");
 }
 
+JsonlSink::~JsonlSink() {
+  // Destructors must not throw; the best-effort flush still completes the
+  // trace on every non-failing stream. Callers that need failures surfaced
+  // call flush() explicitly.
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_->flush();
+}
+
 void JsonlSink::record(const TraceEvent& event) {
   std::string line = to_jsonl(event);
   std::lock_guard<std::mutex> lock(mutex_);
@@ -217,6 +267,22 @@ void JsonlSink::record(const TraceEvent& event) {
 void JsonlSink::flush() {
   std::lock_guard<std::mutex> lock(mutex_);
   out_->flush();
+  if (out_->bad() || out_->fail()) {
+    throw std::runtime_error(
+        "JsonlSink: trace stream write failed (events were lost)");
+  }
+}
+
+bool JsonlSink::ok() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !(out_->bad() || out_->fail());
+}
+
+std::string json_quoted(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  append_json_string(out, text);
+  return out;
 }
 
 std::string to_jsonl(const TraceEvent& event) {
@@ -225,6 +291,7 @@ std::string to_jsonl(const TraceEvent& event) {
   append_json_string(out, event.label);
   out += ",\"a\":" + std::to_string(event.a);
   out += ",\"b\":" + std::to_string(event.b);
+  out += ",\"span\":" + std::to_string(event.span);
   out += ",\"value\":" + format_double(event.value);
   out += ",\"t\":" + format_double(event.t_seconds);
   out += '}';
@@ -264,6 +331,7 @@ void emit(TraceSink* sink, EventKind kind, std::string_view label, std::uint64_t
   event.b = b;
   event.value = value;
   event.seq = Registry::global().next_seq();
+  event.span = current_span();  // nests the event under the innermost open span
   if constexpr (kTimestampedTracing) {
     event.t_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())

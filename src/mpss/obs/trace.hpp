@@ -44,6 +44,8 @@ enum class EventKind : std::uint8_t {
   kArrival,           // online re-planning event        a=event, b=available, value=seconds
   kPeel,              // AVR dedicated-processor branch  a=interval, b=job, value=density
   kCounter,           // free-form counter-style event
+  kSpanBegin,         // SpanScope opened (span.hpp)     a=span id, b=parent id, value=thread index
+  kSpanEnd,           // SpanScope closed                a=span id, b=parent id, value=seconds
 };
 
 /// Stable lowercase name ("flow_round") used by the JSONL encoding.
@@ -62,6 +64,9 @@ struct TraceEvent {
   double value = 0.0;
   std::uint64_t seq = 0;     // process-wide emission order (obs::Registry)
   double t_seconds = 0.0;    // steady-clock stamp; 0 unless MPSS_TRACING build
+                             // (span begin/end events are always stamped)
+  std::uint64_t span = 0;    // innermost span open on the emitting thread when
+                             // this event fired (span.hpp); 0 = none
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
@@ -102,27 +107,43 @@ class MemorySink final : public TraceSink {
 };
 
 /// Streams events as one JSON object per line (JSONL), the format
-/// tools/mpss_trace consumes. Writing is mutex-protected.
+/// tools/mpss_trace consumes. Writing is mutex-protected. The destructor
+/// flushes, so a trace is complete without an explicit flush() call; an
+/// explicit flush() additionally *surfaces* stream write failures (disk
+/// full, closed pipe) as std::runtime_error instead of truncating silently
+/// -- call it once after a traced run when the trace matters.
 class JsonlSink final : public TraceSink {
  public:
   /// Writes to a caller-owned stream (must outlive the sink).
   explicit JsonlSink(std::ostream& out);
   /// Opens `path` for writing; throws std::invalid_argument on failure.
   explicit JsonlSink(const std::string& path);
+  /// Flushes (best effort, never throws).
+  ~JsonlSink() override;
 
   void record(const TraceEvent& event) override;
+  /// Flushes and throws std::runtime_error if the stream has failed (badbit
+  /// or failbit) -- the only place a lost trace becomes visible.
   void flush() override;
+
+  /// True while no stream write has failed.
+  [[nodiscard]] bool ok() const;
 
  private:
   std::ofstream file_;  // used only by the path constructor
   std::ostream* out_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
 };
 
 /// The JSONL encoding of one event (no trailing newline):
 /// {"seq":12,"kind":"flow_round","label":"optimal.round","a":0,"b":3,
-///  "value":0.75,"t":0.00121}
+///  "span":7,"value":0.75,"t":0.00121}
 [[nodiscard]] std::string to_jsonl(const TraceEvent& event);
+
+/// `text` as a double-quoted JSON string literal (escaping quotes, backslashes
+/// and control characters). Shared by the JSONL encoder and the Chrome-trace
+/// exporter in tools/mpss_trace.
+[[nodiscard]] std::string json_quoted(std::string_view text);
 
 /// Parses JSONL produced by JsonlSink back into events. Unknown keys are
 /// ignored (forward compatibility); malformed lines or unknown kinds throw

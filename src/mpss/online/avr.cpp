@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "mpss/core/mcnaughton.hpp"
+#include "mpss/obs/histogram.hpp"
+#include "mpss/obs/span.hpp"
 #include "mpss/obs/trace.hpp"
 #include "mpss/util/error.hpp"
 
@@ -60,7 +62,10 @@ AvrResult avr_schedule(const Instance& instance, const AvrOptions& options) {
   AvrResult result{Schedule(instance.machines()), 0, {}};
   const std::size_t m = instance.machines();
   obs::TraceSink* trace = options.trace;
+  // Span before timer: the solve span covers stats.wall_seconds (see optimal.cpp).
+  obs::SpanScope solve_span(trace, "avr.solve");
   obs::ScopedTimer timer;
+  obs::HistogramData active_per_interval;  // density-list size per unit interval
   result.stats.counters.set("avr.unit_intervals",
                             static_cast<std::uint64_t>(t_end - t_begin));
   obs::emit(trace, obs::EventKind::kSolveStart, "avr.solve", instance.size(), m);
@@ -82,6 +87,7 @@ AvrResult avr_schedule(const Instance& instance, const AvrOptions& options) {
     }
     if (active.empty()) continue;
     result.stats.counters.add("avr.active_pairs", active.size());
+    active_per_interval.record(active.size());
     std::sort(active.begin(), active.end(), [](const ActiveJob& a, const ActiveJob& b) {
       return b.density < a.density;  // descending; stable job order on ties
     });
@@ -126,6 +132,9 @@ AvrResult avr_schedule(const Instance& instance, const AvrOptions& options) {
     }
     mcnaughton_pack(result.schedule, interval_start, Q(1), peeled, m - peeled,
                     uniform_speed, chunks);
+  }
+  if (!active_per_interval.empty()) {
+    result.stats.histograms["avr.active_per_interval"] = active_per_interval;
   }
   obs::emit(trace, obs::EventKind::kSolveEnd, "avr.solve", result.peel_events);
   result.stats.wall_seconds = timer.elapsed_seconds();

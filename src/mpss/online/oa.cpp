@@ -4,10 +4,14 @@
 #include <utility>
 
 #include "mpss/core/optimal.hpp"
+#include "mpss/obs/span.hpp"
 
 namespace mpss {
 
 OnlineRunResult oa_schedule(const Instance& instance, obs::TraceSink* trace) {
+  // Root span for the OA run; the simulator's online.run span and every inner
+  // optimal.solve span nest underneath.
+  obs::SpanScope oa_span(trace, "oa.solve");
   // The planner's per-call stats are merged outside the lambda: the harness
   // wall-clocks each call itself, and merging after the run keeps the lambda
   // copyable (Planner is a std::function).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mpss/obs/histogram.hpp"
+#include "mpss/obs/span.hpp"
 #include "mpss/obs/trace.hpp"
 #include "mpss/util/error.hpp"
 
@@ -10,6 +12,8 @@ namespace mpss {
 OnlineRunResult run_replanning_online(const Instance& instance, const Planner& planner,
                                       obs::TraceSink* trace) {
   OnlineRunResult result{Schedule(instance.machines()), 0, {}};
+  // Span before timer: the run span covers stats.wall_seconds (see optimal.cpp).
+  obs::SpanScope run_span(trace, "online.run");
   obs::ScopedTimer total_timer;
   obs::emit(trace, obs::EventKind::kSolveStart, "online.run", instance.size(),
             instance.machines());
@@ -31,7 +35,12 @@ OnlineRunResult run_replanning_online(const Instance& instance, const Planner& p
   remaining.reserve(instance.size());
   for (const Job& job : instance.jobs()) remaining.push_back(job.work);
 
+  obs::HistogramData plan_us;  // planner wall microseconds per arrival
+
   for (std::size_t e = 0; e < events.size(); ++e) {
+    // Covers the whole arrival step (planning + clipping + remapping); the
+    // planner's own solve span nests underneath.
+    obs::SpanScope arrival_span(trace, "online.arrival");
     const Q& t0 = events[e];
 
     // Available = released, unfinished. Their releases are reset to t0: the past
@@ -56,6 +65,7 @@ OnlineRunResult run_replanning_online(const Instance& instance, const Planner& p
     result.stats.counters.add("online.plan.ns",
                               static_cast<std::uint64_t>(plan_seconds * 1e9));
     result.stats.counters.add("online.plan.calls", 1);
+    plan_us.record(static_cast<std::uint64_t>(plan_seconds * 1e6));
     ++result.replans;
     ++result.stats.replans;
     obs::emit(trace, obs::EventKind::kArrival, "online.arrival", e, available.size(),
@@ -83,6 +93,7 @@ OnlineRunResult run_replanning_online(const Instance& instance, const Planner& p
     check_internal(rest.is_zero(), "run_replanning_online: unfinished work at horizon");
   }
   result.stats.counters.set("online.arrivals", events.size());
+  if (!plan_us.empty()) result.stats.histograms["online.plan_us"] = plan_us;
   obs::emit(trace, obs::EventKind::kSolveEnd, "online.run", result.replans);
   result.stats.wall_seconds = total_timer.elapsed_seconds();
   return result;

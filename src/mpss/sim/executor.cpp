@@ -1,8 +1,10 @@
 #include "mpss/sim/executor.hpp"
 
+#include <chrono>
 #include <sstream>
 
 #include "mpss/obs/registry.hpp"
+#include "mpss/obs/span.hpp"
 
 namespace mpss {
 
@@ -27,6 +29,10 @@ Q ExecutionTrace::max_flow_time() const {
 }
 
 ExecutionTrace execute_schedule(const Instance& instance, const Schedule& schedule) {
+  // nullptr sink -> SpanScope falls back to the Registry's process-wide sink,
+  // so sweep runs show up in traces without threading a sink parameter through.
+  obs::SpanScope run_span(nullptr, "executor.run");
+  const auto run_start = std::chrono::steady_clock::now();
   ExecutionTrace trace;
   trace.jobs.resize(instance.size());
   trace.machine_busy.assign(schedule.machines(), Q(0));
@@ -100,6 +106,12 @@ ExecutionTrace execute_schedule(const Instance& instance, const Schedule& schedu
   local.add("executor.slices", schedule.slice_count());
   local.add("executor.anomalies", trace.anomalies.size());
   obs::Registry::global().merge(local);
+  obs::Registry::global()
+      .histogram("executor.run_us")
+      .record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - run_start)
+              .count()));
   return trace;
 }
 

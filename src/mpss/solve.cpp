@@ -171,6 +171,11 @@ SolveResult solve(const Instance& instance, const SolveOptions& options) {
         obs::Registry::global().add(name, value);
       }
     }
+    // Same treatment for the per-solve distributions: fold them into the
+    // Registry's global histograms so dashboards see cross-solve aggregates.
+    for (const auto& [name, data] : result.stats.histograms) {
+      if (data.count != 0) obs::Registry::global().histogram(name).merge(data);
+    }
     return result;
   };
   try {

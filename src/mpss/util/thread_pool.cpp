@@ -1,8 +1,10 @@
 #include "mpss/util/thread_pool.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "mpss/obs/registry.hpp"
+#include "mpss/obs/span.hpp"
 
 namespace mpss {
 
@@ -48,6 +50,9 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop() {
+  // One registry lookup per worker thread, not per task: Histogram::record is
+  // lock-free, the name lookup is not.
+  obs::Histogram& task_us = obs::Registry::global().histogram("pool.task_us");
   for (;;) {
     std::function<void()> task;
     {
@@ -58,7 +63,13 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
     }
     try {
+      obs::SpanScope task_span(nullptr, "pool.task");
+      const auto start = std::chrono::steady_clock::now();
       task();
+      task_us.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
     } catch (...) {
       std::unique_lock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -87,6 +98,7 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
     obs::Registry::global().merge(local);
   }
   if (threads == 1) {
+    obs::SpanScope worker_span(nullptr, "pool.parallel_for.worker");
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
@@ -98,6 +110,7 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
     workers.emplace_back([&] {
+      obs::SpanScope worker_span(nullptr, "pool.parallel_for.worker");
       for (;;) {
         std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;

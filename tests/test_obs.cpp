@@ -100,7 +100,8 @@ TEST(Trace, KindNamesRoundTrip) {
                     EventKind::kPhaseStart, EventKind::kPhaseEnd,
                     EventKind::kFlowRound, EventKind::kCandidateRemoved,
                     EventKind::kSimplexPivot, EventKind::kArrival,
-                    EventKind::kPeel, EventKind::kCounter}) {
+                    EventKind::kPeel, EventKind::kCounter,
+                    EventKind::kSpanBegin, EventKind::kSpanEnd}) {
     EXPECT_EQ(event_kind_from_name(event_kind_name(kind)), kind);
   }
   EXPECT_THROW((void)event_kind_from_name("no_such_kind"), std::invalid_argument);
@@ -113,7 +114,13 @@ std::vector<TraceEvent> sample_events() {
   // Labels with characters the JSON encoder must escape.
   events.push_back({EventKind::kCounter, "weird \"label\"\\with\n\tescapes", 0, 0,
                     -3.25e-7, 2, 0.0});
-  events.push_back({EventKind::kSolveEnd, "optimal.solve", 41, 36, 0.125, 3, 2.0});
+  // Multi-byte UTF-8 label (passes through the encoder byte-for-byte) plus a
+  // non-zero span id stamped by an enclosing SpanScope.
+  events.push_back(
+      {EventKind::kCounter, "durée.µs \xE2\x86\x92 ok", 1, 2, 0.5, 3, 0.0, 7});
+  events.push_back({EventKind::kSpanBegin, "optimal.phase", 8, 7, 0.0, 4, 3.5, 7});
+  events.push_back({EventKind::kSpanEnd, "optimal.phase", 8, 7, 0.25, 5, 3.75, 7});
+  events.push_back({EventKind::kSolveEnd, "optimal.solve", 41, 36, 0.125, 6, 2.0});
   return events;
 }
 
@@ -121,6 +128,21 @@ TEST(Trace, JsonlRoundTripPreservesEveryField) {
   std::string text;
   for (const TraceEvent& event : sample_events()) text += to_jsonl(event) + "\n";
   EXPECT_EQ(parse_trace_jsonl(std::string_view(text)), sample_events());
+}
+
+TEST(Trace, ParserDecodesUnicodeEscapesIntoUtf8) {
+  // \u00e9 = é (two UTF-8 bytes), \u2192 = right arrow (three bytes).
+  auto events = parse_trace_jsonl(std::string_view(
+      R"({"seq":0,"kind":"counter","label":"dur\u00e9e \u2192 ok","a":0,"b":0,"value":0,"t":0})"));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].label, "dur\xC3\xA9"  "e \xE2\x86\x92 ok");
+}
+
+TEST(Trace, SpanFieldDefaultsToZeroWhenAbsent) {
+  auto events = parse_trace_jsonl(std::string_view(
+      R"({"seq":0,"kind":"counter","label":"old.schema","a":0,"b":0,"value":0,"t":0})"));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].span, 0u);
 }
 
 TEST(Trace, ParserSkipsBlankLinesAndIgnoresUnknownKeys) {
@@ -160,13 +182,26 @@ TEST(Trace, JsonlSinkPathConstructorThrowsOnUnwritablePath) {
                std::invalid_argument);
 }
 
+TEST(Trace, JsonlSinkFlushSurfacesStreamFailure) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.record(sample_events().front());
+  EXPECT_TRUE(sink.ok());
+  sink.flush();  // healthy stream: no throw
+  out.setstate(std::ios::badbit);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_THROW(sink.flush(), std::runtime_error);
+}
+
 TEST(Trace, MemorySinkCountsByKindAndLabel) {
   MemorySink sink;
   for (const TraceEvent& event : sample_events()) sink.record(event);
-  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.size(), 7u);
   EXPECT_EQ(sink.count(EventKind::kSolveStart), 1u);
+  EXPECT_EQ(sink.count(EventKind::kSpanBegin), 1u);
   EXPECT_EQ(sink.count(EventKind::kPhaseEnd), 0u);
   EXPECT_EQ(sink.count_label("optimal.solve"), 2u);
+  EXPECT_EQ(sink.count_label("optimal.phase"), 2u);
   EXPECT_EQ(sink.events()[1].b, 7u);
   sink.clear();
   EXPECT_EQ(sink.size(), 0u);
@@ -220,6 +255,23 @@ TEST(RegistryCounters, AddMergeSnapshotReset) {
   EXPECT_EQ(snapshot.value("test.merged"), 5u);
   registry.reset();
   EXPECT_TRUE(registry.snapshot().empty());
+}
+
+TEST(RegistryCounters, ResetRewindsSequenceAndSpanIdWells) {
+  Registry& registry = Registry::global();
+  registry.reset();
+  std::uint64_t seq0 = registry.next_seq();
+  std::uint64_t span0 = registry.next_span_id();
+  (void)registry.next_seq();
+  (void)registry.next_span_id();
+  registry.reset();
+  // The test-isolation contract (registry.hpp): after reset() the id wells
+  // restart, so traces are byte-identical across test orderings.
+  EXPECT_EQ(registry.next_seq(), seq0);
+  EXPECT_EQ(registry.next_span_id(), span0);
+  EXPECT_EQ(seq0, 0u);
+  EXPECT_EQ(span0, 1u);  // span ids are 1-based; 0 means "no span"
+  registry.reset();
 }
 
 TEST(RegistryCounters, ConcurrentAddsAreLossless) {

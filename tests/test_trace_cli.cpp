@@ -1,0 +1,347 @@
+// End-to-end CLI tests for tools/mpss_trace: the documented exit-code scheme
+// (0 ok / 1 usage / 2 missing file / 3 malformed JSONL), the --report span
+// profile, and the --chrome export -- whose output is fully parsed by a
+// minimal recursive-descent JSON reader and checked against the Chrome
+// trace-event schema (every event needs name/ph/ts/pid/tid).
+//
+// The binary path arrives via MPSS_TRACE_BIN (set by tests/CMakeLists.txt).
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mpss/core/optimal.hpp"
+#include "mpss/obs/registry.hpp"
+#include "mpss/obs/trace.hpp"
+#include "mpss/workload/generators.hpp"
+
+#ifndef MPSS_TRACE_BIN
+#error "MPSS_TRACE_BIN must name the mpss_trace executable"
+#endif
+
+namespace mpss {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Runs `mpss_trace <args>` and returns its exit code (-1 if it died oddly).
+int run_tool(const std::string& args) {
+  std::string command = std::string(MPSS_TRACE_BIN) + " " + args + " >/dev/null 2>&1";
+  int status = std::system(command.c_str());
+  if (status < 0) return -1;
+#ifdef WEXITSTATUS
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#else
+  return status;
+#endif
+}
+
+/// Temp directory shared by the suite, removed at program exit.
+fs::path temp_dir() {
+  static fs::path dir = [] {
+    fs::path d = fs::temp_directory_path() / "mpss_trace_cli_test";
+    fs::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+/// A real trace: the exact engine over a generated instance, JSONL on disk.
+fs::path traced_solve_path() {
+  static fs::path path = [] {
+    fs::path p = temp_dir() / "solve.jsonl";
+    UniformWorkload config;
+    config.jobs = 10;
+    config.machines = 3;
+    Instance instance = generate_uniform(config, 7);
+    obs::JsonlSink sink(p.string());
+    OptimalOptions options;
+    options.trace = &sink;
+    (void)optimal_schedule(instance, options);
+    sink.flush();
+    return p;
+  }();
+  return path;
+}
+
+// ---- minimal JSON DOM (what the schema test parses --chrome output with) ---
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(v);
+  }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v); }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v);
+  }
+  [[nodiscard]] const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  [[nodiscard]] const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+  [[nodiscard]] const std::string& str() const { return std::get<std::string>(v); }
+};
+
+/// Strict recursive-descent JSON parser (throws std::runtime_error on any
+/// deviation), small enough to live in the test it serves.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json at byte " + std::to_string(pos_) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue{parse_string()};
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') {
+      literal("null");
+      return JsonValue{nullptr};
+    }
+    return parse_number();
+  }
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) fail("bad literal");
+    pos_ += word.size();
+  }
+  JsonValue parse_bool() {
+    if (peek() == 't') {
+      literal("true");
+      return JsonValue{true};
+    }
+    literal("false");
+    return JsonValue{false};
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control char in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (std::isxdigit(static_cast<unsigned char>(text_[pos_ + static_cast<std::size_t>(i)])) == 0) {
+              fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+          out += '?';  // decoded value irrelevant to the schema checks
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+  JsonValue parse_number() {
+    std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    try {
+      return JsonValue{std::stod(std::string(text_.substr(start, pos_ - start)))};
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+  JsonValue parse_array() {
+    expect('[');
+    auto array = std::make_shared<JsonArray>();
+    skip_ws();
+    if (consume(']')) return JsonValue{array};
+    for (;;) {
+      array->push_back(parse_value());
+      skip_ws();
+      if (consume(']')) return JsonValue{array};
+      expect(',');
+    }
+  }
+  JsonValue parse_object() {
+    expect('{');
+    auto object = std::make_shared<JsonObject>();
+    skip_ws();
+    if (consume('}')) return JsonValue{object};
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      (*object)[key] = parse_value();
+      skip_ws();
+      if (consume('}')) return JsonValue{object};
+      expect(',');
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ---- the tests -------------------------------------------------------------
+
+TEST(TraceCli, SummaryModeExitsZeroOnValidTrace) {
+  EXPECT_EQ(run_tool(traced_solve_path().string()), 0);
+  EXPECT_EQ(run_tool(traced_solve_path().string() + " --csv"), 0);
+  EXPECT_EQ(run_tool(traced_solve_path().string() + " --events"), 0);
+}
+
+TEST(TraceCli, UsageErrorsExitOne) {
+  EXPECT_EQ(run_tool(""), 1);                       // missing positional
+  EXPECT_EQ(run_tool("a.jsonl b.jsonl"), 1);        // too many positionals
+  EXPECT_EQ(run_tool("--no-such-flag x.jsonl"), 1); // unknown flag
+  EXPECT_EQ(run_tool("--help"), 0);                 // help is a success
+}
+
+TEST(TraceCli, MissingFileExitsTwo) {
+  EXPECT_EQ(run_tool((temp_dir() / "does_not_exist.jsonl").string()), 2);
+}
+
+TEST(TraceCli, MalformedJsonlExitsThree) {
+  fs::path bad = temp_dir() / "bad.jsonl";
+  std::ofstream(bad) << "this is not json\n";
+  EXPECT_EQ(run_tool(bad.string()), 3);
+
+  fs::path truncated = temp_dir() / "truncated.jsonl";
+  std::ofstream(truncated) << R"({"seq":0,"kind":"counter","label":"x)" << "\n";
+  EXPECT_EQ(run_tool(truncated.string()), 3);
+}
+
+TEST(TraceCli, ReportModeRunsAndMentionsTheRootSpan) {
+  fs::path out = temp_dir() / "report.txt";
+  std::string command = std::string(MPSS_TRACE_BIN) + " " +
+                        traced_solve_path().string() + " --report > " +
+                        out.string() + " 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0);
+  std::string report = slurp(out);
+  EXPECT_NE(report.find("span profile"), std::string::npos) << report;
+  EXPECT_NE(report.find("optimal.solve"), std::string::npos) << report;
+  EXPECT_NE(report.find("optimal.round"), std::string::npos) << report;
+}
+
+TEST(TraceCli, ChromeExportIsValidTraceEventJson) {
+  fs::path out = temp_dir() / "chrome.json";
+  ASSERT_EQ(run_tool(traced_solve_path().string() + " --chrome=" + out.string()), 0);
+
+  JsonValue root = JsonParser(slurp(out)).parse();  // throws if not valid JSON
+  ASSERT_TRUE(root.is_object());
+  const JsonObject& top = root.object();
+  ASSERT_TRUE(top.contains("traceEvents"));
+  ASSERT_TRUE(top.at("traceEvents").is_array());
+  const JsonArray& events = top.at("traceEvents").array();
+  ASSERT_FALSE(events.empty());
+
+  std::size_t complete = 0;
+  for (const JsonValue& value : events) {
+    ASSERT_TRUE(value.is_object());
+    const JsonObject& event = value.object();
+    // Chrome trace-event schema: every event carries name/ph/ts/pid/tid.
+    for (const char* key : {"name", "ph", "ts", "pid", "tid"}) {
+      ASSERT_TRUE(event.contains(key)) << "missing " << key;
+    }
+    ASSERT_TRUE(event.at("name").is_string());
+    ASSERT_TRUE(event.at("ph").is_string());
+    ASSERT_TRUE(event.at("ts").is_number());
+    const std::string& ph = event.at("ph").str();
+    EXPECT_TRUE(ph == "X" || ph == "i") << ph;
+    if (ph == "X") {
+      ++complete;
+      ASSERT_TRUE(event.contains("dur"));
+      EXPECT_GE(std::get<double>(event.at("dur").v), 0.0);
+    }
+  }
+  // The traced solve opened solve/phase/round spans: they must all be there.
+  EXPECT_GE(complete, 3u);
+}
+
+TEST(TraceCli, ChromeExportToUnwritablePathFails) {
+  EXPECT_NE(run_tool(traced_solve_path().string() +
+                     " --chrome=/nonexistent-dir-xyzzy/out.json"),
+            0);
+}
+
+}  // namespace
+}  // namespace mpss

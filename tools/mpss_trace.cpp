@@ -1,9 +1,10 @@
 // mpss_trace: summarizes a JSONL solver trace (obs::JsonlSink output) into
-// per-stage tables.
+// per-stage tables, a hierarchical span profile, or a Chrome trace file.
 //
-//   mpss_trace <trace.jsonl> [--csv] [--events]
+//   mpss_trace <trace.jsonl> [--csv] [--events] [--report] [--top=N]
+//              [--chrome=out.json]
 //
-// Prints, per engine run found in the trace:
+// Default mode prints, per engine run found in the trace:
 //   * an event-kind summary (count per kind),
 //   * a per-phase table (rounds, removals, final speed) for the offline
 //     engines -- the paper's phase structure read straight off the trace,
@@ -12,11 +13,25 @@
 //   * a simplex summary when LP pivots are present,
 //   * an arrival table when online re-planning events are present.
 //
-// Exits 0 on success, 1 on unreadable input or malformed JSONL (so CI can use
-// "mpss_trace <file>" as a trace round-trip check). --csv switches the tables
-// to RFC-4180 CSV; --events dumps the raw events back out (parse check only).
+// --report prints the span profile instead: per span label, the call count,
+// total (inclusive) seconds, self seconds (total minus direct children), and
+// the self share of all span time, hottest first (--top=N rows, default 20).
+//
+// --chrome=out.json writes the span tree in the Chrome trace-event format
+// ({"traceEvents": [...]}, "X" complete events plus "i" instants), loadable in
+// chrome://tracing and Perfetto.
+//
+// Exit codes (stable, CI-checked):
+//   0  success
+//   1  usage error (bad flags, missing positional, --help is still 0)
+//   2  input file missing or unreadable
+//   3  malformed JSONL (parse error; message names the offending line)
+//
+// --csv switches the tables to RFC-4180 CSV; --events dumps the raw events
+// back out (parse check only).
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -32,6 +47,11 @@ namespace {
 using mpss::Table;
 using mpss::obs::EventKind;
 using mpss::obs::TraceEvent;
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitMissingFile = 2;
+constexpr int kExitMalformed = 3;
 
 void print_table(const Table& table, bool csv) {
   if (csv) {
@@ -153,41 +173,219 @@ void arrival_table(const std::vector<TraceEvent>& events, bool csv) {
   print_table(table, csv);
 }
 
+// ---- span profile (--report) and Chrome export (--chrome) ------------------
+
+/// One completed span, reassembled from a kSpanBegin/kSpanEnd pair.
+/// Span ids come from one process-wide well, so they are unique across threads.
+struct SpanRecord {
+  std::string label;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;       // 0 = root
+  std::uint64_t thread = 0;       // dense obs::thread_index()
+  double start_seconds = 0.0;     // steady-clock epoch (begin event timestamp)
+  double duration_seconds = 0.0;  // kSpanEnd value
+  bool closed = false;
+};
+
+std::vector<SpanRecord> collect_spans(const std::vector<TraceEvent>& events) {
+  std::map<std::uint64_t, std::size_t> index;  // span id -> position
+  std::vector<SpanRecord> spans;
+  for (const TraceEvent& event : events) {
+    if (event.kind == EventKind::kSpanBegin) {
+      SpanRecord record;
+      record.label = event.label;
+      record.id = event.a;
+      record.parent = event.b;
+      record.thread = static_cast<std::uint64_t>(event.value);
+      record.start_seconds = event.t_seconds;
+      index[record.id] = spans.size();
+      spans.push_back(std::move(record));
+    } else if (event.kind == EventKind::kSpanEnd) {
+      auto it = index.find(event.a);
+      if (it == index.end()) continue;  // end without begin: truncated trace
+      spans[it->second].duration_seconds = event.value;
+      spans[it->second].closed = true;
+    }
+  }
+  // Unclosed spans (crash or truncated capture) are dropped: without an end
+  // event there is no duration to attribute.
+  std::erase_if(spans, [](const SpanRecord& s) { return !s.closed; });
+  return spans;
+}
+
+void span_report(const std::vector<TraceEvent>& events, bool csv, std::size_t top) {
+  std::vector<SpanRecord> spans = collect_spans(events);
+  if (spans.empty()) {
+    std::cout << "no spans in trace (emit with obs::SpanScope)\n";
+    return;
+  }
+
+  // Self time = inclusive duration minus direct children's inclusive durations.
+  std::map<std::uint64_t, double> children_seconds;  // parent id -> sum
+  for (const SpanRecord& span : spans) {
+    if (span.parent != 0) children_seconds[span.parent] += span.duration_seconds;
+  }
+
+  struct LabelRow {
+    std::size_t count = 0;
+    double total_seconds = 0.0;
+    double self_seconds = 0.0;
+  };
+  std::map<std::string, LabelRow> by_label;
+  double root_seconds = 0.0;  // trace wall time attributed to root spans
+  double self_total = 0.0;
+  for (const SpanRecord& span : spans) {
+    LabelRow& row = by_label[span.label];
+    ++row.count;
+    row.total_seconds += span.duration_seconds;
+    double self = span.duration_seconds;
+    auto it = children_seconds.find(span.id);
+    if (it != children_seconds.end()) self -= it->second;
+    // Clock skew between a parent's duration and its children's sum can push
+    // self fractionally below zero; clamp so shares stay in [0, 100].
+    self = std::max(self, 0.0);
+    row.self_seconds += self;
+    self_total += self;
+    if (span.parent == 0) root_seconds += span.duration_seconds;
+  }
+
+  std::vector<std::pair<std::string, LabelRow>> rows(by_label.begin(), by_label.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.self_seconds > b.second.self_seconds;
+  });
+  if (rows.size() > top) rows.resize(top);
+
+  std::cout << "span profile (" << spans.size() << " spans, "
+            << Table::num(root_seconds, 6) << "s in root spans)\n";
+  Table table({"label", "count", "total_s", "self_s", "self_pct"});
+  for (const auto& [label, row] : rows) {
+    double pct = self_total > 0.0 ? 100.0 * row.self_seconds / self_total : 0.0;
+    table.row(label, row.count, Table::num(row.total_seconds, 6),
+              Table::num(row.self_seconds, 6), Table::num(pct, 1));
+  }
+  print_table(table, csv);
+}
+
+/// Writes the Chrome trace-event format (the catapult JSON schema Perfetto and
+/// chrome://tracing load): spans as "X" complete events, other timestamped
+/// events as "i" instants. Timestamps are microseconds relative to the earliest
+/// event so the viewer opens at t=0.
+bool write_chrome_trace(const std::vector<TraceEvent>& events,
+                        const std::string& path) {
+  std::vector<SpanRecord> spans = collect_spans(events);
+
+  double min_seconds = 0.0;
+  bool seen = false;
+  for (const SpanRecord& span : spans) {
+    if (!seen || span.start_seconds < min_seconds) min_seconds = span.start_seconds;
+    seen = true;
+  }
+  for (const TraceEvent& event : events) {
+    if (event.t_seconds <= 0.0) continue;
+    if (!seen || event.t_seconds < min_seconds) min_seconds = event.t_seconds;
+    seen = true;
+  }
+
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+  for (const SpanRecord& span : spans) {
+    comma();
+    out << "{\"name\":" << mpss::obs::json_quoted(span.label)
+        << ",\"ph\":\"X\",\"ts\":" << (span.start_seconds - min_seconds) * 1e6
+        << ",\"dur\":" << span.duration_seconds * 1e6
+        << ",\"pid\":0,\"tid\":" << span.thread << ",\"args\":{\"span\":" << span.id
+        << ",\"parent\":" << span.parent << "}}";
+  }
+  for (const TraceEvent& event : events) {
+    if (event.kind == EventKind::kSpanBegin || event.kind == EventKind::kSpanEnd) {
+      continue;
+    }
+    if (event.t_seconds <= 0.0) continue;  // untimestamped build: spans only
+    comma();
+    out << "{\"name\":" << mpss::obs::json_quoted(event.label)
+        << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << (event.t_seconds - min_seconds) * 1e6
+        << ",\"pid\":0,\"tid\":0,\"args\":{\"kind\":"
+        << mpss::obs::json_quoted(mpss::obs::event_kind_name(event.kind))
+        << ",\"span\":" << event.span << "}}";
+  }
+  out << "]}\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* usage =
+      "usage: mpss_trace <trace.jsonl> [--csv] [--events] [--report] [--top=N] "
+      "[--chrome=out.json]\n";
   try {
-    mpss::CliArgs args(argc, argv, {"csv", "events", "help"});
-    if (args.get_bool("help", false) || args.positional().size() != 1) {
-      std::cerr << "usage: mpss_trace <trace.jsonl> [--csv] [--events]\n";
-      return args.get_bool("help", false) ? 0 : 1;
+    mpss::CliArgs args(argc, argv, {"csv", "events", "help", "report", "top", "chrome"});
+    if (args.get_bool("help", false)) {
+      std::cout << usage;
+      return kExitOk;
+    }
+    if (args.positional().size() != 1) {
+      std::cerr << usage;
+      return kExitUsage;
     }
     const std::string& path = args.positional()[0];
     std::ifstream in(path);
     if (!in) {
-      std::cerr << "mpss_trace: cannot open " << path << "\n";
-      return 1;
+      std::cerr << "mpss_trace: cannot open '" << path
+                << "' (missing file or unreadable)\n";
+      return kExitMissingFile;
     }
-    std::vector<TraceEvent> events = mpss::obs::parse_trace_jsonl(in);
+
+    std::vector<TraceEvent> events;
+    try {
+      events = mpss::obs::parse_trace_jsonl(in);
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "mpss_trace: malformed JSONL in '" << path << "': " << error.what()
+                << "\n";
+      return kExitMalformed;
+    }
 
     if (args.get_bool("events", false)) {
       for (const TraceEvent& event : events) {
         std::cout << mpss::obs::to_jsonl(event) << "\n";
       }
-      return 0;
+      return kExitOk;
+    }
+
+    std::string chrome_path = args.get("chrome", "");
+    if (!chrome_path.empty()) {
+      if (!write_chrome_trace(events, chrome_path)) {
+        std::cerr << "mpss_trace: cannot write '" << chrome_path << "'\n";
+        return kExitUsage;
+      }
+      std::cout << "wrote " << chrome_path << "\n";
+      return kExitOk;
     }
 
     const bool csv = args.get_bool("csv", false);
+    if (args.get_bool("report", false)) {
+      auto top = static_cast<std::size_t>(args.get_int("top", 20));
+      span_report(events, csv, top == 0 ? 20 : top);
+      return kExitOk;
+    }
+
     std::cout << events.size() << " events\n\n";
-    if (events.empty()) return 0;
+    if (events.empty()) return kExitOk;
     kind_summary(events, csv);
     phase_tables(events, csv);
     warm_start_table(events, csv);
     simplex_table(events, csv);
     arrival_table(events, csv);
-    return 0;
+    return kExitOk;
   } catch (const std::exception& error) {
-    std::cerr << "mpss_trace: " << error.what() << "\n";
-    return 1;
+    std::cerr << "mpss_trace: " << error.what() << "\n" << usage;
+    return kExitUsage;
   }
 }
