@@ -88,10 +88,9 @@ void BM_OptimalScheduleRingTraced(benchmark::State& state) {
   Instance instance = bench_instance(static_cast<std::size_t>(state.range(0)), 4, 1);
   mpss::obs::RingSink ring(1 << 16);
   mpss::OptimalOptions options;
-  options.trace = &ring;
   std::size_t events = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(optimal_schedule(instance, options));
+    benchmark::DoNotOptimize(optimal_schedule(instance, options, &ring));
     events += ring.drain().size();
   }
   state.counters["events"] =

@@ -1,0 +1,104 @@
+// Micro-benchmarks for the BatchSolver service layer (S44): batch throughput
+// scaling across worker counts vs the serial solve() loop, and the LRU result
+// cache's hit-vs-cold latency, all on the n=64 exact corpus that bench_offline
+// uses for its scaling curves.
+//
+// Every service benchmark runs UseRealTime: the work happens on the pool
+// workers, so the benchmark thread's CPU time would measure only the
+// submit/collect overhead. Throughput numbers are items (solved instances)
+// per second; the 1->8 worker curve shows the pool scaling on multi-core
+// hardware (flat on a single-core host).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mpss/service/batch_solver.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace {
+
+using namespace mpss;
+
+Instance bench_instance(std::size_t jobs, std::size_t machines, std::uint64_t seed) {
+  return generate_uniform({.jobs = jobs, .machines = machines,
+                           .horizon = 2 * static_cast<std::int64_t>(jobs),
+                           .max_window = 10, .max_work = 8}, seed);
+}
+
+std::vector<Instance> exact_corpus() {
+  std::vector<Instance> corpus;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    corpus.push_back(bench_instance(64, 4, seed));
+  }
+  return corpus;
+}
+
+/// The pre-service baseline: the corpus through solve() one call at a time,
+/// exactly the loop every harness used to hand-roll. The ratio of
+/// BM_ServiceBatchThroughput at 8 workers to this is the batch speedup.
+void BM_SerialSolveLoop(benchmark::State& state) {
+  std::vector<Instance> corpus = exact_corpus();
+  for (auto _ : state) {
+    for (const Instance& instance : corpus) {
+      benchmark::DoNotOptimize(solve(instance));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::int64_t>(corpus.size())));
+}
+BENCHMARK(BM_SerialSolveLoop)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Batch throughput by worker count. The cache is disabled: repeat iterations
+/// re-solve the same corpus, and a warm cache would turn the measurement into
+/// BM_ServiceCacheHit.
+void BM_ServiceBatchThroughput(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  std::vector<Instance> corpus = exact_corpus();
+  BatchSolver service(BatchSolverOptions{
+      .threads = workers, .queue_capacity = 0, .cache_capacity = 0});
+  for (auto _ : state) {
+    std::vector<SolveResult> results = service.solve_many(corpus);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::int64_t>(corpus.size())));
+  state.counters["workers"] = static_cast<double>(service.worker_count());
+}
+BENCHMARK(BM_ServiceBatchThroughput)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Cold-solve latency through the service: cache disabled, every request pays
+/// the full exact solve. The denominator of the cache-hit speedup.
+void BM_ServiceColdSolve(benchmark::State& state) {
+  Instance instance = bench_instance(64, 4, 1);
+  BatchSolver service(BatchSolverOptions{
+      .threads = 1, .queue_capacity = 0, .cache_capacity = 0});
+  for (auto _ : state) {
+    Submission submission = service.submit({instance, SolveOptions{}});
+    benchmark::DoNotOptimize(submission.future.get());
+  }
+}
+BENCHMARK(BM_ServiceColdSolve)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Cache-hit latency: the same request against a warm cache resolves from the
+/// LRU (fingerprint + map lookup + SolveResult copy) without touching an
+/// engine. Must be >= 20x faster than BM_ServiceColdSolve.
+void BM_ServiceCacheHit(benchmark::State& state) {
+  Instance instance = bench_instance(64, 4, 1);
+  BatchSolver service(BatchSolverOptions{
+      .threads = 1, .queue_capacity = 0, .cache_capacity = 8});
+  // Warm the cache with the one cold solve, outside the timed loop.
+  (void)service.submit({instance, SolveOptions{}}).future.get();
+  for (auto _ : state) {
+    Submission submission = service.submit({instance, SolveOptions{}});
+    benchmark::DoNotOptimize(submission.future.get());
+  }
+  BatchSolver::CacheStats stats = service.cache_stats();
+  state.counters["cache_hits"] = static_cast<double>(stats.hits);
+  state.counters["cache_misses"] = static_cast<double>(stats.misses);
+}
+BENCHMARK(BM_ServiceCacheHit)->UseRealTime();
+
+}  // namespace

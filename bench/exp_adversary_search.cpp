@@ -14,7 +14,7 @@
 #include "mpss/online/avr.hpp"
 #include "mpss/online/bounds.hpp"
 #include "mpss/online/oa.hpp"
-#include "mpss/util/thread_pool.hpp"
+#include "mpss/service/batch_solver.hpp"
 #include "mpss/workload/generators.hpp"
 
 int main(int argc, char** argv) {
@@ -45,8 +45,32 @@ int main(int argc, char** argv) {
     }
   }
 
-  parallel_for(cells.size(), [&](std::size_t index) {
-    Cell& cell = cells[index];
+  // Every candidate evaluation routes through one shared BatchSolver: the
+  // online and exact solves of a step run concurrently on the workers, and the
+  // service's result cache absorbs the instances hill climbing revisits
+  // (tie-accepting drift walks back over the same plateau repeatedly). The
+  // searches themselves stay sequential -- each step depends on the last.
+  BatchSolver service(BatchSolverOptions{
+      .threads = 0, .queue_capacity = 256, .cache_capacity = 4096});
+  auto service_ratio = [&service](OnlineAlgorithmKind kind,
+                                  const Instance& instance, double alpha) {
+    AlphaPower p(alpha);
+    SolveOptions online;
+    online.engine =
+        kind == OnlineAlgorithmKind::kOa ? Engine::kOa : Engine::kAvr;
+    online.power = &p;
+    SolveOptions exact;
+    exact.engine = Engine::kExact;
+    exact.power = &p;
+    Submission online_run = service.submit({instance, online});
+    Submission opt_run = service.submit({instance, exact});
+    double alg = online_run.future.get().energy;
+    double opt = opt_run.future.get().energy;
+    if (opt <= 0.0) return 1.0;
+    return alg / opt;
+  };
+
+  for (Cell& cell : cells) {
     AdversaryConfig config;
     config.jobs = 6;
     config.machines = cell.machines;
@@ -55,19 +79,20 @@ int main(int argc, char** argv) {
     config.alpha = cell.alpha;
     config.iterations = iterations;
     config.restarts = 3;
+    config.evaluator = service_ratio;
     auto result = search_adversary(cell.kind, config, 17);
     cell.found = result.ratio;
     cell.bound = cell.kind == OnlineAlgorithmKind::kOa
                      ? oa_competitive_bound(cell.alpha)
                      : avr_multi_competitive_bound(cell.alpha);
     // Literature-style reference: the expiring stack at the same size.
-    Instance stack = generate_avr_adversary(6, cell.machines);
-    AlphaPower p(cell.alpha);
-    double opt = optimal_energy(stack, p);
-    cell.crafted = (cell.kind == OnlineAlgorithmKind::kOa ? oa_energy(stack, p)
-                                                          : avr_energy(stack, p)) /
-                   opt;
-  });
+    cell.crafted =
+        service_ratio(cell.kind, generate_avr_adversary(6, cell.machines),
+                      cell.alpha);
+  }
+  BatchSolver::CacheStats cache = service.cache_stats();
+  std::cout << "service cache: " << cache.hits << " hits / " << cache.misses
+            << " misses (" << cache.evictions << " evictions)\n\n";
 
   Table table({"algorithm", "alpha", "m", "found ratio", "stack ratio", "bound",
                "under bound"});

@@ -2,18 +2,21 @@
 //
 // Sweeps (alpha, m) over a seed batch of bursty workloads -- the regime where
 // OA pays for its lack of clairvoyance -- and reports empirical ratio statistics
-// against the proven bound. Cells run in parallel (exact arithmetic, no shared
-// state).
+// against the proven bound. The (cell, seed) grid fans out through a
+// BatchSolver: every ratio is two service requests (OA and exact), and the
+// grid's > 256 submissions deliberately exceed the default admission queue so
+// the blocking-submit backpressure path sees real traffic.
 
+#include <future>
 #include <iostream>
-#include <mutex>
+#include <vector>
 
 #include "exp_common.hpp"
 #include "mpss/core/optimal.hpp"
 #include "mpss/online/bounds.hpp"
 #include "mpss/online/oa.hpp"
+#include "mpss/service/batch_solver.hpp"
 #include "mpss/util/stats.hpp"
-#include "mpss/util/thread_pool.hpp"
 #include "mpss/workload/generators.hpp"
 
 int main(int argc, char** argv) {
@@ -40,19 +43,45 @@ int main(int argc, char** argv) {
     for (std::size_t m : machine_counts) cells.push_back({alpha, m, {}, true});
   }
 
-  parallel_for(cells.size(), [&](std::size_t index) {
-    Cell& cell = cells[index];
-    AlphaPower p(cell.alpha);
-    double bound = oa_competitive_bound(cell.alpha);
+  // Per-cell AlphaPower objects with stable addresses: SolveOptions::power is
+  // not owned and must outlive every request that references it.
+  std::vector<AlphaPower> powers;
+  powers.reserve(cells.size());
+  for (const Cell& cell : cells) powers.emplace_back(cell.alpha);
+
+  BatchSolver service;
+  struct PendingRatio {
+    std::size_t cell;
+    Submission online;
+    Submission opt;
+  };
+  std::vector<PendingRatio> pending;
+  pending.reserve(cells.size() * seeds);
+  for (std::size_t index = 0; index < cells.size(); ++index) {
+    const Cell& cell = cells[index];
     for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
       Instance instance = generate_surprise(
           {.jobs = 12, .machines = cell.machines, .horizon = 24, .max_work = 6,
            .urgent_window = 3}, seed);
-      double ratio = oa_energy(instance, p) / optimal_energy(instance, p);
-      cell.ratio.add(ratio);
-      cell.within_bound &= ratio <= bound + 1e-9 && ratio >= 1.0 - 1e-9;
+      SolveOptions online;
+      online.engine = Engine::kOa;
+      online.power = &powers[index];
+      SolveOptions opt;
+      opt.engine = Engine::kExact;
+      opt.power = &powers[index];
+      Submission online_run = service.submit({instance, online});
+      Submission opt_run = service.submit({std::move(instance), opt});
+      pending.push_back({index, std::move(online_run), std::move(opt_run)});
     }
-  });
+  }
+  for (PendingRatio& entry : pending) {
+    Cell& cell = cells[entry.cell];
+    double bound = oa_competitive_bound(cell.alpha);
+    double ratio =
+        entry.online.future.get().energy / entry.opt.future.get().energy;
+    cell.ratio.add(ratio);
+    cell.within_bound &= ratio <= bound + 1e-9 && ratio >= 1.0 - 1e-9;
+  }
 
   Table table({"alpha", "m", "ratio mean", "ratio max", "bound a^a", "inside"});
   bool all_ok = true;

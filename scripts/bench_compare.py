@@ -10,6 +10,9 @@ Options:
                                     benchmark (default: 0.10 = 10%)
     --tol NAME=FRAC                 per-benchmark override, repeatable
                                     (e.g. --tol BM_OptimalScheduleByJobs/64=0.25)
+    --require PREFIX                fail unless the candidate has at least one
+                                    iteration run whose name starts with PREFIX,
+                                    repeatable (e.g. --require BM_Service)
 
 Only "iteration" runs are compared; aggregates (BigO, RMS, mean/median/stddev)
 are skipped — their semantics differ per benchmark and the raw iterations are
@@ -74,6 +77,8 @@ def main():
                         help="allowed slowdown fraction (default 0.10)")
     parser.add_argument("--tol", action="append", default=[], metavar="NAME=FRAC",
                         help="per-benchmark tolerance override")
+    parser.add_argument("--require", action="append", default=[], metavar="PREFIX",
+                        help="require a candidate benchmark with this name prefix")
     args = parser.parse_args()
 
     overrides = parse_overrides(args.tol)
@@ -105,6 +110,14 @@ def main():
     for name in new:
         print(f"{name:<{width}}  {'--':>12}  {candidate[name]:>12.0f}  "
               f"{'':>8}  {'':>6}  new")
+
+    # Required families: a snapshot that silently dropped a whole benchmark
+    # binary (e.g. bench_service missing from the merged JSON) must not pass.
+    for prefix in args.require:
+        if not any(name.startswith(prefix) for name in candidate):
+            failures.append(prefix)
+            print(f"bench_compare: required prefix '{prefix}' has no candidate "
+                  "benchmarks", file=sys.stderr)
 
     if failures:
         print(f"\nbench_compare: {len(failures)} regression(s) beyond tolerance "

@@ -136,10 +136,10 @@ OptimalResult optimal_schedule(const Instance& instance) {
   return optimal_schedule(instance, OptimalOptions{});
 }
 
-OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& options) {
+OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& options,
+                               obs::TraceSink* trace) {
   const bool paper_rule =
       options.removal_policy == OptimalOptions::RemovalPolicy::kPaperRule;
-  obs::TraceSink* trace = options.trace;
   Xoshiro256 ablation_rng(options.ablation_seed);
   IntervalDecomposition intervals(instance.jobs());
   const std::size_t interval_count = intervals.count();
@@ -182,6 +182,7 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
 
   while (!remaining.empty()) {
     // ---- one phase: identify the next job set J_i and its speed s_i ----
+    poll_cancellation(options.cancel);
     obs::SpanScope phase_span(trace, "optimal.phase");
     std::vector<std::size_t> candidates = remaining;  // invariant: J_i is a subset
     std::ranges::fill(candidate_mask, 0);
@@ -202,6 +203,9 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
     bool canonical = true;   // round.net's flow came from a from-zero solve
 
     for (;;) {
+      // Round boundary: the network is consistent here (no half-applied
+      // retraction), making this the fine-grained cancellation checkpoint.
+      poll_cancellation(options.cancel);
       obs::SpanScope round_span(trace, "optimal.round");
       obs::ScopedHistogramTimer round_timer(round_us);
       check_internal(!candidates.empty(),

@@ -34,6 +34,7 @@
 #include "mpss/core/job.hpp"
 #include "mpss/core/schedule.hpp"
 #include "mpss/obs/stats.hpp"
+#include "mpss/util/cancel.hpp"
 #include "mpss/util/rational.hpp"
 
 namespace mpss {
@@ -98,14 +99,12 @@ struct OptimalOptions {
   /// differential reference path). The two paths produce bit-identical results
   /// -- phases, speeds, and schedules -- see DESIGN.md "Warm-start invariant".
   bool incremental = true;
-  /// Optional trace sink: phase boundaries, per-round flow values, and candidate
-  /// removals are recorded as obs events. Null falls back to the process-wide
-  /// sink in obs::Registry (itself null by default -> no emission).
-  ///
-  /// DEPRECATED as a user-facing knob: prefer SolveOptions::trace and the
-  /// solve() facade, which owns sink resolution (precedence documented in
-  /// solve.hpp). Still honored for direct optimal_schedule() callers.
-  obs::TraceSink* trace = nullptr;
+  /// Cooperative cancellation / soft deadline, polled at phase and round
+  /// boundaries (util/cancel.hpp). When the token fires the engine throws
+  /// CancelledError; the solve() facade turns that into kCancelled /
+  /// kDeadlineExceeded. Null (the default) never fires. Not owned; must
+  /// outlive the call.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Computes an energy-optimal schedule for `instance` (Theorem 1 of the paper).
@@ -114,11 +113,19 @@ struct OptimalOptions {
 /// feasible. Runs in polynomial time (O(n) phases, each O(n) max-flow rounds).
 [[nodiscard]] OptimalResult optimal_schedule(const Instance& instance);
 
-/// As above with ablation options; with kRandomCandidate the result is feasible
-/// but may be suboptimal (and phase speeds may not decrease). May throw
-/// InternalError if the ablated removals empty a candidate set.
+/// As above with ablation/cancellation options; with kRandomCandidate the
+/// result is feasible but may be suboptimal (and phase speeds may not
+/// decrease). May throw InternalError if the ablated removals empty a
+/// candidate set, and CancelledError when `options.cancel` fires.
+///
+/// `trace` records phase boundaries, per-round flow values, and candidate
+/// removals as obs events; null falls back to the process-wide sink in
+/// obs::Registry (itself null by default -> no emission). The solve() facade
+/// is the preferred way to drive tracing (it owns sink resolution; see
+/// SolveOptions::trace) -- this parameter serves direct engine callers.
 [[nodiscard]] OptimalResult optimal_schedule(const Instance& instance,
-                                             const OptimalOptions& options);
+                                             const OptimalOptions& options,
+                                             obs::TraceSink* trace = nullptr);
 
 /// Convenience: the optimal energy under power function `p` (computes the schedule
 /// and measures it).

@@ -203,14 +203,13 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance, double epsilon
                                         obs::TraceSink* trace) {
   FastOptimalOptions options;
   options.epsilon = epsilon;
-  options.trace = trace;
-  return optimal_schedule_fast(instance, options);
+  return optimal_schedule_fast(instance, options, trace);
 }
 
 FastOptimalResult optimal_schedule_fast(const Instance& instance,
-                                        const FastOptimalOptions& options) {
+                                        const FastOptimalOptions& options,
+                                        obs::TraceSink* trace) {
   const double epsilon = options.epsilon;
-  obs::TraceSink* trace = options.trace;
   check_arg(epsilon > 0.0 && epsilon < 0.1, "optimal_schedule_fast: bad epsilon");
   FastIntervals intervals(instance);
   const std::size_t interval_count = intervals.count();
@@ -259,6 +258,7 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
   obs::HistogramData resume_bfs_hist;
 
   while (!remaining.empty()) {
+    poll_cancellation(options.cancel);
     obs::SpanScope phase_span(trace, "optimal_fast.phase");
     std::vector<std::size_t> candidates = remaining;
     std::ranges::fill(candidate_mask, 0);
@@ -275,6 +275,9 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
     bool built = false;
 
     for (;;) {
+      // Round boundary: no half-applied capacity edit is in flight here, so
+      // this is the fine-grained cancellation checkpoint (see optimal.cpp).
+      poll_cancellation(options.cancel);
       obs::SpanScope round_span(trace, "optimal_fast.round");
       obs::ScopedHistogramTimer round_timer(round_us);
       check_internal(!candidates.empty(),

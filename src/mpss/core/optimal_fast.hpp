@@ -18,6 +18,7 @@
 #include "mpss/core/job.hpp"
 #include "mpss/core/power.hpp"
 #include "mpss/obs/stats.hpp"
+#include "mpss/util/cancel.hpp"
 
 namespace mpss {
 
@@ -66,9 +67,10 @@ struct FastOptimalOptions {
   /// exact engine the two paths agree only within the usual double tolerances
   /// (flow splits are rounding-sensitive), not bit for bit.
   bool incremental = true;
-  /// Optional trace sink ("optimal_fast.*" labels); null falls back to the
-  /// process-wide sink in obs::Registry.
-  obs::TraceSink* trace = nullptr;
+  /// Cooperative cancellation / soft deadline, polled at phase and round
+  /// boundaries (util/cancel.hpp); the engine throws CancelledError when the
+  /// token fires. Null never fires. Not owned; must outlive the call.
+  const CancelToken* cancel = nullptr;
 };
 
 /// The offline algorithm over doubles. `epsilon` is the relative tolerance of the
@@ -80,8 +82,11 @@ struct FastOptimalOptions {
                                                       double epsilon = 1e-9,
                                                       obs::TraceSink* trace = nullptr);
 
-/// As above with the full option set (incremental warm starts, tracing).
+/// As above with the full option set (incremental warm starts, cancellation).
+/// `trace` records the "optimal_fast.*" event stream; null falls back to the
+/// process-wide sink in obs::Registry.
 [[nodiscard]] FastOptimalResult optimal_schedule_fast(const Instance& instance,
-                                                      const FastOptimalOptions& options);
+                                                      const FastOptimalOptions& options,
+                                                      obs::TraceSink* trace = nullptr);
 
 }  // namespace mpss

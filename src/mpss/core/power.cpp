@@ -1,9 +1,11 @@
 #include "mpss/core/power.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "mpss/util/error.hpp"
+#include "mpss/util/fnv.hpp"
 
 namespace mpss {
 
@@ -17,6 +19,10 @@ std::string AlphaPower::name() const {
   std::ostringstream os;
   os << "s^" << alpha_;
   return os.str();
+}
+
+std::uint64_t AlphaPower::fingerprint() const {
+  return fnv_mix(fnv_mix(kFnvOffset, std::uint64_t{1}), alpha_);
 }
 
 PiecewiseLinearPower::PiecewiseLinearPower(std::vector<Point> points)
@@ -52,6 +58,16 @@ std::string PiecewiseLinearPower::name() const {
   return os.str();
 }
 
+std::uint64_t PiecewiseLinearPower::fingerprint() const {
+  std::uint64_t state = fnv_mix(kFnvOffset, std::uint64_t{2});
+  state = fnv_mix(state, static_cast<std::uint64_t>(points_.size()));
+  for (const Point& point : points_) {
+    state = fnv_mix(state, point.speed);
+    state = fnv_mix(state, point.power);
+  }
+  return state;
+}
+
 CubicPlusLeakagePower::CubicPlusLeakagePower(double cubic, double linear, double constant)
     : cubic_(cubic), linear_(linear), constant_(constant) {
   check_arg(cubic >= 0 && linear >= 0 && constant >= 0,
@@ -66,6 +82,13 @@ std::string CubicPlusLeakagePower::name() const {
   std::ostringstream os;
   os << cubic_ << "*s^3+" << linear_ << "*s+" << constant_;
   return os.str();
+}
+
+std::uint64_t CubicPlusLeakagePower::fingerprint() const {
+  std::uint64_t state = fnv_mix(kFnvOffset, std::uint64_t{3});
+  state = fnv_mix(state, cubic_);
+  state = fnv_mix(state, linear_);
+  return fnv_mix(state, constant_);
 }
 
 }  // namespace mpss

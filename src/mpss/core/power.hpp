@@ -6,6 +6,7 @@
 // (speeds are rationals chosen independently of P's values -- only convexity and
 // monotonicity matter), and P is evaluated in double only when *measuring* energy.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +25,13 @@ class PowerFunction {
 
   /// Descriptive name for tables ("s^3", "piecewise[4]").
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Stable value-identity fingerprint for result caching (BatchSolver keys
+  /// solve results on it). Two instances with equal fingerprints must define
+  /// the same function. The default 0 means "no stable identity" -- the cache
+  /// skips such power functions rather than risk a false hit. The built-in
+  /// implementations hash their defining parameters.
+  [[nodiscard]] virtual std::uint64_t fingerprint() const { return 0; }
 };
 
 /// P(s) = s^alpha, alpha > 1: the family used throughout Section 3 of the paper
@@ -36,6 +44,7 @@ class AlphaPower final : public PowerFunction {
   [[nodiscard]] double alpha() const { return alpha_; }
   [[nodiscard]] double power(double speed) const override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint64_t fingerprint() const override;
 
  private:
   double alpha_;
@@ -58,6 +67,7 @@ class PiecewiseLinearPower final : public PowerFunction {
 
   [[nodiscard]] double power(double speed) const override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint64_t fingerprint() const override;
 
  private:
   std::vector<Point> points_;
@@ -72,6 +82,7 @@ class CubicPlusLeakagePower final : public PowerFunction {
 
   [[nodiscard]] double power(double speed) const override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint64_t fingerprint() const override;
 
  private:
   double cubic_, linear_, constant_;

@@ -7,6 +7,8 @@
 //   * oa_schedule()       -- Optimal Available for m processors (Sec. 3.1),
 //   * avr_schedule()      -- Average Rate for m processors (Sec. 3.2),
 //   * solve()             -- one facade over all engines, with telemetry,
+//   * BatchSolver         -- concurrent batch service over solve() (caching,
+//                            deadlines, priorities; service/batch_solver.hpp),
 // plus every substrate they stand on (exact rationals, max-flow, YDS, LP baseline,
 // non-migratory baselines, workload generators). See README.md for a tour.
 
@@ -46,8 +48,11 @@
 #include "mpss/online/oa.hpp"
 #include "mpss/online/potential.hpp"
 #include "mpss/online/simulator.hpp"
+#include "mpss/service/batch_solver.hpp"
+#include "mpss/service/fingerprint.hpp"
 #include "mpss/sim/executor.hpp"
 #include "mpss/solve.hpp"
+#include "mpss/util/cancel.hpp"
 #include "mpss/util/cli.hpp"
 #include "mpss/util/csv.hpp"
 #include "mpss/util/error.hpp"

@@ -11,8 +11,10 @@
 namespace mpss {
 namespace {
 
-double ratio_of(OnlineAlgorithmKind kind, const Instance& instance, double alpha) {
-  AlphaPower p(alpha);
+double ratio_of(OnlineAlgorithmKind kind, const Instance& instance,
+                const AdversaryConfig& config) {
+  if (config.evaluator) return config.evaluator(kind, instance, config.alpha);
+  AlphaPower p(config.alpha);
   double opt = optimal_energy(instance, p);
   if (opt <= 0.0) return 1.0;
   double online = kind == OnlineAlgorithmKind::kOa ? oa_energy(instance, p)
@@ -72,19 +74,19 @@ AdversaryResult search_adversary(OnlineAlgorithmKind kind,
   Xoshiro256 rng(seed);
 
   std::vector<Job> best_jobs = random_jobs(rng, config);
-  double best_ratio = ratio_of(kind, Instance(best_jobs, config.machines), config.alpha);
+  double best_ratio = ratio_of(kind, Instance(best_jobs, config.machines), config);
   std::size_t evaluations = 1;
 
   for (std::size_t restart = 0; restart < config.restarts; ++restart) {
     std::vector<Job> current =
         restart == 0 ? best_jobs : random_jobs(rng, config);
     double current_ratio =
-        ratio_of(kind, Instance(current, config.machines), config.alpha);
+        ratio_of(kind, Instance(current, config.machines), config);
     ++evaluations;
     for (std::size_t step = 0; step < config.iterations; ++step) {
       std::vector<Job> candidate = mutate(rng, current, config);
       double candidate_ratio =
-          ratio_of(kind, Instance(candidate, config.machines), config.alpha);
+          ratio_of(kind, Instance(candidate, config.machines), config);
       ++evaluations;
       if (candidate_ratio >= current_ratio) {  // accept ties: drift across plateaus
         current = std::move(candidate);

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "mpss/core/job.hpp"
 
@@ -27,6 +28,13 @@ struct AdversaryConfig {
   double alpha = 2.0;
   std::size_t iterations = 300;  // mutation attempts per restart
   std::size_t restarts = 3;
+  /// Optional candidate scorer: must return E_alg / E_OPT of the instance under
+  /// P(s) = s^alpha. The E14 driver wires this to a BatchSolver so the online
+  /// and exact solves of every step run concurrently and scoring rides the
+  /// service's result cache (hill climbing revisits instances constantly --
+  /// tie-accepting drift, reverted mutations). Null scores inline through the
+  /// engines.
+  std::function<double(OnlineAlgorithmKind, const Instance&, double)> evaluator;
 };
 
 struct AdversaryResult {

@@ -57,11 +57,11 @@ AvrResult avr_schedule(const Instance& instance) {
   return avr_schedule(instance, AvrOptions{});
 }
 
-AvrResult avr_schedule(const Instance& instance, const AvrOptions& options) {
+AvrResult avr_schedule(const Instance& instance, const AvrOptions& options,
+                       obs::TraceSink* trace) {
   auto [t_begin, t_end] = integral_horizon(instance);
   AvrResult result{Schedule(instance.machines()), 0, {}};
   const std::size_t m = instance.machines();
-  obs::TraceSink* trace = options.trace;
   // Span before timer: the solve span covers stats.wall_seconds (see optimal.cpp).
   obs::SpanScope solve_span(trace, "avr.solve");
   obs::ScopedTimer timer;

@@ -43,13 +43,6 @@ struct AvrResult {
 /// peel-off exists to prevent. check_schedule() exposes it.
 struct AvrOptions {
   bool enable_peeling = true;
-  /// Optional trace sink: one kPeel event per dedicated-processor branch. Null
-  /// falls back to the process-wide sink in obs::Registry.
-  ///
-  /// DEPRECATED as a user-facing knob: prefer SolveOptions::trace and the
-  /// solve() facade, which owns sink resolution (precedence documented in
-  /// solve.hpp). Still honored for direct avr_schedule() callers.
-  obs::TraceSink* trace = nullptr;
 };
 
 /// Runs AVR(m). Throws std::invalid_argument when the instance has non-integral
@@ -59,9 +52,12 @@ struct AvrOptions {
 
 /// As above with ablation options. With enable_peeling == false the result can be
 /// INFEASIBLE (by design -- that is the experiment); it is never silently wrong,
-/// since check_schedule reports the violation.
+/// since check_schedule reports the violation. `trace` records one kPeel event
+/// per dedicated-processor branch; null falls back to the process-wide sink in
+/// obs::Registry (the solve() facade is the preferred way to drive tracing).
 [[nodiscard]] AvrResult avr_schedule(const Instance& instance,
-                                     const AvrOptions& options);
+                                     const AvrOptions& options,
+                                     obs::TraceSink* trace = nullptr);
 
 /// Convenience: AVR(m) energy under P.
 [[nodiscard]] double avr_energy(const Instance& instance, const PowerFunction& p);

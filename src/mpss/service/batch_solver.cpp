@@ -1,0 +1,304 @@
+#include "mpss/service/batch_solver.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "mpss/obs/registry.hpp"
+#include "mpss/obs/span.hpp"
+#include "mpss/obs/trace.hpp"
+#include "mpss/service/fingerprint.hpp"
+
+namespace mpss {
+
+const char* submit_status_name(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted: return "accepted";
+    case SubmitStatus::kQueueFull: return "queue_full";
+    case SubmitStatus::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+/// One admitted request waiting in (or popped from) the queue.
+struct BatchSolver::Pending {
+  int priority = 0;
+  std::uint64_t seq = 0;  // admission order; the FIFO tiebreak within a priority
+  SolveRequest request;
+  std::promise<SolveResult> promise;
+  CancelToken::Clock::time_point enqueued{};
+
+  /// Max-heap order: higher priority first, then lower seq (older) first.
+  [[nodiscard]] bool heap_before(const Pending& other) const {
+    if (priority != other.priority) return priority < other.priority;
+    return seq > other.seq;
+  }
+};
+
+class BatchSolver::Impl {
+ public:
+  explicit Impl(const BatchSolverOptions& options) : options_(options) {}
+
+  BatchSolverOptions options_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable space_available_;
+  std::vector<Pending> queue_;  // heap ordered by Pending::heap_before
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+
+  // LRU cache: most recent at the list front; the map indexes list nodes.
+  mutable std::mutex cache_mutex_;
+  std::list<std::pair<std::uint64_t, SolveResult>> lru_;
+  std::unordered_map<std::uint64_t,
+                     std::list<std::pair<std::uint64_t, SolveResult>>::iterator>
+      cache_index_;
+  CacheStats cache_stats_;
+
+  [[nodiscard]] std::optional<SolveResult> cache_get(std::uint64_t key) {
+    std::scoped_lock lock(cache_mutex_);
+    auto it = cache_index_.find(key);
+    if (it == cache_index_.end()) {
+      ++cache_stats_.misses;
+      return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++cache_stats_.hits;
+    return it->second->second;
+  }
+
+  void cache_put(std::uint64_t key, const SolveResult& result,
+                 std::uint64_t* evicted) {
+    std::scoped_lock lock(cache_mutex_);
+    auto it = cache_index_.find(key);
+    if (it != cache_index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;  // a concurrent miss on the same key beat us to the insert
+    }
+    lru_.emplace_front(key, result);
+    cache_index_.emplace(key, lru_.begin());
+    while (lru_.size() > options_.cache_capacity) {
+      cache_index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++cache_stats_.evictions;
+      ++*evicted;
+    }
+  }
+};
+
+BatchSolver::BatchSolver(BatchSolverOptions options)
+    : impl_(std::make_unique<Impl>(options)), pool_(options.threads) {
+  // Each pool worker runs one pump loop for the service's lifetime. The loops
+  // block on the service's own condition variable, never on other pool tasks,
+  // honouring ThreadPool's no-task-interdependence contract.
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    pool_.submit([this] { worker_loop(); });
+  }
+}
+
+BatchSolver::~BatchSolver() {
+  shutdown();
+  try {
+    pool_.wait_idle();
+  } catch (...) {
+    // A pump loop died outside a solve (a library bug); its queued promises
+    // surface std::future_errc::broken_promise to their waiters, which is the
+    // loudest thing a destructor can safely do.
+  }
+}
+
+void BatchSolver::shutdown() {
+  {
+    std::scoped_lock lock(impl_->queue_mutex_);
+    if (impl_->stopping_) return;
+    impl_->stopping_ = true;
+  }
+  impl_->work_available_.notify_all();
+  impl_->space_available_.notify_all();
+  pool_.wait_idle();  // pump loops drain the queue, then exit
+}
+
+Submission BatchSolver::admit(SolveRequest&& request, bool blocking) {
+  Submission submission;
+  {
+    std::unique_lock lock(impl_->queue_mutex_);
+    const std::size_t capacity = impl_->options_.queue_capacity;
+    if (blocking && capacity != 0) {
+      impl_->space_available_.wait(lock, [&] {
+        return impl_->stopping_ || impl_->queue_.size() < capacity;
+      });
+    }
+    if (impl_->stopping_) {
+      submission.status = SubmitStatus::kShutdown;
+      return submission;
+    }
+    if (capacity != 0 && impl_->queue_.size() >= capacity) {
+      submission.status = SubmitStatus::kQueueFull;
+      obs::Registry::global().add("service.rejected_full");
+      return submission;
+    }
+    Pending pending{request.priority, impl_->next_seq_++, std::move(request),
+                    std::promise<SolveResult>{}, CancelToken::Clock::now()};
+    submission.status = SubmitStatus::kAccepted;
+    submission.future = pending.promise.get_future();
+    impl_->queue_.push_back(std::move(pending));
+    std::push_heap(impl_->queue_.begin(), impl_->queue_.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.heap_before(b);
+                   });
+    obs::Registry::global().add("service.submitted");
+  }
+  impl_->work_available_.notify_one();
+  return submission;
+}
+
+Submission BatchSolver::submit(SolveRequest request) {
+  return admit(std::move(request), /*blocking=*/true);
+}
+
+Submission BatchSolver::try_submit(SolveRequest request) {
+  return admit(std::move(request), /*blocking=*/false);
+}
+
+void BatchSolver::worker_loop() {
+  // One Registry histogram lookup per worker, not per request (the lookup
+  // takes the registry mutex; record() on the result is lock-free).
+  obs::Histogram& queue_wait_us =
+      obs::Registry::global().histogram("service.queue_wait_us");
+  for (;;) {
+    std::optional<Pending> pending;
+    {
+      std::unique_lock lock(impl_->queue_mutex_);
+      impl_->work_available_.wait(
+          lock, [&] { return impl_->stopping_ || !impl_->queue_.empty(); });
+      if (impl_->queue_.empty()) return;  // stopping, queue drained
+      std::pop_heap(impl_->queue_.begin(), impl_->queue_.end(),
+                    [](const Pending& a, const Pending& b) {
+                      return a.heap_before(b);
+                    });
+      pending.emplace(std::move(impl_->queue_.back()));
+      impl_->queue_.pop_back();
+    }
+    impl_->space_available_.notify_one();
+    queue_wait_us.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            CancelToken::Clock::now() - pending->enqueued)
+            .count()));
+    execute(std::move(*pending));
+  }
+}
+
+void BatchSolver::execute(Pending pending) {
+  obs::SpanScope request_span(nullptr, "service.request");
+  const SolveRequest& request = pending.request;
+
+  std::optional<std::uint64_t> key;
+  if (impl_->options_.cache_capacity != 0) {
+    key = solve_fingerprint(request.instance, request.options);
+  }
+  if (key) {
+    if (std::optional<SolveResult> cached = impl_->cache_get(*key)) {
+      obs::Registry::global().add("service.cache_hits");
+      obs::emit(nullptr, obs::EventKind::kCounter, "service.cache_hit", *key);
+      obs::emit(nullptr, obs::EventKind::kCounter, "service.done",
+                static_cast<std::uint64_t>(cached->status), /*b=*/1,
+                request_span.elapsed_seconds());
+      pending.promise.set_value(std::move(*cached));
+      return;
+    }
+    obs::Registry::global().add("service.cache_misses");
+    obs::emit(nullptr, obs::EventKind::kCounter, "service.cache_miss", *key);
+  }
+
+  SolveOptions run_options = request.options;
+  CancelToken deadline_token;
+  if (request.deadline != CancelToken::Clock::time_point::max()) {
+    deadline_token.set_deadline(request.deadline);
+    // A caller token that fired while the request was queued still wins: honour
+    // it now, before the deadline token replaces it for the run.
+    if (run_options.cancel != nullptr && run_options.cancel->cancel_requested()) {
+      SolveResult cancelled;
+      cancelled.status = SolveStatus::kCancelled;
+      cancelled.message = "solve abandoned: cancellation requested";
+      obs::emit(nullptr, obs::EventKind::kCounter, "service.done",
+                static_cast<std::uint64_t>(cancelled.status), /*b=*/0,
+                request_span.elapsed_seconds());
+      pending.promise.set_value(std::move(cancelled));
+      return;
+    }
+    run_options.cancel = &deadline_token;
+  }
+
+  SolveResult result;
+  try {
+    result = solve(request.instance, run_options);
+  } catch (...) {
+    // solve() only throws InternalError (a library bug); hand it to the waiter.
+    pending.promise.set_exception(std::current_exception());
+    return;
+  }
+  obs::emit(nullptr, obs::EventKind::kCounter, "service.done",
+            static_cast<std::uint64_t>(result.status), /*b=*/0,
+            request_span.elapsed_seconds());
+  if (key && result.ok()) {
+    std::uint64_t evicted = 0;
+    impl_->cache_put(*key, result, &evicted);
+    if (evicted != 0) {
+      obs::Registry::global().add("service.cache_evictions", evicted);
+      obs::emit(nullptr, obs::EventKind::kCounter, "service.cache_evict", *key,
+                evicted);
+    }
+  }
+  pending.promise.set_value(std::move(result));
+}
+
+std::vector<SolveResult> BatchSolver::solve_many(
+    std::span<const Instance> instances, const SolveOptions& options) {
+  std::vector<Submission> submissions;
+  submissions.reserve(instances.size());
+  for (const Instance& instance : instances) {
+    SolveRequest request{instance, options};
+    Submission submission = submit(std::move(request));
+    if (!submission.accepted()) {
+      throw std::logic_error(
+          std::string("BatchSolver::solve_many: submit returned ") +
+          submit_status_name(submission.status));
+    }
+    submissions.push_back(std::move(submission));
+  }
+  std::vector<SolveResult> results;
+  results.reserve(submissions.size());
+  for (Submission& submission : submissions) {
+    results.push_back(submission.future.get());
+  }
+  return results;
+}
+
+BatchSolver::CacheStats BatchSolver::cache_stats() const {
+  std::scoped_lock lock(impl_->cache_mutex_);
+  return impl_->cache_stats_;
+}
+
+std::size_t BatchSolver::queue_depth() const {
+  std::scoped_lock lock(impl_->queue_mutex_);
+  return impl_->queue_.size();
+}
+
+std::vector<SolveResult> solve_many(std::span<const Instance> instances,
+                                    const SolveOptions& options,
+                                    std::size_t threads) {
+  BatchSolverOptions service;
+  service.threads = threads;
+  service.queue_capacity = 0;  // one-shot: admit the whole span up front
+  BatchSolver solver(service);
+  return solver.solve_many(instances, options);
+}
+
+}  // namespace mpss

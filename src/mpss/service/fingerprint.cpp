@@ -1,0 +1,53 @@
+#include "mpss/service/fingerprint.hpp"
+
+#include "mpss/util/fnv.hpp"
+
+namespace mpss {
+namespace {
+
+std::uint64_t mix_q(std::uint64_t state, const Q& value) {
+  // BigInt::hash() is representation-independent (limb decomposition), and Q's
+  // invariant keeps num/den canonical, so this is a value hash of the rational.
+  state = fnv_mix(state, static_cast<std::uint64_t>(value.num().hash()));
+  return fnv_mix(state, static_cast<std::uint64_t>(value.den().hash()));
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> solve_fingerprint(const Instance& instance,
+                                               const SolveOptions& options) {
+  std::uint64_t power_fp;
+  if (options.power == nullptr) {
+    power_fp = 0;  // the facade default P(s) = s^3 -- a fixed, known function
+  } else {
+    power_fp = options.power->fingerprint();
+    if (power_fp == 0) return std::nullopt;  // no stable identity: uncacheable
+  }
+
+  std::uint64_t state = fnv_mix(kFnvOffset, std::uint64_t{0x5eab});
+  state = fnv_mix(state, static_cast<std::uint64_t>(options.engine));
+  state = fnv_mix(state, power_fp);
+  state = fnv_mix(state, static_cast<std::uint64_t>(instance.machines()));
+
+  // Engine knobs that shape the result. Knobs of engines other than the
+  // selected one are folded in too -- simpler, and distinct options structs
+  // simply hash apart.
+  state = fnv_mix(state, static_cast<std::uint64_t>(options.exact.removal_policy));
+  state = fnv_mix(state, options.exact.ablation_seed);
+  state = fnv_mix(state, static_cast<std::uint64_t>(options.exact.incremental));
+  state = fnv_mix(state, options.fast_epsilon);
+  state = fnv_mix(state, static_cast<std::uint64_t>(options.fast_incremental));
+  state = fnv_mix(state, static_cast<std::uint64_t>(options.avr.enable_peeling));
+  state = fnv_mix(state, static_cast<std::uint64_t>(options.lp_grid));
+  state = fnv_mix(state, options.lp_max_speed_hint);
+
+  state = fnv_mix(state, static_cast<std::uint64_t>(instance.size()));
+  for (const Job& job : instance.jobs()) {
+    state = mix_q(state, job.release);
+    state = mix_q(state, job.deadline);
+    state = mix_q(state, job.work);
+  }
+  return state;
+}
+
+}  // namespace mpss

@@ -17,22 +17,10 @@ const PowerFunction& effective_power(const SolveOptions& options) {
 }
 
 /// The one place sink precedence is decided (documented on SolveOptions::trace):
-/// facade knob > deprecated per-engine sink > process-wide Registry default.
-/// Engines get the resolved sink explicitly, so their own fallback never runs.
+/// facade knob > process-wide Registry default. Engines get the resolved sink
+/// explicitly, so their own fallback never runs on this path.
 obs::TraceSink* resolve_trace_sink(const SolveOptions& options) {
   if (options.trace != nullptr) return options.trace;
-  switch (options.engine) {
-    case Engine::kExact:
-    case Engine::kOa:  // OA replans through the exact engine's options
-      if (options.exact.trace != nullptr) return options.exact.trace;
-      break;
-    case Engine::kAvr:
-      if (options.avr.trace != nullptr) return options.avr.trace;
-      break;
-    case Engine::kFast:
-    case Engine::kLp:
-      break;  // these engines never had a per-engine sink field
-  }
   return obs::Registry::global().sink();
 }
 
@@ -41,11 +29,15 @@ SolveResult run_engine(const Instance& instance, const SolveOptions& options) {
   obs::TraceSink* sink = resolve_trace_sink(options);
   SolveResult result;
 
+  // Catch a token that fired before dispatch (queue wait, cancelled batch), so
+  // even the engines without internal checkpoints (OA, AVR, LP) honour it.
+  poll_cancellation(options.cancel);
+
   switch (options.engine) {
     case Engine::kExact: {
       OptimalOptions exact = options.exact;
-      exact.trace = sink;
-      OptimalResult r = optimal_schedule(instance, exact);
+      exact.cancel = options.cancel;
+      OptimalResult r = optimal_schedule(instance, exact, sink);
       result.energy = r.schedule.energy(p);
       result.stats = std::move(r.stats);
       result.schedule = std::move(r.schedule);
@@ -55,8 +47,8 @@ SolveResult run_engine(const Instance& instance, const SolveOptions& options) {
       FastOptimalOptions fast;
       fast.epsilon = options.fast_epsilon;
       fast.incremental = options.fast_incremental;
-      fast.trace = sink;
-      FastOptimalResult r = optimal_schedule_fast(instance, fast);
+      fast.cancel = options.cancel;
+      FastOptimalResult r = optimal_schedule_fast(instance, fast, sink);
       result.energy = r.schedule.energy(p);
       result.stats = std::move(r.stats);
       result.schedule = std::move(r.schedule);
@@ -70,9 +62,7 @@ SolveResult run_engine(const Instance& instance, const SolveOptions& options) {
       return result;
     }
     case Engine::kAvr: {
-      AvrOptions avr = options.avr;
-      avr.trace = sink;
-      AvrResult r = avr_schedule(instance, avr);
+      AvrResult r = avr_schedule(instance, options.avr, sink);
       result.energy = r.schedule.energy(p);
       result.stats = std::move(r.stats);
       result.schedule = std::move(r.schedule);
@@ -127,8 +117,11 @@ const char* solve_status_name(SolveStatus status) {
   switch (status) {
     case SolveStatus::kOk: return "ok";
     case SolveStatus::kInvalidInstance: return "invalid_instance";
+    case SolveStatus::kInvalidOptions: return "invalid_options";
     case SolveStatus::kInfeasible: return "infeasible";
     case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kCancelled: return "cancelled";
+    case SolveStatus::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }
@@ -136,8 +129,27 @@ const char* solve_status_name(SolveStatus status) {
 std::optional<SolveStatus> solve_status_from_name(std::string_view name) {
   if (name == "ok") return SolveStatus::kOk;
   if (name == "invalid_instance") return SolveStatus::kInvalidInstance;
+  if (name == "invalid_options") return SolveStatus::kInvalidOptions;
   if (name == "infeasible") return SolveStatus::kInfeasible;
   if (name == "unbounded") return SolveStatus::kUnbounded;
+  if (name == "cancelled") return SolveStatus::kCancelled;
+  if (name == "deadline_exceeded") return SolveStatus::kDeadlineExceeded;
+  return std::nullopt;
+}
+
+std::optional<std::string> SolveOptions::validate() const {
+  if (lp_grid < 2) {
+    return "SolveOptions: lp_grid must be >= 2 (got " + std::to_string(lp_grid) +
+           ")";
+  }
+  if (!(fast_epsilon > 0.0)) {
+    return "SolveOptions: fast_epsilon must be positive (got " +
+           std::to_string(fast_epsilon) + ")";
+  }
+  if (lp_max_speed_hint < 0.0) {
+    return "SolveOptions: lp_max_speed_hint must be >= 0 (got " +
+           std::to_string(lp_max_speed_hint) + ")";
+  }
   return std::nullopt;
 }
 
@@ -178,8 +190,22 @@ SolveResult solve(const Instance& instance, const SolveOptions& options) {
     }
     return result;
   };
+  if (std::optional<std::string> problem = options.validate()) {
+    SolveResult result;
+    result.status = SolveStatus::kInvalidOptions;
+    result.message = std::move(*problem);
+    return finish(std::move(result));
+  }
   try {
     return finish(run_engine(instance, options));
+  } catch (const CancelledError& error) {
+    // A fired CancelToken is an expected outcome (deadline pressure, a batch
+    // torn down early), not an input mistake -- it gets its own status pair.
+    SolveResult result;
+    result.status = error.deadline_exceeded() ? SolveStatus::kDeadlineExceeded
+                                              : SolveStatus::kCancelled;
+    result.message = error.what();
+    return finish(std::move(result));
   } catch (const std::invalid_argument& error) {
     // Caller errors (check_arg across the engines) become a status; an
     // InternalError stays an exception -- it marks a library bug.

@@ -24,6 +24,7 @@
 #include "mpss/core/schedule.hpp"
 #include "mpss/obs/stats.hpp"
 #include "mpss/online/avr.hpp"
+#include "mpss/util/cancel.hpp"
 
 namespace mpss {
 
@@ -51,12 +52,16 @@ enum class Engine {
 /// an input).
 enum class SolveStatus {
   kOk,
-  kInvalidInstance,  // engine rejected the input (e.g. AVR on fractional times)
-  kInfeasible,       // LP grid's top speed too low for the instance
-  kUnbounded,        // LP reported unbounded (cannot happen on valid input)
+  kInvalidInstance,   // engine rejected the input (e.g. AVR on fractional times)
+  kInvalidOptions,    // SolveOptions::validate() rejected the knobs
+  kInfeasible,        // LP grid's top speed too low for the instance
+  kUnbounded,         // LP reported unbounded (cannot happen on valid input)
+  kCancelled,         // a CancelToken's request_cancel() fired mid-solve
+  kDeadlineExceeded,  // a CancelToken's soft deadline passed mid-solve
 };
 
-/// Stable lowercase name ("ok", "invalid_instance", "infeasible", "unbounded").
+/// Stable lowercase name ("ok", "invalid_instance", "invalid_options",
+/// "infeasible", "unbounded", "cancelled", "deadline_exceeded").
 [[nodiscard]] const char* solve_status_name(SolveStatus status);
 
 /// Inverse of solve_status_name (exact names only); nullopt for unknown names.
@@ -88,18 +93,28 @@ struct SolveOptions {
   std::size_t lp_grid = 8;
   double lp_max_speed_hint = 0.0;
 
-  /// THE trace-sink knob of the facade. solve() is the single place that
-  /// resolves which sink an engine sees; precedence, highest first:
+  /// THE trace-sink knob. solve() is the single place that resolves which sink
+  /// an engine sees; precedence, highest first:
   ///
   ///   1. this field,
-  ///   2. the deprecated per-engine sink fields (`exact.trace`, `avr.trace`) --
-  ///      kept working for callers that still populate them,
-  ///   3. the process-wide default attached to obs::Registry::global().
+  ///   2. the process-wide default attached to obs::Registry::global().
   ///
   /// The facade resolves the chain eagerly and hands every engine an explicit
   /// sink, so the engines' own Registry fallback never triggers on this path.
   /// Not owned; must outlive the call.
   obs::TraceSink* trace = nullptr;
+
+  /// Cooperative cancellation / soft deadline, polled before dispatch and (for
+  /// the offline engines) at phase and round boundaries. A fired token turns
+  /// into SolveStatus::kCancelled / kDeadlineExceeded, never an exception.
+  /// Not owned; must outlive the call. BatchSolver populates this per request.
+  const CancelToken* cancel = nullptr;
+
+  /// Checks the knobs that have constrained domains (`lp_grid >= 2`,
+  /// `fast_epsilon > 0`, `lp_max_speed_hint >= 0`). Returns the first
+  /// violation's message, or nullopt when the options are usable. solve()
+  /// calls this up front and reports failures as kInvalidOptions.
+  [[nodiscard]] std::optional<std::string> validate() const;
 };
 
 /// Common result shape of every engine.

@@ -1,0 +1,81 @@
+#pragma once
+// Cooperative cancellation + soft deadlines for long-running solves (service
+// layer S44, see DESIGN.md).
+//
+// A CancelToken is shared between the party that wants a solve stopped (a
+// BatchSolver deadline sweep, a caller abandoning a request) and the engine
+// doing the work. The offline engines poll the token at phase and round
+// boundaries -- the natural preemption points of the paper's algorithm, where
+// no flow network is in a half-edited state -- so cancellation latency is one
+// max-flow round, not one full solve. Cancellation is *soft*: an engine that
+// observes the token throws CancelledError, which the solve() facade converts
+// into SolveStatus::kCancelled / kDeadlineExceeded; nothing is torn down
+// mid-operation and the process stays healthy.
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace mpss {
+
+/// Shared cancellation state. request_cancel() may be called from any thread
+/// at any time; set_deadline() must happen before the token is handed to an
+/// engine (it is plain data, synchronized only by the hand-off).
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Asks every engine polling this token to stop at its next checkpoint.
+  void request_cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Soft deadline: checkpoints after this instant abandon the solve with
+  /// SolveStatus::kDeadlineExceeded. Clock::time_point::max() means none.
+  void set_deadline(Clock::time_point deadline) noexcept { deadline_ = deadline; }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline_ != Clock::time_point::max();
+  }
+  [[nodiscard]] Clock::time_point deadline() const noexcept { return deadline_; }
+  [[nodiscard]] bool deadline_exceeded() const noexcept {
+    return has_deadline() && Clock::now() >= deadline_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Clock::time_point deadline_ = Clock::time_point::max();
+};
+
+/// Thrown by engine checkpoints when their CancelToken fires. Carries whether
+/// the trigger was the soft deadline (-> kDeadlineExceeded) or an explicit
+/// request_cancel() (-> kCancelled). Direct engine callers see this exception;
+/// solve() callers see the status instead.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(bool deadline_exceeded)
+      : std::runtime_error(deadline_exceeded
+                               ? "solve abandoned: soft deadline exceeded"
+                               : "solve abandoned: cancellation requested"),
+        deadline_exceeded_(deadline_exceeded) {}
+
+  [[nodiscard]] bool deadline_exceeded() const noexcept { return deadline_exceeded_; }
+
+ private:
+  bool deadline_exceeded_;
+};
+
+/// Engine checkpoint: throws CancelledError when `token` fires; a null token
+/// never fires (one branch, the no-cancellation fast path). The explicit
+/// cancel flag is checked before the deadline so a request that is both
+/// cancelled and late reports the caller's action, not the clock's.
+inline void poll_cancellation(const CancelToken* token) {
+  if (token == nullptr) return;
+  if (token->cancel_requested()) throw CancelledError(false);
+  if (token->deadline_exceeded()) throw CancelledError(true);
+}
+
+}  // namespace mpss

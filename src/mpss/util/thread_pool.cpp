@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <stdexcept>
+#include <string>
 
 #include "mpss/obs/registry.hpp"
 #include "mpss/obs/span.hpp"
@@ -42,10 +43,24 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = first_error_;
-    first_error_ = nullptr;
+  if (!first_error_) return;
+  std::exception_ptr error = first_error_;
+  const std::size_t failures = error_count_;
+  first_error_ = nullptr;
+  error_count_ = 0;
+  lock.unlock();
+  if (failures <= 1) std::rethrow_exception(error);
+  // Several tasks failed; surface the first message and the count of the rest
+  // instead of silently pretending only one thing went wrong.
+  try {
     std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(e.what()) + " (+" +
+                             std::to_string(failures - 1) +
+                             " more pool task failures)");
+  } catch (...) {
+    throw std::runtime_error("ThreadPool: " + std::to_string(failures) +
+                             " task failures (first was not a std::exception)");
   }
 }
 
@@ -73,6 +88,7 @@ void ThreadPool::worker_loop() {
     } catch (...) {
       std::unique_lock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
+      ++error_count_;
     }
     {
       std::unique_lock lock(mutex_);

@@ -34,8 +34,11 @@ class ThreadPool {
   /// Enqueues a task. Tasks must not block waiting for other pool tasks.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished. Rethrows the first captured
-  /// task exception (subsequent ones are dropped).
+  /// Blocks until every submitted task has finished. If tasks threw, rethrows:
+  /// the sole captured exception verbatim when exactly one task failed, else a
+  /// std::runtime_error carrying the first failure's message plus the count of
+  /// further failures (so a multi-failure batch is never mistaken for a
+  /// single bad task). Resets the error state either way.
   void wait_idle();
 
  private:
@@ -49,6 +52,7 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool shutdown_ = false;
   std::exception_ptr first_error_;
+  std::size_t error_count_ = 0;
 };
 
 /// Runs body(i) for i in [0, count) across `threads` workers (0 = hardware

@@ -307,9 +307,7 @@ TEST(TelemetryDifferential, TraceMatchesPhaseStructureOnCorpus) {
     SCOPED_TRACE(path);
     Instance instance = load_instance(path);
     MemorySink sink;
-    OptimalOptions options;
-    options.trace = &sink;
-    OptimalResult result = optimal_schedule(instance, options);
+    OptimalResult result = optimal_schedule(instance, OptimalOptions{}, &sink);
 
     // SolveStats mirrors the result's own structural fields.
     EXPECT_EQ(result.stats.phases, result.phases.size());

@@ -7,6 +7,7 @@
 #include "mpss/core/optimal.hpp"
 #include "mpss/core/optimal_fast.hpp"
 #include "mpss/lp/lp_baseline.hpp"
+#include "mpss/obs/registry.hpp"
 #include "mpss/obs/trace.hpp"
 #include "mpss/online/avr.hpp"
 #include "mpss/online/oa.hpp"
@@ -38,8 +39,13 @@ TEST(Solve, NamesAreStable) {
   EXPECT_STREQ(solve_status_name(SolveStatus::kOk), "ok");
   EXPECT_STREQ(solve_status_name(SolveStatus::kInvalidInstance),
                "invalid_instance");
+  EXPECT_STREQ(solve_status_name(SolveStatus::kInvalidOptions),
+               "invalid_options");
   EXPECT_STREQ(solve_status_name(SolveStatus::kInfeasible), "infeasible");
   EXPECT_STREQ(solve_status_name(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(solve_status_name(SolveStatus::kCancelled), "cancelled");
+  EXPECT_STREQ(solve_status_name(SolveStatus::kDeadlineExceeded),
+               "deadline_exceeded");
 }
 
 TEST(Solve, EngineNamesRoundTripThroughTheInverseParser) {
@@ -59,8 +65,11 @@ TEST(Solve, EngineNamesRoundTripThroughTheInverseParser) {
 }
 
 TEST(Solve, StatusNamesRoundTripThroughTheInverseParser) {
-  for (SolveStatus status : {SolveStatus::kOk, SolveStatus::kInvalidInstance,
-                             SolveStatus::kInfeasible, SolveStatus::kUnbounded}) {
+  for (SolveStatus status :
+       {SolveStatus::kOk, SolveStatus::kInvalidInstance,
+        SolveStatus::kInvalidOptions, SolveStatus::kInfeasible,
+        SolveStatus::kUnbounded, SolveStatus::kCancelled,
+        SolveStatus::kDeadlineExceeded}) {
     SCOPED_TRACE(solve_status_name(status));
     auto parsed = solve_status_from_name(solve_status_name(status));
     ASSERT_TRUE(parsed.has_value());
@@ -105,32 +114,28 @@ TEST(Solve, ExactEngineReportsNumericSubstrateCounters) {
             100 * result.stats.counters.value("bigint.promotions"));
 }
 
-TEST(Solve, DeprecatedPerEngineSinksStillResolveThroughTheFacade) {
+TEST(Solve, FacadeTraceKnobWinsOverRegistryDefault) {
   Instance instance = test_instance();
-  // Facade knob absent, deprecated OptimalOptions::trace set: still honored.
-  obs::MemorySink exact_sink;
-  SolveOptions exact;
-  exact.engine = Engine::kExact;
-  exact.exact.trace = &exact_sink;
-  ASSERT_TRUE(solve(instance, exact).ok());
-  EXPECT_GE(exact_sink.count(obs::EventKind::kSolveStart), 1u);
-
-  obs::MemorySink avr_sink;
-  SolveOptions avr;
-  avr.engine = Engine::kAvr;
-  avr.avr.trace = &avr_sink;
-  ASSERT_TRUE(solve(instance, avr).ok());
-  EXPECT_GE(avr_sink.count(obs::EventKind::kSolveStart), 1u);
-
-  // SolveOptions::trace wins over the per-engine field.
-  obs::MemorySink facade_sink, engine_sink;
-  SolveOptions both;
-  both.engine = Engine::kExact;
-  both.trace = &facade_sink;
-  both.exact.trace = &engine_sink;
-  ASSERT_TRUE(solve(instance, both).ok());
+  // SolveOptions::trace wins over the process-wide Registry sink -- the only
+  // other level in the (now two-level) precedence chain.
+  obs::MemorySink facade_sink, registry_sink;
+  obs::Registry::global().attach_sink(&registry_sink);
+  SolveOptions options;
+  options.engine = Engine::kExact;
+  options.trace = &facade_sink;
+  ASSERT_TRUE(solve(instance, options).ok());
+  obs::Registry::global().attach_sink(nullptr);
   EXPECT_GE(facade_sink.count(obs::EventKind::kSolveStart), 1u);
-  EXPECT_EQ(engine_sink.count(obs::EventKind::kSolveStart), 0u);
+  EXPECT_EQ(registry_sink.count(obs::EventKind::kSolveStart), 0u);
+
+  // With the knob unset, the Registry default is what the engines see.
+  obs::MemorySink fallback_sink;
+  obs::Registry::global().attach_sink(&fallback_sink);
+  SolveOptions defaulted;
+  defaulted.engine = Engine::kAvr;
+  ASSERT_TRUE(solve(instance, defaulted).ok());
+  obs::Registry::global().attach_sink(nullptr);
+  EXPECT_GE(fallback_sink.count(obs::EventKind::kSolveStart), 1u);
 }
 
 TEST(Solve, ExactEngineReturnsScheduleAndPhaseTelemetry) {
@@ -232,13 +237,44 @@ TEST(Solve, PredictableInputProblemsBecomeStatusesNotThrows) {
   EXPECT_EQ(rejected.energy, 0.0);
   EXPECT_EQ(rejected.exact_schedule(), nullptr);
 
-  // The LP grid needs at least two speed levels.
+  // The LP grid needs at least two speed levels -- an options problem, caught
+  // by SolveOptions::validate() before any engine runs.
   SolveOptions lp;
   lp.engine = Engine::kLp;
   lp.lp_grid = 1;
   SolveResult bad_grid = solve(test_instance(), lp);
-  EXPECT_EQ(bad_grid.status, SolveStatus::kInvalidInstance);
+  EXPECT_EQ(bad_grid.status, SolveStatus::kInvalidOptions);
   EXPECT_FALSE(bad_grid.message.empty());
+}
+
+TEST(Solve, InvalidKnobsBecomeStatusesNotThrows) {
+  Instance instance = test_instance();
+  {
+    SolveOptions options;
+    options.lp_grid = 1;
+    ASSERT_TRUE(options.validate().has_value());
+    SolveResult result = solve(instance, options);
+    EXPECT_EQ(result.status, SolveStatus::kInvalidOptions);
+    EXPECT_FALSE(result.message.empty());
+  }
+  {
+    SolveOptions options;
+    options.fast_epsilon = 0.0;
+    ASSERT_TRUE(options.validate().has_value());
+    EXPECT_EQ(solve(instance, options).status, SolveStatus::kInvalidOptions);
+  }
+  {
+    SolveOptions options;
+    options.fast_epsilon = -1e-9;
+    EXPECT_EQ(solve(instance, options).status, SolveStatus::kInvalidOptions);
+  }
+  {
+    SolveOptions options;
+    options.lp_max_speed_hint = -1.0;
+    EXPECT_EQ(solve(instance, options).status, SolveStatus::kInvalidOptions);
+  }
+  // Defaults validate clean.
+  EXPECT_FALSE(SolveOptions{}.validate().has_value());
 }
 
 TEST(Solve, LpGridTooLowForTheInstanceIsInfeasible) {

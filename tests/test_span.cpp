@@ -179,9 +179,7 @@ TEST_F(SpanTest, RootSolveSpanCoversWallTimeOnCorpus) {
     SCOPED_TRACE(path);
     Instance instance = load_instance(path);
     MemorySink sink;
-    OptimalOptions options;
-    options.trace = &sink;
-    OptimalResult result = optimal_schedule(instance, options);
+    OptimalResult result = optimal_schedule(instance, OptimalOptions{}, &sink);
 
     double root_seconds = 0.0;
     for (const TraceEvent& e : sink.events()) {
@@ -196,9 +194,7 @@ TEST_F(SpanTest, RootSolveSpanCoversWallTimeOnCorpus) {
 TEST_F(SpanTest, SolveTraceNestsRoundsUnderPhasesUnderSolve) {
   Instance instance = load_instance(corpus_paths().front());
   MemorySink sink;
-  OptimalOptions options;
-  options.trace = &sink;
-  (void)optimal_schedule(instance, options);
+  (void)optimal_schedule(instance, OptimalOptions{}, &sink);
 
   std::map<std::uint64_t, std::string> label_of;  // span id -> label
   std::map<std::uint64_t, std::uint64_t> parent_of;

@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace mpss {
@@ -37,6 +39,34 @@ TEST(ThreadPool, WaitIdleRethrowsTaskException) {
   pool.submit([&counter] { counter.fetch_add(1); });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleAggregatesMultipleTaskFailures) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([] { throw std::runtime_error("task failed"); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle must rethrow";
+  } catch (const std::runtime_error& error) {
+    // The first message survives and the other four failures are counted,
+    // not silently swallowed.
+    EXPECT_NE(std::string(error.what()).find("task failed"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("+4 more pool task failures"),
+              std::string::npos)
+        << error.what();
+  }
+  // Error state resets: a clean wave reports nothing.
+  pool.submit([] {});
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, WaitIdleRethrowsSingleFailureVerbatim) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::invalid_argument("exact type preserved"); });
+  // Exactly one failure: the original exception object, not a wrapper.
+  EXPECT_THROW(pool.wait_idle(), std::invalid_argument);
 }
 
 TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {

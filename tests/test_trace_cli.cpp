@@ -64,9 +64,7 @@ fs::path traced_solve_path() {
     config.machines = 3;
     Instance instance = generate_uniform(config, 7);
     obs::JsonlSink sink(p.string());
-    OptimalOptions options;
-    options.trace = &sink;
-    (void)optimal_schedule(instance, options);
+    (void)optimal_schedule(instance, OptimalOptions{}, &sink);
     sink.flush();
     return p;
   }();

@@ -11,6 +11,8 @@
 //   * a warm-start summary (resumed flow rounds and their BFS passes) when the
 //     offline engines ran incrementally,
 //   * a simplex summary when LP pivots are present,
+//   * a service table (requests by SolveStatus, cache hits/misses/evictions)
+//     when BatchSolver events are present,
 //   * an arrival table when online re-planning events are present.
 //
 // --report prints the span profile instead: per span label, the call count,
@@ -39,6 +41,7 @@
 #include <vector>
 
 #include "mpss/obs/trace.hpp"
+#include "mpss/solve.hpp"
 #include "mpss/util/cli.hpp"
 #include "mpss/util/table.hpp"
 
@@ -158,6 +161,48 @@ void simplex_table(const std::vector<TraceEvent>& events, bool csv) {
   Table table({"pivots", "degenerate"});
   table.row(pivots, degenerate);
   print_table(table, csv);
+}
+
+void service_table(const std::vector<TraceEvent>& events, bool csv) {
+  // The BatchSolver emits one "service.done" kCounter event per completed
+  // request (a = SolveStatus, b = 1 when served from the cache, value = request
+  // seconds) plus cache_hit/cache_miss/cache_evict markers.
+  struct StatusRow {
+    std::size_t requests = 0;
+    std::size_t cached = 0;
+    double seconds = 0.0;
+  };
+  std::map<std::uint64_t, StatusRow> by_status;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  for (const TraceEvent& event : events) {
+    if (event.kind != EventKind::kCounter) continue;
+    if (event.label == "service.done") {
+      StatusRow& row = by_status[event.a];
+      ++row.requests;
+      if (event.b != 0) ++row.cached;
+      row.seconds += event.value;
+    } else if (event.label == "service.cache_hit") {
+      ++hits;
+    } else if (event.label == "service.cache_miss") {
+      ++misses;
+    } else if (event.label == "service.cache_evict") {
+      ++evictions;
+    }
+  }
+  if (by_status.empty() && hits + misses + evictions == 0) return;
+  std::cout << "service\n";
+  Table table({"status", "requests", "cached", "seconds"});
+  for (const auto& [status, row] : by_status) {
+    table.row(mpss::solve_status_name(static_cast<mpss::SolveStatus>(status)),
+              row.requests, row.cached, Table::num(row.seconds, 6));
+  }
+  print_table(table, csv);
+  std::cout << "service cache\n";
+  Table cache({"hits", "misses", "evictions"});
+  cache.row(hits, misses, evictions);
+  print_table(cache, csv);
 }
 
 void arrival_table(const std::vector<TraceEvent>& events, bool csv) {
@@ -382,6 +427,7 @@ int main(int argc, char** argv) {
     phase_tables(events, csv);
     warm_start_table(events, csv);
     simplex_table(events, csv);
+    service_table(events, csv);
     arrival_table(events, csv);
     return kExitOk;
   } catch (const std::exception& error) {
