@@ -1,0 +1,111 @@
+// Micro-benchmarks for the TCP solve daemon (S45): loopback round-trip cost on
+// top of the S44 service numbers. BM_ServerThroughput's 1->8 connection curve
+// is the wire-level sibling of BM_ServiceBatchThroughput's worker curve (same
+// n=64 exact corpus); BM_ServerColdSolve vs BM_ServerCacheHit separates the
+// engine's cost from the protocol's (a cache hit pays only framing + JSON +
+// the LRU lookup, so it bounds the per-request wire overhead from above).
+//
+// Everything runs UseRealTime: the solves happen on the daemon's pool and the
+// benchmark thread only drives sockets.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "mpss/net/client.hpp"
+#include "mpss/net/server.hpp"
+#include "mpss/workload/generators.hpp"
+
+namespace {
+
+using namespace mpss;
+
+Instance bench_instance(std::size_t jobs, std::size_t machines, std::uint64_t seed) {
+  return generate_uniform({.jobs = jobs, .machines = machines,
+                           .horizon = 2 * static_cast<std::int64_t>(jobs),
+                           .max_window = 10, .max_work = 8}, seed);
+}
+
+std::vector<Instance> exact_corpus() {
+  std::vector<Instance> corpus;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    corpus.push_back(bench_instance(64, 4, seed));
+  }
+  return corpus;
+}
+
+net::SolveServerOptions server_options(std::size_t cache_capacity) {
+  net::SolveServerOptions options;
+  options.service.queue_capacity = 0;  // unbounded: measure the wire, not waits
+  options.service.cache_capacity = cache_capacity;
+  return options;
+}
+
+/// Cold solve over loopback: every request pays framing + JSON + a full exact
+/// solve. Compare against BM_ServiceColdSolve for the wire's added cost.
+void BM_ServerColdSolve(benchmark::State& state) {
+  net::SolveServer server(server_options(/*cache_capacity=*/0));
+  net::SolveClient client("127.0.0.1", server.port());
+  Instance instance = bench_instance(64, 4, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.solve(instance));
+  }
+  server.shutdown();
+}
+BENCHMARK(BM_ServerColdSolve)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Cache-hit round trip: the daemon answers from its LRU, so the measurement
+/// is the protocol floor (encode + 2 frames + decode + lookup).
+void BM_ServerCacheHit(benchmark::State& state) {
+  net::SolveServer server(server_options(/*cache_capacity=*/8));
+  net::SolveClient client("127.0.0.1", server.port());
+  Instance instance = bench_instance(64, 4, 1);
+  (void)client.solve(instance);  // warm the cache outside the timed loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.solve(instance));
+  }
+  server.shutdown();
+}
+BENCHMARK(BM_ServerCacheHit)->UseRealTime();
+
+/// Corpus throughput by connection count: N clients pipeline independent
+/// slices of the corpus through one daemon (solve_many per slice, one round
+/// trip each). Flat-to-rising with connections on multi-core hosts.
+void BM_ServerThroughput(benchmark::State& state) {
+  const auto connections = static_cast<std::size_t>(state.range(0));
+  net::SolveServer server(server_options(/*cache_capacity=*/0));
+  std::vector<Instance> corpus = exact_corpus();
+  std::vector<net::SolveClient> clients;
+  clients.reserve(connections);
+  for (std::size_t i = 0; i < connections; ++i) {
+    clients.emplace_back("127.0.0.1", server.port());
+  }
+  // Round-robin slices, materialized once: client i solves corpus[i::N].
+  std::vector<std::vector<Instance>> slices(connections);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    slices[i % connections].push_back(corpus[i]);
+  }
+  for (auto _ : state) {
+    std::vector<std::thread> drivers;
+    drivers.reserve(connections);
+    for (std::size_t i = 0; i < connections; ++i) {
+      drivers.emplace_back([&, i] {
+        if (slices[i].empty()) return;
+        std::vector<SolveResult> results = clients[i].solve_many(slices[i]);
+        benchmark::DoNotOptimize(results.data());
+      });
+    }
+    for (std::thread& driver : drivers) driver.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::int64_t>(corpus.size())));
+  state.counters["connections"] = static_cast<double>(connections);
+  server.shutdown();
+}
+BENCHMARK(BM_ServerThroughput)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace

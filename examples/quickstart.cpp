@@ -69,9 +69,10 @@ int main() {
   std::cout << "\nonline-vs-offline (alpha = 3, via mpss::solve):\n";
   std::cout << "  OPT  " << opt << "  (ratio 1)\n";
 
+  // The facade measures energy with the instance's PowerSpec, whose default is
+  // exactly P(s) = s^3 -- no power plumbing needed for the common case.
   SolveOptions oa_options;
   oa_options.engine = Engine::kOa;
-  oa_options.power = &cube;
   SolveResult oa = solve(instance, oa_options);
   std::cout << "  OA   " << oa.energy << "  (ratio " << oa.energy / opt << ", bound "
             << oa_competitive_bound(3.0) << "; " << oa.stats.replans << " replans, "
@@ -79,7 +80,6 @@ int main() {
 
   SolveOptions avr_options;
   avr_options.engine = Engine::kAvr;
-  avr_options.power = &cube;
   SolveResult avr = solve(instance, avr_options);
   std::cout << "  AVR  " << avr.energy << "  (ratio " << avr.energy / opt
             << ", bound " << avr_multi_competitive_bound(3.0) << "; "

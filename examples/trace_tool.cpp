@@ -88,6 +88,9 @@ int cmd_run(const CliArgs& args) {
   }
   Instance instance = load_instance(args.positional()[1]);
   std::string algo = args.get("algo", "opt");
+  // --alpha rides on the instance as its PowerSpec: the facade reads it from
+  // there, and a re-saved trace carries the power model with it.
+  instance = instance.with_power(PowerSpec::alpha(args.get_double("alpha", 3.0)));
   AlphaPower p(args.get_double("alpha", 3.0));
 
   std::unique_ptr<obs::JsonlSink> sink;
@@ -108,7 +111,6 @@ int cmd_run(const CliArgs& args) {
   }
 
   SolveOptions options;
-  options.power = &p;
   options.trace = sink.get();
   std::optional<Engine> engine = engine_from_name(algo);
   if (!engine) {
@@ -125,7 +127,7 @@ int cmd_run(const CliArgs& args) {
   std::cout << engine_name(options.engine) << ": "
             << solve_status_name(result.status) << "\n";
   if (!result.ok()) {
-    std::cerr << "  " << result.message << "\n";
+    std::cerr << "  " << result.error_detail << "\n";
     return 1;
   }
   std::cout << "stats: " << result.stats.phases << " phases, "

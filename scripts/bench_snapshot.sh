@@ -1,22 +1,24 @@
 #!/usr/bin/env bash
-# Snapshots the offline-engine and service-layer micro-benchmarks into
-# BENCH_offline.json at the repository root (machine-readable: google-benchmark
-# JSON, including the bfs_rounds/aug_paths counters the warm-start acceptance
-# criterion reads and the BM_Service* throughput/cache benchmarks the batch-API
-# acceptance criterion reads).
+# Snapshots the offline-engine, service-layer, and solve-daemon
+# micro-benchmarks into BENCH_offline.json at the repository root
+# (machine-readable: google-benchmark JSON, including the bfs_rounds/aug_paths
+# counters the warm-start acceptance criterion reads, the BM_Service*
+# throughput/cache benchmarks the batch-API acceptance criterion reads, and
+# the BM_Server* loopback benchmarks the network acceptance criterion reads).
 #
 #   scripts/bench_snapshot.sh [extra benchmark args...]
 #
-# Builds if needed, then runs bench_offline and bench_service with
-# --benchmark_format=json and merges their "benchmarks" arrays (bench_offline's
-# context block wins -- both run on the same host). Narrow the run with e.g.:
+# Builds if needed, then runs bench_offline, bench_service, and bench_server
+# with --benchmark_format=json and merges their "benchmarks" arrays
+# (bench_offline's context block wins -- all run on the same host). Narrow the
+# run with e.g.:
 #   scripts/bench_snapshot.sh --benchmark_filter='IncrementalRounds'
 # (a filter that empties one binary's run list is fine; the merge keeps the
 # other's results).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for bench in bench_offline bench_service; do
+for bench in bench_offline bench_service bench_server; do
   if [ ! -x "build/bench/${bench}" ]; then
     cmake -B build -G Ninja
     cmake --build build --target "${bench}"
@@ -35,19 +37,26 @@ build/bench/bench_service \
   --benchmark_out_format=json \
   "$@"
 
+build/bench/bench_server \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_offline.part3.json \
+  --benchmark_out_format=json \
+  "$@"
+
 python3 - <<'EOF'
 import json
 
 with open("BENCH_offline.part1.json", encoding="utf-8") as handle:
     merged = json.load(handle)
-with open("BENCH_offline.part2.json", encoding="utf-8") as handle:
-    service = json.load(handle)
-merged["benchmarks"] = merged.get("benchmarks", []) + service.get("benchmarks", [])
+for part in ("BENCH_offline.part2.json", "BENCH_offline.part3.json"):
+    with open(part, encoding="utf-8") as handle:
+        extra = json.load(handle)
+    merged["benchmarks"] = merged.get("benchmarks", []) + extra.get("benchmarks", [])
 
 with open("BENCH_offline.json", "w", encoding="utf-8") as handle:
     json.dump(merged, handle, indent=2)
     handle.write("\n")
 EOF
-rm -f BENCH_offline.part1.json BENCH_offline.part2.json
+rm -f BENCH_offline.part1.json BENCH_offline.part2.json BENCH_offline.part3.json
 
 echo "Wrote BENCH_offline.json"

@@ -1,0 +1,132 @@
+#include "mpss/core/instance_json.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+namespace {
+
+Q q_from_json(const json::Value& value, const char* field) {
+  if (!value.is_string()) {
+    throw std::invalid_argument(std::string("instance_from_json: ") + field +
+                                " must be a rational string (\"a\" or \"a/b\")");
+  }
+  try {
+    return Q::from_string(value.as_string());
+  } catch (const std::domain_error& error) {  // zero denominator
+    throw std::invalid_argument(std::string("instance_from_json: bad ") + field +
+                                ": " + error.what());
+  }
+}
+
+}  // namespace
+
+json::Value power_spec_to_json_value(const PowerSpec& spec) {
+  json::Value out;
+  out.set("kind", PowerSpec::kind_name(spec.kind()));
+  switch (spec.kind()) {
+    case PowerSpec::Kind::kDefault: break;
+    case PowerSpec::Kind::kAlpha:
+      out.set("alpha", spec.alpha_value());
+      break;
+    case PowerSpec::Kind::kPiecewise: {
+      json::Array points;
+      points.reserve(spec.points().size());
+      for (const PiecewiseLinearPower::Point& point : spec.points()) {
+        points.push_back(json::Array{json::Value(point.speed),
+                                     json::Value(point.power)});
+      }
+      out.set("points", std::move(points));
+      break;
+    }
+    case PowerSpec::Kind::kCubicLeakage:
+      out.set("cubic", spec.cubic());
+      out.set("linear", spec.linear());
+      out.set("constant", spec.constant());
+      break;
+  }
+  return out;
+}
+
+PowerSpec power_spec_from_json_value(const json::Value& value) {
+  PowerSpec::Kind kind = PowerSpec::kind_from_name(value.at("kind").as_string());
+  switch (kind) {
+    case PowerSpec::Kind::kDefault: return PowerSpec{};
+    case PowerSpec::Kind::kAlpha:
+      return PowerSpec::alpha(value.at("alpha").as_double());
+    case PowerSpec::Kind::kPiecewise: {
+      std::vector<PiecewiseLinearPower::Point> points;
+      for (const json::Value& element : value.at("points").as_array()) {
+        const json::Array& pair = element.as_array();
+        check_arg(pair.size() == 2,
+                  "power_spec_from_json: points must be [speed, power] pairs");
+        points.push_back({pair[0].as_double(), pair[1].as_double()});
+      }
+      return PowerSpec::piecewise(std::move(points));
+    }
+    case PowerSpec::Kind::kCubicLeakage:
+      return PowerSpec::cubic_leakage(value.at("cubic").as_double(),
+                                      value.at("linear").as_double(),
+                                      value.at("constant").as_double());
+  }
+  throw std::invalid_argument("power_spec_from_json: unknown kind");
+}
+
+json::Value instance_to_json_value(const Instance& instance) {
+  json::Value out;
+  out.set("mpss_instance", kInstanceJsonVersion);
+  out.set("machines", instance.machines());
+  out.set("power", power_spec_to_json_value(instance.power()));
+  json::Array jobs;
+  jobs.reserve(instance.size());
+  for (const Job& job : instance.jobs()) {
+    jobs.push_back(json::Array{json::Value(job.release.to_string()),
+                               json::Value(job.deadline.to_string()),
+                               json::Value(job.work.to_string())});
+  }
+  out.set("jobs", std::move(jobs));
+  return out;
+}
+
+Instance instance_from_json_value(const json::Value& value) {
+  double version = value.at("mpss_instance").as_double();
+  check_arg(version == static_cast<double>(kInstanceJsonVersion),
+            "instance_from_json: unsupported mpss_instance version");
+  double machines_raw = value.at("machines").as_double();
+  check_arg(machines_raw >= 1.0 &&
+                machines_raw == static_cast<double>(
+                                    static_cast<std::size_t>(machines_raw)),
+            "instance_from_json: machines must be a positive integer");
+  auto machines = static_cast<std::size_t>(machines_raw);
+
+  PowerSpec power;  // "power" is optional on input; absent means the default
+  if (const json::Value* spec = value.find("power")) {
+    power = power_spec_from_json_value(*spec);
+  }
+
+  std::vector<Job> jobs;
+  const json::Array& rows = value.at("jobs").as_array();
+  jobs.reserve(rows.size());
+  for (const json::Value& row : rows) {
+    const json::Array& fields = row.as_array();
+    check_arg(fields.size() == 3,
+              "instance_from_json: jobs must be [release, deadline, work] triples");
+    jobs.push_back(Job{q_from_json(fields[0], "release"),
+                       q_from_json(fields[1], "deadline"),
+                       q_from_json(fields[2], "work")});
+  }
+  return Instance(std::move(jobs), machines, std::move(power));
+}
+
+std::string instance_to_json(const Instance& instance) {
+  return json::serialize(instance_to_json_value(instance));
+}
+
+Instance instance_from_json(std::string_view text) {
+  return instance_from_json_value(json::parse(text));
+}
+
+}  // namespace mpss

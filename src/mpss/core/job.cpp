@@ -1,13 +1,15 @@
 #include "mpss/core/job.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "mpss/util/error.hpp"
+#include "mpss/util/fnv.hpp"
 
 namespace mpss {
 
-Instance::Instance(std::vector<Job> jobs, std::size_t machines)
-    : jobs_(std::move(jobs)), machines_(machines) {
+Instance::Instance(std::vector<Job> jobs, std::size_t machines, PowerSpec power)
+    : jobs_(std::move(jobs)), machines_(machines), power_(std::move(power)) {
   check_arg(machines_ >= 1, "Instance: machine count must be >= 1");
   for (const Job& job : jobs_) {
     check_arg(job.release < job.deadline, "Instance: job needs release < deadline");
@@ -58,11 +60,34 @@ Instance Instance::scaled_to_integral_times() const {
   for (const Job& job : jobs_) {
     scaled.push_back(Job{job.release * factor, job.deadline * factor, job.work * factor});
   }
-  return Instance(std::move(scaled), machines_);
+  return Instance(std::move(scaled), machines_, power_);
 }
 
 Instance Instance::with_machines(std::size_t machines) const {
-  return Instance(jobs_, machines);
+  return Instance(jobs_, machines, power_);
+}
+
+Instance Instance::with_power(PowerSpec power) const {
+  return Instance(jobs_, machines_, std::move(power));
+}
+
+std::uint64_t Instance::fingerprint() const {
+  std::uint64_t state = fnv_mix(kFnvOffset, std::uint64_t{0x1257a9ce});
+  state = fnv_mix(state, static_cast<std::uint64_t>(machines_));
+  state = fnv_mix(state, power_.fingerprint());
+  state = fnv_mix(state, static_cast<std::uint64_t>(jobs_.size()));
+  auto mix_q = [&state](const Q& value) {
+    // BigInt::hash() is representation-independent (limb decomposition) and Q
+    // is kept canonical, so this hashes the rational's value, not its storage.
+    state = fnv_mix(state, static_cast<std::uint64_t>(value.num().hash()));
+    state = fnv_mix(state, static_cast<std::uint64_t>(value.den().hash()));
+  };
+  for (const Job& job : jobs_) {
+    mix_q(job.release);
+    mix_q(job.deadline);
+    mix_q(job.work);
+  }
+  return state;
 }
 
 std::string Instance::summary() const {

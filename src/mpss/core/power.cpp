@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
+#include <utility>
 
 #include "mpss/util/error.hpp"
 #include "mpss/util/fnv.hpp"
@@ -89,6 +92,83 @@ std::uint64_t CubicPlusLeakagePower::fingerprint() const {
   state = fnv_mix(state, cubic_);
   state = fnv_mix(state, linear_);
   return fnv_mix(state, constant_);
+}
+
+PowerSpec PowerSpec::alpha(double alpha) {
+  (void)AlphaPower(alpha);  // validate now, not at solve time
+  PowerSpec spec;
+  spec.kind_ = Kind::kAlpha;
+  spec.params_[0] = alpha;
+  return spec;
+}
+
+PowerSpec PowerSpec::piecewise(std::vector<PiecewiseLinearPower::Point> points) {
+  (void)PiecewiseLinearPower(points);
+  PowerSpec spec;
+  spec.kind_ = Kind::kPiecewise;
+  spec.points_ = std::move(points);
+  return spec;
+}
+
+PowerSpec PowerSpec::cubic_leakage(double cubic, double linear, double constant) {
+  (void)CubicPlusLeakagePower(cubic, linear, constant);
+  PowerSpec spec;
+  spec.kind_ = Kind::kCubicLeakage;
+  spec.params_[0] = cubic;
+  spec.params_[1] = linear;
+  spec.params_[2] = constant;
+  return spec;
+}
+
+std::unique_ptr<PowerFunction> PowerSpec::instantiate() const {
+  switch (kind_) {
+    case Kind::kDefault: return std::make_unique<AlphaPower>(3.0);
+    case Kind::kAlpha: return std::make_unique<AlphaPower>(params_[0]);
+    case Kind::kPiecewise: return std::make_unique<PiecewiseLinearPower>(points_);
+    case Kind::kCubicLeakage:
+      return std::make_unique<CubicPlusLeakagePower>(params_[0], params_[1],
+                                                     params_[2]);
+  }
+  throw std::invalid_argument("PowerSpec: unknown kind");
+}
+
+std::string PowerSpec::name() const { return instantiate()->name(); }
+
+std::uint64_t PowerSpec::fingerprint() const {
+  // kDefault delegates to AlphaPower(3)'s fingerprint: equal functions, equal
+  // identity, regardless of how the spec was spelled.
+  return instantiate()->fingerprint();
+}
+
+const char* PowerSpec::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kDefault: return "default";
+    case Kind::kAlpha: return "alpha";
+    case Kind::kPiecewise: return "piecewise";
+    case Kind::kCubicLeakage: return "cubic_leakage";
+  }
+  return "unknown";
+}
+
+PowerSpec::Kind PowerSpec::kind_from_name(const std::string& name) {
+  if (name == "default") return Kind::kDefault;
+  if (name == "alpha") return Kind::kAlpha;
+  if (name == "piecewise") return Kind::kPiecewise;
+  if (name == "cubic_leakage") return Kind::kCubicLeakage;
+  throw std::invalid_argument("PowerSpec: unknown kind '" + name + "'");
+}
+
+bool operator==(const PowerSpec& lhs, const PowerSpec& rhs) {
+  if (lhs.kind_ != rhs.kind_) return false;
+  switch (lhs.kind_) {
+    case PowerSpec::Kind::kDefault: return true;
+    case PowerSpec::Kind::kAlpha: return lhs.params_[0] == rhs.params_[0];
+    case PowerSpec::Kind::kPiecewise: return lhs.points_ == rhs.points_;
+    case PowerSpec::Kind::kCubicLeakage:
+      return lhs.params_[0] == rhs.params_[0] && lhs.params_[1] == rhs.params_[1] &&
+             lhs.params_[2] == rhs.params_[2];
+  }
+  return false;
 }
 
 }  // namespace mpss

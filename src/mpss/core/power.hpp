@@ -59,6 +59,8 @@ class PiecewiseLinearPower final : public PowerFunction {
   struct Point {
     double speed;
     double power;
+
+    friend bool operator==(const Point&, const Point&) = default;
   };
 
   /// Throws std::invalid_argument unless there are >= 2 points, speeds strictly
@@ -86,6 +88,71 @@ class CubicPlusLeakagePower final : public PowerFunction {
 
  private:
   double cubic_, linear_, constant_;
+};
+
+/// Serializable *description* of a power function -- the value-type counterpart
+/// of the PowerFunction interface (S45, see DESIGN.md). A PowerFunction is a
+/// callable with identity by pointer; a PowerSpec is plain data with identity
+/// by value, so it can live inside an Instance, travel over the wire protocol,
+/// and key the result cache. Every spec instantiates to one of the built-in
+/// PowerFunction implementations; arbitrary user callables stay possible
+/// through SolveOptions::power, which overrides the instance's spec.
+class PowerSpec {
+ public:
+  enum class Kind {
+    kDefault,       // P(s) = s^3, the library default
+    kAlpha,         // AlphaPower(alpha)
+    kPiecewise,     // PiecewiseLinearPower(points)
+    kCubicLeakage,  // CubicPlusLeakagePower(cubic, linear, constant)
+  };
+
+  /// The default spec: P(s) = s^3.
+  PowerSpec() = default;
+
+  /// Factories validate eagerly by constructing the underlying PowerFunction
+  /// once, so an invalid spec throws std::invalid_argument at creation, not at
+  /// solve time (the same messages as the PowerFunction constructors).
+  [[nodiscard]] static PowerSpec alpha(double alpha);
+  [[nodiscard]] static PowerSpec piecewise(
+      std::vector<PiecewiseLinearPower::Point> points);
+  [[nodiscard]] static PowerSpec cubic_leakage(double cubic, double linear,
+                                               double constant);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_default() const { return kind_ == Kind::kDefault; }
+
+  /// Parameter accessors; meaningful only for the matching kind.
+  [[nodiscard]] double alpha_value() const { return params_[0]; }
+  [[nodiscard]] double cubic() const { return params_[0]; }
+  [[nodiscard]] double linear() const { return params_[1]; }
+  [[nodiscard]] double constant() const { return params_[2]; }
+  [[nodiscard]] const std::vector<PiecewiseLinearPower::Point>& points() const {
+    return points_;
+  }
+
+  /// Builds the described PowerFunction (kDefault -> AlphaPower(3)).
+  [[nodiscard]] std::unique_ptr<PowerFunction> instantiate() const;
+
+  /// Same naming as the instantiated function ("s^3", "piecewise[4]").
+  [[nodiscard]] std::string name() const;
+
+  /// Stable value-identity fingerprint; never 0 (a spec always has a stable
+  /// identity -- that is its reason to exist). kDefault and alpha(3) fingerprint
+  /// identically: they describe the same function.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Stable kind name ("default", "alpha", "piecewise", "cubic_leakage") and
+  /// its inverse (nullptr-free: throws std::invalid_argument on unknown names);
+  /// the JSON codec's tags.
+  [[nodiscard]] static const char* kind_name(Kind kind);
+  [[nodiscard]] static Kind kind_from_name(const std::string& name);
+
+  friend bool operator==(const PowerSpec& lhs, const PowerSpec& rhs);
+
+ private:
+  Kind kind_ = Kind::kDefault;
+  double params_[3] = {0.0, 0.0, 0.0};
+  std::vector<PiecewiseLinearPower::Point> points_;
 };
 
 }  // namespace mpss

@@ -9,10 +9,13 @@
 //   * solve()             -- one facade over all engines, with telemetry,
 //   * BatchSolver         -- concurrent batch service over solve() (caching,
 //                            deadlines, priorities; service/batch_solver.hpp),
+//   * SolveServer/Client  -- the TCP solve daemon and its blocking client
+//                            (framed JSON protocol; net/server.hpp),
 // plus every substrate they stand on (exact rationals, max-flow, YDS, LP baseline,
 // non-migratory baselines, workload generators). See README.md for a tour.
 
 #include "mpss/core/gantt.hpp"
+#include "mpss/core/instance_json.hpp"
 #include "mpss/core/intervals.hpp"
 #include "mpss/core/job.hpp"
 #include "mpss/core/lower_bounds.hpp"
@@ -33,6 +36,10 @@
 #include "mpss/flow/push_relabel.hpp"
 #include "mpss/lp/lp_baseline.hpp"
 #include "mpss/lp/simplex.hpp"
+#include "mpss/net/client.hpp"
+#include "mpss/net/framing.hpp"
+#include "mpss/net/protocol.hpp"
+#include "mpss/net/server.hpp"
 #include "mpss/nomig/nonmigratory.hpp"
 #include "mpss/obs/counters.hpp"
 #include "mpss/obs/histogram.hpp"
@@ -56,6 +63,7 @@
 #include "mpss/util/cli.hpp"
 #include "mpss/util/csv.hpp"
 #include "mpss/util/error.hpp"
+#include "mpss/util/json.hpp"
 #include "mpss/util/numeric_counters.hpp"
 #include "mpss/util/random.hpp"
 #include "mpss/util/rational.hpp"

@@ -1,0 +1,125 @@
+#include "mpss/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace mpss::net {
+namespace {
+
+ScopedFd connect_to(const std::string& host, std::uint16_t port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw std::runtime_error(std::string("SolveClient: socket failed: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    throw std::runtime_error("SolveClient: '" + host +
+                             "' is not a numeric IPv4 address");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+                   sizeof address);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    throw std::runtime_error("SolveClient: connect to " + host + ":" +
+                             std::to_string(port) +
+                             " failed: " + std::strerror(errno));
+  }
+  return fd;
+}
+
+}  // namespace
+
+SolveClient::SolveClient(const std::string& host, std::uint16_t port,
+                         std::size_t max_frame_bytes)
+    : fd_(connect_to(host, port)), max_frame_bytes_(max_frame_bytes) {}
+
+Response SolveClient::roundtrip(Request request) {
+  if (!fd_.valid()) {
+    throw std::runtime_error("SolveClient: connection is closed");
+  }
+  request.id = next_id_++;
+  write_frame(fd_.get(), encode_request(request), max_frame_bytes_);
+  if (!read_frame(fd_.get(), buffer_, max_frame_bytes_)) {
+    throw FrameError("SolveClient: server closed the connection");
+  }
+  Response response = decode_response(buffer_);
+  if (response.id != request.id) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "SolveClient: response id " +
+                            std::to_string(response.id) +
+                            " does not match request id " +
+                            std::to_string(request.id));
+  }
+  if (!response.ok) throw ProtocolError(response.code, response.detail);
+  return response;
+}
+
+SolveResult SolveClient::solve(const Instance& instance,
+                               const SolveOptions& options, int priority,
+                               std::int64_t deadline_ms) {
+  Request request;
+  request.verb = Verb::kSolve;
+  request.instances.push_back(instance);
+  request.options = options;
+  request.priority = priority;
+  request.deadline_ms = deadline_ms;
+  Response response = roundtrip(std::move(request));
+  if (response.results.size() != 1) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "SolveClient: expected 1 result, got " +
+                            std::to_string(response.results.size()));
+  }
+  return std::move(response.results.front());
+}
+
+std::vector<SolveResult> SolveClient::solve_many(
+    std::span<const Instance> instances, const SolveOptions& options,
+    int priority, std::int64_t deadline_ms) {
+  Request request;
+  request.verb = Verb::kSolveMany;
+  request.instances.assign(instances.begin(), instances.end());
+  request.options = options;
+  request.priority = priority;
+  request.deadline_ms = deadline_ms;
+  Response response = roundtrip(std::move(request));
+  if (response.results.size() != instances.size()) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "SolveClient: expected " +
+                            std::to_string(instances.size()) +
+                            " results, got " +
+                            std::to_string(response.results.size()));
+  }
+  return std::move(response.results);
+}
+
+json::Value SolveClient::stats() {
+  Request request;
+  request.verb = Verb::kStats;
+  return roundtrip(std::move(request)).payload.at("stats");
+}
+
+json::Value SolveClient::health() {
+  Request request;
+  request.verb = Verb::kHealth;
+  return roundtrip(std::move(request)).payload.at("health");
+}
+
+json::Value SolveClient::request_shutdown() {
+  Request request;
+  request.verb = Verb::kShutdown;
+  return roundtrip(std::move(request)).payload.at("shutdown");
+}
+
+}  // namespace mpss::net

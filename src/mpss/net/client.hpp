@@ -1,0 +1,86 @@
+#pragma once
+// Blocking client of the solve daemon (S45, see DESIGN.md).
+//
+// SolveClient connects to a SolveServer and exposes the in-process facade's
+// shape over the wire: solve() returns a SolveResult, solve_many() a vector in
+// input order. Exact schedules travel as rational strings, so a decoded
+// result is bit-identical to the in-process solve() on the same Instance --
+// the property test_net pins down.
+//
+// The client is strictly synchronous and not thread-safe: one request on the
+// wire at a time, per instance. Callers wanting pipelining open several
+// clients (the daemon handles each connection independently) -- that is what
+// bench_server does to measure 1..N-connection throughput.
+//
+// Failure model: transport problems (connection refused, daemon gone, frame
+// corruption) throw FrameError or std::runtime_error; protocol-level errors
+// reported by the server (queue_full, shutdown, bad_request, internal) throw
+// ProtocolError carrying the wire ErrorCode. Solve-level failures do NOT
+// throw -- they come back as the result's status + error_detail, exactly as
+// the facade reports them.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpss/net/framing.hpp"
+#include "mpss/net/protocol.hpp"
+
+namespace mpss::net {
+
+class SolveClient {
+ public:
+  /// Connects (numeric IPv4 only, matching the server). Throws
+  /// std::runtime_error when the connection cannot be established.
+  SolveClient(const std::string& host, std::uint16_t port,
+              std::size_t max_frame_bytes = kMaxFrameBytes);
+
+  SolveClient(SolveClient&&) noexcept = default;
+  SolveClient& operator=(SolveClient&&) noexcept = default;
+  SolveClient(const SolveClient&) = delete;
+  SolveClient& operator=(const SolveClient&) = delete;
+
+  /// Solves one instance on the daemon. `deadline_ms` (0 = none) is the soft
+  /// deadline relative to the daemon's receipt; `priority` orders the daemon's
+  /// admission queue. Only the wire-expressible knobs of `options` travel
+  /// (engine and the serializable tuning fields; power/trace/cancel pointers
+  /// stay local and are ignored).
+  [[nodiscard]] SolveResult solve(const Instance& instance,
+                                  const SolveOptions& options = SolveOptions{},
+                                  int priority = 0,
+                                  std::int64_t deadline_ms = 0);
+
+  /// Solves a span of instances in one round trip; results in input order.
+  [[nodiscard]] std::vector<SolveResult> solve_many(
+      std::span<const Instance> instances,
+      const SolveOptions& options = SolveOptions{}, int priority = 0,
+      std::int64_t deadline_ms = 0);
+
+  /// The daemon's stats payload (queue depth, cache counters, connections).
+  [[nodiscard]] json::Value stats();
+
+  /// The daemon's health payload ({"status":"ok","protocol":1}).
+  [[nodiscard]] json::Value health();
+
+  /// Asks the daemon to drain and exit. Returns its ack payload; the daemon
+  /// finishes every accepted request (including this connection's earlier
+  /// ones) before closing.
+  json::Value request_shutdown();
+
+  /// Closes the connection. Outstanding daemon-side work for this connection
+  /// is cancelled at its next engine checkpoint (cancellation on disconnect).
+  void close() { fd_.close(); }
+
+  [[nodiscard]] bool connected() const { return fd_.valid(); }
+
+ private:
+  [[nodiscard]] Response roundtrip(Request request);
+
+  ScopedFd fd_;
+  std::size_t max_frame_bytes_;
+  std::uint64_t next_id_ = 1;
+  std::string buffer_;
+};
+
+}  // namespace mpss::net

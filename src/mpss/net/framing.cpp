@@ -1,0 +1,111 @@
+#include "mpss/net/framing.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mpss::net {
+namespace {
+
+/// recv with EINTR retry; plain read() for non-socket fds is not needed here
+/// (framing only ever runs over sockets).
+ssize_t recv_retry(int fd, char* buffer, std::size_t count) {
+  for (;;) {
+    ssize_t n = ::recv(fd, buffer, count, 0);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+/// Reads exactly `count` bytes. Returns the bytes read before EOF (so the
+/// caller can distinguish clean EOF at a frame boundary from truncation).
+/// Throws FrameError on a hard read error.
+std::size_t read_fully(int fd, char* buffer, std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    ssize_t n = recv_retry(fd, buffer + done, count - done);
+    if (n == 0) return done;  // EOF
+    if (n < 0) {
+      throw FrameError(std::string("read_frame: recv failed: ") +
+                       std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+}  // namespace
+
+ScopedFd& ScopedFd::operator=(ScopedFd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+int ScopedFd::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void ScopedFd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool read_frame(int fd, std::string& payload, std::size_t max_bytes) {
+  unsigned char prefix[4];
+  std::size_t got = read_fully(fd, reinterpret_cast<char*>(prefix), sizeof prefix);
+  if (got == 0) return false;  // clean EOF at a frame boundary
+  if (got < sizeof prefix) {
+    throw FrameError("read_frame: connection closed inside a length prefix");
+  }
+  std::uint32_t length = (std::uint32_t{prefix[0]} << 24) |
+                         (std::uint32_t{prefix[1]} << 16) |
+                         (std::uint32_t{prefix[2]} << 8) | std::uint32_t{prefix[3]};
+  if (length > max_bytes) {
+    throw FrameError("read_frame: frame of " + std::to_string(length) +
+                     " bytes exceeds the " + std::to_string(max_bytes) +
+                     "-byte limit");
+  }
+  payload.resize(length);
+  if (read_fully(fd, payload.data(), length) < length) {
+    throw FrameError("read_frame: connection closed inside a payload");
+  }
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload, std::size_t max_bytes) {
+  if (payload.size() > max_bytes) {
+    throw FrameError("write_frame: frame of " + std::to_string(payload.size()) +
+                     " bytes exceeds the " + std::to_string(max_bytes) +
+                     "-byte limit");
+  }
+  auto length = static_cast<std::uint32_t>(payload.size());
+  unsigned char prefix[4] = {static_cast<unsigned char>(length >> 24),
+                             static_cast<unsigned char>(length >> 16),
+                             static_cast<unsigned char>(length >> 8),
+                             static_cast<unsigned char>(length)};
+  std::string buffer;  // one send per frame: prefix and payload never straddle
+  buffer.reserve(sizeof prefix + payload.size());
+  buffer.append(reinterpret_cast<const char*>(prefix), sizeof prefix);
+  buffer.append(payload);
+
+  std::size_t done = 0;
+  while (done < buffer.size()) {
+    ssize_t n = ::send(fd, buffer.data() + done, buffer.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw FrameError(std::string("write_frame: send failed: ") +
+                       std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace mpss::net

@@ -1,0 +1,72 @@
+#pragma once
+// Length-prefixed framing over POSIX stream sockets (S45, see DESIGN.md).
+//
+// Every protocol message travels as one frame:
+//
+//   +----------------+----------------------+
+//   | u32 big-endian |  payload (JSON text) |
+//   |  payload bytes |                      |
+//   +----------------+----------------------+
+//
+// The length prefix carries no magic and no version -- versioning lives in the
+// JSON payload ("v" member), so a frame reader never needs protocol knowledge.
+// Readers enforce a maximum payload size: a garbage prefix (a client speaking
+// HTTP at us, a flipped bit) otherwise turns into a multi-gigabyte allocation.
+// Oversized or truncated frames raise FrameError; the connection is then
+// unrecoverable (stream framing has no resync point) and must be closed.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mpss::net {
+
+/// Default ceiling on one frame's payload (32 MiB: a ~100k-job instance with
+/// generous rationals fits with room to spare).
+inline constexpr std::size_t kMaxFrameBytes = 32u << 20;
+
+/// Malformed or oversized frame, or a connection that died mid-frame. The
+/// stream cannot be resynchronized after this; close it.
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// RAII file descriptor (sockets here, but any fd works). Movable, not
+/// copyable; close() is idempotent.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { close(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept;
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Reads one frame into `payload`. Returns false on clean end-of-stream (EOF
+/// before the first prefix byte -- the orderly close). Throws FrameError on a
+/// payload larger than `max_bytes`, EOF mid-frame, or a read error. Retries
+/// EINTR internally.
+[[nodiscard]] bool read_frame(int fd, std::string& payload,
+                              std::size_t max_bytes = kMaxFrameBytes);
+
+/// Writes one frame (prefix + payload). Throws FrameError when the payload
+/// exceeds `max_bytes` or the peer is gone (EPIPE/ECONNRESET; SIGPIPE is
+/// suppressed with MSG_NOSIGNAL). Retries EINTR and short writes internally.
+void write_frame(int fd, std::string_view payload,
+                 std::size_t max_bytes = kMaxFrameBytes);
+
+}  // namespace mpss::net

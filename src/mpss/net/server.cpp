@@ -1,0 +1,487 @@
+#include "mpss/net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <list>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mpss/net/framing.hpp"
+#include "mpss/net/protocol.hpp"
+#include "mpss/obs/registry.hpp"
+#include "mpss/obs/trace.hpp"
+#include "mpss/util/cancel.hpp"
+
+namespace mpss::net {
+namespace {
+
+ScopedFd bind_and_listen(const std::string& host, std::uint16_t port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw std::runtime_error(std::string("SolveServer: socket failed: ") +
+                             std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    throw std::runtime_error("SolveServer: '" + host +
+                             "' is not a numeric IPv4 address");
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+             sizeof address) != 0) {
+    throw std::runtime_error("SolveServer: bind to " + host + ":" +
+                             std::to_string(port) +
+                             " failed: " + std::strerror(errno));
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    throw std::runtime_error(std::string("SolveServer: listen failed: ") +
+                             std::strerror(errno));
+  }
+  return fd;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_in address{};
+  socklen_t length = sizeof address;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length) != 0) {
+    throw std::runtime_error(std::string("SolveServer: getsockname failed: ") +
+                             std::strerror(errno));
+  }
+  return ntohs(address.sin_port);
+}
+
+}  // namespace
+
+class SolveServer::Impl {
+ public:
+  /// One response slot in a connection's FIFO. Either `futures` holds the
+  /// solves to resolve (solve / solve_many), or `ready` holds a pre-encoded
+  /// response (verb payloads and admission errors). When both are present the
+  /// futures are consumed first and `ready` wins -- the partial-admission
+  /// failure path, where already-accepted solves must still resolve.
+  struct Entry {
+    std::uint64_t id = 0;
+    std::vector<std::future<SolveResult>> futures;
+    std::vector<std::shared_ptr<CancelToken>> tokens;
+    std::string ready;
+    CancelToken::Clock::time_point received{};
+  };
+
+  struct Connection {
+    ScopedFd fd;
+    std::thread reader;
+    std::thread writer;
+
+    std::mutex mutex;
+    std::condition_variable entry_ready;
+    std::deque<Entry> pending;  // writer consumes the front; reader appends
+    bool reader_done = false;
+    /// Set (before SHUT_RD) by the graceful-drain path so the reader's EOF is
+    /// not mistaken for a client disconnect -- drained requests keep running.
+    std::atomic<bool> draining{false};
+  };
+
+  explicit Impl(SolveServerOptions options)
+      : options_(std::move(options)),
+        solver_(options_.service),
+        listen_fd_(bind_and_listen(options_.host, options_.port)),
+        port_(bound_port(listen_fd_.get())) {
+    acceptor_ = std::thread([this] { accept_loop(); });
+    supervisor_ = std::thread([this] { supervise(); });
+  }
+
+  ~Impl() {
+    request_shutdown();
+    if (supervisor_.joinable()) supervisor_.join();
+  }
+
+  SolveServerOptions options_;
+  BatchSolver solver_;
+  ScopedFd listen_fd_;
+  std::uint16_t port_;
+
+  std::thread acceptor_;
+  std::thread supervisor_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable shutdown_cv_;
+  std::condition_variable done_cv_;
+  std::list<std::shared_ptr<Connection>> connections_;
+  std::list<std::shared_ptr<Connection>> zombies_;  // closed; joined at shutdown
+  bool shutdown_requested_ = false;
+  bool done_ = false;
+
+  void request_shutdown() {
+    {
+      std::scoped_lock lock(mutex_);
+      if (shutdown_requested_) return;
+      shutdown_requested_ = true;
+    }
+    shutdown_cv_.notify_all();
+  }
+
+  void wait_done() {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return done_; });
+  }
+
+  void accept_loop() {
+    for (;;) {
+      int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener shut down (or a fatal accept error): stop serving
+      }
+      auto connection = std::make_shared<Connection>();
+      connection->fd = ScopedFd(fd);
+      {
+        std::scoped_lock lock(mutex_);
+        if (shutdown_requested_) continue;  // ScopedFd closes the late arrival
+        obs::Registry::global().add("net.connections");
+        connection->reader = std::thread(
+            [this, connection] { read_loop(*connection); });
+        connection->writer = std::thread(
+            [this, connection] { write_loop(*connection); });
+        connections_.push_back(connection);
+      }
+    }
+  }
+
+  /// The one shutdown sequence, run on the supervisor thread so a client's
+  /// "shutdown" verb (observed on a reader thread) can trigger it without
+  /// joining itself.
+  void supervise() {
+    {
+      std::unique_lock lock(mutex_);
+      shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+    }
+    // Stop the listener; SHUT_RDWR pops the acceptor out of accept().
+    ::shutdown(listen_fd_.get(), SHUT_RDWR);
+    if (acceptor_.joinable()) acceptor_.join();
+    listen_fd_.close();
+
+    // Drain every connection: half-close the read side (the reader sees a
+    // clean EOF, flagged as draining so nothing is cancelled), then join the
+    // pair -- the writer exits only after the pending FIFO is empty, i.e.
+    // after every accepted request resolved and its response was written.
+    std::list<std::shared_ptr<Connection>> connections;
+    {
+      std::scoped_lock lock(mutex_);
+      connections.swap(connections_);
+    }
+    for (const auto& connection : connections) {
+      connection->draining.store(true, std::memory_order_release);
+      ::shutdown(connection->fd.get(), SHUT_RD);
+    }
+    for (const auto& connection : connections) {
+      if (connection->reader.joinable()) connection->reader.join();
+      if (connection->writer.joinable()) connection->writer.join();
+    }
+    // Zombies (client-closed connections) exited on their own; a reader may
+    // still be inside prune(), so keep draining the list until it settles.
+    for (;;) {
+      std::list<std::shared_ptr<Connection>> zombies;
+      {
+        std::scoped_lock lock(mutex_);
+        zombies.swap(zombies_);
+      }
+      if (zombies.empty()) break;
+      for (const auto& connection : zombies) {
+        if (connection->reader.joinable()) connection->reader.join();
+        if (connection->writer.joinable()) connection->writer.join();
+      }
+    }
+    solver_.shutdown();
+    {
+      std::scoped_lock lock(mutex_);
+      done_ = true;
+    }
+    done_cv_.notify_all();
+  }
+
+  void enqueue(Connection& connection, Entry entry) {
+    {
+      std::scoped_lock lock(connection.mutex);
+      connection.pending.push_back(std::move(entry));
+    }
+    connection.entry_ready.notify_one();
+  }
+
+  void read_loop(Connection& connection) {
+    std::string payload;
+    bool frame_error = false;
+    try {
+      while (read_frame(connection.fd.get(), payload, options_.max_frame_bytes)) {
+        obs::Registry::global().add("net.requests");
+        obs::emit(nullptr, obs::EventKind::kCounter, "net.request",
+                  /*a=*/payload.size());
+        handle_frame(connection, payload);
+      }
+    } catch (const FrameError&) {
+      // Unframeable stream: no resync point exists, drop the connection. The
+      // writer flushes what was already accepted, exactly like a plain EOF.
+      obs::Registry::global().add("net.frame_errors");
+      frame_error = true;
+    }
+    const bool draining = connection.draining.load(std::memory_order_acquire);
+    if (!draining || frame_error) {
+      // The client is gone (or garbled): nobody will read the remaining
+      // responses, so stop the outstanding solves at their next checkpoint.
+      std::size_t cancelled = 0;
+      {
+        std::scoped_lock lock(connection.mutex);
+        for (Entry& entry : connection.pending) {
+          for (const auto& token : entry.tokens) {
+            token->request_cancel();
+            ++cancelled;
+          }
+        }
+      }
+      if (cancelled != 0) {
+        obs::Registry::global().add("net.cancelled_on_disconnect", cancelled);
+        obs::emit(nullptr, obs::EventKind::kCounter, "net.disconnect_cancel",
+                  cancelled);
+      }
+    }
+    {
+      std::scoped_lock lock(connection.mutex);
+      connection.reader_done = true;
+    }
+    connection.entry_ready.notify_one();
+    if (!draining) prune(connection);
+  }
+
+  /// Moves a client-closed connection to the zombie list so
+  /// connection_count() tracks live peers. The supervisor joins zombies at
+  /// shutdown (their threads exit on their own long before that); detaching
+  /// would let a late writer outlive the Impl it captures.
+  void prune(Connection& connection) {
+    std::scoped_lock lock(mutex_);
+    for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+      if (it->get() == &connection) {
+        zombies_.push_back(std::move(*it));
+        connections_.erase(it);
+        obs::Registry::global().add("net.disconnects");
+        return;
+      }
+    }
+  }
+
+  void handle_frame(Connection& connection, std::string_view payload) {
+    Request request;
+    try {
+      request = decode_request(payload);
+    } catch (const ProtocolError& error) {
+      obs::Registry::global().add("net.errors");
+      Entry entry;
+      entry.ready = encode_error_response(0, error.code(), error.what());
+      enqueue(connection, std::move(entry));
+      return;
+    }
+    switch (request.verb) {
+      case Verb::kSolve:
+      case Verb::kSolveMany:
+        handle_solve(connection, std::move(request));
+        return;
+      case Verb::kStats: {
+        Entry entry;
+        entry.id = request.id;
+        entry.ready =
+            encode_payload_response(request.id, "stats", stats_payload());
+        enqueue(connection, std::move(entry));
+        return;
+      }
+      case Verb::kHealth: {
+        json::Value health;
+        health.set("status", "ok");
+        health.set("protocol", static_cast<double>(kProtocolVersion));
+        Entry entry;
+        entry.id = request.id;
+        entry.ready = encode_payload_response(request.id, "health", std::move(health));
+        enqueue(connection, std::move(entry));
+        return;
+      }
+      case Verb::kShutdown: {
+        // Ack first (the FIFO guarantees the ack is written after every
+        // earlier response), then hand the drain to the supervisor.
+        json::Value payload_value;
+        payload_value.set("draining", true);
+        Entry entry;
+        entry.id = request.id;
+        entry.ready = encode_payload_response(request.id, "shutdown",
+                                              std::move(payload_value));
+        enqueue(connection, std::move(entry));
+        obs::emit(nullptr, obs::EventKind::kCounter, "net.shutdown_verb");
+        request_shutdown();
+        return;
+      }
+    }
+  }
+
+  void handle_solve(Connection& connection, Request request) {
+    Entry entry;
+    entry.id = request.id;
+    entry.received = CancelToken::Clock::now();
+    entry.futures.reserve(request.instances.size());
+    entry.tokens.reserve(request.instances.size());
+    for (Instance& instance : request.instances) {
+      auto token = std::make_shared<CancelToken>();
+      if (request.deadline_ms > 0) {
+        token->set_deadline(entry.received +
+                            std::chrono::milliseconds(request.deadline_ms));
+      }
+      SolveRequest solve_request{std::move(instance), request.options};
+      solve_request.options.cancel = token.get();
+      solve_request.priority = request.priority;
+      // Blocking submit: the bounded admission queue backpressures this
+      // reader (and through TCP flow control, the client) instead of letting
+      // requests pile up in memory.
+      Submission submission = solver_.submit(std::move(solve_request));
+      if (!submission.accepted()) {
+        obs::Registry::global().add("net.errors");
+        ErrorCode code = submission.status == SubmitStatus::kQueueFull
+                             ? ErrorCode::kQueueFull
+                             : ErrorCode::kShutdown;
+        entry.ready = encode_error_response(
+            request.id, code,
+            std::string("admission failed: ") +
+                submit_status_name(submission.status));
+        break;  // accepted futures stay in the entry and still resolve
+      }
+      entry.futures.push_back(std::move(submission.future));
+      entry.tokens.push_back(std::move(token));
+    }
+    enqueue(connection, std::move(entry));
+  }
+
+  void write_loop(Connection& connection) {
+    obs::Histogram& request_us =
+        obs::Registry::global().histogram("net.request_us");
+    bool peer_writable = true;
+    for (;;) {
+      // The front entry stays in the deque while its futures resolve: the
+      // reader's disconnect-cancel walk must still reach its tokens. Only the
+      // writer pops, and deque push_back never invalidates front references,
+      // so the pointer taken under the lock stays valid across the unlock.
+      Entry* front = nullptr;
+      {
+        std::unique_lock lock(connection.mutex);
+        connection.entry_ready.wait(lock, [&] {
+          return connection.reader_done || !connection.pending.empty();
+        });
+        if (connection.pending.empty()) return;  // reader done, FIFO drained
+        front = &connection.pending.front();
+      }
+      Entry& entry = *front;
+      std::string response = resolve(entry);
+      if (entry.received != CancelToken::Clock::time_point{}) {
+        request_us.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                CancelToken::Clock::now() - entry.received)
+                .count()));
+      }
+      if (peer_writable) {
+        try {
+          write_frame(connection.fd.get(), response, options_.max_frame_bytes);
+          obs::Registry::global().add("net.responses");
+          obs::emit(nullptr, obs::EventKind::kCounter, "net.response",
+                    /*a=*/response.size(), /*b=*/entry.futures.size(),
+                    entry.received == CancelToken::Clock::time_point{}
+                        ? 0.0
+                        : std::chrono::duration<double>(
+                              CancelToken::Clock::now() - entry.received)
+                              .count());
+        } catch (const FrameError&) {
+          // Peer gone mid-write. Keep resolving futures (the no-dropped-
+          // futures contract) but stop writing.
+          peer_writable = false;
+          obs::Registry::global().add("net.write_failures");
+        }
+      }
+      {
+        std::scoped_lock lock(connection.mutex);
+        connection.pending.pop_front();
+      }
+    }
+  }
+
+  /// Resolves an entry into its wire response. Every future is consumed even
+  /// on the error paths -- an accepted request always runs to a result.
+  std::string resolve(Entry& entry) {
+    std::vector<SolveResult> results;
+    results.reserve(entry.futures.size());
+    std::string internal_error;
+    for (std::future<SolveResult>& future : entry.futures) {
+      try {
+        results.push_back(future.get());
+      } catch (const std::exception& error) {
+        // InternalError propagated through the promise: a server-side bug,
+        // reported as such (after the remaining futures are consumed).
+        if (internal_error.empty()) internal_error = error.what();
+      }
+    }
+    if (!entry.ready.empty()) return std::move(entry.ready);
+    if (!internal_error.empty()) {
+      obs::Registry::global().add("net.errors");
+      return encode_error_response(entry.id, ErrorCode::kInternal,
+                                   internal_error);
+    }
+    return encode_results_response(entry.id, results);
+  }
+
+  json::Value stats_payload() {
+    json::Value stats;
+    stats.set("queue_depth", solver_.queue_depth());
+    stats.set("workers", solver_.worker_count());
+    BatchSolver::CacheStats cache = solver_.cache_stats();
+    json::Value cache_value;
+    cache_value.set("hits", static_cast<double>(cache.hits));
+    cache_value.set("misses", static_cast<double>(cache.misses));
+    cache_value.set("evictions", static_cast<double>(cache.evictions));
+    stats.set("cache", std::move(cache_value));
+    {
+      std::scoped_lock lock(mutex_);
+      stats.set("connections", connections_.size());
+    }
+    return stats;
+  }
+};
+
+SolveServer::SolveServer(SolveServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+SolveServer::~SolveServer() = default;
+
+std::uint16_t SolveServer::port() const { return impl_->port_; }
+
+std::size_t SolveServer::connection_count() const {
+  std::scoped_lock lock(impl_->mutex_);
+  return impl_->connections_.size();
+}
+
+BatchSolver& SolveServer::solver() { return impl_->solver_; }
+
+void SolveServer::shutdown() {
+  impl_->request_shutdown();
+  impl_->wait_done();
+}
+
+void SolveServer::wait() { impl_->wait_done(); }
+
+}  // namespace mpss::net

@@ -1,0 +1,81 @@
+#pragma once
+// TCP solve daemon (S45, see DESIGN.md): the network front of BatchSolver.
+//
+// SolveServer listens on a loopback TCP socket and speaks the framed JSON
+// protocol of net/protocol.hpp. One acceptor thread hands each connection to a
+// reader/writer thread pair:
+//
+//   * the reader decodes frames and blocking-submits into the embedded
+//     BatchSolver, so the service's bounded admission queue backpressures the
+//     socket itself (a flooding client stalls in submit(), it is never
+//     buffered without bound);
+//   * the writer resolves the connection's futures strictly in request order
+//     (responses are FIFO per connection even though solves run concurrently
+//     across the pool).
+//
+// Service semantics carry over from S44 unchanged: priorities and soft
+// deadlines travel as request hints, the LRU result cache is shared across
+// connections, and a client that disconnects mid-flight has its outstanding
+// solves cancelled through per-request CancelTokens (cancellation on
+// disconnect). Graceful shutdown -- shutdown(), the destructor, or a client's
+// "shutdown" verb -- stops the listener, half-closes every connection's read
+// side, and then resolves and writes every already-accepted request before the
+// threads join: no accepted future is ever dropped.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mpss/service/batch_solver.hpp"
+
+namespace mpss::net {
+
+struct SolveServerOptions {
+  /// Numeric IPv4 address to bind ("127.0.0.1" keeps the daemon loopback-only;
+  /// there is deliberately no hostname resolution here).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Knobs of the embedded BatchSolver (workers, queue bound, cache size).
+  BatchSolverOptions service;
+  /// Per-frame payload ceiling, enforced on both directions.
+  std::size_t max_frame_bytes = 32u << 20;
+};
+
+/// The daemon. Construction binds, listens, and starts serving; failures to
+/// bind throw std::runtime_error. Destruction performs a graceful shutdown.
+class SolveServer {
+ public:
+  explicit SolveServer(SolveServerOptions options = SolveServerOptions{});
+  ~SolveServer();
+
+  SolveServer(const SolveServer&) = delete;
+  SolveServer& operator=(const SolveServer&) = delete;
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Connections currently open. Advisory, like BatchSolver::queue_depth().
+  [[nodiscard]] std::size_t connection_count() const;
+
+  /// The embedded service, for callers that want to share its cache stats or
+  /// queue depth with their own telemetry.
+  [[nodiscard]] BatchSolver& solver();
+
+  /// Begins a graceful shutdown and returns once it completes: the listener
+  /// closes, every accepted request resolves and its response is written (to
+  /// peers still reading), and all threads join. Idempotent; a client's
+  /// "shutdown" verb triggers the same sequence.
+  void shutdown();
+
+  /// Blocks until a shutdown (from any source) has completed. The daemon
+  /// main()'s final statement.
+  void wait();
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mpss::net

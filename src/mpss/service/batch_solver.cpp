@@ -167,6 +167,14 @@ Submission BatchSolver::try_submit(SolveRequest request) {
   return admit(std::move(request), /*blocking=*/false);
 }
 
+Submission BatchSolver::submit(Instance instance, SolveOptions options) {
+  return submit(SolveRequest{std::move(instance), std::move(options)});
+}
+
+Submission BatchSolver::try_submit(Instance instance, SolveOptions options) {
+  return try_submit(SolveRequest{std::move(instance), std::move(options)});
+}
+
 void BatchSolver::worker_loop() {
   // One Registry histogram lookup per worker, not per request (the lookup
   // takes the registry mutex; record() on the result is lock-free).
@@ -226,7 +234,7 @@ void BatchSolver::execute(Pending pending) {
     if (run_options.cancel != nullptr && run_options.cancel->cancel_requested()) {
       SolveResult cancelled;
       cancelled.status = SolveStatus::kCancelled;
-      cancelled.message = "solve abandoned: cancellation requested";
+      cancelled.error_detail = "solve abandoned: cancellation requested";
       obs::emit(nullptr, obs::EventKind::kCounter, "service.done",
                 static_cast<std::uint64_t>(cancelled.status), /*b=*/0,
                 request_span.elapsed_seconds());

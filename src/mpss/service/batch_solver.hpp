@@ -106,6 +106,14 @@ class BatchSolver {
   /// queue is at capacity.
   [[nodiscard]] Submission try_submit(SolveRequest request);
 
+  /// Instance-first conveniences: the common "solve this value under these
+  /// knobs" shape without spelling out a SolveRequest (service hints take
+  /// their defaults: no deadline, priority 0).
+  [[nodiscard]] Submission submit(Instance instance,
+                                  SolveOptions options = SolveOptions{});
+  [[nodiscard]] Submission try_submit(Instance instance,
+                                      SolveOptions options = SolveOptions{});
+
   /// Solves every instance under the same options and returns the results in
   /// input order (the one-shot batch API). Blocks until all are done.
   [[nodiscard]] std::vector<SolveResult> solve_many(

@@ -3,22 +3,16 @@
 #include "mpss/util/fnv.hpp"
 
 namespace mpss {
-namespace {
-
-std::uint64_t mix_q(std::uint64_t state, const Q& value) {
-  // BigInt::hash() is representation-independent (limb decomposition), and Q's
-  // invariant keeps num/den canonical, so this is a value hash of the rational.
-  state = fnv_mix(state, static_cast<std::uint64_t>(value.num().hash()));
-  return fnv_mix(state, static_cast<std::uint64_t>(value.den().hash()));
-}
-
-}  // namespace
 
 std::optional<std::uint64_t> solve_fingerprint(const Instance& instance,
                                                const SolveOptions& options) {
+  // The power that actually measures the result: an explicit options.power
+  // overrides the instance's spec (mirroring solve()'s resolution). Only a
+  // custom PowerFunction without a stable identity makes the pair uncacheable;
+  // a spec always has one.
   std::uint64_t power_fp;
   if (options.power == nullptr) {
-    power_fp = 0;  // the facade default P(s) = s^3 -- a fixed, known function
+    power_fp = instance.power().fingerprint();
   } else {
     power_fp = options.power->fingerprint();
     if (power_fp == 0) return std::nullopt;  // no stable identity: uncacheable
@@ -27,7 +21,6 @@ std::optional<std::uint64_t> solve_fingerprint(const Instance& instance,
   std::uint64_t state = fnv_mix(kFnvOffset, std::uint64_t{0x5eab});
   state = fnv_mix(state, static_cast<std::uint64_t>(options.engine));
   state = fnv_mix(state, power_fp);
-  state = fnv_mix(state, static_cast<std::uint64_t>(instance.machines()));
 
   // Engine knobs that shape the result. Knobs of engines other than the
   // selected one are folded in too -- simpler, and distinct options structs
@@ -41,12 +34,9 @@ std::optional<std::uint64_t> solve_fingerprint(const Instance& instance,
   state = fnv_mix(state, static_cast<std::uint64_t>(options.lp_grid));
   state = fnv_mix(state, options.lp_max_speed_hint);
 
-  state = fnv_mix(state, static_cast<std::uint64_t>(instance.size()));
-  for (const Job& job : instance.jobs()) {
-    state = mix_q(state, job.release);
-    state = mix_q(state, job.deadline);
-    state = mix_q(state, job.work);
-  }
+  // The instance's own value fingerprint folds in machines, the power spec,
+  // and every job rational (core/job.cpp) -- the codec-shared identity.
+  state = fnv_mix(state, instance.fingerprint());
   return state;
 }
 

@@ -1,5 +1,6 @@
 #include "mpss/solve.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -11,9 +12,17 @@
 namespace mpss {
 namespace {
 
-const PowerFunction& effective_power(const SolveOptions& options) {
+/// Resolves the power function for one solve; precedence, highest first:
+/// an explicit SolveOptions::power override, then the instance's PowerSpec.
+/// `owned` keeps a spec instantiation alive for the call.
+const PowerFunction& effective_power(const Instance& instance,
+                                     const SolveOptions& options,
+                                     std::unique_ptr<PowerFunction>& owned) {
   static const AlphaPower kCube(3.0);
-  return options.power != nullptr ? *options.power : kCube;
+  if (options.power != nullptr) return *options.power;
+  if (instance.power().is_default()) return kCube;  // no allocation on the default
+  owned = instance.power().instantiate();
+  return *owned;
 }
 
 /// The one place sink precedence is decided (documented on SolveOptions::trace):
@@ -25,7 +34,8 @@ obs::TraceSink* resolve_trace_sink(const SolveOptions& options) {
 }
 
 SolveResult run_engine(const Instance& instance, const SolveOptions& options) {
-  const PowerFunction& p = effective_power(options);
+  std::unique_ptr<PowerFunction> owned_power;
+  const PowerFunction& p = effective_power(instance, options, owned_power);
   obs::TraceSink* sink = resolve_trace_sink(options);
   SolveResult result;
 
@@ -78,11 +88,11 @@ SolveResult run_engine(const Instance& instance, const SolveOptions& options) {
           break;
         case LpSolution::Status::kInfeasible:
           result.status = SolveStatus::kInfeasible;
-          result.message = "lp_baseline: speed grid too low for the instance";
+          result.error_detail = "lp_baseline: speed grid too low for the instance";
           break;
         case LpSolution::Status::kUnbounded:
           result.status = SolveStatus::kUnbounded;
-          result.message = "lp_baseline: LP reported unbounded";
+          result.error_detail = "lp_baseline: LP reported unbounded";
           break;
       }
       return result;
@@ -193,7 +203,7 @@ SolveResult solve(const Instance& instance, const SolveOptions& options) {
   if (std::optional<std::string> problem = options.validate()) {
     SolveResult result;
     result.status = SolveStatus::kInvalidOptions;
-    result.message = std::move(*problem);
+    result.error_detail = std::move(*problem);
     return finish(std::move(result));
   }
   try {
@@ -204,15 +214,29 @@ SolveResult solve(const Instance& instance, const SolveOptions& options) {
     SolveResult result;
     result.status = error.deadline_exceeded() ? SolveStatus::kDeadlineExceeded
                                               : SolveStatus::kCancelled;
-    result.message = error.what();
+    result.error_detail = error.what();
     return finish(std::move(result));
   } catch (const std::invalid_argument& error) {
     // Caller errors (check_arg across the engines) become a status; an
     // InternalError stays an exception -- it marks a library bug.
     SolveResult result;
     result.status = SolveStatus::kInvalidInstance;
-    result.message = error.what();
+    result.error_detail = error.what();
     return finish(std::move(result));
+  }
+}
+
+SolveResult solve(std::vector<Job> jobs, std::size_t machines,
+                  const SolveOptions& options) {
+  try {
+    return solve(Instance(std::move(jobs), machines), options);
+  } catch (const std::invalid_argument& error) {
+    // The Instance constructor's validation, converted to the facade's status
+    // convention (the Instance overload never sees an invalid instance).
+    SolveResult result;
+    result.status = SolveStatus::kInvalidInstance;
+    result.error_detail = error.what();
+    return result;
   }
 }
 

@@ -74,7 +74,10 @@ struct SolveOptions {
   Engine engine = Engine::kExact;
 
   /// Power function used to measure the returned energy (and to drive the LP
-  /// objective). Null means P(s) = s^3. Not owned; must outlive the call.
+  /// objective). Null means "use the instance's PowerSpec" (whose default is
+  /// P(s) = s^3); a non-null pointer overrides the spec -- the escape hatch
+  /// for arbitrary callables the serializable spec cannot express. Not owned;
+  /// must outlive the call.
   const PowerFunction* power = nullptr;
 
   /// Exact engine (also the planner inside OA).
@@ -120,8 +123,11 @@ struct SolveOptions {
 /// Common result shape of every engine.
 struct SolveResult {
   SolveStatus status = SolveStatus::kOk;
-  /// Human-readable detail when status != kOk (the rejecting check's message).
-  std::string message;
+  /// Human-readable reason, set uniformly whenever status != kOk (the
+  /// rejecting check's message, the engine's invalid-instance explanation, the
+  /// LP's infeasibility note, ...). Empty exactly when ok(). The wire protocol
+  /// forwards it verbatim in its error payload.
+  std::string error_detail;
 
   /// Energy of the produced schedule under the options' power function
   /// (the LP engine reports its objective). 0 when status != kOk.
@@ -157,6 +163,13 @@ struct SolveResult {
 /// Runs the selected engine on `instance`. Never throws on predictable input
 /// problems (those come back as statuses); InternalError still propagates.
 [[nodiscard]] SolveResult solve(const Instance& instance,
+                                const SolveOptions& options = SolveOptions{});
+
+/// Thin delegating wrapper over the Instance form, for callers holding loose
+/// (jobs, machines) pairs. Instance validation failures (machines == 0, a job
+/// with release >= deadline) come back as kInvalidInstance instead of the
+/// constructor's exception, matching the facade's no-throw contract.
+[[nodiscard]] SolveResult solve(std::vector<Job> jobs, std::size_t machines,
                                 const SolveOptions& options = SolveOptions{});
 
 }  // namespace mpss

@@ -3,10 +3,18 @@
 #include <fstream>
 #include <sstream>
 
+#include "mpss/core/instance_json.hpp"
 #include "mpss/util/csv.hpp"
 #include "mpss/util/error.hpp"
 
 namespace mpss {
+namespace {
+
+bool has_json_suffix(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+}
+
+}  // namespace
 
 void write_instance_csv(const Instance& instance, std::ostream& out) {
   CsvWriter writer(out);
@@ -43,6 +51,10 @@ Instance instance_from_csv(const std::string& text) {
 }
 
 void save_instance(const Instance& instance, const std::string& path) {
+  if (has_json_suffix(path)) {
+    save_instance_json(instance, path);
+    return;
+  }
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_instance: cannot open " + path);
   write_instance_csv(instance, out);
@@ -50,11 +62,27 @@ void save_instance(const Instance& instance, const std::string& path) {
 }
 
 Instance load_instance(const std::string& path) {
+  if (has_json_suffix(path)) return load_instance_json(path);
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_instance: cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return instance_from_csv(buffer.str());
+}
+
+void save_instance_json(const Instance& instance, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_instance_json: cannot open " + path);
+  out << instance_to_json(instance) << "\n";
+  if (!out) throw std::runtime_error("save_instance_json: write failed for " + path);
+}
+
+Instance load_instance_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_instance_json: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return instance_from_json(buffer.str());
 }
 
 void write_schedule_csv(const Schedule& schedule, std::ostream& out) {

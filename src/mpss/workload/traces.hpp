@@ -22,8 +22,15 @@ void write_instance_csv(const Instance& instance, std::ostream& out);
 [[nodiscard]] Instance instance_from_csv(const std::string& text);
 
 /// Convenience file wrappers; throw std::runtime_error on I/O failure.
+/// save_instance/load_instance pick the format from the path suffix: ".json"
+/// uses the canonical JSON codec (core/instance_json.hpp -- the same one the
+/// wire protocol and make_corpus use), anything else the CSV form above.
 void save_instance(const Instance& instance, const std::string& path);
 [[nodiscard]] Instance load_instance(const std::string& path);
+
+/// Explicit-format JSON file wrappers over the canonical codec.
+void save_instance_json(const Instance& instance, const std::string& path);
+[[nodiscard]] Instance load_instance_json(const std::string& path);
 
 /// Schedule serialization. Format: "machines,<m>", then a header
 /// "machine,start,end,speed,job", then one row per slice (exact rationals) --

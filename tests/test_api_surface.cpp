@@ -102,6 +102,21 @@ TEST(ApiSurface, EverySubsystemReachableThroughUmbrellaHeader) {
   obs::SolveStats merged;
   merged.merge(optimal.stats);
 
+  // instance value API + canonical JSON codec
+  PowerSpec spec = PowerSpec::alpha(2.0);
+  Instance with_spec = instance.with_power(spec);
+  (void)with_spec.fingerprint();
+  Instance decoded = instance_from_json(instance_to_json(with_spec));
+
+  // the network layer: server, client, protocol codec
+  net::SolveServer server;
+  net::SolveClient client("127.0.0.1", server.port());
+  SolveResult remote = client.solve(instance);
+  (void)client.health();
+  server.shutdown();
+  (void)net::verb_name(net::Verb::kSolve);
+  (void)net::error_code_name(net::ErrorCode::kQueueFull);
+
   // the solve() facade
   SolveResult facade = solve(instance);
   SolveOptions lp_options;
@@ -134,6 +149,8 @@ TEST(ApiSurface, EverySubsystemReachableThroughUmbrellaHeader) {
   EXPECT_GT(rng(), 0u);
   EXPECT_EQ(memory_sink.count_label("api.surface"), 1u);
   EXPECT_EQ(merged.phases, optimal.phases.size());
+  EXPECT_EQ(decoded, with_spec);
+  EXPECT_EQ(remote.energy, solve(instance).energy);
   ASSERT_TRUE(facade.ok());
   ASSERT_NE(facade.exact_schedule(), nullptr);
   EXPECT_TRUE(lp_facade.ok());

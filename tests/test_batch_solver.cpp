@@ -146,7 +146,7 @@ TEST(BatchSolver, ExpiredDeadlineComesBackAsStatus) {
   SolveResult result = service.submit(std::move(request)).future.get();
   EXPECT_EQ(result.status, SolveStatus::kDeadlineExceeded);
   EXPECT_FALSE(result.ok());
-  EXPECT_FALSE(result.message.empty());
+  EXPECT_FALSE(result.error_detail.empty());
   // Abandoned solves never enter the cache.
   EXPECT_EQ(service.cache_stats().misses, 1u);
   SolveRequest retry{test_instance(1, 24, 3), SolveOptions{}};
@@ -163,7 +163,7 @@ TEST(BatchSolver, CallerCancellationComesBackAsStatus) {
   request.options.cancel = &token;
   SolveResult result = service.submit(std::move(request)).future.get();
   EXPECT_EQ(result.status, SolveStatus::kCancelled);
-  EXPECT_FALSE(result.message.empty());
+  EXPECT_FALSE(result.error_detail.empty());
 }
 
 TEST(BatchSolver, EngineHonoursMidSolveDeadline) {

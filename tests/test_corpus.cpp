@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "mpss/core/instance_json.hpp"
 #include "mpss/core/optimal.hpp"
 #include "mpss/util/csv.hpp"
 #include "mpss/workload/traces.hpp"
@@ -85,6 +86,19 @@ TEST_P(Corpus, ForcedLimbPathIsBitIdenticalToTheSmallPath) {
   }
   AlphaPower cube(3.0);
   EXPECT_EQ(small.schedule.energy(cube), forced.schedule.energy(cube))
+      << GetParam();
+}
+
+// make_corpus writes every instance twice: the CSV the goldens key off and a
+// canonical-JSON sibling (the protocol test vectors). The two must decode to
+// the same jobs/machines, and the JSON must be in canonical form.
+TEST_P(Corpus, JsonSiblingMatchesTheCsvInstance) {
+  std::string base = std::string(MPSS_DATA_DIR) + "/" + GetParam();
+  Instance from_csv = load_instance(base + ".instance.csv");
+  Instance from_json = load_instance(base + ".instance.json");
+  EXPECT_EQ(from_csv, from_json) << GetParam();
+  EXPECT_EQ(read_file(base + ".instance.json"),
+            instance_to_json(from_json) + "\n")
       << GetParam();
 }
 

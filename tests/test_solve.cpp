@@ -233,7 +233,7 @@ TEST(Solve, PredictableInputProblemsBecomeStatusesNotThrows) {
   SolveResult rejected = solve(fractional, avr);
   EXPECT_EQ(rejected.status, SolveStatus::kInvalidInstance);
   EXPECT_FALSE(rejected.ok());
-  EXPECT_FALSE(rejected.message.empty());
+  EXPECT_FALSE(rejected.error_detail.empty());
   EXPECT_EQ(rejected.energy, 0.0);
   EXPECT_EQ(rejected.exact_schedule(), nullptr);
 
@@ -244,7 +244,7 @@ TEST(Solve, PredictableInputProblemsBecomeStatusesNotThrows) {
   lp.lp_grid = 1;
   SolveResult bad_grid = solve(test_instance(), lp);
   EXPECT_EQ(bad_grid.status, SolveStatus::kInvalidOptions);
-  EXPECT_FALSE(bad_grid.message.empty());
+  EXPECT_FALSE(bad_grid.error_detail.empty());
 }
 
 TEST(Solve, InvalidKnobsBecomeStatusesNotThrows) {
@@ -255,7 +255,7 @@ TEST(Solve, InvalidKnobsBecomeStatusesNotThrows) {
     ASSERT_TRUE(options.validate().has_value());
     SolveResult result = solve(instance, options);
     EXPECT_EQ(result.status, SolveStatus::kInvalidOptions);
-    EXPECT_FALSE(result.message.empty());
+    EXPECT_FALSE(result.error_detail.empty());
   }
   {
     SolveOptions options;
@@ -284,7 +284,7 @@ TEST(Solve, LpGridTooLowForTheInstanceIsInfeasible) {
   options.lp_max_speed_hint = 1e-6;
   SolveResult result = solve(test_instance(), options);
   EXPECT_EQ(result.status, SolveStatus::kInfeasible);
-  EXPECT_FALSE(result.message.empty());
+  EXPECT_FALSE(result.error_detail.empty());
 }
 
 TEST(Solve, TraceSinkInOptionsSeesTheEngineRun) {

@@ -60,6 +60,9 @@ int main(int argc, char** argv) {
   for (const Entry& entry : corpus) {
     std::string base = directory + "/" + entry.name;
     save_instance(entry.instance, base + ".instance.csv");
+    // Canonical JSON sibling (core/instance_json.hpp): the same codec the wire
+    // protocol uses, so the corpus doubles as protocol test vectors.
+    save_instance(entry.instance, base + ".instance.json");
 
     auto result = optimal_schedule(entry.instance);
     std::ofstream golden(base + ".golden.csv");

@@ -13,6 +13,8 @@
 //   * a simplex summary when LP pivots are present,
 //   * a service table (requests by SolveStatus, cache hits/misses/evictions)
 //     when BatchSolver events are present,
+//   * a net table (requests, responses, bytes, disconnect cancellations) when
+//     solve-daemon events are present,
 //   * an arrival table when online re-planning events are present.
 //
 // --report prints the span profile instead: per span label, the call count,
@@ -203,6 +205,45 @@ void service_table(const std::vector<TraceEvent>& events, bool csv) {
   Table cache({"hits", "misses", "evictions"});
   cache.row(hits, misses, evictions);
   print_table(cache, csv);
+}
+
+void net_table(const std::vector<TraceEvent>& events, bool csv) {
+  // The solve daemon (net/server.hpp) emits one "net.request" kCounter event
+  // per decoded frame (a = payload bytes) and one "net.response" per written
+  // response (a = payload bytes, b = solves in the response, value = seconds
+  // from receipt to write), plus disconnect-cancellation and shutdown markers.
+  std::size_t requests = 0;
+  std::size_t responses = 0;
+  std::size_t solves = 0;
+  double bytes_in = 0.0;
+  double bytes_out = 0.0;
+  double seconds = 0.0;
+  std::size_t disconnect_cancels = 0;
+  std::size_t shutdowns = 0;
+  for (const TraceEvent& event : events) {
+    if (event.kind != EventKind::kCounter) continue;
+    if (event.label == "net.request") {
+      ++requests;
+      bytes_in += static_cast<double>(event.a);
+    } else if (event.label == "net.response") {
+      ++responses;
+      bytes_out += static_cast<double>(event.a);
+      solves += event.b;
+      seconds += event.value;
+    } else if (event.label == "net.disconnect_cancel") {
+      disconnect_cancels += event.a;
+    } else if (event.label == "net.shutdown_verb") {
+      ++shutdowns;
+    }
+  }
+  if (requests + responses + disconnect_cancels + shutdowns == 0) return;
+  std::cout << "net\n";
+  Table table({"requests", "responses", "solves", "bytes_in", "bytes_out",
+               "seconds", "cancelled", "shutdowns"});
+  table.row(requests, responses, solves, static_cast<std::size_t>(bytes_in),
+            static_cast<std::size_t>(bytes_out), Table::num(seconds, 6),
+            disconnect_cancels, shutdowns);
+  print_table(table, csv);
 }
 
 void arrival_table(const std::vector<TraceEvent>& events, bool csv) {
@@ -428,6 +469,7 @@ int main(int argc, char** argv) {
     warm_start_table(events, csv);
     simplex_table(events, csv);
     service_table(events, csv);
+    net_table(events, csv);
     arrival_table(events, csv);
     return kExitOk;
   } catch (const std::exception& error) {
