@@ -6,6 +6,7 @@
 
 #include "mpss/flow/dinic.hpp"
 #include "mpss/flow/push_relabel.hpp"
+#include "mpss/util/arena.hpp"
 #include "mpss/util/random.hpp"
 
 namespace {
@@ -114,6 +115,71 @@ void BM_DinicLayeredUnitCaps(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DinicLayeredUnitCaps)->Arg(16)->Arg(64);
+
+void BM_FlowCsrSteadyStateInt64(benchmark::State& state) {
+  // The S46 hot path in isolation: the network is built, CSR-frozen, and
+  // arena-backed once; every iteration re-solves on the cached layout. This is
+  // the shape the incremental engine sees on warm rounds -- no adjacency
+  // rebuild, no scratch allocation -- so the delta against BM_DinicInt64
+  // (which constructs per solve) is the cache-residency win.
+  auto jobs = static_cast<std::size_t>(state.range(0));
+  mpss::ScopedArena scratch;
+  auto net = scheduler_shaped_network<FlowNetwork<std::int64_t>>(
+      jobs, 2 * jobs, [](std::int64_t v) { return v; }, 7);
+  net.set_scratch_arena(scratch.get());
+  const std::size_t sink = net.node_count() - 1;
+  benchmark::DoNotOptimize(net.max_flow(0, sink));  // freeze + warm the arena
+  const std::uint64_t warm_fallbacks = scratch->stats().fallback_allocs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.max_flow(0, sink));
+  }
+  state.counters["arena_bytes"] =
+      static_cast<double>(scratch->stats().capacity_bytes);
+  // Steady state must not touch the heap; a nonzero delta here is a regression.
+  state.counters["fallback_allocs"] =
+      static_cast<double>(scratch->stats().fallback_allocs - warm_fallbacks);
+}
+BENCHMARK(BM_FlowCsrSteadyStateInt64)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FlowCsrSteadyStateRational(benchmark::State& state) {
+  // Same steady-state shape over exact rationals: stresses the fused in-place
+  // Rational primitives (sub_assign/add_assign/min_in_place) on the
+  // bottleneck-and-augment walk instead of temporary-allocating operators.
+  auto jobs = static_cast<std::size_t>(state.range(0));
+  mpss::Xoshiro256 den_rng(11);
+  mpss::ScopedArena scratch;
+  auto net = scheduler_shaped_network<FlowNetwork<Q>>(
+      jobs, 2 * jobs,
+      [&den_rng](std::int64_t v) { return Q(v, den_rng.uniform_int(1, 6)); }, 7);
+  net.set_scratch_arena(scratch.get());
+  const std::size_t sink = net.node_count() - 1;
+  benchmark::DoNotOptimize(net.max_flow(0, sink));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.max_flow(0, sink));
+  }
+  state.counters["arena_bytes"] =
+      static_cast<double>(scratch->stats().capacity_bytes);
+}
+BENCHMARK(BM_FlowCsrSteadyStateRational)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_FlowCsrFreeze(benchmark::State& state) {
+  // Cost of one CSR rebuild (counting sort + span carving) after a topology
+  // thaw, isolated from the solve: this is the price each set_scratch_arena()
+  // or add_edge() burst pays on the next solve.
+  auto jobs = static_cast<std::size_t>(state.range(0));
+  mpss::ScopedArena scratch;
+  auto net = scheduler_shaped_network<FlowNetwork<std::int64_t>>(
+      jobs, 2 * jobs, [](std::int64_t v) { return v; }, 7);
+  const std::size_t sink = net.node_count() - 1;
+  for (auto _ : state) {
+    // Rewind-and-recarve, exactly the engines' per-solve discipline: the thaw
+    // invalidates the old spans, the rewound arena serves the new ones.
+    scratch->reset();
+    net.set_scratch_arena(scratch.get());
+    benchmark::DoNotOptimize(net.max_flow(0, sink));
+  }
+}
+BENCHMARK(BM_FlowCsrFreeze)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_PushRelabelInt64(benchmark::State& state) {
   auto jobs = static_cast<std::size_t>(state.range(0));

@@ -1,28 +1,45 @@
 #!/usr/bin/env bash
-# Snapshots the offline-engine, service-layer, and solve-daemon
+# Snapshots the offline-engine, service-layer, solve-daemon, and flow-kernel
 # micro-benchmarks into BENCH_offline.json at the repository root
 # (machine-readable: google-benchmark JSON, including the bfs_rounds/aug_paths
 # counters the warm-start acceptance criterion reads, the BM_Service*
-# throughput/cache benchmarks the batch-API acceptance criterion reads, and
-# the BM_Server* loopback benchmarks the network acceptance criterion reads).
+# throughput/cache benchmarks the batch-API acceptance criterion reads, the
+# BM_Server* loopback benchmarks the network acceptance criterion reads, and
+# the BM_FlowCsr* steady-state kernel benchmarks the S46 memory-architecture
+# gate reads).
 #
 #   scripts/bench_snapshot.sh [extra benchmark args...]
 #
-# Builds if needed, then runs bench_offline, bench_service, and bench_server
-# with --benchmark_format=json and merges their "benchmarks" arrays
-# (bench_offline's context block wins -- all run on the same host). Narrow the
-# run with e.g.:
+# Honest-numbers discipline: a snapshot is only meaningful from an optimized
+# build, so the script force-configures the build tree Release when the CMake
+# cache says anything else, embeds the project build type in the merged JSON
+# ("project_build_type"), and aborts if Google Benchmark self-reports a debug
+# library. Debian's libbenchmark package is compiled without NDEBUG and always
+# reports "debug" even though the code under test is Release; on such hosts
+# set MPSS_BENCH_ALLOW_DEBUG_LIBBENCHMARK=1 to acknowledge the harness-side
+# warning and proceed (the project_build_type field still records the truth
+# about the measured code).
+#
+# Narrow the run with e.g.:
 #   scripts/bench_snapshot.sh --benchmark_filter='IncrementalRounds'
 # (a filter that empties one binary's run list is fine; the merge keeps the
 # other's results).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for bench in bench_offline bench_service bench_server; do
-  if [ ! -x "build/bench/${bench}" ]; then
-    cmake -B build -G Ninja
-    cmake --build build --target "${bench}"
-  fi
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' build/CMakeCache.txt 2>/dev/null | head -n1 || true)"
+case "${build_type}" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "bench_snapshot: build tree is '${build_type:-unconfigured}', forcing Release" >&2
+    cmake -B build -DCMAKE_BUILD_TYPE=Release
+    build_type="Release"
+    ;;
+esac
+export MPSS_BENCH_BUILD_TYPE="${build_type}"
+
+for bench in bench_offline bench_service bench_server bench_flow; do
+  cmake --build build --target "${bench}"
 done
 
 build/bench/bench_offline \
@@ -43,20 +60,46 @@ build/bench/bench_server \
   --benchmark_out_format=json \
   "$@"
 
+build/bench/bench_flow \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_offline.part4.json \
+  --benchmark_out_format=json \
+  "$@"
+
 python3 - <<'EOF'
 import json
+import os
+import sys
 
-with open("BENCH_offline.part1.json", encoding="utf-8") as handle:
+parts = ["BENCH_offline.part1.json", "BENCH_offline.part2.json",
+         "BENCH_offline.part3.json", "BENCH_offline.part4.json"]
+
+with open(parts[0], encoding="utf-8") as handle:
     merged = json.load(handle)
-for part in ("BENCH_offline.part2.json", "BENCH_offline.part3.json"):
+for part in parts[1:]:
     with open(part, encoding="utf-8") as handle:
         extra = json.load(handle)
     merged["benchmarks"] = merged.get("benchmarks", []) + extra.get("benchmarks", [])
+
+library_build = merged.get("context", {}).get("library_build_type", "unknown")
+if library_build == "debug" and not os.environ.get("MPSS_BENCH_ALLOW_DEBUG_LIBBENCHMARK"):
+    sys.exit(
+        "bench_snapshot: Google Benchmark reports a debug library "
+        "(library_build_type=debug); refusing to snapshot. If this is a "
+        "distro libbenchmark built without NDEBUG (the project code itself "
+        "is Release), re-run with MPSS_BENCH_ALLOW_DEBUG_LIBBENCHMARK=1."
+    )
+
+# The field google-benchmark cannot know: what the measured library was
+# compiled as. bench_compare.py and humans reading the snapshot both want it.
+merged.setdefault("context", {})["project_build_type"] = os.environ.get(
+    "MPSS_BENCH_BUILD_TYPE", "unknown")
 
 with open("BENCH_offline.json", "w", encoding="utf-8") as handle:
     json.dump(merged, handle, indent=2)
     handle.write("\n")
 EOF
-rm -f BENCH_offline.part1.json BENCH_offline.part2.json BENCH_offline.part3.json
+rm -f BENCH_offline.part1.json BENCH_offline.part2.json \
+      BENCH_offline.part3.json BENCH_offline.part4.json
 
-echo "Wrote BENCH_offline.json"
+echo "Wrote BENCH_offline.json (project_build_type=${build_type})"

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "mpss/core/job.hpp"
+#include "mpss/util/bitmap.hpp"
 #include "mpss/util/rational.hpp"
 
 namespace mpss {
@@ -52,52 +53,9 @@ class IntervalDecomposition {
   std::vector<Q> points_;
 };
 
-/// Dense 2D bit matrix in 64-bit words, rows packed contiguously. The offline
-/// engines keep job activity as one ActiveBitmap with a row per atomic interval
-/// and a column per job, so the per-round "how many candidates are active in
-/// I_j" recount collapses into word-ANDs with the candidate mask plus popcounts
-/// (replacing the former vector<vector<bool>> matrix walk).
-class ActiveBitmap {
- public:
-  ActiveBitmap() = default;
-  ActiveBitmap(std::size_t rows, std::size_t cols);
-
-  [[nodiscard]] std::size_t rows() const { return rows_; }
-  [[nodiscard]] std::size_t cols() const { return cols_; }
-  /// Words per row (= words_for(cols())); the width masks must have.
-  [[nodiscard]] std::size_t row_words() const { return row_words_; }
-
-  void set(std::size_t row, std::size_t col);
-  [[nodiscard]] bool test(std::size_t row, std::size_t col) const;
-
-  /// Number of set bits in `row`.
-  [[nodiscard]] std::size_t row_popcount(std::size_t row) const;
-
-  /// Number of set bits in `row & mask`; `mask` must hold row_words() words.
-  [[nodiscard]] std::size_t row_and_popcount(
-      std::size_t row, std::span<const std::uint64_t> mask) const;
-
-  /// Words needed for a `bits`-wide standalone mask (candidate sets).
-  [[nodiscard]] static std::size_t words_for(std::size_t bits) {
-    return (bits + 63) / 64;
-  }
-  static void mask_set(std::span<std::uint64_t> mask, std::size_t bit) {
-    mask[bit / 64] |= std::uint64_t{1} << (bit % 64);
-  }
-  static void mask_clear(std::span<std::uint64_t> mask, std::size_t bit) {
-    mask[bit / 64] &= ~(std::uint64_t{1} << (bit % 64));
-  }
-  [[nodiscard]] static bool mask_test(std::span<const std::uint64_t> mask,
-                                      std::size_t bit) {
-    return (mask[bit / 64] >> (bit % 64)) & 1;
-  }
-
- private:
-  std::size_t rows_ = 0;
-  std::size_t cols_ = 0;
-  std::size_t row_words_ = 0;
-  std::vector<std::uint64_t> words_;
-};
+// ActiveBitmap (the engines' activity matrix type) moved to util/bitmap.hpp
+// so the flow kernel's min-cut can return one without core<->flow coupling;
+// this header keeps exporting it for its historical users.
 
 /// The offline engines' activity matrix: row j, column k set iff job k is
 /// active in atomic interval I_j (IntervalDecomposition::active).

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "mpss/core/mcnaughton.hpp"
 #include "mpss/flow/dinic.hpp"
 #include "mpss/obs/histogram.hpp"
 #include "mpss/obs/span.hpp"
 #include "mpss/obs/trace.hpp"
+#include "mpss/util/arena.hpp"
 #include "mpss/util/error.hpp"
 #include "mpss/util/random.hpp"
 
@@ -41,9 +43,11 @@ RoundNetwork build_network(const Instance& instance,
                            const IntervalDecomposition& intervals,
                            const std::vector<std::size_t>& candidates,
                            const ActiveBitmap& active,
-                           const std::vector<std::size_t>& count_active,
-                           const std::vector<std::size_t>& reserved, const Q& speed) {
+                           std::span<const std::size_t> count_active,
+                           std::span<const std::size_t> reserved, const Q& speed,
+                           Arena& scratch) {
   RoundNetwork round;
+  round.net.set_scratch_arena(&scratch);
   const std::size_t interval_count = intervals.count();
 
   std::size_t live_intervals = 0;
@@ -59,7 +63,8 @@ RoundNetwork build_network(const Instance& instance,
   round.source = round.net.add_node();
   std::size_t first_job_node = round.net.add_nodes(candidates.size());
 
-  std::vector<std::size_t> interval_node(interval_count, kNone);
+  std::span<std::size_t> interval_node =
+      scratch.alloc_array<std::size_t>(interval_count, kNone);
   for (std::size_t j = 0; j < interval_count; ++j) {
     if (reserved[j] > 0) interval_node[j] = round.net.add_node();
   }
@@ -146,6 +151,12 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
   const std::size_t m = instance.machines();
 
   OptimalResult result{Schedule(m), intervals, {}, 0, {}, {}};
+  // Per-solve scratch arena (S46): pooled per thread, so repeat solves on a
+  // BatchSolver worker reuse one warmed arena. Declared before any
+  // RoundNetwork so the networks' scratch spans die first. The fallback-alloc
+  // delta over this solve is the steady-state-allocation telemetry.
+  ScopedArena scratch;
+  const std::uint64_t arena_fallback_base = scratch->stats().fallback_allocs;
   // Span opens before the timer starts and closes after the timer is read, so
   // the solve span provably covers stats.wall_seconds (the --report coverage
   // criterion).
@@ -164,12 +175,16 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
   ActiveBitmap active = make_active_bitmap(instance.jobs(), intervals);
   // Bit k set iff job k is in the current phase's candidate set; ANDed against
   // bitmap rows for the per-round n_j recount, and doubling as the membership
-  // test when the phase's jobs are dropped from `remaining`.
-  std::vector<std::uint64_t> candidate_mask(ActiveBitmap::words_for(instance.size()), 0);
+  // test when the phase's jobs are dropped from `remaining`. Fixed-shape
+  // interval tables live in the scratch arena.
+  std::span<std::uint64_t> candidate_mask = scratch->alloc_array<std::uint64_t>(
+      ActiveBitmap::words_for(instance.size()), std::uint64_t{0});
 
   // used[j]: processors already occupied in I_j by earlier (faster) phases.
-  std::vector<std::size_t> used(interval_count, 0);
-  std::vector<std::size_t> count_active(interval_count, 0);
+  std::span<std::size_t> used =
+      scratch->alloc_array<std::size_t>(interval_count, std::size_t{0});
+  std::span<std::size_t> count_active =
+      scratch->alloc_array<std::size_t>(interval_count, std::size_t{0});
 
   std::uint64_t warm_starts = 0;
   std::uint64_t retracted_units = 0;
@@ -192,7 +207,8 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
     obs::emit(trace, obs::EventKind::kPhaseStart, "optimal.phase", phase_index,
               candidates.size());
 
-    std::vector<std::size_t> reserved(interval_count, 0);
+    std::span<std::size_t> reserved =
+        scratch->alloc_array<std::size_t>(interval_count, std::size_t{0});
     Q speed;
     RoundNetwork round;
     // Maps current candidate position -> position at network build time (the
@@ -240,7 +256,7 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
       Q flow_value;
       if (!built) {
         round = build_network(instance, intervals, candidates, active, count_active,
-                              reserved, speed);
+                              reserved, speed, *scratch);
         built_pos.resize(candidates.size());
         std::iota(built_pos.begin(), built_pos.end(), std::size_t{0});
         built = options.incremental;  // rebuild path: tear down every round
@@ -398,6 +414,15 @@ OptimalResult optimal_schedule(const Instance& instance, const OptimalOptions& o
   result.stats.counters.set("flow.warm_starts", warm_starts);
   result.stats.counters.set("flow.retracted_units", retracted_units);
   result.stats.counters.set("flow.resume_bfs", resume_bfs);
+  const Arena::Stats& arena_stats = scratch->stats();
+  result.stats.counters.set("mem.arena_bytes", arena_stats.capacity_bytes);
+  result.stats.counters.set("mem.arena_reuses", arena_stats.reuses);
+  result.stats.counters.set("mem.fallback_allocs",
+                            arena_stats.fallback_allocs - arena_fallback_base);
+  obs::emit(trace, obs::EventKind::kCounter, "optimal.arena",
+            arena_stats.capacity_bytes,
+            arena_stats.fallback_allocs - arena_fallback_base,
+            static_cast<double>(arena_stats.reuses));
   if (!round_us.empty()) result.stats.histograms["optimal.round_us"] = round_us;
   if (!rounds_per_phase.empty()) {
     result.stats.histograms["optimal.rounds_per_phase"] = rounds_per_phase;

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 
 #include "mpss/core/intervals.hpp"
 #include "mpss/flow/dinic.hpp"
 #include "mpss/obs/histogram.hpp"
 #include "mpss/obs/span.hpp"
 #include "mpss/obs/trace.hpp"
+#include "mpss/util/arena.hpp"
 #include "mpss/util/error.hpp"
 
 namespace mpss {
@@ -58,9 +60,11 @@ FastRound build_fast_network(const std::vector<double>& work,
                              const FastIntervals& intervals,
                              const std::vector<std::size_t>& candidates,
                              const ActiveBitmap& active,
-                             const std::vector<std::size_t>& count_active,
-                             const std::vector<std::size_t>& reserved, double speed) {
+                             std::span<const std::size_t> count_active,
+                             std::span<const std::size_t> reserved, double speed,
+                             Arena& scratch) {
   FastRound round;
+  round.net.set_scratch_arena(&scratch);
   const std::size_t interval_count = intervals.count();
 
   std::size_t live_intervals = 0;
@@ -75,7 +79,8 @@ FastRound build_fast_network(const std::vector<double>& work,
 
   round.source = round.net.add_node();
   std::size_t first_job = round.net.add_nodes(candidates.size());
-  std::vector<std::size_t> interval_node(interval_count, kNone);
+  std::span<std::size_t> interval_node =
+      scratch.alloc_array<std::size_t>(interval_count, kNone);
   for (std::size_t j = 0; j < interval_count; ++j) {
     if (reserved[j] > 0) interval_node[j] = round.net.add_node();
   }
@@ -217,6 +222,9 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
 
   FastOptimalResult result;
   result.schedule.machines.resize(m);
+  // Per-solve scratch arena (S46), pooled per thread; see optimal.cpp.
+  ScopedArena scratch;
+  const std::uint64_t arena_fallback_base = scratch->stats().fallback_allocs;
   // Span before timer: the solve span covers stats.wall_seconds (see optimal.cpp).
   obs::SpanScope solve_span(trace, "optimal_fast.solve");
   obs::ScopedTimer timer;
@@ -244,10 +252,13 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
       }
     }
   }
-  std::vector<std::uint64_t> candidate_mask(ActiveBitmap::words_for(instance.size()), 0);
+  std::span<std::uint64_t> candidate_mask = scratch->alloc_array<std::uint64_t>(
+      ActiveBitmap::words_for(instance.size()), std::uint64_t{0});
 
-  std::vector<std::size_t> used(interval_count, 0);
-  std::vector<std::size_t> count_active(interval_count, 0);
+  std::span<std::size_t> used =
+      scratch->alloc_array<std::size_t>(interval_count, std::size_t{0});
+  std::span<std::size_t> count_active =
+      scratch->alloc_array<std::size_t>(interval_count, std::size_t{0});
 
   std::uint64_t warm_starts = 0;
   std::uint64_t retracted_units = 0;
@@ -263,7 +274,8 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
     std::vector<std::size_t> candidates = remaining;
     std::ranges::fill(candidate_mask, 0);
     for (std::size_t job : candidates) ActiveBitmap::mask_set(candidate_mask, job);
-    std::vector<std::size_t> reserved(interval_count, 0);
+    std::span<std::size_t> reserved =
+        scratch->alloc_array<std::size_t>(interval_count, std::size_t{0});
     double speed = 0.0;
     const std::size_t phase_index = result.phase_speeds.size();
     std::size_t rounds = 0;
@@ -308,7 +320,7 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
       double flow_value = 0.0;
       if (!built) {
         round = build_fast_network(work, intervals, candidates, active, count_active,
-                                   reserved, speed);
+                                   reserved, speed, *scratch);
         built_pos.resize(candidates.size());
         std::iota(built_pos.begin(), built_pos.end(), std::size_t{0});
         built = options.incremental;
@@ -434,6 +446,15 @@ FastOptimalResult optimal_schedule_fast(const Instance& instance,
   result.stats.counters.set("flow.warm_starts", warm_starts);
   result.stats.counters.set("flow.retracted_units", retracted_units);
   result.stats.counters.set("flow.resume_bfs", resume_bfs);
+  const Arena::Stats& arena_stats = scratch->stats();
+  result.stats.counters.set("mem.arena_bytes", arena_stats.capacity_bytes);
+  result.stats.counters.set("mem.arena_reuses", arena_stats.reuses);
+  result.stats.counters.set("mem.fallback_allocs",
+                            arena_stats.fallback_allocs - arena_fallback_base);
+  obs::emit(trace, obs::EventKind::kCounter, "optimal_fast.arena",
+            arena_stats.capacity_bytes,
+            arena_stats.fallback_allocs - arena_fallback_base,
+            static_cast<double>(arena_stats.reuses));
   if (!round_us.empty()) result.stats.histograms["optimal_fast.round_us"] = round_us;
   if (!rounds_per_phase.empty()) {
     result.stats.histograms["optimal_fast.rounds_per_phase"] = rounds_per_phase;

@@ -1,6 +1,6 @@
 #pragma once
 // Maximum-flow solver (Dinic's algorithm), templated on the capacity type
-// (substrate S3, see DESIGN.md).
+// (substrate S3; memory architecture S46, see DESIGN.md).
 //
 // The offline optimal scheduler instantiates this with exact rationals (mpss::Q):
 // Dinic performs O(V) blocking-flow phases of O(VE) augmentations each regardless of
@@ -13,11 +13,31 @@
 // edge while keeping its twin consistent (callers retract along whole
 // source-to-sink paths to preserve conservation), and max_flow_resume()
 // continues augmenting from the current feasible flow instead of from zero.
+//
+// Memory layout (S46): arcs are stored SoA -- `residual_` holds nothing but
+// residual capacities (the one field BFS and blocking-flow touch per arc),
+// `arc_target_` the head nodes -- and adjacency is a flat CSR (offsets into an
+// arc-index array) built lazily on a freeze/rebuild-on-mutation discipline:
+// add_nodes/add_edge mark the network dirty, the first solver entry point
+// rebuilds. The CSR preserves per-node arc insertion order (a stable counting
+// sort by tail node), so DFS tie-breaking -- and therefore the exact flow
+// split on every edge -- is bit-identical to the former nested-vector layout.
+// BFS/DFS scratch (level, iterator, queue) is carved from a scratch Arena:
+// either one injected via set_scratch_arena() (the engines share their
+// per-solve ScopedArena) or a lazily created internal one. Scratch spans live
+// in that arena; an owner that resets the arena must re-inject it (which
+// marks the network dirty and re-carves on the next solve).
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "mpss/util/arena.hpp"
+#include "mpss/util/bitmap.hpp"
 #include "mpss/util/error.hpp"
 #include "mpss/util/rational.hpp"
 
@@ -62,48 +82,68 @@ struct FlowKernelStats {
 /// Directed flow network with residual arcs. Nodes are dense indices created via
 /// add_node(); arcs keep their insertion id so callers can read per-edge flow after
 /// max_flow() (the scheduler converts edge flows into processing times).
+///
+/// Move-only (it may own a scratch arena). Arc pairing convention: the forward
+/// arc of edge `id` is `2 * id`, `arc ^ 1` is its twin, and an arc's tail node
+/// is its twin's head -- so the SoA arrays need no separate from-array.
 template <typename Cap>
 class FlowNetwork {
  public:
   /// Identifier returned by add_edge.
   using EdgeId = std::size_t;
 
-  /// Pre-sizes the adjacency table (node storage). Callers that know the final
-  /// graph shape (the offline engines build source + jobs + intervals + sink)
-  /// reserve up front so add_node/add_edge never regrow vectors mid-build.
-  void reserve_nodes(std::size_t count) { adjacency_.reserve(count); }
+  /// Carve BFS/DFS scratch (and the CSR build cursor) from `arena` instead of
+  /// the internal one. The engines inject their per-solve pooled arena so
+  /// warm-started rounds run allocation-free. Marks the network dirty: the
+  /// next solver call re-freezes and re-carves, so this is also the call to
+  /// make after resetting a previously injected arena.
+  void set_scratch_arena(Arena* arena) {
+    scratch_arena_ = arena;
+    frozen_ = false;
+  }
+
+  /// Pre-sizes node-indexed storage. Callers that know the final graph shape
+  /// (the offline engines build source + jobs + intervals + sink) reserve up
+  /// front so add_node/add_edge never regrow vectors mid-build.
+  void reserve_nodes(std::size_t count) { csr_offsets_.reserve(count + 1); }
 
   /// Pre-sizes arc and per-edge storage for `count` edges (2 arcs each).
   void reserve_edges(std::size_t count) {
-    arcs_.reserve(2 * count);
-    edge_arc_.reserve(count);
+    residual_.reserve(2 * count);
+    arc_target_.reserve(2 * count);
+    csr_arcs_.reserve(2 * count);
     capacity_.reserve(count);
   }
 
   /// Creates `count` fresh nodes, returning the index of the first.
   std::size_t add_nodes(std::size_t count) {
-    std::size_t first = adjacency_.size();
-    adjacency_.resize(adjacency_.size() + count);
+    check_arg(count <= kMaxIndex - node_count_,
+              "FlowNetwork::add_nodes: node count exceeds 32-bit index space");
+    std::size_t first = node_count_;
+    node_count_ += count;
+    frozen_ = false;
     return first;
   }
   std::size_t add_node() { return add_nodes(1); }
 
-  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
-  [[nodiscard]] std::size_t edge_count() const { return arcs_.size() / 2; }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  [[nodiscard]] std::size_t edge_count() const { return capacity_.size(); }
 
   /// Adds a directed edge with the given capacity (>= 0); returns its id.
   EdgeId add_edge(std::size_t from, std::size_t to, Cap capacity) {
-    check_arg(from < adjacency_.size() && to < adjacency_.size(),
+    check_arg(from < node_count_ && to < node_count_,
               "FlowNetwork::add_edge: node index out of range");
     check_arg(!FlowTraits<Cap>::is_positive(FlowTraits<Cap>::zero() - capacity),
               "FlowNetwork::add_edge: negative capacity");
-    EdgeId id = edge_arc_.size();
-    edge_arc_.push_back(arcs_.size());
-    adjacency_[from].push_back(arcs_.size());
-    arcs_.push_back(Arc{to, capacity});
-    adjacency_[to].push_back(arcs_.size());
-    arcs_.push_back(Arc{from, FlowTraits<Cap>::zero()});
+    check_arg(arc_target_.size() + 2 <= kMaxIndex,
+              "FlowNetwork::add_edge: arc count exceeds 32-bit index space");
+    EdgeId id = capacity_.size();
+    arc_target_.push_back(static_cast<std::uint32_t>(to));
+    residual_.push_back(capacity);
+    arc_target_.push_back(static_cast<std::uint32_t>(from));
+    residual_.push_back(FlowTraits<Cap>::zero());
     capacity_.push_back(std::move(capacity));
+    frozen_ = false;
     return id;
   }
 
@@ -113,9 +153,11 @@ class FlowNetwork {
   /// capacities changed in between) always yield the from-scratch Dinic flow.
   Cap max_flow(std::size_t source, std::size_t sink) {
     check_endpoints(source, sink, "FlowNetwork::max_flow");
+    ensure_frozen();
     reset_flow();
     solved_ = true;
-    return augment(source, sink);
+    return augment(static_cast<std::uint32_t>(source),
+                   static_cast<std::uint32_t>(sink));
   }
 
   /// Continues Dinic from the current flow (the warm-start path): augments until
@@ -125,18 +167,19 @@ class FlowNetwork {
   /// which preserve feasibility. Work counters cover only this call.
   Cap max_flow_resume(std::size_t source, std::size_t sink) {
     check_endpoints(source, sink, "FlowNetwork::max_flow_resume");
-    Cap carried = current_flow_from(source);
+    ensure_frozen();
+    Cap carried = current_flow_from(static_cast<std::uint32_t>(source));
     solved_ = true;
-    return carried + augment(source, sink);
+    return carried + augment(static_cast<std::uint32_t>(source),
+                             static_cast<std::uint32_t>(sink));
   }
 
   /// Discards all flow: forward residuals return to the edge capacities, twin
   /// residuals to zero. Capacities set via set_capacity() are kept.
   void reset_flow() {
-    for (std::size_t id = 0; id < edge_arc_.size(); ++id) {
-      std::size_t arc = edge_arc_[id];
-      arcs_[arc].residual = capacity_[id];
-      arcs_[arc ^ 1].residual = FlowTraits<Cap>::zero();
+    for (std::size_t id = 0; id < capacity_.size(); ++id) {
+      residual_[2 * id] = capacity_[id];
+      residual_[2 * id + 1] = FlowTraits<Cap>::zero();
     }
   }
 
@@ -145,11 +188,13 @@ class FlowNetwork {
   /// epsilon-guarded test for floating point), i.e. callers must retract
   /// excess flow before shrinking an edge below its current load.
   void set_capacity(EdgeId id, Cap capacity) {
-    std::size_t arc = edge_arc_.at(id);
-    const Cap& carried = arcs_[arc ^ 1].residual;  // flow == twin residual
+    check_arg(id < capacity_.size(), "FlowNetwork::set_capacity: unknown edge");
+    const Cap& carried = residual_[2 * id + 1];  // flow == twin residual
     check_arg(!FlowTraits<Cap>::is_positive(carried - capacity),
               "FlowNetwork::set_capacity: capacity below current flow");
-    arcs_[arc].residual = capacity - carried;
+    Cap remaining = capacity;
+    remaining -= carried;
+    residual_[2 * id] = std::move(remaining);
     capacity_[id] = std::move(capacity);
   }
 
@@ -158,13 +203,13 @@ class FlowNetwork {
   /// along a whole source-to-sink path (the offline engines' networks are
   /// layered, so their paths are the explicit source/job/sink edge triples).
   void retract_flow(EdgeId id, const Cap& amount) {
-    std::size_t arc = edge_arc_.at(id);
-    Arc& forward = arcs_[arc];
-    Arc& twin = arcs_[arc ^ 1];
-    check_arg(!FlowTraits<Cap>::is_positive(amount - twin.residual),
+    check_arg(id < capacity_.size(), "FlowNetwork::retract_flow: unknown edge");
+    Cap& forward = residual_[2 * id];
+    Cap& twin = residual_[2 * id + 1];
+    check_arg(!FlowTraits<Cap>::is_positive(amount - twin),
               "FlowNetwork::retract_flow: amount exceeds edge flow");
-    forward.residual += amount;
-    twin.residual -= amount;
+    forward += amount;
+    twin -= amount;
   }
 
   /// Work counters of the last max_flow()/max_flow_resume() run (zeros before
@@ -172,11 +217,11 @@ class FlowNetwork {
   [[nodiscard]] const FlowKernelStats& kernel_stats() const { return stats_; }
 
   /// Flow routed along edge `id` (only meaningful after max_flow()).
-  [[nodiscard]] Cap flow(EdgeId id) const {
+  [[nodiscard]] const Cap& flow(EdgeId id) const {
     check_internal(solved_, "FlowNetwork::flow before max_flow");
-    std::size_t arc = edge_arc_.at(id);
+    check_arg(id < capacity_.size(), "FlowNetwork::flow: unknown edge");
     // Flow on a forward arc equals the residual capacity accumulated on its twin.
-    return arcs_[arc ^ 1].residual;
+    return residual_[2 * id + 1];
   }
 
   /// The capacity the edge currently has (its creation capacity unless
@@ -190,20 +235,31 @@ class FlowNetwork {
   }
 
   /// Nodes reachable from `source` in the residual graph; the source side of a
-  /// minimum cut (only meaningful after max_flow()).
-  [[nodiscard]] std::vector<bool> min_cut_source_side(std::size_t source) const {
+  /// minimum cut (only meaningful after max_flow()). One row, node_count()
+  /// columns; the DFS stack is arena scratch, the returned bitmap owns its
+  /// words.
+  [[nodiscard]] ActiveBitmap min_cut_source_side(std::size_t source) {
     check_internal(solved_, "FlowNetwork::min_cut_source_side before max_flow");
-    std::vector<bool> reachable(adjacency_.size(), false);
-    std::vector<std::size_t> stack{source};
-    reachable[source] = true;
-    while (!stack.empty()) {
-      std::size_t node = stack.back();
-      stack.pop_back();
-      for (std::size_t arc : adjacency_[node]) {
-        if (FlowTraits<Cap>::is_positive(arcs_[arc].residual) &&
-            !reachable[arcs_[arc].target]) {
-          reachable[arcs_[arc].target] = true;
-          stack.push_back(arcs_[arc].target);
+    check_arg(source < node_count_,
+              "FlowNetwork::min_cut_source_side: node index out of range");
+    ensure_frozen();
+    ActiveBitmap reachable(1, node_count_);
+    std::span<std::uint64_t> bits = reachable.row(0);
+    std::span<std::uint32_t> stack =
+        scratch().template alloc_array<std::uint32_t>(node_count_);
+    std::size_t depth = 0;
+    ActiveBitmap::mask_set(bits, source);
+    stack[depth++] = static_cast<std::uint32_t>(source);
+    while (depth > 0) {
+      std::uint32_t node = stack[--depth];
+      for (std::uint32_t pos = csr_offsets_[node];
+           pos < csr_offsets_[node + 1]; ++pos) {
+        std::uint32_t arc = csr_arcs_[pos];
+        std::uint32_t to = arc_target_[arc];
+        if (FlowTraits<Cap>::is_positive(residual_[arc]) &&
+            !ActiveBitmap::mask_test(bits, to)) {
+          ActiveBitmap::mask_set(bits, to);
+          stack[depth++] = to;
         }
       }
     }
@@ -211,41 +267,73 @@ class FlowNetwork {
   }
 
  private:
-  struct Arc {
-    std::size_t target;
-    Cap residual;
-  };
+  static constexpr std::size_t kMaxIndex =
+      std::numeric_limits<std::uint32_t>::max();
 
   void check_endpoints(std::size_t source, std::size_t sink, const char*) const {
-    check_arg(source < adjacency_.size() && sink < adjacency_.size(),
+    check_arg(source < node_count_ && sink < node_count_,
               "FlowNetwork: node index out of range");
     check_arg(source != sink, "FlowNetwork: source == sink");
   }
 
+  /// An arc's tail node: where its twin points back to.
+  [[nodiscard]] std::uint32_t from_node(std::uint32_t arc) const {
+    return arc_target_[arc ^ 1];
+  }
+
+  [[nodiscard]] Arena& scratch() {
+    if (scratch_arena_ != nullptr) return *scratch_arena_;
+    if (!owned_arena_) owned_arena_ = std::make_unique<Arena>();
+    return *owned_arena_;
+  }
+
+  /// Rebuilds the CSR and re-carves scratch after topology or arena changes.
+  /// The counting sort is stable in arc id, which reproduces the former
+  /// nested-vector per-node ordering exactly (forward and twin arcs appear in
+  /// add_edge order) -- the bit-identity anchor for DFS tie-breaking.
+  void ensure_frozen() {
+    if (frozen_) return;
+    const std::uint32_t nodes = static_cast<std::uint32_t>(node_count_);
+    const std::uint32_t arcs = static_cast<std::uint32_t>(arc_target_.size());
+    Arena& arena = scratch();
+    csr_offsets_.assign(nodes + 1, 0);
+    for (std::uint32_t a = 0; a < arcs; ++a) ++csr_offsets_[from_node(a) + 1];
+    for (std::uint32_t v = 0; v < nodes; ++v) csr_offsets_[v + 1] += csr_offsets_[v];
+    csr_arcs_.resize(arcs);
+    std::span<std::uint32_t> cursor = arena.alloc_array<std::uint32_t>(nodes);
+    std::copy(csr_offsets_.begin(), csr_offsets_.begin() + nodes, cursor.begin());
+    for (std::uint32_t a = 0; a < arcs; ++a) csr_arcs_[cursor[from_node(a)]++] = a;
+    level_ = arena.alloc_array<std::int32_t>(nodes);
+    iter_ = arena.alloc_array<std::uint32_t>(nodes);
+    queue_ = arena.alloc_array<std::uint32_t>(nodes);
+    frozen_ = true;
+  }
+
   /// Net flow currently leaving `source` (forward arcs out minus flow coming
-  /// back in) -- the value a resumed run starts from.
-  Cap current_flow_from(std::size_t source) const {
+  /// back in) -- the value a resumed run starts from. Requires a frozen CSR.
+  [[nodiscard]] Cap current_flow_from(std::uint32_t source) const {
     Cap value = FlowTraits<Cap>::zero();
-    for (std::size_t arc : adjacency_[source]) {
+    for (std::uint32_t pos = csr_offsets_[source];
+         pos < csr_offsets_[source + 1]; ++pos) {
+      std::uint32_t arc = csr_arcs_[pos];
       if ((arc & 1) == 0) {
-        value += arcs_[arc ^ 1].residual;  // flow out on a forward arc
+        value += residual_[arc ^ 1];  // flow out on a forward arc
       } else {
-        value -= arcs_[arc].residual;  // flow in on some edge into source
+        value -= residual_[arc];  // flow in on some edge into source
       }
     }
     return value;
   }
 
   /// The Dinic loop proper: augments from whatever flow the residuals encode.
-  Cap augment(std::size_t source, std::size_t sink) {
+  Cap augment(std::uint32_t source, std::uint32_t sink) {
     Cap total = FlowTraits<Cap>::zero();
     stats_ = FlowKernelStats{};
-    level_.assign(adjacency_.size(), -1);
-    iterator_.assign(adjacency_.size(), 0);
     while (build_levels(source, sink)) {
-      iterator_.assign(adjacency_.size(), 0);
+      std::copy(csr_offsets_.begin(), csr_offsets_.begin() + node_count_,
+                iter_.begin());
       for (;;) {
-        Cap pushed = blocking_path(source, sink, Cap{}, /*unbounded=*/true);
+        Cap pushed = blocking_path(source, sink, nullptr);
         if (!FlowTraits<Cap>::is_positive(pushed)) break;
         ++stats_.augmenting_paths;
         total += pushed;
@@ -254,40 +342,49 @@ class FlowNetwork {
     return total;
   }
 
-  bool build_levels(std::size_t source, std::size_t sink) {
+  bool build_levels(std::uint32_t source, std::uint32_t sink) {
     ++stats_.bfs_rounds;
-    level_.assign(adjacency_.size(), -1);
-    queue_.clear();
-    queue_.push_back(source);
+    std::fill(level_.begin(), level_.end(), std::int32_t{-1});
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    queue_[tail++] = source;
     level_[source] = 0;
-    for (std::size_t head = 0; head < queue_.size(); ++head) {
-      std::size_t node = queue_[head];
-      for (std::size_t arc : adjacency_[node]) {
-        if (level_[arcs_[arc].target] < 0 &&
-            FlowTraits<Cap>::is_positive(arcs_[arc].residual)) {
-          level_[arcs_[arc].target] = level_[node] + 1;
-          queue_.push_back(arcs_[arc].target);
+    while (head < tail) {
+      std::uint32_t node = queue_[head++];
+      std::int32_t next_level = level_[node] + 1;
+      for (std::uint32_t pos = csr_offsets_[node];
+           pos < csr_offsets_[node + 1]; ++pos) {
+        std::uint32_t arc = csr_arcs_[pos];
+        std::uint32_t to = arc_target_[arc];
+        if (level_[to] < 0 && FlowTraits<Cap>::is_positive(residual_[arc])) {
+          level_[to] = next_level;
+          queue_[tail++] = to;
         }
       }
     }
     return level_[sink] >= 0;
   }
 
-  // DFS for one augmenting path within the level graph. `unbounded` marks the root
-  // call where the bottleneck is still unknown.
-  Cap blocking_path(std::size_t node, std::size_t sink, Cap limit, bool unbounded) {
-    if (node == sink) return limit;
-    for (std::size_t& it = iterator_[node]; it < adjacency_[node].size(); ++it) {
-      std::size_t arc = adjacency_[node][it];
-      Arc& forward = arcs_[arc];
-      if (!FlowTraits<Cap>::is_positive(forward.residual)) continue;
-      if (level_[forward.target] != level_[node] + 1) continue;
-      Cap pass = unbounded ? forward.residual
-                           : (forward.residual < limit ? forward.residual : limit);
-      Cap pushed = blocking_path(forward.target, sink, pass, false);
+  // DFS for one augmenting path within the level graph. `limit` is the
+  // bottleneck so far -- a POINTER into residual_ (or a caller's limit),
+  // nullptr at the root where the bottleneck is still unknown. The path's
+  // bottleneck value is copied exactly once, at the sink, instead of once per
+  // recursion level (including failed probes) as a by-value limit would cost;
+  // safe because residuals mutate only on the unwind, after every comparison
+  // against them.
+  Cap blocking_path(std::uint32_t node, std::uint32_t sink, const Cap* limit) {
+    if (node == sink) return *limit;
+    for (std::uint32_t& pos = iter_[node]; pos < csr_offsets_[node + 1]; ++pos) {
+      std::uint32_t arc = csr_arcs_[pos];
+      Cap& residual = residual_[arc];
+      if (!FlowTraits<Cap>::is_positive(residual)) continue;
+      std::uint32_t to = arc_target_[arc];
+      if (level_[to] != level_[node] + 1) continue;
+      const Cap* pass = (limit == nullptr || residual < *limit) ? &residual : limit;
+      Cap pushed = blocking_path(to, sink, pass);
       if (FlowTraits<Cap>::is_positive(pushed)) {
-        forward.residual -= pushed;
-        arcs_[arc ^ 1].residual += pushed;
+        residual -= pushed;
+        residual_[arc ^ 1] += pushed;
         return pushed;
       }
     }
@@ -295,14 +392,24 @@ class FlowNetwork {
     return FlowTraits<Cap>::zero();
   }
 
-  std::vector<std::vector<std::size_t>> adjacency_;  // node -> arc indices
-  std::vector<Arc> arcs_;                            // paired: arc ^ 1 is the twin
-  std::vector<std::size_t> edge_arc_;                // edge id -> forward arc index
-  std::vector<Cap> capacity_;                        // edge id -> current capacity
-  std::vector<int> level_;
-  std::vector<std::size_t> iterator_;
-  std::vector<std::size_t> queue_;
+  std::size_t node_count_ = 0;
+  // SoA arc storage, paired: the forward arc of edge id is 2*id, arc ^ 1 is
+  // the twin. residual_ is the hot array -- every per-arc test in BFS and
+  // blocking-flow reads only it.
+  std::vector<Cap> residual_;
+  std::vector<std::uint32_t> arc_target_;
+  std::vector<Cap> capacity_;  // edge id -> current capacity
+  // Frozen CSR adjacency: arc ids grouped by tail node, insertion-ordered.
+  std::vector<std::uint32_t> csr_offsets_;  // node -> first slot in csr_arcs_
+  std::vector<std::uint32_t> csr_arcs_;
+  // Scratch spans carved from the arena at freeze time.
+  std::span<std::int32_t> level_;
+  std::span<std::uint32_t> iter_;
+  std::span<std::uint32_t> queue_;
+  Arena* scratch_arena_ = nullptr;     // injected; wins over owned_arena_
+  std::unique_ptr<Arena> owned_arena_;  // lazily created when none injected
   FlowKernelStats stats_;
+  bool frozen_ = false;
   bool solved_ = false;
 };
 

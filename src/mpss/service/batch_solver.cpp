@@ -255,6 +255,15 @@ void BatchSolver::execute(Pending pending) {
   obs::emit(nullptr, obs::EventKind::kCounter, "service.done",
             static_cast<std::uint64_t>(result.status), /*b=*/0,
             request_span.elapsed_seconds());
+  // Steady-state memory telemetry (S46): a request whose engine ran entirely
+  // out of this worker's pooled scratch arena -- capacity present, zero
+  // fallback heap blocks -- counts as arena-warm. After each worker's first
+  // request the warm fraction should sit at 1; a drift downwards means the
+  // workload outgrew the pooled capacity.
+  if (result.stats.counters.value("mem.arena_bytes") != 0 &&
+      result.stats.counters.value("mem.fallback_allocs") == 0) {
+    obs::Registry::global().add("service.arena_warm_solves");
+  }
   if (key && result.ok()) {
     std::uint64_t evicted = 0;
     impl_->cache_put(*key, result, &evicted);

@@ -1,0 +1,99 @@
+#include "mpss/util/arena.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mpss {
+
+namespace {
+
+constexpr std::size_t kMinBlockBytes = 4096;
+
+/// Arenas parked between ScopedArena scopes, one free list per thread. The
+/// list is bounded so a burst of nested scopes cannot pin memory forever.
+constexpr std::size_t kMaxPooledPerThread = 8;
+thread_local std::vector<std::unique_ptr<Arena>> t_arena_pool;
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_capacity) {
+  if (initial_capacity > 0) grow(initial_capacity);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t alignment) {
+  check_arg(alignment != 0 && (alignment & (alignment - 1)) == 0 &&
+                alignment <= alignof(std::max_align_t),
+            "Arena::allocate: unsupported alignment");
+  if (bytes == 0) return nullptr;
+  for (;;) {
+    if (current_ < blocks_.size()) {
+      // Block bases are new[]-aligned (>= max_align_t), so aligning the
+      // offset aligns the pointer.
+      std::size_t aligned = (offset_ + alignment - 1) & ~(alignment - 1);
+      if (aligned + bytes <= blocks_[current_].size) {
+        void* out = blocks_[current_].data.get() + aligned;
+        offset_ = aligned + bytes;
+        stats_.used_bytes += bytes;
+        return out;
+      }
+      if (current_ + 1 < blocks_.size()) {
+        // Hop to the next retained block (its head space may fit).
+        ++current_;
+        offset_ = 0;
+        continue;
+      }
+    }
+    grow(bytes);
+  }
+}
+
+void Arena::grow(std::size_t min_bytes) {
+  std::size_t size =
+      std::max(min_bytes, std::max(kMinBlockBytes, stats_.capacity_bytes));
+  blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+  stats_.capacity_bytes += size;
+  ++stats_.fallback_allocs;
+  current_ = blocks_.size() - 1;
+  offset_ = 0;
+}
+
+void Arena::reset() {
+  if (blocks_.size() > 1) {
+    // Fragmented first cycle: coalesce into one block of the total capacity
+    // so steady-state cycles never hop blocks. Not a fallback -- this runs
+    // between solves, not on the allocation hot path.
+    std::size_t total = stats_.capacity_bytes;
+    blocks_.clear();
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(total), total});
+  }
+  if (!blocks_.empty()) ++stats_.reuses;
+  current_ = 0;
+  offset_ = 0;
+  stats_.used_bytes = 0;
+}
+
+void Arena::release() {
+  blocks_.clear();
+  current_ = 0;
+  offset_ = 0;
+  stats_.capacity_bytes = 0;
+  stats_.used_bytes = 0;
+}
+
+ScopedArena::ScopedArena() {
+  if (!t_arena_pool.empty()) {
+    arena_ = std::move(t_arena_pool.back());
+    t_arena_pool.pop_back();
+  } else {
+    arena_ = std::make_unique<Arena>();
+  }
+}
+
+ScopedArena::~ScopedArena() {
+  arena_->reset();
+  if (t_arena_pool.size() < kMaxPooledPerThread) {
+    t_arena_pool.push_back(std::move(arena_));
+  }
+}
+
+}  // namespace mpss

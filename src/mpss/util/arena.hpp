@@ -1,0 +1,132 @@
+#pragma once
+// Monotonic, reusable scratch arena (substrate S46, see DESIGN.md).
+//
+// The flow kernel and the offline engines burn their time in short-lived,
+// fixed-shape scratch: BFS level/iterator/queue arrays, min-cut bitmaps,
+// per-round interval tables. Allocating those from the general heap costs a
+// malloc per array per solve and scatters them across the address space; the
+// arena hands out bump-pointer slices from a few large blocks instead, and
+// reset() rewinds to empty while KEEPING the blocks, so a warm-started round
+// or a repeat service request touches the allocator not at all.
+//
+// Lifetime rules:
+//   * allocate()/alloc_array() slices live until the next reset() -- never
+//     free them individually.
+//   * Only trivially-destructible element types may be placed in the arena
+//     (alloc_array enforces this statically); non-trivial scratch such as
+//     Rational temporaries is handled by eliminating the temporaries (the
+//     fused in-place ops), not by arena-placing them.
+//   * reset() is the owner's call (ScopedArena's destructor); borrowers like
+//     FlowNetwork::set_scratch_arena never reset, they only carve.
+//
+// ScopedArena pools arenas per thread: acquisition pops a warmed arena from a
+// thread_local free list, destruction rewinds and returns it. BatchSolver
+// workers therefore reuse one arena per thread across requests for free, with
+// no cross-thread sharing (TSan-clean by construction).
+//
+// Accounting (surfaced as mem.* counters through SolveStats -> Registry):
+//   capacity_bytes  -- heap memory the arena currently owns
+//   used_bytes      -- payload handed out since the last reset
+//   reuses          -- resets that rewound retained capacity (warm cycles)
+//   fallback_allocs -- heap blocks ever grabbed because capacity ran out;
+//                      a steady-state solve must not move this.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+class Arena {
+ public:
+  struct Stats {
+    std::size_t capacity_bytes = 0;
+    std::size_t used_bytes = 0;
+    std::uint64_t reuses = 0;
+    std::uint64_t fallback_allocs = 0;
+  };
+
+  Arena() = default;
+  /// Pre-grows one block of at least `initial_capacity` bytes.
+  explicit Arena(std::size_t initial_capacity);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `alignment` (a power of two, at most
+  /// alignof(std::max_align_t)). Grows by appending a block -- counted as a
+  /// fallback -- when the retained capacity is exhausted. Returns nullptr for
+  /// a zero-byte request.
+  void* allocate(std::size_t bytes, std::size_t alignment);
+
+  /// Typed slice of `count` elements, uninitialized. T must be trivially
+  /// destructible AND trivially copyable: the arena never runs destructors,
+  /// and reset() abandons contents wholesale.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_copyable_v<T>,
+                  "Arena holds trivially-destructible POD scratch only");
+    T* data = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    return {data, count};
+  }
+
+  /// Typed slice with every element set to `fill`.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc_array(std::size_t count, const T& fill) {
+    std::span<T> out = alloc_array<T>(count);
+    for (T& value : out) value = fill;
+    return out;
+  }
+
+  /// Rewinds to empty, keeping capacity. Multiple blocks are coalesced into
+  /// one so the following cycle bump-allocates without block hops.
+  void reset();
+
+  /// Frees every block (capacity_bytes drops to 0); stats counters persist.
+  void release();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Appends a block of at least `min_bytes` (doubling policy), making it
+  /// current. Counted in fallback_allocs.
+  void grow(std::size_t min_bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  // block being carved
+  std::size_t offset_ = 0;   // within blocks_[current_]
+  Stats stats_;
+};
+
+/// RAII handle on a pooled per-thread arena: construction pops a warmed arena
+/// from this thread's free list (or creates a cold one), destruction rewinds
+/// it and returns it to the list. One solve = one ScopedArena; nesting is
+/// fine (inner scopes get their own arena).
+class ScopedArena {
+ public:
+  ScopedArena();
+  ~ScopedArena();
+
+  ScopedArena(const ScopedArena&) = delete;
+  ScopedArena& operator=(const ScopedArena&) = delete;
+
+  [[nodiscard]] Arena& operator*() const { return *arena_; }
+  [[nodiscard]] Arena* operator->() const { return arena_.get(); }
+  [[nodiscard]] Arena* get() const { return arena_.get(); }
+
+ private:
+  std::unique_ptr<Arena> arena_;
+};
+
+}  // namespace mpss

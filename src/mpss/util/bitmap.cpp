@@ -1,0 +1,54 @@
+#include "mpss/util/bitmap.hpp"
+
+#include <bit>
+
+#include "mpss/util/error.hpp"
+
+namespace mpss {
+
+ActiveBitmap::ActiveBitmap(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), row_words_(words_for(cols)),
+      words_(rows * row_words_, 0) {}
+
+void ActiveBitmap::set(std::size_t row, std::size_t col) {
+  check_arg(row < rows_ && col < cols_, "ActiveBitmap::set: index out of range");
+  words_[row * row_words_ + col / 64] |= std::uint64_t{1} << (col % 64);
+}
+
+bool ActiveBitmap::test(std::size_t row, std::size_t col) const {
+  check_arg(row < rows_ && col < cols_, "ActiveBitmap::test: index out of range");
+  return (words_[row * row_words_ + col / 64] >> (col % 64)) & 1;
+}
+
+std::size_t ActiveBitmap::row_popcount(std::size_t row) const {
+  check_arg(row < rows_, "ActiveBitmap::row_popcount: row out of range");
+  std::size_t count = 0;
+  const std::uint64_t* base = words_.data() + row * row_words_;
+  for (std::size_t w = 0; w < row_words_; ++w) count += std::popcount(base[w]);
+  return count;
+}
+
+std::size_t ActiveBitmap::row_and_popcount(
+    std::size_t row, std::span<const std::uint64_t> mask) const {
+  check_arg(row < rows_, "ActiveBitmap::row_and_popcount: row out of range");
+  check_arg(mask.size() == row_words_,
+            "ActiveBitmap::row_and_popcount: mask width mismatch");
+  std::size_t count = 0;
+  const std::uint64_t* base = words_.data() + row * row_words_;
+  for (std::size_t w = 0; w < row_words_; ++w) {
+    count += std::popcount(base[w] & mask[w]);
+  }
+  return count;
+}
+
+std::span<std::uint64_t> ActiveBitmap::row(std::size_t row) {
+  check_arg(row < rows_, "ActiveBitmap::row: row out of range");
+  return {words_.data() + row * row_words_, row_words_};
+}
+
+std::span<const std::uint64_t> ActiveBitmap::row(std::size_t row) const {
+  check_arg(row < rows_, "ActiveBitmap::row: row out of range");
+  return {words_.data() + row * row_words_, row_words_};
+}
+
+}  // namespace mpss

@@ -1,0 +1,69 @@
+#pragma once
+// Word-packed bitmaps shared across layers (substrate S46, see DESIGN.md).
+//
+// ActiveBitmap started life in core/intervals as the offline engines' job-
+// activity matrix; the flow kernel's min-cut now returns one too (a single
+// row over the node set), so the class lives here where both can reach it
+// without core depending on flow or vice versa.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mpss {
+
+/// Dense 2D bit matrix in 64-bit words, rows packed contiguously. The offline
+/// engines keep job activity as one ActiveBitmap with a row per atomic
+/// interval and a column per job, so the per-round "how many candidates are
+/// active in I_j" recount collapses into word-ANDs with the candidate mask
+/// plus popcounts. FlowNetwork::min_cut_source_side returns a 1-row bitmap
+/// over the node set.
+class ActiveBitmap {
+ public:
+  ActiveBitmap() = default;
+  ActiveBitmap(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  /// Words per row (= words_for(cols())); the width masks must have.
+  [[nodiscard]] std::size_t row_words() const { return row_words_; }
+
+  void set(std::size_t row, std::size_t col);
+  [[nodiscard]] bool test(std::size_t row, std::size_t col) const;
+
+  /// Number of set bits in `row`.
+  [[nodiscard]] std::size_t row_popcount(std::size_t row) const;
+
+  /// Number of set bits in `row & mask`; `mask` must hold row_words() words.
+  [[nodiscard]] std::size_t row_and_popcount(
+      std::size_t row, std::span<const std::uint64_t> mask) const;
+
+  /// Raw word storage of `row` -- lets hot loops use the static mask_* ops
+  /// (no per-bit bounds check) and word-granular scans on a row they own.
+  [[nodiscard]] std::span<std::uint64_t> row(std::size_t row);
+  [[nodiscard]] std::span<const std::uint64_t> row(std::size_t row) const;
+
+  /// Words needed for a `bits`-wide standalone mask (candidate sets).
+  [[nodiscard]] static std::size_t words_for(std::size_t bits) {
+    return (bits + 63) / 64;
+  }
+  static void mask_set(std::span<std::uint64_t> mask, std::size_t bit) {
+    mask[bit / 64] |= std::uint64_t{1} << (bit % 64);
+  }
+  static void mask_clear(std::span<std::uint64_t> mask, std::size_t bit) {
+    mask[bit / 64] &= ~(std::uint64_t{1} << (bit % 64));
+  }
+  [[nodiscard]] static bool mask_test(std::span<const std::uint64_t> mask,
+                                      std::size_t bit) {
+    return (mask[bit / 64] >> (bit % 64)) & 1;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t row_words_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mpss

@@ -86,18 +86,77 @@ Rational Rational::inverse() const {
   return Rational(den_, num_);
 }
 
-Rational& Rational::operator+=(const Rational& rhs) {
-  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+namespace {
+
+/// True when every part of both operands is on BigInt's inline-int64 path
+/// (and the test hook isn't forcing the limb representation).
+inline bool all_small(const Rational& lhs, const Rational& rhs) {
+  return lhs.num().is_small() && lhs.den().is_small() && rhs.num().is_small() &&
+         rhs.den().is_small() && !BigInt::test_force_big();
+}
+
+}  // namespace
+
+Rational& Rational::fused_add_sub(const Rational& rhs, bool subtract) {
+  if (all_small(*this, rhs)) {
+    // Fused small path: cross products, combine, and gcd all on int64 with
+    // overflow-checked builtins -- no BigInt temporaries, one counter bump.
+    // Operands are canonical (den > 0), so the result denominator is positive
+    // whenever its product doesn't overflow.
+    const std::int64_t ln = num_.small_value();
+    const std::int64_t ld = den_.small_value();
+    const std::int64_t rn = rhs.num_.small_value();
+    const std::int64_t rd = rhs.den_.small_value();
+    std::int64_t cross_l = 0;
+    std::int64_t cross_r = 0;
+    std::int64_t den = 0;
+    std::int64_t num = 0;
+    if (!__builtin_mul_overflow(ln, rd, &cross_l) &&
+        !__builtin_mul_overflow(rn, ld, &cross_r) &&
+        !__builtin_mul_overflow(ld, rd, &den) &&
+        !(subtract ? __builtin_sub_overflow(cross_l, cross_r, &num)
+                   : __builtin_add_overflow(cross_l, cross_r, &num))) {
+      if (num == 0) {
+        num_ = BigInt();
+        den_ = BigInt(1);
+        ++numeric_counters().rational_norm_small;
+        return *this;
+      }
+      if (num != std::numeric_limits<std::int64_t>::min()) {
+        ++numeric_counters().rational_norm_small;
+        std::uint64_t g = BigInt::gcd_u64(
+            num < 0 ? static_cast<std::uint64_t>(-num)
+                    : static_cast<std::uint64_t>(num),
+            static_cast<std::uint64_t>(den));
+        if (g != 1) {
+          num /= static_cast<std::int64_t>(g);
+          den /= static_cast<std::int64_t>(g);
+        }
+        num_ = BigInt(num);
+        den_ = BigInt(den);
+        return *this;
+      }
+      // num == INT64_MIN: representable, but normalize()'s negation-free
+      // small path excludes it. Store and take the generic reduction.
+      num_ = BigInt(num);
+      den_ = BigInt(den);
+      normalize();
+      return *this;
+    }
+  }
+  num_ = subtract ? num_ * rhs.den_ - rhs.num_ * den_
+                  : num_ * rhs.den_ + rhs.num_ * den_;
   den_ *= rhs.den_;
   normalize();
   return *this;
 }
 
-Rational& Rational::operator-=(const Rational& rhs) {
-  num_ = num_ * rhs.den_ - rhs.num_ * den_;
-  den_ *= rhs.den_;
-  normalize();
-  return *this;
+Rational& Rational::add_assign(const Rational& rhs) {
+  return fused_add_sub(rhs, /*subtract=*/false);
+}
+
+Rational& Rational::sub_assign(const Rational& rhs) {
+  return fused_add_sub(rhs, /*subtract=*/true);
 }
 
 Rational& Rational::operator*=(const Rational& rhs) {
@@ -115,9 +174,21 @@ Rational& Rational::operator/=(const Rational& rhs) {
   return *this;
 }
 
-std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) {
+int Rational::compare(const Rational& rhs) const {
   // Denominators are positive, so cross-multiplication preserves order.
-  return lhs.num_ * rhs.den_ <=> rhs.num_ * lhs.den_;
+  if (all_small(*this, rhs)) {
+    // 128-bit cross products: no overflow cases, no BigInt construction.
+    const __int128 lhs_cross =
+        static_cast<__int128>(num_.small_value()) * rhs.den_.small_value();
+    const __int128 rhs_cross =
+        static_cast<__int128>(rhs.num_.small_value()) * den_.small_value();
+    return static_cast<int>(lhs_cross > rhs_cross) -
+           static_cast<int>(lhs_cross < rhs_cross);
+  }
+  BigInt lhs_cross = num_ * rhs.den_;
+  BigInt rhs_cross = rhs.num_ * den_;
+  auto order = lhs_cross <=> rhs_cross;
+  return order < 0 ? -1 : (order > 0 ? 1 : 0);
 }
 
 BigInt Rational::floor() const {

@@ -53,8 +53,30 @@ class Rational {
   /// Reciprocal; throws std::domain_error when zero.
   [[nodiscard]] Rational inverse() const;
 
-  Rational& operator+=(const Rational& rhs);
-  Rational& operator-=(const Rational& rhs);
+  /// Fused in-place sum/difference (the flow kernel's augment/retract
+  /// primitives). When all four parts fit machine words the cross products,
+  /// the combine, and the gcd reduction run on int64 with overflow-checked
+  /// builtins and ZERO BigInt temporaries; otherwise this is the classic
+  /// cross-multiply-and-normalize. Result is canonical either way, so values
+  /// are bit-identical to the operator chain they replace. operator+=/-=
+  /// delegate here.
+  Rational& add_assign(const Rational& rhs);
+  Rational& sub_assign(const Rational& rhs);
+
+  /// `*this = min(*this, other)` without constructing a temporary (uses
+  /// compare(), so no cross-product BigInts on the small path).
+  void min_in_place(const Rational& other) {
+    if (other.compare(*this) < 0) *this = other;
+  }
+
+  /// Three-way compare (-1/0/+1) without materializing cross products: both
+  /// denominators are positive by invariant, so on the small path the two
+  /// int64 cross products are compared in 128-bit arithmetic with no BigInt
+  /// construction and no normalization. operator<=> delegates here.
+  [[nodiscard]] int compare(const Rational& rhs) const;
+
+  Rational& operator+=(const Rational& rhs) { return add_assign(rhs); }
+  Rational& operator-=(const Rational& rhs) { return sub_assign(rhs); }
   Rational& operator*=(const Rational& rhs);
   /// Throws std::domain_error on division by zero.
   Rational& operator/=(const Rational& rhs);
@@ -67,7 +89,12 @@ class Rational {
   friend bool operator==(const Rational& lhs, const Rational& rhs) {
     return lhs.num_ == rhs.num_ && lhs.den_ == rhs.den_;
   }
-  friend std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs);
+  friend std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) {
+    int order = lhs.compare(rhs);
+    if (order < 0) return std::strong_ordering::less;
+    if (order > 0) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
 
   /// Largest integer <= value.
   [[nodiscard]] BigInt floor() const;
@@ -85,6 +112,7 @@ class Rational {
 
  private:
   void normalize();
+  Rational& fused_add_sub(const Rational& rhs, bool subtract);
 
   BigInt num_;
   BigInt den_;

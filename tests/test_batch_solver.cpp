@@ -284,6 +284,31 @@ TEST(BatchSolver, ServiceCountersFlowThroughTheRegistry) {
   obs::Registry::global().reset();
 }
 
+TEST(BatchSolver, WorkerArenasWarmUpAcrossRequests) {
+  // Each pool worker owns a thread-pooled scratch arena (S46). The first
+  // request a worker handles may grow it; every later request of comparable
+  // shape must run allocation-free, which execute() records as
+  // service.arena_warm_solves. With 2 workers and 12 uncached requests, at
+  // most 2 cold solves are excused.
+  obs::Registry::global().reset();
+  constexpr std::size_t kRequests = 12;
+  {
+    BatchSolver service(BatchSolverOptions{.threads = 2, .queue_capacity = 0,
+                                           .cache_capacity = 0});
+    Instance instance = test_instance(5);  // one shape: warm after one solve
+    std::vector<Submission> submissions;
+    for (std::uint64_t seed = 1; seed <= kRequests; ++seed) {
+      submissions.push_back(service.submit({instance, SolveOptions{}}));
+    }
+    for (Submission& submission : submissions) {
+      ASSERT_TRUE(submission.future.get().ok());
+    }
+  }
+  obs::Counters counters = obs::Registry::global().snapshot();
+  EXPECT_GE(counters.value("service.arena_warm_solves"), kRequests - 2);
+  obs::Registry::global().reset();
+}
+
 TEST(Fingerprint, StableAcrossCopiesAndSensitiveToInputs) {
   Instance instance = test_instance(9);
   SolveOptions options;

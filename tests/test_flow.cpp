@@ -135,11 +135,13 @@ TEST(Flow, MinCutSeparatesSourceFromSink) {
   net.add_edge(v + 1, v + 2, 1);  // the cut
   net.add_edge(v + 2, v + 3, 100);
   EXPECT_EQ(net.max_flow(v + 0, v + 3), 1);
-  auto cut = net.min_cut_source_side(v + 0);
-  EXPECT_TRUE(cut[v + 0]);
-  EXPECT_TRUE(cut[v + 1]);
-  EXPECT_FALSE(cut[v + 2]);
-  EXPECT_FALSE(cut[v + 3]);
+  ActiveBitmap cut = net.min_cut_source_side(v + 0);
+  ASSERT_EQ(cut.rows(), 1u);
+  ASSERT_EQ(cut.cols(), net.node_count());
+  EXPECT_TRUE(cut.test(0, v + 0));
+  EXPECT_TRUE(cut.test(0, v + 1));
+  EXPECT_FALSE(cut.test(0, v + 2));
+  EXPECT_FALSE(cut.test(0, v + 3));
 }
 
 TEST(Flow, FlowConservationOnRandomBipartiteGraphs) {
@@ -180,9 +182,9 @@ TEST(Flow, FlowConservationOnRandomBipartiteGraphs) {
     EXPECT_EQ(into_sink, value);
     // Max-flow == min-cut: every edge from the cut's source side to the sink side
     // is saturated.
-    auto side = net.min_cut_source_side(s);
-    EXPECT_TRUE(side[s]);
-    EXPECT_FALSE(side[t]);
+    ActiveBitmap side = net.min_cut_source_side(s);
+    EXPECT_TRUE(side.test(0, s));
+    EXPECT_FALSE(side.test(0, t));
   }
 }
 

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -426,6 +427,14 @@ TEST(SolveServer, DisconnectCancelsOutstandingWork) {
   options.service.threads = 1;  // one worker: requests queue behind each other
   SolveServer server(std::move(options));
 
+  // Big enough that the lone worker cannot drain the queue in the gap between
+  // the client vanishing and the reader thread observing EOF -- the S46 kernel
+  // made heavy_instance-sized solves fast enough to lose that race.
+  auto slow_instance = [](std::uint64_t seed) {
+    return generate_uniform({.jobs = 96, .machines = 4, .horizon = 96,
+                             .max_window = 10, .max_work = 8}, seed);
+  };
+
   std::uint64_t cancelled_before =
       obs::Registry::global().snapshot().value("net.cancelled_on_disconnect");
   {
@@ -434,7 +443,7 @@ TEST(SolveServer, DisconnectCancelsOutstandingWork) {
       Request request;
       request.id = i + 1;
       request.verb = Verb::kSolve;
-      request.instances.push_back(heavy_instance(i + 10));
+      request.instances.push_back(slow_instance(i + 10));
       write_frame(raw.get(), encode_request(request));
     }
     // Wait until the reader has ingested at least one frame, then vanish.
@@ -442,11 +451,17 @@ TEST(SolveServer, DisconnectCancelsOutstandingWork) {
     ASSERT_TRUE(read_frame(raw.get(), payload));
   }  // raw closes: the daemon should cancel whatever is still pending
 
+  // The reader notices EOF asynchronously; give it a bounded window (it only
+  // needs one scheduling slice) before tearing the server down.
+  std::uint64_t cancelled_after = cancelled_before;
+  for (int spin = 0; spin < 400 && cancelled_after == cancelled_before; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    cancelled_after =
+        obs::Registry::global().snapshot().value("net.cancelled_on_disconnect");
+  }
   // Shutdown completes promptly because the abandoned solves stop at their
   // next checkpoint instead of running to completion.
   server.shutdown();
-  std::uint64_t cancelled_after =
-      obs::Registry::global().snapshot().value("net.cancelled_on_disconnect");
   EXPECT_GT(cancelled_after, cancelled_before);
 }
 

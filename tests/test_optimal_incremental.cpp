@@ -232,5 +232,42 @@ TEST(OptimalIncremental, SolveFacadePublishesFlowCountersToRegistry) {
   EXPECT_EQ(fast_result.stats.counters.value("flow.warm_starts"), 0u);
 }
 
+TEST(OptimalIncremental, ArenaCountersSurfaceThroughStats) {
+  Instance instance = removal_heavy_instance();
+  auto result = run_exact(instance, true);
+  // The engine routed its scratch through the pooled arena and reported how
+  // much it carved out of it.
+  EXPECT_GT(result.stats.counters.value("mem.arena_bytes"), 0u);
+}
+
+TEST(OptimalIncremental, SteadyStateWarmRoundsAreAllocationFree) {
+  // The S46 pin: once a thread's pooled arena is warmed by one solve, every
+  // subsequent solve of comparable shape must run without grabbing a single
+  // new heap block (mem.fallback_allocs == 0) and must actually be reusing the
+  // pooled arena (mem.arena_reuses counts rewinds at scope release, so the
+  // second solve observes at least one).
+  Instance instance = removal_heavy_instance();
+  (void)run_exact(instance, true);  // cold solve: warms this thread's pool
+  for (int round = 0; round < 3; ++round) {
+    auto warm = run_exact(instance, true);
+    EXPECT_EQ(warm.stats.counters.value("mem.fallback_allocs"), 0u)
+        << "steady-state round " << round << " fell back to the heap";
+    EXPECT_GE(warm.stats.counters.value("mem.arena_reuses"), 1u);
+    EXPECT_GT(warm.stats.counters.value("mem.arena_bytes"), 0u);
+  }
+}
+
+TEST(OptimalIncremental, SteadyStateHoldsOnCorpusInstances) {
+  for (const std::string& name : corpus_names()) {
+    Instance instance =
+        load_instance(std::string(MPSS_DATA_DIR) + "/" + name + ".instance.csv");
+    (void)run_exact(instance, true);  // warm the pool for this shape
+    auto warm = run_exact(instance, true);
+    EXPECT_EQ(warm.stats.counters.value("mem.fallback_allocs"), 0u)
+        << name << ": warm corpus solve allocated outside the pooled arena";
+    EXPECT_GE(warm.stats.counters.value("mem.arena_reuses"), 1u) << name;
+  }
+}
+
 }  // namespace
 }  // namespace mpss

@@ -10,6 +10,8 @@
 //     engines -- the paper's phase structure read straight off the trace,
 //   * a warm-start summary (resumed flow rounds and their BFS passes) when the
 //     offline engines ran incrementally,
+//   * an arena-memory summary (scratch capacity, fallback heap blocks, warm
+//     reuse cycles) when the engines emitted "<engine>.arena" events,
 //   * a simplex summary when LP pivots are present,
 //   * a service table (requests by SolveStatus, cache hits/misses/evictions)
 //     when BatchSolver events are present,
@@ -146,6 +148,40 @@ void warm_start_table(const std::vector<TraceEvent>& events, bool csv) {
   Table table({"engine", "resumes", "resume_bfs"});
   for (const auto& [engine, row] : engines) {
     table.row(engine, row.resumes, static_cast<std::size_t>(row.resume_bfs));
+  }
+  print_table(table, csv);
+}
+
+void memory_table(const std::vector<TraceEvent>& events, bool csv) {
+  // The offline engines emit one "<engine>.arena" kCounter event per solve
+  // (a = arena capacity bytes, b = fallback heap blocks this solve, value =
+  // cumulative warm reuse cycles of the pooled arena). A warm solve shows
+  // fallbacks == 0; capacity is the high-water scratch footprint.
+  struct MemRow {
+    std::size_t solves = 0;
+    std::size_t arena_bytes = 0;  // max over solves
+    std::size_t fallbacks = 0;    // summed over solves
+    double reuses = 0.0;          // max (the counter is cumulative)
+  };
+  std::map<std::string, MemRow> engines;
+  for (const TraceEvent& event : events) {
+    if (event.kind != EventKind::kCounter) continue;
+    const std::string& label = event.label;
+    if (label.size() < 6 || label.compare(label.size() - 6, 6, ".arena") != 0) {
+      continue;
+    }
+    MemRow& row = engines[label_prefix(label)];
+    ++row.solves;
+    row.arena_bytes = std::max(row.arena_bytes, static_cast<std::size_t>(event.a));
+    row.fallbacks += static_cast<std::size_t>(event.b);
+    row.reuses = std::max(row.reuses, event.value);
+  }
+  if (engines.empty()) return;
+  std::cout << "arena memory\n";
+  Table table({"engine", "solves", "arena_bytes", "fallback_allocs", "reuses"});
+  for (const auto& [engine, row] : engines) {
+    table.row(engine, row.solves, row.arena_bytes, row.fallbacks,
+              static_cast<std::size_t>(row.reuses));
   }
   print_table(table, csv);
 }
@@ -467,6 +503,7 @@ int main(int argc, char** argv) {
     kind_summary(events, csv);
     phase_tables(events, csv);
     warm_start_table(events, csv);
+    memory_table(events, csv);
     simplex_table(events, csv);
     service_table(events, csv);
     net_table(events, csv);
