@@ -16,6 +16,8 @@
 
 #include "mpss/net/client.hpp"
 #include "mpss/net/server.hpp"
+#include "mpss/obs/registry.hpp"
+#include "mpss/obs/ring_sink.hpp"
 #include "mpss/workload/generators.hpp"
 
 namespace {
@@ -69,6 +71,74 @@ void BM_ServerCacheHit(benchmark::State& state) {
   server.shutdown();
 }
 BENCHMARK(BM_ServerCacheHit)->UseRealTime();
+
+/// Traced serving (S47): same loopback round trips as BM_ServerColdSolve /
+/// BM_ServerCacheHit, but with a RingSink attached to the global registry --
+/// so the client mints a trace id and opens client.solve spans, the context
+/// travels on the wire, and the daemon opens its net.request/service.request/
+/// engine span chain per request. The acceptance gate compares these against
+/// their untraced siblings (<=10% overhead); the ring is drained outside the
+/// timed loop so the measurement is the tracing hot path, not I/O.
+void BM_ServerTraced(benchmark::State& state) {
+  obs::RingSink ring(1u << 16);
+  obs::Registry::global().attach_sink(&ring);
+  std::size_t events = 0;
+  {
+    net::SolveServer server(server_options(/*cache_capacity=*/0));
+    net::SolveClient client("127.0.0.1", server.port());
+    Instance instance = bench_instance(64, 4, 1);
+    // Warm-up lap: the ring allocates its per-thread buffers on each thread's
+    // first record, which must not land in the timed region.
+    (void)client.solve(instance);
+    (void)ring.drain();
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(client.solve(instance));
+      // One solve emits a few thousand engine events; drain between laps
+      // (outside the timed region) so the ring never fills and the timed
+      // path is always the lock-free record fast path.
+      state.PauseTiming();
+      events += ring.drain().size();
+      state.ResumeTiming();
+    }
+    server.shutdown();
+  }
+  obs::Registry::global().attach_sink(nullptr);
+  state.counters["events_per_solve"] = benchmark::Counter(
+      static_cast<double>(events) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ServerTraced)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Traced cache hit: the protocol-floor sibling of BM_ServerCacheHit. With the
+/// engine out of the picture every span open/close and the trace-context JSON
+/// member show up directly, so this is the honest upper bound on the relative
+/// cost of tracing a request. A cache hit emits ~10 events, so the ring never
+/// fills within a run and no in-loop drain is needed.
+void BM_ServerTracedCacheHit(benchmark::State& state) {
+  obs::RingSink ring(1u << 16);
+  obs::Registry::global().attach_sink(&ring);
+  {
+    net::SolveServer server(server_options(/*cache_capacity=*/8));
+    net::SolveClient client("127.0.0.1", server.port());
+    Instance instance = bench_instance(64, 4, 1);
+    (void)client.solve(instance);  // warm the cache outside the timed loop
+    std::size_t lap = 0;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(client.solve(instance));
+      // Amortized housekeeping: empty the ring once per 4096 laps so long
+      // autoscaled runs never fill it (Pause/Resume is too costly per-lap at
+      // this microsecond scale).
+      if ((++lap & 0xFFF) == 0) {
+        state.PauseTiming();
+        (void)ring.drain();
+        state.ResumeTiming();
+      }
+    }
+    server.shutdown();
+  }
+  obs::Registry::global().attach_sink(nullptr);
+  (void)ring.drain();
+}
+BENCHMARK(BM_ServerTracedCacheHit)->UseRealTime();
 
 /// Corpus throughput by connection count: N clients pipeline independent
 /// slices of the corpus through one daemon (solve_many per slice, one round

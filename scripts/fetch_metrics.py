@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Fetch a Prometheus exposition document from a metrics endpoint, raw-socket.
+
+    scripts/fetch_metrics.py HOST:PORT [--require METRIC [--require ...]]
+
+Speaks one HTTP/1.0 GET /metrics exchange against the mpss_served
+--metrics-port listener (stdlib socket only -- no requests/urllib3 dependency,
+and it exercises the daemon's actual byte-level framing the way a stock
+scraper would). Prints the body to stdout. Exit codes:
+
+    0  200 response; every --require METRIC is present with a nonzero value
+    1  usage error
+    2  connect/transport failure or non-200 response
+    3  a required metric is missing or zero
+
+CI uses this to assert the scrape endpoint serves real counters
+(e.g. --require mpss_net_requests_total after driving solves through the
+daemon).
+"""
+
+import socket
+import sys
+
+
+def fetch(host: str, port: int) -> str:
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n")
+        chunks = []
+        while True:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    response = b"".join(chunks).decode("utf-8", errors="replace")
+    head, sep, body = response.partition("\r\n\r\n")
+    if not sep:
+        raise RuntimeError(f"no header/body separator in response: {response!r:.120}")
+    status = head.split("\r\n", 1)[0]
+    if " 200 " not in status:
+        raise RuntimeError(f"non-200 response: {status}")
+    return body
+
+
+def metric_value(body: str, name: str) -> float:
+    """Largest sample value for `name` (samples may repeat with labels)."""
+    best = None
+    for line in body.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        sample, _, value = line.rpartition(" ")
+        base = sample.split("{", 1)[0]
+        if base == name:
+            best = max(best or 0.0, float(value))
+    if best is None:
+        raise KeyError(name)
+    return best
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    if not args or ":" not in args[0]:
+        print(__doc__, file=sys.stderr)
+        return 1
+    host, _, port_text = args[0].rpartition(":")
+    required = []
+    rest = args[1:]
+    while rest:
+        if rest[0] != "--require" or len(rest) < 2:
+            print(__doc__, file=sys.stderr)
+            return 1
+        required.append(rest[1])
+        rest = rest[2:]
+
+    try:
+        body = fetch(host, int(port_text))
+    except (OSError, RuntimeError, ValueError) as error:
+        print(f"fetch_metrics: {error}", file=sys.stderr)
+        return 2
+
+    sys.stdout.write(body)
+    for name in required:
+        try:
+            value = metric_value(body, name)
+        except KeyError:
+            print(f"fetch_metrics: required metric {name} is absent", file=sys.stderr)
+            return 3
+        if value == 0:
+            print(f"fetch_metrics: required metric {name} is zero", file=sys.stderr)
+            return 3
+        print(f"fetch_metrics: {name} = {value}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,8 +7,12 @@
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <utility>
+
+#include "mpss/obs/registry.hpp"
+#include "mpss/obs/span.hpp"
 
 namespace mpss::net {
 namespace {
@@ -50,6 +54,21 @@ Response SolveClient::roundtrip(Request request) {
     throw std::runtime_error("SolveClient: connection is closed");
   }
   request.id = next_id_++;
+  // Trace context: reuse the caller's trace id when one is active; otherwise,
+  // if this process traces at all (a sink is installed), start a fresh trace
+  // so the server's spans still join up under this round trip. Untraced
+  // processes skip all of this and the wire document stays header-free.
+  std::uint64_t trace_id = obs::current_trace().trace_id;
+  std::optional<obs::TraceContextScope> fresh_trace;
+  if (trace_id == 0 && obs::Registry::global().sink() != nullptr) {
+    trace_id = obs::Registry::global().next_trace_id();
+    fresh_trace.emplace(obs::TraceContext{trace_id, 0, 0});
+  }
+  obs::SpanScope span(nullptr, "client.solve");
+  if (span.active() && trace_id != 0) {
+    request.trace_id = trace_id;
+    request.parent_span = span.id();
+  }
   write_frame(fd_.get(), encode_request(request), max_frame_bytes_);
   if (!read_frame(fd_.get(), buffer_, max_frame_bytes_)) {
     throw FrameError("SolveClient: server closed the connection");
@@ -114,6 +133,12 @@ json::Value SolveClient::health() {
   Request request;
   request.verb = Verb::kHealth;
   return roundtrip(std::move(request)).payload.at("health");
+}
+
+std::string SolveClient::metrics() {
+  Request request;
+  request.verb = Verb::kMetrics;
+  return roundtrip(std::move(request)).payload.at("metrics").as_string();
 }
 
 json::Value SolveClient::request_shutdown() {

@@ -18,6 +18,14 @@
 // ProtocolError carrying the wire ErrorCode. Solve-level failures do NOT
 // throw -- they come back as the result's status + error_detail, exactly as
 // the facade reports them.
+//
+// Distributed tracing: when the process has a trace sink installed, every
+// round trip runs inside a "client.solve" span and the protocol request
+// carries that span's id plus the active trace id (allocating a fresh one
+// when the caller has none), so the daemon's spans parent under the client's
+// and `mpss_trace --chrome client.jsonl server.jsonl` joins the two sides
+// into one tree. With no sink the request carries no trace header and the
+// wire bytes are identical to an untraced build.
 
 #include <cstdint>
 #include <span>
@@ -62,6 +70,10 @@ class SolveClient {
 
   /// The daemon's health payload ({"status":"ok","protocol":1}).
   [[nodiscard]] json::Value health();
+
+  /// The daemon's metrics in Prometheus text exposition format (the same
+  /// document `GET /metrics` serves when --metrics-port is enabled).
+  [[nodiscard]] std::string metrics();
 
   /// Asks the daemon to drain and exit. Returns its ack payload; the daemon
   /// finishes every accepted request (including this connection's earlier

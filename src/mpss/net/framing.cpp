@@ -1,5 +1,7 @@
 #include "mpss/net/framing.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -106,6 +108,44 @@ void write_frame(int fd, std::string_view payload, std::size_t max_bytes) {
     }
     done += static_cast<std::size_t>(n);
   }
+}
+
+ScopedFd bind_listen_ipv4(const std::string& host, std::uint16_t port,
+                          std::string_view who) {
+  const std::string name(who);
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw std::runtime_error(name + ": socket failed: " + std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    throw std::runtime_error(name + ": '" + host +
+                             "' is not a numeric IPv4 address");
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+             sizeof address) != 0) {
+    throw std::runtime_error(name + ": bind to " + host + ":" +
+                             std::to_string(port) +
+                             " failed: " + std::strerror(errno));
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    throw std::runtime_error(name + ": listen failed: " + std::strerror(errno));
+  }
+  return fd;
+}
+
+std::uint16_t bound_port(int fd, std::string_view who) {
+  sockaddr_in address{};
+  socklen_t length = sizeof address;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length) != 0) {
+    throw std::runtime_error(std::string(who) +
+                             ": getsockname failed: " + std::strerror(errno));
+  }
+  return ntohs(address.sin_port);
 }
 
 }  // namespace mpss::net

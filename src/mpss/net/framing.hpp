@@ -69,4 +69,17 @@ class ScopedFd {
 void write_frame(int fd, std::string_view payload,
                  std::size_t max_bytes = kMaxFrameBytes);
 
+/// Binds a listening TCP socket on a numeric IPv4 address (no hostname
+/// resolution, matching the rest of the net layer) with SO_REUSEADDR set.
+/// `port` 0 picks an ephemeral port, readable back via bound_port(). Throws
+/// std::runtime_error naming `who` on any failure. Shared by the solve
+/// daemon's listener and the /metrics HTTP listener.
+[[nodiscard]] ScopedFd bind_listen_ipv4(const std::string& host,
+                                        std::uint16_t port,
+                                        std::string_view who);
+
+/// The local port a socket is bound to (the ephemeral one after binding port
+/// 0). Throws std::runtime_error naming `who` when getsockname fails.
+[[nodiscard]] std::uint16_t bound_port(int fd, std::string_view who);
+
 }  // namespace mpss::net

@@ -1,0 +1,129 @@
+#include "mpss/net/metrics_http.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+#include <thread>
+
+#include "mpss/net/framing.hpp"
+#include "mpss/obs/export.hpp"
+#include "mpss/obs/registry.hpp"
+
+namespace mpss::net {
+namespace {
+
+/// Largest request head we accept before replying 404 and closing: a scrape
+/// request is one short line plus a few headers.
+constexpr std::size_t kMaxHeadBytes = 8u << 10;
+
+/// Reads until the blank line ending the request head, EOF, or the cap.
+/// Returns what was read (possibly truncated -- the request line is all we
+/// parse, so a truncated tail is harmless).
+std::string read_head(int fd) {
+  std::string head;
+  char buffer[1024];
+  while (head.size() < kMaxHeadBytes &&
+         head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    head.append(buffer, static_cast<std::size_t>(n));
+  }
+  return head;
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::send(fd, data.data() + done, data.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // scraper gone mid-response; nothing to salvage
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(std::string_view status, std::string_view body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+class MetricsHttpServer::Impl {
+ public:
+  Impl(const std::string& host, std::uint16_t port)
+      : listen_fd_(bind_listen_ipv4(host, port, "MetricsHttpServer")),
+        port_(bound_port(listen_fd_.get(), "MetricsHttpServer")) {
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~Impl() {
+    // SHUT_RDWR pops the acceptor out of accept(); close after the join.
+    ::shutdown(listen_fd_.get(), SHUT_RDWR);
+    if (acceptor_.joinable()) acceptor_.join();
+  }
+
+  std::uint16_t port_value() const { return port_; }
+
+ private:
+  void accept_loop() {
+    for (;;) {
+      int raw = ::accept(listen_fd_.get(), nullptr, nullptr);
+      if (raw < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener shut down
+      }
+      ScopedFd fd(raw);
+      serve(fd.get());
+      // ScopedFd closes; Connection: close is the whole lifecycle.
+    }
+  }
+
+  void serve(int fd) {
+    std::string head = read_head(fd);
+    // Request line: METHOD SP TARGET SP VERSION. Only "GET /metrics" (with an
+    // optional query string) is a hit.
+    std::string_view line(head);
+    if (auto eol = line.find_first_of("\r\n"); eol != std::string_view::npos) {
+      line = line.substr(0, eol);
+    }
+    bool is_get = line.substr(0, 4) == "GET ";
+    std::string_view target = is_get ? line.substr(4) : std::string_view{};
+    if (auto space = target.find(' '); space != std::string_view::npos) {
+      target = target.substr(0, space);
+    }
+    if (auto query = target.find('?'); query != std::string_view::npos) {
+      target = target.substr(0, query);
+    }
+    if (is_get && target == "/metrics") {
+      obs::Registry::global().add("net.metrics_scrapes");
+      send_all(fd, http_response("200 OK", obs::render_prometheus()));
+    } else {
+      send_all(fd, http_response("404 Not Found", "not found\n"));
+    }
+  }
+
+  ScopedFd listen_fd_;
+  std::uint16_t port_;
+  std::thread acceptor_;
+};
+
+MetricsHttpServer::MetricsHttpServer(const std::string& host, std::uint16_t port)
+    : impl_(std::make_unique<Impl>(host, port)) {}
+
+MetricsHttpServer::~MetricsHttpServer() = default;
+
+std::uint16_t MetricsHttpServer::port() const { return impl_->port_value(); }
+
+}  // namespace mpss::net

@@ -1,0 +1,44 @@
+#pragma once
+// Minimal HTTP/1.0 scrape endpoint for the Prometheus exposition (S47, see
+// DESIGN.md).
+//
+// MetricsHttpServer binds its own listening socket (framing.hpp utilities) and
+// answers exactly one route: "GET /metrics" returns the current
+// obs::render_prometheus() document with Content-Type
+// text/plain; version=0.0.4; every other request gets 404. Each connection is
+// served inline on the single accept thread and closed after one response
+// (Connection: close) -- a scraper polls every few seconds, so there is
+// nothing to pipeline, and keeping the listener single-threaded means it can
+// never amplify load on a busy daemon.
+//
+// This is deliberately NOT a general HTTP server: no keep-alive, no chunked
+// bodies, no TLS, request heads capped at 8 KiB. It exists so operators can
+// point a stock Prometheus scraper at `mpss_served --metrics-port` without a
+// sidecar, while protocol-speaking clients keep using the "metrics" verb.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace mpss::net {
+
+class MetricsHttpServer {
+ public:
+  /// Binds and starts serving. `port` 0 picks an ephemeral port (read it back
+  /// via port()). Throws std::runtime_error when the socket cannot be bound.
+  explicit MetricsHttpServer(const std::string& host = "127.0.0.1",
+                             std::uint16_t port = 0);
+  /// Stops the listener and joins the accept thread.
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mpss::net

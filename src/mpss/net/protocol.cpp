@@ -1,5 +1,6 @@
 #include "mpss/net/protocol.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <utility>
 
@@ -135,6 +136,27 @@ void schedule_from_json(const json::Value& value, SolveResult& result) {
   }
 }
 
+/// Parses a trace-context field: a full 64-bit value encoded as a decimal
+/// string (doubles cannot carry ids above 2^53 exactly, so numbers are
+/// rejected -- a client that sent one would get back corrupted parenting).
+std::uint64_t trace_field(const json::Value& value, const char* what) {
+  if (!value.is_string()) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        std::string("protocol: trace ") + what +
+                            " must be a decimal string");
+  }
+  const std::string& text = value.as_string();
+  std::uint64_t parsed = 0;
+  auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        std::string("protocol: trace ") + what +
+                            " is not a 64-bit decimal value");
+  }
+  return parsed;
+}
+
 json::Value response_header(std::uint64_t id, bool ok) {
   json::Value out;
   out.set("v", static_cast<double>(kProtocolVersion));
@@ -151,6 +173,7 @@ const char* verb_name(Verb verb) {
     case Verb::kSolveMany: return "solve_many";
     case Verb::kStats: return "stats";
     case Verb::kHealth: return "health";
+    case Verb::kMetrics: return "metrics";
     case Verb::kShutdown: return "shutdown";
   }
   return "unknown";
@@ -161,6 +184,7 @@ std::optional<Verb> verb_from_name(std::string_view name) {
   if (name == "solve_many") return Verb::kSolveMany;
   if (name == "stats") return Verb::kStats;
   if (name == "health") return Verb::kHealth;
+  if (name == "metrics") return Verb::kMetrics;
   if (name == "shutdown") return Verb::kShutdown;
   return std::nullopt;
 }
@@ -282,6 +306,12 @@ std::string encode_request(const Request& request) {
   if (request.deadline_ms != 0) {
     out.set("deadline_ms", static_cast<double>(request.deadline_ms));
   }
+  if (request.trace_id != 0) {
+    json::Value trace;
+    trace.set("id", std::to_string(request.trace_id));
+    trace.set("parent", std::to_string(request.parent_span));
+    out.set("trace", std::move(trace));
+  }
   return json::serialize(out);
 }
 
@@ -318,6 +348,12 @@ Request decode_request(std::string_view payload) {
                             "protocol: deadline_ms must be >= 0");
       }
       request.deadline_ms = static_cast<std::int64_t>(raw);
+    }
+    if (const json::Value* trace = document.find("trace")) {
+      request.trace_id = trace_field(trace->at("id"), "id");
+      if (const json::Value* parent = trace->find("parent")) {
+        request.parent_span = trace_field(*parent, "parent");
+      }
     }
     return request;
   });

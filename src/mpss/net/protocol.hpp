@@ -5,10 +5,18 @@
 //
 //   {"v":1,"id":7,"verb":"solve","instance":{...},      // core/instance_json
 //    "options":{"engine":"exact",...},                  // optional
-//    "priority":0,"deadline_ms":500}                    // optional hints
+//    "priority":0,"deadline_ms":500,                    // optional hints
+//    "trace":{"id":"8589934593","parent":"2"}}          // optional trace ctx
 //
 // Verbs: "solve" (one instance), "solve_many" ("instances":[...], results in
-// input order), "stats", "health", "shutdown" (graceful drain, ack first).
+// input order), "stats", "health", "metrics" (Prometheus text exposition),
+// "shutdown" (graceful drain, ack first).
+//
+// The optional "trace" member carries the client's distributed-tracing
+// context: its trace id and the client-side span the server's spans should
+// parent under. Both are 64-bit and travel as *decimal strings* -- JSON
+// numbers here are doubles, which silently truncate above 2^53. Additive and
+// ignored by pre-trace servers, so the protocol version stays 1.
 // Responses echo the request id; per-connection response order is request
 // order (the daemon pipelines solves but writes in FIFO order):
 //
@@ -42,9 +50,9 @@ namespace mpss::net {
 /// server rejects other versions with kUnsupportedVersion (it never guesses).
 inline constexpr std::uint32_t kProtocolVersion = 1;
 
-enum class Verb { kSolve, kSolveMany, kStats, kHealth, kShutdown };
+enum class Verb { kSolve, kSolveMany, kStats, kHealth, kMetrics, kShutdown };
 
-/// Stable lowercase name ("solve", "solve_many", "stats", "health",
+/// Stable lowercase name ("solve", "solve_many", "stats", "health", "metrics",
 /// "shutdown") and its inverse (nullopt for unknown names).
 [[nodiscard]] const char* verb_name(Verb verb);
 [[nodiscard]] std::optional<Verb> verb_from_name(std::string_view name);
@@ -88,6 +96,9 @@ struct Request {
   SolveOptions options;        // wire-expressible knobs only; pointers stay null
   int priority = 0;
   std::int64_t deadline_ms = 0;  // soft deadline relative to receipt; 0 = none
+  std::uint64_t trace_id = 0;    // distributed trace id; 0 = untraced request
+  std::uint64_t parent_span = 0;  // client-side span to parent under (with
+                                  // trace_id; a span id of the *client* process)
 };
 
 [[nodiscard]] std::string encode_request(const Request& request);

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -12,8 +13,10 @@
 #include <cstring>
 #include <deque>
 #include <future>
+#include <iostream>
 #include <list>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -21,52 +24,14 @@
 
 #include "mpss/net/framing.hpp"
 #include "mpss/net/protocol.hpp"
+#include "mpss/obs/export.hpp"
+#include "mpss/obs/histogram.hpp"
 #include "mpss/obs/registry.hpp"
+#include "mpss/obs/span.hpp"
 #include "mpss/obs/trace.hpp"
 #include "mpss/util/cancel.hpp"
 
 namespace mpss::net {
-namespace {
-
-ScopedFd bind_and_listen(const std::string& host, std::uint16_t port) {
-  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!fd.valid()) {
-    throw std::runtime_error(std::string("SolveServer: socket failed: ") +
-                             std::strerror(errno));
-  }
-  int reuse = 1;
-  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
-    throw std::runtime_error("SolveServer: '" + host +
-                             "' is not a numeric IPv4 address");
-  }
-  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&address),
-             sizeof address) != 0) {
-    throw std::runtime_error("SolveServer: bind to " + host + ":" +
-                             std::to_string(port) +
-                             " failed: " + std::strerror(errno));
-  }
-  if (::listen(fd.get(), SOMAXCONN) != 0) {
-    throw std::runtime_error(std::string("SolveServer: listen failed: ") +
-                             std::strerror(errno));
-  }
-  return fd;
-}
-
-std::uint16_t bound_port(int fd) {
-  sockaddr_in address{};
-  socklen_t length = sizeof address;
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length) != 0) {
-    throw std::runtime_error(std::string("SolveServer: getsockname failed: ") +
-                             std::strerror(errno));
-  }
-  return ntohs(address.sin_port);
-}
-
-}  // namespace
 
 class SolveServer::Impl {
  public:
@@ -77,10 +42,23 @@ class SolveServer::Impl {
   /// failure path, where already-accepted solves must still resolve.
   struct Entry {
     std::uint64_t id = 0;
+    Verb verb = Verb::kHealth;
     std::vector<std::future<SolveResult>> futures;
     std::vector<std::shared_ptr<CancelToken>> tokens;
     std::string ready;
+    std::string ready_status;  // completion-log status of a `ready` response
+    std::string engine;        // engine name, solve entries only (for the log)
+    std::uint64_t trace_id = 0;  // distributed trace id, 0 when untraced
     CancelToken::Clock::time_point received{};
+  };
+
+  /// What resolve() learned about an entry, for the completion log: the
+  /// aggregated status plus the service-side annotations the solves carried
+  /// back through their result counters (batch_solver.cpp stamps them).
+  struct Completion {
+    std::string status;
+    std::uint64_t queue_wait_us = 0;  // max across the entry's solves
+    bool cache_hit = false;           // any solve served from the result cache
   };
 
   struct Connection {
@@ -100,8 +78,8 @@ class SolveServer::Impl {
   explicit Impl(SolveServerOptions options)
       : options_(std::move(options)),
         solver_(options_.service),
-        listen_fd_(bind_and_listen(options_.host, options_.port)),
-        port_(bound_port(listen_fd_.get())) {
+        listen_fd_(bind_listen_ipv4(options_.host, options_.port, "SolveServer")),
+        port_(bound_port(listen_fd_.get(), "SolveServer")) {
     acceptor_ = std::thread([this] { accept_loop(); });
     supervisor_ = std::thread([this] { supervise(); });
   }
@@ -115,6 +93,8 @@ class SolveServer::Impl {
   BatchSolver solver_;
   ScopedFd listen_fd_;
   std::uint16_t port_;
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+  std::mutex log_mutex_;  // serializes completion-log records across writers
 
   std::thread acceptor_;
   std::thread supervisor_;
@@ -291,17 +271,27 @@ class SolveServer::Impl {
       obs::Registry::global().add("net.errors");
       Entry entry;
       entry.ready = encode_error_response(0, error.code(), error.what());
+      entry.ready_status = error_code_name(error.code());
       enqueue(connection, std::move(entry));
       return;
     }
+    // Adopt the client's trace context for the dispatch: net.request becomes
+    // a root span whose *remote* parent is the client's client.solve span
+    // (recorded as rparent; only mpss_trace's multi-file merge can resolve
+    // it), and every event emitted below carries the client's trace id.
+    std::optional<obs::TraceContextScope> trace_scope;
+    if (request.trace_id != 0) {
+      trace_scope.emplace(
+          obs::TraceContext{request.trace_id, 0, request.parent_span});
+    }
+    obs::SpanScope request_span(nullptr, "net.request");
     switch (request.verb) {
       case Verb::kSolve:
       case Verb::kSolveMany:
-        handle_solve(connection, std::move(request));
+        handle_solve(connection, std::move(request), request_span.id());
         return;
       case Verb::kStats: {
-        Entry entry;
-        entry.id = request.id;
+        Entry entry = payload_entry(request);
         entry.ready =
             encode_payload_response(request.id, "stats", stats_payload());
         enqueue(connection, std::move(entry));
@@ -311,9 +301,15 @@ class SolveServer::Impl {
         json::Value health;
         health.set("status", "ok");
         health.set("protocol", static_cast<double>(kProtocolVersion));
-        Entry entry;
-        entry.id = request.id;
+        Entry entry = payload_entry(request);
         entry.ready = encode_payload_response(request.id, "health", std::move(health));
+        enqueue(connection, std::move(entry));
+        return;
+      }
+      case Verb::kMetrics: {
+        Entry entry = payload_entry(request);
+        entry.ready = encode_payload_response(
+            request.id, "metrics", json::Value(obs::render_prometheus()));
         enqueue(connection, std::move(entry));
         return;
       }
@@ -322,8 +318,7 @@ class SolveServer::Impl {
         // earlier response), then hand the drain to the supervisor.
         json::Value payload_value;
         payload_value.set("draining", true);
-        Entry entry;
-        entry.id = request.id;
+        Entry entry = payload_entry(request);
         entry.ready = encode_payload_response(request.id, "shutdown",
                                               std::move(payload_value));
         enqueue(connection, std::move(entry));
@@ -334,9 +329,25 @@ class SolveServer::Impl {
     }
   }
 
-  void handle_solve(Connection& connection, Request request) {
+  /// The shared Entry shape of the verb-payload responses (stats, health,
+  /// metrics, shutdown): identified, timed, and pre-resolved as "ok".
+  static Entry payload_entry(const Request& request) {
     Entry entry;
     entry.id = request.id;
+    entry.verb = request.verb;
+    entry.trace_id = request.trace_id;
+    entry.ready_status = "ok";
+    entry.received = CancelToken::Clock::now();
+    return entry;
+  }
+
+  void handle_solve(Connection& connection, Request request,
+                    obs::SpanId net_span) {
+    Entry entry;
+    entry.id = request.id;
+    entry.verb = request.verb;
+    entry.trace_id = request.trace_id;
+    entry.engine = engine_name(request.options.engine);
     entry.received = CancelToken::Clock::now();
     entry.futures.reserve(request.instances.size());
     entry.tokens.reserve(request.instances.size());
@@ -349,6 +360,11 @@ class SolveServer::Impl {
       SolveRequest solve_request{std::move(instance), request.options};
       solve_request.options.cancel = token.get();
       solve_request.priority = request.priority;
+      // The worker that picks this up re-installs the trace context with the
+      // reader's net.request span as the *local* parent, so service.request
+      // nests under it across the thread hop.
+      solve_request.trace_id = request.trace_id;
+      solve_request.parent_span = net_span;
       // Blocking submit: the bounded admission queue backpressures this
       // reader (and through TCP flow control, the client) instead of letting
       // requests pile up in memory.
@@ -362,6 +378,7 @@ class SolveServer::Impl {
             request.id, code,
             std::string("admission failed: ") +
                 submit_status_name(submission.status));
+        entry.ready_status = error_code_name(code);
         break;  // accepted futures stay in the entry and still resolve
       }
       entry.futures.push_back(std::move(submission.future));
@@ -389,12 +406,25 @@ class SolveServer::Impl {
         front = &connection.pending.front();
       }
       Entry& entry = *front;
-      std::string response = resolve(entry);
-      if (entry.received != CancelToken::Clock::time_point{}) {
-        request_us.record(static_cast<std::uint64_t>(
+      Completion completion;
+      std::string response = resolve(entry, completion);
+      const bool timed = entry.received != CancelToken::Clock::time_point{};
+      std::uint64_t wall_us = 0;
+      if (timed) {
+        wall_us = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 CancelToken::Clock::now() - entry.received)
-                .count()));
+                .count());
+        // The latency histogram keeps its pre-metrics meaning: solve wall
+        // time only, not the (instant) verb payloads.
+        if (entry.verb == Verb::kSolve || entry.verb == Verb::kSolveMany) {
+          request_us.record(wall_us);
+        }
+      }
+      if (timed && options_.slow_ms >= 0 &&
+          wall_us / 1000 >= static_cast<std::uint64_t>(options_.slow_ms)) {
+        obs::Registry::global().add("net.slow_requests");
+        log_request(entry, completion, wall_us);
       }
       if (peer_writable) {
         try {
@@ -423,7 +453,9 @@ class SolveServer::Impl {
 
   /// Resolves an entry into its wire response. Every future is consumed even
   /// on the error paths -- an accepted request always runs to a result.
-  std::string resolve(Entry& entry) {
+  /// `completion` collects what the log needs: the aggregated status and the
+  /// queue-wait / cache-hit annotations the service stamped into the results.
+  std::string resolve(Entry& entry, Completion& completion) {
     std::vector<SolveResult> results;
     results.reserve(entry.futures.size());
     std::string internal_error;
@@ -436,25 +468,86 @@ class SolveServer::Impl {
         if (internal_error.empty()) internal_error = error.what();
       }
     }
-    if (!entry.ready.empty()) return std::move(entry.ready);
+    completion.status = "ok";
+    for (const SolveResult& result : results) {
+      completion.queue_wait_us =
+          std::max(completion.queue_wait_us,
+                   result.stats.counters.value("service.queue_wait_us"));
+      if (result.stats.counters.value("service.cache_hit") != 0) {
+        completion.cache_hit = true;
+      }
+      if (completion.status == "ok" && !result.ok()) {
+        completion.status = solve_status_name(result.status);
+      }
+    }
+    if (!entry.ready.empty()) {
+      completion.status = entry.ready_status;
+      return std::move(entry.ready);
+    }
     if (!internal_error.empty()) {
       obs::Registry::global().add("net.errors");
+      completion.status = error_code_name(ErrorCode::kInternal);
       return encode_error_response(entry.id, ErrorCode::kInternal,
                                    internal_error);
     }
     return encode_results_response(entry.id, results);
   }
 
+  /// One machine-parseable completion record (a single JSON object per line),
+  /// mirroring what an operator needs to chase a slow request back to its
+  /// trace: `{"event":"request","id":7,"verb":"solve","engine":"exact",
+  /// "status":"ok","queue_wait_us":120,"wall_us":5300,"cache_hit":false,
+  /// "trace":"8589934593"}`. The trace id is a decimal string for the same
+  /// reason it is on the wire (doubles truncate past 2^53).
+  void log_request(const Entry& entry, const Completion& completion,
+                   std::uint64_t wall_us) {
+    json::Value record;
+    record.set("event", "request");
+    record.set("id", static_cast<double>(entry.id));
+    record.set("verb", verb_name(entry.verb));
+    if (!entry.engine.empty()) record.set("engine", entry.engine);
+    record.set("status", completion.status);
+    record.set("queue_wait_us", static_cast<double>(completion.queue_wait_us));
+    record.set("wall_us", static_cast<double>(wall_us));
+    record.set("cache_hit", completion.cache_hit);
+    if (entry.trace_id != 0) record.set("trace", std::to_string(entry.trace_id));
+    std::ostream* out =
+        options_.request_log != nullptr ? options_.request_log : &std::clog;
+    std::scoped_lock lock(log_mutex_);
+    *out << json::serialize(record) << '\n' << std::flush;
+  }
+
   json::Value stats_payload() {
     json::Value stats;
     stats.set("queue_depth", solver_.queue_depth());
     stats.set("workers", solver_.worker_count());
+    stats.set("uptime_seconds",
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start_)
+                  .count());
     BatchSolver::CacheStats cache = solver_.cache_stats();
     json::Value cache_value;
     cache_value.set("hits", static_cast<double>(cache.hits));
     cache_value.set("misses", static_cast<double>(cache.misses));
     cache_value.set("evictions", static_cast<double>(cache.evictions));
     stats.set("cache", std::move(cache_value));
+    // Latency summaries of the two service-path histograms, in microseconds.
+    // Quantiles are interpolated within log2 buckets (obs/histogram.hpp), so
+    // they are estimates -- good to ~a factor of 2, like the buckets.
+    json::Value latency;
+    obs::HistogramMap histograms = obs::Registry::global().histogram_snapshot();
+    for (const char* name : {"net.request_us", "service.queue_wait_us"}) {
+      auto it = histograms.find(name);
+      if (it == histograms.end()) continue;
+      obs::Percentiles summary = obs::percentiles(it->second);
+      json::Value quantiles;
+      quantiles.set("p50", static_cast<double>(summary.p50));
+      quantiles.set("p90", static_cast<double>(summary.p90));
+      quantiles.set("p99", static_cast<double>(summary.p99));
+      quantiles.set("count", static_cast<double>(it->second.count));
+      latency.set(name, std::move(quantiles));
+    }
+    stats.set("latency", std::move(latency));
     {
       std::scoped_lock lock(mutex_);
       stats.set("connections", connections_.size());

@@ -21,9 +21,19 @@
 // "shutdown" verb -- stops the listener, half-closes every connection's read
 // side, and then resolves and writes every already-accepted request before the
 // threads join: no accepted future is ever dropped.
+//
+// Observability (S47): when a request carries the protocol's trace header the
+// reader adopts that context, so the server's "net.request" span (and the
+// "service.request" / engine spans under it) join the client's trace --
+// net.request records the client's span as its remote parent, resolved by
+// mpss_trace's multi-file merge. The "metrics" verb (and the standalone
+// MetricsHttpServer) expose the Registry in Prometheus text format, and
+// `slow_ms` turns on a structured one-line-JSON completion log for requests
+// whose wall time meets the threshold.
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -41,6 +51,15 @@ struct SolveServerOptions {
   BatchSolverOptions service;
   /// Per-frame payload ceiling, enforced on both directions.
   std::size_t max_frame_bytes = 32u << 20;
+  /// Slow-request log threshold in milliseconds: a completed request whose
+  /// wall time (receipt to response) is >= this emits one structured JSON
+  /// record -- id, verb, engine, status, queue_wait_us, wall_us, cache_hit,
+  /// trace -- and bumps the net.slow_requests counter. 0 logs every request;
+  /// the default -1 disables the log entirely.
+  std::int64_t slow_ms = -1;
+  /// Destination of the slow-request log; nullptr means std::clog. The stream
+  /// must outlive the server; record writes are serialized internally.
+  std::ostream* request_log = nullptr;
 };
 
 /// The daemon. Construction binds, listens, and starts serving; failures to

@@ -1,0 +1,123 @@
+#include "mpss/obs/export.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "mpss/obs/registry.hpp"
+
+namespace mpss::obs {
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_help_type(std::string& out, const std::string& metric,
+                      std::string_view family, std::string_view source,
+                      std::string_view type) {
+  out += "# HELP ";
+  out += metric;
+  out += " mpss ";
+  out += family;
+  out += ' ';
+  // The HELP text names the registry source; escape it like a label value
+  // (HELP shares the \\ and \n escapes; quotes need none here).
+  for (char c : source) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '\n';
+  out += "# TYPE ";
+  out += metric;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_histogram(std::string& out, const std::string& metric,
+                      const HistogramData& data) {
+  // Cumulative le= buckets over the log2 layout. Buckets above the observed
+  // maximum are all equal to count, so one "+Inf" bucket stands in for them;
+  // bucket 64's upper bound (2^64 - 1) is likewise folded into "+Inf".
+  std::size_t last = data.count == 0 ? 0 : HistogramData::bucket_of(data.max);
+  last = std::min(last, kHistogramBuckets - 2);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= last; ++i) {
+    cumulative += data.buckets[i];
+    out += metric;
+    out += "_bucket{le=\"";
+    out += std::to_string(HistogramData::bucket_upper(i));
+    out += "\"} ";
+    out += std::to_string(cumulative);
+    out += '\n';
+  }
+  out += metric;
+  out += "_bucket{le=\"+Inf\"} ";
+  out += std::to_string(data.count);
+  out += '\n';
+  out += metric;
+  out += "_sum ";
+  out += std::to_string(data.sum);
+  out += '\n';
+  out += metric;
+  out += "_count ";
+  out += std::to_string(data.count);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') out += '_';
+  for (char c : name) out += valid_name_char(c) ? c : '_';
+  return out;
+}
+
+std::string prometheus_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const Counters& counters,
+                              const HistogramMap& histograms,
+                              std::string_view prefix) {
+  std::string out;
+  for (const auto& [name, value] : counters.items()) {
+    std::string metric = std::string(prefix) + prometheus_name(name) + "_total";
+    append_help_type(out, metric, "counter", name, "counter");
+    out += metric;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [name, data] : histograms) {
+    std::string metric = std::string(prefix) + prometheus_name(name);
+    append_help_type(out, metric, "histogram", name, "histogram");
+    append_histogram(out, metric, data);
+  }
+  return out;
+}
+
+std::string render_prometheus() {
+  return render_prometheus(Registry::global().snapshot(),
+                           Registry::global().histogram_snapshot());
+}
+
+}  // namespace mpss::obs

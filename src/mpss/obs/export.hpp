@@ -1,0 +1,63 @@
+#pragma once
+// Prometheus text exposition of the observability registry (S47, see
+// DESIGN.md).
+//
+// render_prometheus() turns a Counters bag and a HistogramMap -- or, in the
+// zero-argument form, a snapshot of obs::Registry::global() -- into the
+// Prometheus text exposition format (version 0.0.4):
+//
+//   # HELP mpss_net_requests_total mpss counter net.requests
+//   # TYPE mpss_net_requests_total counter
+//   mpss_net_requests_total 42
+//   # HELP mpss_net_request_us mpss histogram net.request_us
+//   # TYPE mpss_net_request_us histogram
+//   mpss_net_request_us_bucket{le="1"} 0
+//   mpss_net_request_us_bucket{le="3"} 2
+//   ...
+//   mpss_net_request_us_bucket{le="+Inf"} 17
+//   mpss_net_request_us_sum 12345
+//   mpss_net_request_us_count 17
+//
+// Naming rules (pinned by tests/test_export.cpp):
+//   * every metric is prefixed "mpss_";
+//   * dotted registry names are sanitized -- any character outside
+//     [a-zA-Z0-9_:] becomes '_' ("net.request_us" -> "net_request_us");
+//   * counters get the "_total" suffix (they are monotonic by construction:
+//     Registry counters only ever grow, and reset() is a test-only affair);
+//   * histograms expose the log2 buckets as cumulative le= buckets (upper
+//     bounds from HistogramData::bucket_upper, capped by one "+Inf" bucket)
+//     plus the exact _sum and _count.
+//
+// The output is served live by the daemon's "metrics" verb and the
+// mpss_served --metrics-port HTTP listener (net/metrics_http.hpp), and
+// reconstructed offline from a JSONL trace by mpss_trace --prom.
+
+#include <string>
+#include <string_view>
+
+#include "mpss/obs/counters.hpp"
+#include "mpss/obs/histogram.hpp"
+
+namespace mpss::obs {
+
+/// `name` sanitized into a valid Prometheus metric name: characters outside
+/// [a-zA-Z0-9_:] become '_', and a leading digit gets a '_' prefix. Does NOT
+/// add the "mpss_" prefix (render_prometheus does).
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// `value` escaped for use inside a label value's double quotes: backslash,
+/// double quote and newline get their two-character escapes, per the
+/// exposition format.
+[[nodiscard]] std::string prometheus_escape(std::string_view value);
+
+/// Renders counters and histograms in the exposition format described above.
+/// Deterministic: both inputs iterate in name order. Empty inputs render to
+/// the empty string (a valid exposition document).
+[[nodiscard]] std::string render_prometheus(const Counters& counters,
+                                            const HistogramMap& histograms,
+                                            std::string_view prefix = "mpss_");
+
+/// Renders a snapshot of obs::Registry::global().
+[[nodiscard]] std::string render_prometheus();
+
+}  // namespace mpss::obs

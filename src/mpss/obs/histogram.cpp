@@ -111,6 +111,10 @@ void Histogram::reset() {
   max_.store(0, std::memory_order_relaxed);
 }
 
+Percentiles percentiles(const HistogramData& data) {
+  return Percentiles{data.quantile(0.50), data.quantile(0.90), data.quantile(0.99)};
+}
+
 void merge_histograms(HistogramMap& into, const HistogramMap& other) {
   for (const auto& [name, data] : other) into[name].merge(data);
 }

@@ -97,6 +97,18 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// The standard latency summary derived from the log2 buckets: interpolated
+/// p50/p90/p99 (see HistogramData::quantile). One definition shared by the
+/// daemon's stats verb, the Prometheus renderer consumers, and mpss_trace's
+/// tables, so every surface reports identical numbers for the same data.
+struct Percentiles {
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
+[[nodiscard]] Percentiles percentiles(const HistogramData& data);
+
 /// Named histogram bag used by SolveStats (ordered for stable table output).
 using HistogramMap = std::map<std::string, HistogramData, std::less<>>;
 

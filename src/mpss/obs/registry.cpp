@@ -1,6 +1,33 @@
 #include "mpss/obs/registry.hpp"
 
+#include <unistd.h>
+
+#include <chrono>
+
 namespace mpss::obs {
+namespace {
+
+/// One 32-bit nonce per process, distinguishing the trace-id spaces of a
+/// client and a server on the same machine. Pid alone almost suffices, but a
+/// recycled pid across daemon restarts would collide, so the boot-relative
+/// clock is mixed in (splitmix64 finalizer).
+std::uint32_t process_trace_nonce() {
+  static const std::uint32_t nonce = [] {
+    auto now = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    std::uint64_t mix = static_cast<std::uint64_t>(::getpid()) ^ (now << 17);
+    mix ^= mix >> 30;
+    mix *= 0xBF58476D1CE4E5B9ull;
+    mix ^= mix >> 27;
+    mix *= 0x94D049BB133111EBull;
+    mix ^= mix >> 31;
+    auto folded = static_cast<std::uint32_t>(mix ^ (mix >> 32));
+    return folded == 0 ? std::uint32_t{1} : folded;
+  }();
+  return nonce;
+}
+
+}  // namespace
 
 Registry& Registry::global() {
   static Registry instance;
@@ -49,6 +76,13 @@ void Registry::reset() {
   // differential runs (see the header's test-isolation contract).
   seq_.store(0, std::memory_order_relaxed);
   span_seq_.store(0, std::memory_order_relaxed);
+  trace_seq_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::next_trace_id() {
+  const std::uint64_t low =
+      (trace_seq_.fetch_add(1, std::memory_order_relaxed) + 1) & 0xFFFFFFFFull;
+  return (static_cast<std::uint64_t>(process_trace_nonce()) << 32) | low;
 }
 
 }  // namespace mpss::obs

@@ -61,8 +61,8 @@ class Registry {
   /// Value snapshot of every named histogram (statistically consistent).
   [[nodiscard]] HistogramMap histogram_snapshot() const;
 
-  /// Restores counters, histograms, the event-sequence counter, and the
-  /// span-id counter to their initial state (see the test-isolation contract
+  /// Restores counters, histograms, and the event-sequence, span-id and
+  /// trace-id counters to their initial state (see the test-isolation contract
   /// above). The attached sink stays attached.
   void reset();
 
@@ -81,6 +81,13 @@ class Registry {
     return span_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
+  /// Next distributed-trace id: a per-process nonce (constant for the process
+  /// lifetime, so in-process differential runs stay deterministic) in the high
+  /// 32 bits, a counter rewound by reset() in the low 32. Never 0. Trace ids
+  /// use the full 64-bit range, so they travel as decimal *strings* wherever
+  /// JSON numbers are doubles (net/protocol.hpp).
+  std::uint64_t next_trace_id();
+
  private:
   Registry() = default;
 
@@ -90,6 +97,7 @@ class Registry {
   std::atomic<TraceSink*> sink_{nullptr};
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::uint64_t> span_seq_{0};
+  std::atomic<std::uint64_t> trace_seq_{0};
 };
 
 }  // namespace mpss::obs

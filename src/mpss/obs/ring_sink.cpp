@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mpss/obs/registry.hpp"
+
 namespace mpss::obs {
 namespace {
 
@@ -87,6 +89,14 @@ std::vector<TraceEvent> RingSink::consume() {
   // The global sequence numbers reconstruct the cross-thread interleaving.
   std::sort(events.begin(), events.end(),
             [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  // Surface silent trace loss where scrapes can see it: fold the drop count
+  // into the Registry's trace.dropped counter, once per drop (published_
+  // remembers what previous drains already reported; consumer_mutex_ is held).
+  const std::uint64_t dropped = dropped_.load(std::memory_order_relaxed);
+  if (dropped > published_dropped_) {
+    Registry::global().add("trace.dropped", dropped - published_dropped_);
+    published_dropped_ = dropped;
+  }
   return events;
 }
 

@@ -46,7 +46,9 @@ class RingSink final : public TraceSink {
   /// downstream). The tests and the trace tool use this.
   [[nodiscard]] std::vector<TraceEvent> drain();
 
-  /// Events discarded because a ring was full.
+  /// Events discarded because a ring was full. Each drain (flush()/drain()/
+  /// destruction) also publishes the delta since the previous drain to the
+  /// Registry's "trace.dropped" counter, so silent loss shows up in scrapes.
   [[nodiscard]] std::uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
@@ -63,6 +65,7 @@ class RingSink final : public TraceSink {
   TraceSink* downstream_;
   const std::uint64_t id_;  // process-unique; keys the thread-local ring cache
   std::atomic<std::uint64_t> dropped_{0};
+  std::uint64_t published_dropped_ = 0;  // guarded by consumer_mutex_
   mutable std::mutex consumer_mutex_;  // registration + one-consumer-at-a-time
   std::vector<std::unique_ptr<Buffer>> buffers_;
 };

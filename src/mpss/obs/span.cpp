@@ -9,6 +9,7 @@ namespace mpss::obs {
 namespace {
 
 thread_local SpanId tl_current_span = 0;
+thread_local TraceContext tl_trace_context{};
 
 constexpr std::uint64_t kUnassigned = ~std::uint64_t{0};
 std::atomic<std::uint64_t> next_thread_index{0};
@@ -22,6 +23,23 @@ double epoch_seconds(std::chrono::steady_clock::time_point t) {
 
 SpanId current_span() { return tl_current_span; }
 
+TraceContext current_trace() { return tl_trace_context; }
+
+TraceContextScope::TraceContextScope(TraceContext context)
+    : saved_(std::exchange(tl_trace_context, context)) {
+  // Re-root (see span.hpp): with a parent in the context, spans opened inside
+  // the scope must not nest under the thread's current wrapper span.
+  if (context.local_parent != 0 || context.remote_parent != 0) {
+    saved_span_ = std::exchange(tl_current_span, 0);
+    stashed_ = true;
+  }
+}
+
+TraceContextScope::~TraceContextScope() {
+  tl_trace_context = saved_;
+  if (stashed_) tl_current_span = saved_span_;
+}
+
 std::uint64_t thread_index() {
   if (tl_thread_index == kUnassigned) {
     tl_thread_index = next_thread_index.fetch_add(1, std::memory_order_relaxed);
@@ -34,7 +52,21 @@ SpanScope::SpanScope(TraceSink* sink, std::string_view label) {
   if (sink == nullptr) return;  // inactive: the documented one-branch path
   sink_ = sink;
   id_ = Registry::global().next_span_id();
-  parent_ = std::exchange(tl_current_span, id_);
+  restore_ = std::exchange(tl_current_span, id_);
+  parent_ = restore_;
+  // A root span (nothing open on this thread) adopts the installed context's
+  // parent: a local one crosses threads inside the process (b stays a real
+  // span id), a remote one crosses processes (b stays 0; the peer's span id
+  // travels in rparent, resolvable only against the peer's trace file).
+  const TraceContext& context = tl_trace_context;
+  trace_ = context.trace_id;
+  if (parent_ == 0) {
+    if (context.local_parent != 0) {
+      parent_ = context.local_parent;
+    } else if (context.remote_parent != 0) {
+      remote_parent_ = context.remote_parent;
+    }
+  }
   label_ = label;
   start_ = std::chrono::steady_clock::now();
 
@@ -47,13 +79,15 @@ SpanScope::SpanScope(TraceSink* sink, std::string_view label) {
   event.seq = Registry::global().next_seq();
   event.span = parent_;
   event.t_seconds = epoch_seconds(start_);  // stamped even without MPSS_TRACING
+  event.trace = trace_;
+  event.remote_parent = remote_parent_;
   sink_->record(event);
 }
 
 SpanScope::~SpanScope() {
   if (id_ == 0) return;
   auto end = std::chrono::steady_clock::now();
-  tl_current_span = parent_;
+  tl_current_span = restore_;
 
   TraceEvent event;
   event.kind = EventKind::kSpanEnd;
@@ -64,6 +98,8 @@ SpanScope::~SpanScope() {
   event.seq = Registry::global().next_seq();
   event.span = parent_;
   event.t_seconds = epoch_seconds(end);
+  event.trace = trace_;
+  event.remote_parent = remote_parent_;
   sink_->record(event);
 }
 

@@ -34,6 +34,49 @@ using SpanId = std::uint64_t;
 /// what obs::emit() stamps into TraceEvent::span.
 [[nodiscard]] SpanId current_span();
 
+/// The distributed-tracing context of the calling thread. A context carries a
+/// process-crossing trace id plus the span a *root* span on this thread should
+/// parent under -- either a span of this process on another thread
+/// (local_parent: how a BatchSolver worker's service.request span nests under
+/// the reader thread's net.request span) or a span of a peer process
+/// (remote_parent: how the server's net.request span nests under the client's
+/// client.solve span; recorded as TraceEvent::remote_parent and resolved by
+/// mpss_trace's multi-file merge). Non-root spans ignore both parent fields --
+/// the thread-local stack already knows their parent.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  SpanId local_parent = 0;
+  SpanId remote_parent = 0;
+};
+
+/// The context active on the calling thread (all-zero when none).
+[[nodiscard]] TraceContext current_trace();
+
+/// RAII installer: makes `context` the calling thread's trace context for the
+/// scope's lifetime and restores the previous one on exit. The trace id is
+/// stamped into every TraceEvent emitted on the thread while installed.
+///
+/// A context carrying a parent (local or remote) RE-ROOTS the scope: the
+/// thread's open-span stack is stashed and cleared, so the next span opened
+/// inside the scope is a root that adopts the context's parent -- not a child
+/// of whatever wrapper span the surrounding thread had open (a BatchSolver
+/// worker runs inside the thread pool's long-lived "pool.task" span, which
+/// must not capture request-scoped work that logically belongs to the
+/// submitter's net.request span). A parentless context leaves the stack alone.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext context);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+  SpanId saved_span_ = 0;
+  bool stashed_ = false;
+};
+
 /// Small dense index (0, 1, 2, ...) identifying the calling thread in trace
 /// exports -- stable for the thread's lifetime, unlike std::thread::id compact
 /// enough for a Chrome-trace "tid" field.
@@ -61,7 +104,10 @@ class SpanScope {
  private:
   TraceSink* sink_ = nullptr;
   SpanId id_ = 0;
-  SpanId parent_ = 0;
+  SpanId parent_ = 0;          // stamped into begin/end events (b field)
+  SpanId restore_ = 0;         // previous thread-local top, restored on exit
+  SpanId remote_parent_ = 0;   // peer-process parent adopted from the context
+  std::uint64_t trace_ = 0;    // trace id adopted from the context
   std::string label_;
   std::chrono::steady_clock::time_point start_{};
 };

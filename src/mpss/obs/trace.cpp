@@ -85,19 +85,25 @@ class LineParser {
           event.label = std::move(value);
         }  // unknown string keys ignored
       } else {
-        double number = parse_number();
+        // Integer fields go through an exact u64 parse: trace ids use the full
+        // 64-bit range, which a double round trip would silently truncate.
+        std::string_view token = number_token();
         if (key == "a") {
-          event.a = static_cast<std::uint64_t>(number);
+          event.a = to_u64(token);
         } else if (key == "b") {
-          event.b = static_cast<std::uint64_t>(number);
+          event.b = to_u64(token);
         } else if (key == "seq") {
-          event.seq = static_cast<std::uint64_t>(number);
+          event.seq = to_u64(token);
         } else if (key == "span") {
-          event.span = static_cast<std::uint64_t>(number);
+          event.span = to_u64(token);
+        } else if (key == "trace") {
+          event.trace = to_u64(token);
+        } else if (key == "rparent") {
+          event.remote_parent = to_u64(token);
         } else if (key == "value") {
-          event.value = number;
+          event.value = to_double(token);
         } else if (key == "t") {
-          event.t_seconds = number;
+          event.t_seconds = to_double(token);
         }  // unknown numeric keys ignored
       }
       skip_space();
@@ -175,7 +181,9 @@ class LineParser {
     }
     return out;
   }
-  double parse_number() {
+  /// The raw token of the next JSON number (validated lazily by to_u64 /
+  /// to_double, which know the target type's exact grammar).
+  std::string_view number_token() {
     std::size_t start = pos_;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
@@ -184,10 +192,23 @@ class LineParser {
       ++pos_;
     }
     if (pos_ == start) fail("expected number");
+    return text_.substr(start, pos_ - start);
+  }
+  double to_double(std::string_view token) const {
     double value = 0.0;
-    auto result = std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    auto result = std::from_chars(token.data(), token.data() + token.size(), value);
     if (result.ec != std::errc{}) fail("bad number");
     return value;
+  }
+  std::uint64_t to_u64(std::string_view token) const {
+    std::uint64_t value = 0;
+    auto result = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (result.ec == std::errc{} && result.ptr == token.data() + token.size()) {
+      return value;
+    }
+    // Hand-edited traces may write integral fields as 1e3 or 2.0; accept them
+    // with double precision rather than rejecting the line.
+    return static_cast<std::uint64_t>(to_double(token));
   }
 
   std::string_view text_;
@@ -294,6 +315,12 @@ std::string to_jsonl(const TraceEvent& event) {
   out += ",\"span\":" + std::to_string(event.span);
   out += ",\"value\":" + format_double(event.value);
   out += ",\"t\":" + format_double(event.t_seconds);
+  // Emitted only when set: untraced output stays byte-identical to the
+  // pre-distributed-tracing encoding (differential tests pin those bytes).
+  if (event.trace != 0) out += ",\"trace\":" + std::to_string(event.trace);
+  if (event.remote_parent != 0) {
+    out += ",\"rparent\":" + std::to_string(event.remote_parent);
+  }
   out += '}';
   return out;
 }
@@ -332,6 +359,7 @@ void emit(TraceSink* sink, EventKind kind, std::string_view label, std::uint64_t
   event.value = value;
   event.seq = Registry::global().next_seq();
   event.span = current_span();  // nests the event under the innermost open span
+  event.trace = current_trace().trace_id;
   if constexpr (kTimestampedTracing) {
     event.t_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())

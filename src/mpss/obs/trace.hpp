@@ -67,6 +67,11 @@ struct TraceEvent {
                              // (span begin/end events are always stamped)
   std::uint64_t span = 0;    // innermost span open on the emitting thread when
                              // this event fired (span.hpp); 0 = none
+  std::uint64_t trace = 0;   // distributed trace id inherited from the active
+                             // TraceContext (span.hpp); 0 = no trace context
+  std::uint64_t remote_parent = 0;  // span id in a *peer process* this event's
+                                    // span parents under (span begins only);
+                                    // resolved by mpss_trace's multi-file merge
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
@@ -138,6 +143,9 @@ class JsonlSink final : public TraceSink {
 /// The JSONL encoding of one event (no trailing newline):
 /// {"seq":12,"kind":"flow_round","label":"optimal.round","a":0,"b":3,
 ///  "span":7,"value":0.75,"t":0.00121}
+/// The cross-process fields are emitted only when nonzero -- appended as
+/// "trace":N and "rparent":N after "t" -- so untraced output stays
+/// byte-identical to the pre-distributed-tracing encoding.
 [[nodiscard]] std::string to_jsonl(const TraceEvent& event);
 
 /// `text` as a double-quoted JSON string literal (escaping quotes, backslashes
@@ -153,7 +161,8 @@ class JsonlSink final : public TraceSink {
 
 /// Emits one event. `sink == nullptr` falls back to the process-wide sink
 /// attached to obs::Registry::global(); if that is also absent the call is a
-/// no-op (one branch). Fills seq and, in MPSS_TRACING builds, t_seconds.
+/// no-op (one branch). Fills seq, the active trace id (span.hpp) and, in
+/// MPSS_TRACING builds, t_seconds.
 void emit(TraceSink* sink, EventKind kind, std::string_view label,
           std::uint64_t a = 0, std::uint64_t b = 0, double value = 0.0);
 

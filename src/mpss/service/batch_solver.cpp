@@ -195,17 +195,41 @@ void BatchSolver::worker_loop() {
       impl_->queue_.pop_back();
     }
     impl_->space_available_.notify_one();
-    queue_wait_us.record(static_cast<std::uint64_t>(
+    auto wait_us = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             CancelToken::Clock::now() - pending->enqueued)
-            .count()));
-    execute(std::move(*pending));
+            .count());
+    queue_wait_us.record(wait_us);
+    // The per-request counter event carries the same wait, so offline tools
+    // (mpss_trace's service table, --prom) can rebuild the distribution from
+    // a trace file alone.
+    obs::emit(nullptr, obs::EventKind::kCounter, "service.queue_wait", wait_us);
+    execute(std::move(*pending), wait_us);
   }
 }
 
-void BatchSolver::execute(Pending pending) {
-  obs::SpanScope request_span(nullptr, "service.request");
+namespace {
+
+/// Stamps the service-side request telemetry into a result's counters, the
+/// channel solve() results already use for engine telemetry. The daemon reads
+/// these to build its completion-log records.
+void annotate(SolveResult& result, std::uint64_t queue_wait_us, bool cache_hit) {
+  result.stats.counters.set("service.queue_wait_us", queue_wait_us);
+  result.stats.counters.set("service.cache_hit", cache_hit ? 1 : 0);
+}
+
+}  // namespace
+
+void BatchSolver::execute(Pending pending, std::uint64_t queue_wait_us) {
   const SolveRequest& request = pending.request;
+  // Adopt the submitter's trace context: service.request becomes a root span
+  // on this worker whose parent is the submitter's span in this process (the
+  // daemon's net.request), and everything the engines emit below carries the
+  // trace id. An untraced request installs the empty context, which is the
+  // worker's resting state anyway.
+  obs::TraceContextScope trace_scope(
+      obs::TraceContext{request.trace_id, request.parent_span, 0});
+  obs::SpanScope request_span(nullptr, "service.request");
 
   std::optional<std::uint64_t> key;
   if (impl_->options_.cache_capacity != 0) {
@@ -218,6 +242,7 @@ void BatchSolver::execute(Pending pending) {
       obs::emit(nullptr, obs::EventKind::kCounter, "service.done",
                 static_cast<std::uint64_t>(cached->status), /*b=*/1,
                 request_span.elapsed_seconds());
+      annotate(*cached, queue_wait_us, /*cache_hit=*/true);
       pending.promise.set_value(std::move(*cached));
       return;
     }
@@ -238,6 +263,7 @@ void BatchSolver::execute(Pending pending) {
       obs::emit(nullptr, obs::EventKind::kCounter, "service.done",
                 static_cast<std::uint64_t>(cancelled.status), /*b=*/0,
                 request_span.elapsed_seconds());
+      annotate(cancelled, queue_wait_us, /*cache_hit=*/false);
       pending.promise.set_value(std::move(cancelled));
       return;
     }
@@ -273,6 +299,9 @@ void BatchSolver::execute(Pending pending) {
                 evicted);
     }
   }
+  // Annotate AFTER cache_put so the cached copy stays clean -- a later hit
+  // gets ITS queue wait stamped, not this request's.
+  annotate(result, queue_wait_us, /*cache_hit=*/false);
   pending.promise.set_value(std::move(result));
 }
 

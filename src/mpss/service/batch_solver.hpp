@@ -54,6 +54,16 @@ struct SolveRequest {
 
   /// Admission-queue priority: higher runs first; ties dispatch FIFO.
   int priority = 0;
+
+  /// Distributed-tracing context (0/0 = untraced): the worker that executes
+  /// this request installs {trace_id, parent_span} as its trace context, so
+  /// the service.request span -- opened on the worker thread -- parents under
+  /// the submitter's span (the daemon's net.request) across the thread hop,
+  /// and every event of the solve carries the trace id. `parent_span` is a
+  /// span id of THIS process (cross-process parents stay in net/ -- the
+  /// server resolves the wire header into its own net.request span first).
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 /// How an admission attempt ended.
@@ -143,7 +153,7 @@ class BatchSolver {
 
   void worker_loop();
   Submission admit(SolveRequest&& request, bool blocking);
-  void execute(Pending request);
+  void execute(Pending request, std::uint64_t queue_wait_us);
 
   std::unique_ptr<Impl> impl_;
   ThreadPool pool_;  // declared last: workers must die before the state they use

@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +23,8 @@
 #include "mpss/net/protocol.hpp"
 #include "mpss/net/server.hpp"
 #include "mpss/obs/registry.hpp"
+#include "mpss/obs/trace.hpp"
+#include "mpss/util/json.hpp"
 #include "mpss/solve.hpp"
 #include "mpss/util/random.hpp"
 #include "mpss/workload/generators.hpp"
@@ -229,9 +232,44 @@ TEST(Protocol, ErrorResponsesCarryCodeAndDetail) {
   EXPECT_EQ(response.detail, "full up");
 }
 
+TEST(Protocol, TraceContextRoundTripsAsDecimalStrings) {
+  Request request;
+  request.id = 7;
+  request.verb = Verb::kSolve;
+  request.instances = {small_instance()};
+  // A trace id above 2^53 is exactly the case doubles would corrupt; the
+  // codec must carry it as a decimal string and decode it bit-exactly.
+  request.trace_id = 18347587744294764545ull;
+  request.parent_span = 3;
+
+  std::string wire = encode_request(request);
+  EXPECT_NE(wire.find("\"trace\""), std::string::npos);
+  EXPECT_NE(wire.find("\"18347587744294764545\""), std::string::npos);
+  Request decoded = decode_request(wire);
+  EXPECT_EQ(decoded.trace_id, 18347587744294764545ull);
+  EXPECT_EQ(decoded.parent_span, 3u);
+
+  // An untraced request must not grow a trace member, and decoding one
+  // yields the zero context.
+  request.trace_id = 0;
+  request.parent_span = 0;
+  wire = encode_request(request);
+  EXPECT_EQ(wire.find("\"trace\""), std::string::npos);
+  decoded = decode_request(wire);
+  EXPECT_EQ(decoded.trace_id, 0u);
+  EXPECT_EQ(decoded.parent_span, 0u);
+
+  // Numeric (non-string) trace ids are a protocol error, not a silent
+  // truncation through double.
+  EXPECT_THROW(
+      (void)decode_request(
+          R"({"v":1,"id":1,"verb":"health","trace":{"id":123}})"),
+      ProtocolError);
+}
+
 TEST(Protocol, NamesRoundTrip) {
   for (Verb verb : {Verb::kSolve, Verb::kSolveMany, Verb::kStats, Verb::kHealth,
-                    Verb::kShutdown}) {
+                    Verb::kMetrics, Verb::kShutdown}) {
     EXPECT_EQ(verb_from_name(verb_name(verb)), verb);
   }
   EXPECT_FALSE(verb_from_name("conquer").has_value());
@@ -471,6 +509,145 @@ TEST(SolveServer, ShutdownIsIdempotentAndRejectsLateClients) {
   server.shutdown();
   server.shutdown();  // second call is a no-op
   EXPECT_THROW(SolveClient("127.0.0.1", port), std::runtime_error);
+}
+
+// ---- distributed tracing (S47) ---------------------------------------------
+
+/// Attaches `sink` to the global registry for the test's scope.
+struct ScopedSink {
+  explicit ScopedSink(obs::TraceSink* sink) {
+    obs::Registry::global().attach_sink(sink);
+  }
+  ~ScopedSink() { obs::Registry::global().attach_sink(nullptr); }
+};
+
+TEST(SolveServer, TraceLinksClientAndServerSpansAcrossLoopback) {
+  obs::MemorySink sink;
+  ScopedSink attach(&sink);
+
+  SolveServer server;
+  SolveClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.solve(small_instance()).ok());
+  server.shutdown();  // drain: every server-side span is closed and recorded
+
+  // Loopback means both processes' spans land in the one global sink, which
+  // is exactly what lets this test assert the full parent chain: the engine's
+  // solve span must be a transitive child of the client's client.solve span,
+  // crossing the wire (remote_parent) and the worker handoff (local_parent).
+  std::vector<obs::TraceEvent> events = sink.events();
+  auto begin_of = [&events](std::string_view label) -> const obs::TraceEvent* {
+    for (const obs::TraceEvent& event : events) {
+      if (event.kind == obs::EventKind::kSpanBegin && event.label == label) {
+        return &event;
+      }
+    }
+    return nullptr;
+  };
+
+  const obs::TraceEvent* client_span = begin_of("client.solve");
+  ASSERT_NE(client_span, nullptr);
+  ASSERT_NE(client_span->trace, 0u);  // the client minted a trace id
+
+  const obs::TraceEvent* net_span = begin_of("net.request");
+  ASSERT_NE(net_span, nullptr);
+  EXPECT_EQ(net_span->trace, client_span->trace);
+  // The wire hop: net.request is a root span in the server whose parent lives
+  // in the peer process, carried as remote_parent (b stays 0).
+  EXPECT_EQ(net_span->b, 0u);
+  EXPECT_EQ(net_span->remote_parent, client_span->a);
+
+  const obs::TraceEvent* service_span = begin_of("service.request");
+  ASSERT_NE(service_span, nullptr);
+  EXPECT_EQ(service_span->trace, client_span->trace);
+  // The thread hop: the worker's span re-roots onto the reader's net.request
+  // span (local_parent), not the pool's long-lived pool.task wrapper.
+  EXPECT_EQ(service_span->b, net_span->a);
+
+  const obs::TraceEvent* engine_span = begin_of("optimal.solve");
+  ASSERT_NE(engine_span, nullptr);
+  EXPECT_EQ(engine_span->trace, client_span->trace);
+  EXPECT_EQ(engine_span->b, service_span->a);
+  // Transitivity: optimal.solve -> service.request -> net.request ~> (remote)
+  // client.solve, all under one trace id. QED for the S47 acceptance chain.
+}
+
+TEST(SolveServer, UntracedRequestsStayUntraced) {
+  // No sink: the client must not stamp a trace context into the request, and
+  // nothing in the daemon path may crash on the all-zero context.
+  SolveServer server;
+  SolveClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.solve(small_instance()).ok());
+  json::Value stats = client.stats();
+  EXPECT_GE(stats.at("uptime_seconds").as_double(), 0.0);
+  server.shutdown();
+}
+
+TEST(SolveServer, MetricsVerbReturnsPrometheusText) {
+  SolveServer server;
+  SolveClient client("127.0.0.1", server.port());
+  (void)client.solve(small_instance());
+  std::string text = client.metrics();
+  EXPECT_NE(text.find("# TYPE mpss_net_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("mpss_net_requests_total"), std::string::npos);
+  // Every non-comment line is "name[{labels}] value".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+  }
+  server.shutdown();
+}
+
+TEST(SolveServer, StatsReportLatencyPercentilesAfterTracedSolves) {
+  SolveServer server;
+  SolveClient client("127.0.0.1", server.port());
+  (void)client.solve(small_instance());
+  (void)client.solve(fractional_instance());
+  json::Value stats = client.stats();
+  const json::Value* latency = stats.find("latency");
+  ASSERT_NE(latency, nullptr);
+  const json::Value* request_us = latency->find("net.request_us");
+  ASSERT_NE(request_us, nullptr);
+  EXPECT_GE(request_us->at("count").as_double(), 2.0);
+  EXPECT_GT(request_us->at("p50").as_double(), 0.0);
+  EXPECT_LE(request_us->at("p50").as_double(),
+            request_us->at("p99").as_double());
+  server.shutdown();
+}
+
+TEST(SolveServer, SlowLogEmitsOneJsonRecordPerRequest) {
+  std::ostringstream log;
+  SolveServerOptions options;
+  options.slow_ms = 0;  // threshold 0: log every request
+  options.request_log = &log;
+  SolveServer server(std::move(options));
+  SolveClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.solve(small_instance()).ok());
+  ASSERT_TRUE(client.solve(small_instance()).ok());  // cache hit
+  server.shutdown();
+
+  std::istringstream lines(log.str());
+  std::string line;
+  std::size_t solves = 0;
+  bool saw_cache_hit = false;
+  while (std::getline(lines, line)) {
+    json::Value record = json::parse(line);  // machine-parseable or bust
+    EXPECT_EQ(record.at("event").as_string(), "request");
+    if (record.at("verb").as_string() != "solve") continue;
+    ++solves;
+    EXPECT_EQ(record.at("status").as_string(), "ok");
+    EXPECT_EQ(record.at("engine").as_string(), "exact");
+    EXPECT_GE(record.at("wall_us").as_double(), 0.0);
+    EXPECT_GE(record.at("queue_wait_us").as_double(), 0.0);
+    saw_cache_hit = saw_cache_hit || record.at("cache_hit").as_bool();
+  }
+  EXPECT_EQ(solves, 2u);
+  EXPECT_TRUE(saw_cache_hit);  // the second solve was served from cache
+  EXPECT_GE(obs::Registry::global().snapshot().value("net.slow_requests"), 2u);
 }
 
 }  // namespace

@@ -145,6 +145,32 @@ TEST(Trace, SpanFieldDefaultsToZeroWhenAbsent) {
   EXPECT_EQ(events[0].span, 0u);
 }
 
+TEST(Trace, JsonlRoundTripCarriesTraceAndRemoteParent) {
+  TraceEvent event;
+  event.kind = EventKind::kSpanBegin;
+  event.label = "net.request";
+  event.a = 2;
+  event.seq = 1;
+  event.t_seconds = 1.5;
+  // A trace id above 2^53: the JSONL codec must keep u64 precision (a double
+  // path would silently round it).
+  event.trace = 18347587744294764545ull;
+  event.remote_parent = 1;
+
+  std::string line = to_jsonl(event);
+  EXPECT_NE(line.find("18347587744294764545"), std::string::npos);
+  auto events = parse_trace_jsonl(std::string_view(line));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], event);
+
+  // Pre-S47 streams have neither key; both default to 0.
+  auto old = parse_trace_jsonl(std::string_view(
+      R"({"seq":0,"kind":"counter","label":"old.schema","a":0,"b":0,"value":0,"t":0})"));
+  ASSERT_EQ(old.size(), 1u);
+  EXPECT_EQ(old[0].trace, 0u);
+  EXPECT_EQ(old[0].remote_parent, 0u);
+}
+
 TEST(Trace, ParserSkipsBlankLinesAndIgnoresUnknownKeys) {
   std::string text =
       "\n  \t\n"
@@ -272,6 +298,18 @@ TEST(RegistryCounters, ResetRewindsSequenceAndSpanIdWells) {
   EXPECT_EQ(seq0, 0u);
   EXPECT_EQ(span0, 1u);  // span ids are 1-based; 0 means "no span"
   registry.reset();
+}
+
+TEST(RegistryCounters, TraceIdsAreNonZeroUniqueAndProcessStamped) {
+  Registry& registry = Registry::global();
+  std::uint64_t first = registry.next_trace_id();
+  std::uint64_t second = registry.next_trace_id();
+  EXPECT_NE(first, 0u);   // 0 means "untraced" on the wire
+  EXPECT_NE(first, second);
+  // The high 32 bits carry the per-process nonce, so two daemons minting
+  // trace ids concurrently cannot collide; within a process they match.
+  EXPECT_EQ(first >> 32, second >> 32);
+  EXPECT_NE(first >> 32, 0u);
 }
 
 TEST(RegistryCounters, ConcurrentAddsAreLossless) {

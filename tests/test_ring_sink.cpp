@@ -61,6 +61,19 @@ TEST(RingSink, FullRingDropsNewestAndCounts) {
   EXPECT_EQ(ring.drain().size(), 1u);
 }
 
+TEST(RingSink, DrainPublishesDropDeltaToRegistryCounter) {
+  std::uint64_t before = Registry::global().snapshot().value("trace.dropped");
+  RingSink ring(4);
+  for (std::uint64_t seq = 0; seq < 10; ++seq) ring.record(event_with_seq(seq));
+  // Drops are published at drain time (the record path stays lock-free), and
+  // as a delta: a second drain with no new drops must not double-count.
+  (void)ring.drain();
+  std::uint64_t after = Registry::global().snapshot().value("trace.dropped");
+  EXPECT_EQ(after - before, 6u);
+  (void)ring.drain();
+  EXPECT_EQ(Registry::global().snapshot().value("trace.dropped"), after);
+}
+
 TEST(RingSink, FlushForwardsToDownstreamInOrder) {
   MemorySink downstream;
   RingSink ring(64, &downstream);

@@ -98,6 +98,73 @@ TEST_F(SpanTest, NestingRecordsParentAndRestoresIt) {
   EXPECT_EQ(inner_begin->span, outer_id);
 }
 
+// ---- distributed trace context (S47) ---------------------------------------
+
+TEST_F(SpanTest, TraceContextStampsTraceIdAndRestoresOnExit) {
+  MemorySink sink;
+  {
+    TraceContextScope scope(TraceContext{42, 0, 0});
+    EXPECT_EQ(current_trace().trace_id, 42u);
+    SpanScope span(&sink, "traced");
+    emit(&sink, EventKind::kCounter, "traced.event", 1);
+  }
+  EXPECT_EQ(current_trace().trace_id, 0u);
+  for (const TraceEvent& event : sink.events()) {
+    EXPECT_EQ(event.trace, 42u) << event.label;
+  }
+}
+
+TEST_F(SpanTest, RootSpanAdoptsLocalParentFromContext) {
+  MemorySink sink;
+  TraceContextScope scope(TraceContext{42, /*local_parent=*/7, 0});
+  SpanScope root(&sink, "root");
+  SpanScope child(&sink, "child");
+  auto events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].b, 7u);         // root crosses the thread boundary
+  EXPECT_EQ(events[0].remote_parent, 0u);
+  EXPECT_EQ(events[1].b, root.id());  // non-roots still follow the stack
+}
+
+TEST_F(SpanTest, RootSpanRecordsRemoteParentFromContext) {
+  MemorySink sink;
+  TraceContextScope scope(TraceContext{42, 0, /*remote_parent=*/9});
+  SpanScope root(&sink, "root");
+  auto events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  // A peer process's span id cannot become b (it lives in another id
+  // namespace); it travels in remote_parent for the offline merge.
+  EXPECT_EQ(events[0].b, 0u);
+  EXPECT_EQ(events[0].remote_parent, 9u);
+}
+
+TEST_F(SpanTest, ParentBearingContextReRootsPastOpenWrapperSpans) {
+  MemorySink sink;
+  SpanScope wrapper(&sink, "pool.task");  // a worker loop's long-lived span
+  {
+    TraceContextScope scope(TraceContext{42, /*local_parent=*/7, 0});
+    EXPECT_EQ(current_span(), 0u);  // the wrapper is stashed, not visible
+    SpanScope request(&sink, "service.request");
+    ASSERT_TRUE(request.active());
+  }
+  EXPECT_EQ(current_span(), wrapper.id());  // restored with the context
+  auto events = sink.events();
+  ASSERT_EQ(events.size(), 3u);  // wrapper begin, request begin+end
+  EXPECT_EQ(events[1].label, "service.request");
+  EXPECT_EQ(events[1].b, 7u);  // adopted the context parent, not the wrapper
+}
+
+TEST_F(SpanTest, ParentlessContextLeavesTheSpanStackAlone) {
+  MemorySink sink;
+  SpanScope wrapper(&sink, "outer");
+  TraceContextScope scope(TraceContext{42, 0, 0});
+  SpanScope inner(&sink, "inner");
+  auto events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].b, wrapper.id());  // ordinary nesting is untouched
+  EXPECT_EQ(events[1].trace, 42u);
+}
+
 TEST_F(SpanTest, OrdinaryEmitsAreStampedWithEnclosingSpan) {
   MemorySink sink;
   emit(&sink, EventKind::kCounter, "before");

@@ -269,9 +269,11 @@ TEST(TraceCli, SummaryModeExitsZeroOnValidTrace) {
 
 TEST(TraceCli, UsageErrorsExitOne) {
   EXPECT_EQ(run_tool(""), 1);                       // missing positional
-  EXPECT_EQ(run_tool("a.jsonl b.jsonl"), 1);        // too many positionals
   EXPECT_EQ(run_tool("--no-such-flag x.jsonl"), 1); // unknown flag
   EXPECT_EQ(run_tool("--help"), 0);                 // help is a success
+  // Multiple positionals are the multi-file merge, not a usage error; these
+  // two don't exist, so the missing-file exit code applies.
+  EXPECT_EQ(run_tool("a.jsonl b.jsonl"), 2);
 }
 
 TEST(TraceCli, MissingFileExitsTwo) {
@@ -339,6 +341,120 @@ TEST(TraceCli, ChromeExportToUnwritablePathFails) {
   EXPECT_NE(run_tool(traced_solve_path().string() +
                      " --chrome=/nonexistent-dir-xyzzy/out.json"),
             0);
+}
+
+// ---- multi-file merge (S47) ------------------------------------------------
+
+/// Writes `events` to `name` under the temp dir as JSONL, returning the path.
+fs::path write_trace(const std::string& name,
+                     const std::vector<obs::TraceEvent>& events) {
+  fs::path path = temp_dir() / name;
+  std::ofstream out(path);
+  for (const obs::TraceEvent& event : events) {
+    out << obs::to_jsonl(event) << "\n";
+  }
+  return path;
+}
+
+obs::TraceEvent span_event(obs::EventKind kind, std::string label,
+                           std::uint64_t id, std::uint64_t parent,
+                           std::uint64_t seq, double t, std::uint64_t trace = 0,
+                           std::uint64_t remote_parent = 0) {
+  obs::TraceEvent event;
+  event.kind = kind;
+  event.label = std::move(label);
+  event.a = id;
+  event.b = parent;
+  event.span = parent;
+  event.value = kind == obs::EventKind::kSpanEnd ? 0.25 : 0.0;
+  event.seq = seq;
+  event.t_seconds = t;
+  event.trace = trace;
+  event.remote_parent = remote_parent;
+  return event;
+}
+
+TEST(TraceCli, MergedChromeExportResolvesCrossProcessParents) {
+  using obs::EventKind;
+  constexpr std::uint64_t kTrace = 777;
+  // Two synthetic process traces whose span ids DELIBERATELY collide: raw id
+  // 1 is client.solve in one file and pool.task in the other. The merge must
+  // keep them apart (per-file id namespaces) and still resolve the server's
+  // remote parent (rparent=1) to the *client's* span 1, not its own.
+  fs::path client = write_trace(
+      "merge_client.jsonl",
+      {span_event(EventKind::kSpanBegin, "client.solve", 1, 0, 0, 100.0, kTrace),
+       span_event(EventKind::kSpanEnd, "client.solve", 1, 0, 1, 100.5, kTrace)});
+  fs::path server = write_trace(
+      "merge_server.jsonl",
+      {span_event(EventKind::kSpanBegin, "pool.task", 1, 0, 0, 99.0),
+       span_event(EventKind::kSpanBegin, "net.request", 2, 0, 1, 100.1, kTrace,
+                  /*remote_parent=*/1),
+       span_event(EventKind::kSpanBegin, "service.request", 3, 2, 2, 100.2,
+                  kTrace),
+       span_event(EventKind::kSpanEnd, "service.request", 3, 2, 3, 100.3,
+                  kTrace),
+       span_event(EventKind::kSpanEnd, "net.request", 2, 0, 4, 100.4, kTrace,
+                  /*remote_parent=*/1),
+       span_event(EventKind::kSpanEnd, "pool.task", 1, 0, 5, 101.0)});
+
+  fs::path out = temp_dir() / "merged.json";
+  ASSERT_EQ(run_tool(client.string() + " " + server.string() +
+                     " --chrome=" + out.string()),
+            0);
+
+  JsonValue root = JsonParser(slurp(out)).parse();
+  const JsonArray& events = root.object().at("traceEvents").array();
+  std::map<std::string, const JsonObject*> by_name;
+  for (const JsonValue& value : events) {
+    const JsonObject& event = value.object();
+    if (event.at("ph").str() == "X") by_name[event.at("name").str()] = &event;
+  }
+  ASSERT_EQ(by_name.size(), 4u);
+
+  auto field = [](const JsonObject* event, const char* key) {
+    return std::get<double>(event->at("args").object().at(key).v);
+  };
+  auto pid = [](const JsonObject* event) {
+    return std::get<double>(event->at("pid").v);
+  };
+
+  // File index is the Chrome pid; file 0's ids are untouched (the single-file
+  // output stays byte-compatible), file 1's live in a disjoint namespace.
+  EXPECT_EQ(pid(by_name.at("client.solve")), 0.0);
+  EXPECT_EQ(pid(by_name.at("net.request")), 1.0);
+  double client_gid = field(by_name.at("client.solve"), "span");
+  EXPECT_EQ(client_gid, 1.0);
+  double pool_gid = field(by_name.at("pool.task"), "span");
+  EXPECT_NE(pool_gid, client_gid);  // the colliding raw id 1, kept apart
+
+  // The wire hop: net.request's parent resolved to the client's span across
+  // files, and the whole request chain carries the trace id.
+  EXPECT_EQ(field(by_name.at("net.request"), "parent"), client_gid);
+  EXPECT_EQ(field(by_name.at("service.request"), "parent"),
+            field(by_name.at("net.request"), "span"));
+  EXPECT_EQ(field(by_name.at("net.request"), "trace"), 777.0);
+  EXPECT_EQ(field(by_name.at("client.solve"), "trace"), 777.0);
+}
+
+TEST(TraceCli, ReportAcceptsMultipleFiles) {
+  EXPECT_EQ(run_tool(traced_solve_path().string() + " " +
+                     traced_solve_path().string() + " --report"),
+            0);
+}
+
+TEST(TraceCli, PromModeRendersExpositionText) {
+  fs::path out = temp_dir() / "prom.txt";
+  std::string command = std::string(MPSS_TRACE_BIN) + " " +
+                        traced_solve_path().string() + " --prom > " +
+                        out.string() + " 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0);
+  std::string text = slurp(out);
+  EXPECT_NE(text.find("# TYPE mpss_"), std::string::npos) << text;
+  EXPECT_NE(text.find("_total "), std::string::npos) << text;
+  // The traced solve closed spans, so the offline rebuild has span duration
+  // histograms too.
+  EXPECT_NE(text.find("mpss_span_optimal_solve_us"), std::string::npos) << text;
 }
 
 }  // namespace

@@ -7,7 +7,13 @@
 // SIGTERM:
 //
 //   mpss_served [--host=127.0.0.1] [--port=0] [--threads=N] [--queue=N]
-//               [--cache=N] [--trace=out.jsonl]
+//               [--cache=N] [--trace=out.jsonl] [--metrics-port=N]
+//               [--slow-ms=N]
+//
+// --metrics-port starts the Prometheus scrape endpoint (GET /metrics, S47) on
+// the same host; the bound port is printed as "metrics on <host>:<port>".
+// --slow-ms turns on the structured completion log on stderr: one JSON line
+// per request whose wall time meets the threshold (0 logs every request).
 //
 // Client mode (--connect) drives a running daemon over the same protocol --
 // the shell-scriptable face of net::SolveClient, and what the CI integration
@@ -15,9 +21,16 @@
 //
 //   mpss_served --connect=HOST:PORT --health
 //   mpss_served --connect=HOST:PORT --stats
+//   mpss_served --connect=HOST:PORT --metrics
 //   mpss_served --connect=HOST:PORT --shutdown
 //   mpss_served --connect=HOST:PORT [--engine=NAME] [--deadline-ms=N]
-//               [--priority=N] instance.json [more.json ...]
+//               [--priority=N] [--trace=out.jsonl] instance.json [more.json ...]
+//
+// --metrics prints the daemon's Prometheus snapshot (the "metrics" verb).
+// --trace in client mode records the client-side trace -- each solve runs in a
+// "client.solve" span whose trace context travels to the daemon, so the two
+// JSONL files merge into one timeline via `mpss_trace --chrome client.jsonl
+// server.jsonl`.
 //
 // Solve mode prints one line per instance: "<path> <status> <energy>
 // [<detail>]". Exit codes: 0 on success (every solve returned status ok),
@@ -37,6 +50,7 @@
 
 #include "mpss/core/instance_json.hpp"
 #include "mpss/net/client.hpp"
+#include "mpss/net/metrics_http.hpp"
 #include "mpss/net/server.hpp"
 #include "mpss/obs/registry.hpp"
 #include "mpss/obs/trace.hpp"
@@ -53,10 +67,13 @@ constexpr int kExitSolveFailed = 3;
 
 const char* kUsage =
     "usage: mpss_served [--host=A] [--port=N] [--threads=N] [--queue=N]\n"
-    "                   [--cache=N] [--trace=out.jsonl]\n"
-    "       mpss_served --connect=HOST:PORT (--health|--stats|--shutdown)\n"
+    "                   [--cache=N] [--trace=out.jsonl] [--metrics-port=N]\n"
+    "                   [--slow-ms=N]\n"
+    "       mpss_served --connect=HOST:PORT "
+    "(--health|--stats|--metrics|--shutdown)\n"
     "       mpss_served --connect=HOST:PORT [--engine=NAME] [--deadline-ms=N]\n"
-    "                   [--priority=N] instance.json [more.json ...]\n";
+    "                   [--priority=N] [--trace=out.jsonl] instance.json "
+    "[more.json ...]\n";
 
 // Signal handling: the handler only flips a flag; a watcher thread turns it
 // into the graceful shutdown (signal context cannot touch mutexes).
@@ -73,6 +90,7 @@ int run_daemon(const mpss::CliArgs& args) {
       static_cast<std::size_t>(args.get_int("queue", 256));
   options.service.cache_capacity =
       static_cast<std::size_t>(args.get_int("cache", 128));
+  options.slow_ms = args.get_int("slow-ms", -1);
 
   std::optional<mpss::obs::JsonlSink> trace_sink;
   std::string trace_path = args.get("trace", "");
@@ -89,6 +107,15 @@ int run_daemon(const mpss::CliArgs& args) {
   mpss::net::SolveServer server(std::move(options));
   std::cout << "listening on " << args.get("host", "127.0.0.1") << ":"
             << server.port() << std::endl;  // flushed: scripts scrape this line
+
+  std::optional<mpss::net::MetricsHttpServer> metrics;
+  std::int64_t metrics_port = args.get_int("metrics-port", -1);
+  if (metrics_port >= 0) {
+    metrics.emplace(args.get("host", "127.0.0.1"),
+                    static_cast<std::uint16_t>(metrics_port));
+    std::cout << "metrics on " << args.get("host", "127.0.0.1") << ":"
+              << metrics->port() << std::endl;  // also scraped by scripts
+  }
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -126,6 +153,26 @@ int run_client(const mpss::CliArgs& args, const std::string& endpoint) {
     return kExitUsage;
   }
 
+  // Client-side tracing: with a sink attached, every round trip below runs in
+  // a client.solve span whose context travels to the daemon (client.hpp).
+  std::optional<mpss::obs::JsonlSink> trace_sink;
+  std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) {
+    try {
+      trace_sink.emplace(trace_path);
+    } catch (const std::invalid_argument&) {
+      std::cerr << "mpss_served: cannot open trace file '" << trace_path << "'\n";
+      return kExitUsage;
+    }
+    mpss::obs::Registry::global().attach_sink(&*trace_sink);
+  }
+  struct SinkDetach {
+    bool armed;
+    ~SinkDetach() {
+      if (armed) mpss::obs::Registry::global().attach_sink(nullptr);
+    }
+  } detach{!trace_path.empty()};
+
   try {
     mpss::net::SolveClient client(host, static_cast<std::uint16_t>(port));
     if (args.get_bool("health", false)) {
@@ -134,6 +181,10 @@ int run_client(const mpss::CliArgs& args, const std::string& endpoint) {
     }
     if (args.get_bool("stats", false)) {
       std::cout << mpss::json::serialize(client.stats()) << "\n";
+      return kExitOk;
+    }
+    if (args.get_bool("metrics", false)) {
+      std::cout << client.metrics();
       return kExitOk;
     }
     if (args.get_bool("shutdown", false)) {
@@ -188,8 +239,9 @@ int main(int argc, char** argv) {
   try {
     mpss::CliArgs args(argc, argv,
                        {"host", "port", "threads", "queue", "cache", "trace",
-                        "connect", "health", "stats", "shutdown", "engine",
-                        "deadline-ms", "priority", "help"});
+                        "connect", "health", "stats", "metrics", "shutdown",
+                        "engine", "deadline-ms", "priority", "metrics-port",
+                        "slow-ms", "help"});
     if (args.get_bool("help", false)) {
       std::cout << kUsage;
       return kExitOk;

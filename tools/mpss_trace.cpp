@@ -1,8 +1,20 @@
-// mpss_trace: summarizes a JSONL solver trace (obs::JsonlSink output) into
-// per-stage tables, a hierarchical span profile, or a Chrome trace file.
+// mpss_trace: summarizes JSONL solver traces (obs::JsonlSink output) into
+// per-stage tables, a hierarchical span profile, a Prometheus snapshot, or a
+// Chrome trace file.
 //
-//   mpss_trace <trace.jsonl> [--csv] [--events] [--report] [--top=N]
-//              [--chrome=out.json]
+//   mpss_trace <trace.jsonl> [more.jsonl ...] [--csv] [--events] [--report]
+//              [--top=N] [--chrome=out.json] [--prom]
+//
+// Multiple trace files are merged: the tables and --report aggregate over the
+// concatenation, and --chrome joins the files into ONE timeline -- each file
+// becomes a Chrome "pid", span ids are namespaced per file, and a span whose
+// begin event carries "rparent" (a span id of a *peer process*, stamped by the
+// daemon when a request arrived with the protocol's trace header) is
+// re-parented under the matching span of the other file, which is how a
+// client's client.solve span becomes the ancestor of the server's
+// net.request -> service.request -> <engine> subtree. Steady-clock timestamps
+// on Linux come from the machine-wide CLOCK_MONOTONIC, so cross-process
+// timelines align without negotiation.
 //
 // Default mode prints, per engine run found in the trace:
 //   * an event-kind summary (count per kind),
@@ -27,6 +39,12 @@
 // ({"traceEvents": [...]}, "X" complete events plus "i" instants), loadable in
 // chrome://tracing and Perfetto.
 //
+// --prom replays the trace into a Prometheus text-format snapshot on stdout:
+// one counter per kCounter label (occurrence count), span durations as
+// span_<label>_us histograms, and the daemon's request/queue-wait latency
+// histograms reconstructed from net.response / service.queue_wait events --
+// the offline twin of the live GET /metrics endpoint.
+//
 // Exit codes (stable, CI-checked):
 //   0  success
 //   1  usage error (bad flags, missing positional, --help is still 0)
@@ -40,10 +58,15 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "mpss/obs/counters.hpp"
+#include "mpss/obs/export.hpp"
+#include "mpss/obs/histogram.hpp"
 #include "mpss/obs/trace.hpp"
 #include "mpss/solve.hpp"
 #include "mpss/util/cli.hpp"
@@ -241,6 +264,22 @@ void service_table(const std::vector<TraceEvent>& events, bool csv) {
   Table cache({"hits", "misses", "evictions"});
   cache.row(hits, misses, evictions);
   print_table(cache, csv);
+  // Each worker emits one "service.queue_wait" kCounter event per dispatched
+  // request (a = admission-to-dispatch microseconds): the offline rebuild of
+  // the daemon's service.queue_wait_us histogram.
+  mpss::obs::HistogramData queue_wait;
+  for (const TraceEvent& event : events) {
+    if (event.kind == EventKind::kCounter && event.label == "service.queue_wait") {
+      queue_wait.record(event.a);
+    }
+  }
+  if (!queue_wait.empty()) {
+    mpss::obs::Percentiles wait = mpss::obs::percentiles(queue_wait);
+    std::cout << "service queue wait (us)\n";
+    Table waits({"count", "p50", "p90", "p99", "max"});
+    waits.row(queue_wait.count, wait.p50, wait.p90, wait.p99, queue_wait.max);
+    print_table(waits, csv);
+  }
 }
 
 void net_table(const std::vector<TraceEvent>& events, bool csv) {
@@ -256,6 +295,7 @@ void net_table(const std::vector<TraceEvent>& events, bool csv) {
   double seconds = 0.0;
   std::size_t disconnect_cancels = 0;
   std::size_t shutdowns = 0;
+  mpss::obs::HistogramData request_us;  // per-response receipt-to-write latency
   for (const TraceEvent& event : events) {
     if (event.kind != EventKind::kCounter) continue;
     if (event.label == "net.request") {
@@ -266,6 +306,9 @@ void net_table(const std::vector<TraceEvent>& events, bool csv) {
       bytes_out += static_cast<double>(event.a);
       solves += event.b;
       seconds += event.value;
+      if (event.value > 0.0) {
+        request_us.record(static_cast<std::uint64_t>(event.value * 1e6));
+      }
     } else if (event.label == "net.disconnect_cancel") {
       disconnect_cancels += event.a;
     } else if (event.label == "net.shutdown_verb") {
@@ -280,6 +323,14 @@ void net_table(const std::vector<TraceEvent>& events, bool csv) {
             static_cast<std::size_t>(bytes_out), Table::num(seconds, 6),
             disconnect_cancels, shutdowns);
   print_table(table, csv);
+  if (!request_us.empty()) {
+    mpss::obs::Percentiles latency = mpss::obs::percentiles(request_us);
+    std::cout << "net request latency (us)\n";
+    Table latencies({"count", "p50", "p90", "p99", "max"});
+    latencies.row(request_us.count, latency.p50, latency.p90, latency.p99,
+                  request_us.max);
+    print_table(latencies, csv);
+  }
 }
 
 void arrival_table(const std::vector<TraceEvent>& events, bool csv) {
@@ -297,19 +348,24 @@ void arrival_table(const std::vector<TraceEvent>& events, bool csv) {
 
 // ---- span profile (--report) and Chrome export (--chrome) ------------------
 
-/// One completed span, reassembled from a kSpanBegin/kSpanEnd pair.
-/// Span ids come from one process-wide well, so they are unique across threads.
+/// One completed span, reassembled from a kSpanBegin/kSpanEnd pair. Span ids
+/// come from one well *per process*, so they are unique across threads within
+/// a file but collide between files -- the Chrome merge namespaces them.
 struct SpanRecord {
   std::string label;
   std::uint64_t id = 0;
-  std::uint64_t parent = 0;       // 0 = root
-  std::uint64_t thread = 0;       // dense obs::thread_index()
-  double start_seconds = 0.0;     // steady-clock epoch (begin event timestamp)
-  double duration_seconds = 0.0;  // kSpanEnd value
+  std::uint64_t parent = 0;         // 0 = root (within its own file)
+  std::uint64_t remote_parent = 0;  // span id of a PEER process (another file)
+  std::uint64_t trace = 0;          // distributed trace id; 0 = untraced
+  std::uint64_t thread = 0;         // dense obs::thread_index()
+  std::size_t file = 0;             // input-file index (Chrome pid)
+  double start_seconds = 0.0;       // steady-clock epoch (begin event timestamp)
+  double duration_seconds = 0.0;    // kSpanEnd value
   bool closed = false;
 };
 
-std::vector<SpanRecord> collect_spans(const std::vector<TraceEvent>& events) {
+std::vector<SpanRecord> collect_spans(const std::vector<TraceEvent>& events,
+                                      std::size_t file = 0) {
   std::map<std::uint64_t, std::size_t> index;  // span id -> position
   std::vector<SpanRecord> spans;
   for (const TraceEvent& event : events) {
@@ -318,7 +374,10 @@ std::vector<SpanRecord> collect_spans(const std::vector<TraceEvent>& events) {
       record.label = event.label;
       record.id = event.a;
       record.parent = event.b;
+      record.remote_parent = event.remote_parent;
+      record.trace = event.trace;
       record.thread = static_cast<std::uint64_t>(event.value);
+      record.file = file;
       record.start_seconds = event.t_seconds;
       index[record.id] = spans.size();
       spans.push_back(std::move(record));
@@ -335,23 +394,33 @@ std::vector<SpanRecord> collect_spans(const std::vector<TraceEvent>& events) {
   return spans;
 }
 
-void span_report(const std::vector<TraceEvent>& events, bool csv, std::size_t top) {
-  std::vector<SpanRecord> spans = collect_spans(events);
+void span_report(const std::vector<std::vector<TraceEvent>>& files, bool csv,
+                 std::size_t top) {
+  std::vector<SpanRecord> spans;
+  for (std::size_t file = 0; file < files.size(); ++file) {
+    std::vector<SpanRecord> collected = collect_spans(files[file], file);
+    spans.insert(spans.end(), std::make_move_iterator(collected.begin()),
+                 std::make_move_iterator(collected.end()));
+  }
   if (spans.empty()) {
     std::cout << "no spans in trace (emit with obs::SpanScope)\n";
     return;
   }
 
-  // Self time = inclusive duration minus direct children's inclusive durations.
-  std::map<std::uint64_t, double> children_seconds;  // parent id -> sum
+  // Self time = inclusive duration minus direct children's inclusive
+  // durations. Span ids collide between files, so the key is (file, id).
+  std::map<std::pair<std::size_t, std::uint64_t>, double> children_seconds;
   for (const SpanRecord& span : spans) {
-    if (span.parent != 0) children_seconds[span.parent] += span.duration_seconds;
+    if (span.parent != 0) {
+      children_seconds[{span.file, span.parent}] += span.duration_seconds;
+    }
   }
 
   struct LabelRow {
     std::size_t count = 0;
     double total_seconds = 0.0;
     double self_seconds = 0.0;
+    mpss::obs::HistogramData durations_us;  // per-call inclusive duration
   };
   std::map<std::string, LabelRow> by_label;
   double root_seconds = 0.0;  // trace wall time attributed to root spans
@@ -360,8 +429,10 @@ void span_report(const std::vector<TraceEvent>& events, bool csv, std::size_t to
     LabelRow& row = by_label[span.label];
     ++row.count;
     row.total_seconds += span.duration_seconds;
+    row.durations_us.record(
+        static_cast<std::uint64_t>(span.duration_seconds * 1e6));
     double self = span.duration_seconds;
-    auto it = children_seconds.find(span.id);
+    auto it = children_seconds.find({span.file, span.id});
     if (it != children_seconds.end()) self -= it->second;
     // Clock skew between a parent's duration and its children's sum can push
     // self fractionally below zero; clamp so shares stay in [0, 100].
@@ -379,22 +450,55 @@ void span_report(const std::vector<TraceEvent>& events, bool csv, std::size_t to
 
   std::cout << "span profile (" << spans.size() << " spans, "
             << Table::num(root_seconds, 6) << "s in root spans)\n";
-  Table table({"label", "count", "total_s", "self_s", "self_pct"});
+  Table table({"label", "count", "total_s", "self_s", "self_pct", "p50_us",
+               "p90_us", "p99_us"});
   for (const auto& [label, row] : rows) {
     double pct = self_total > 0.0 ? 100.0 * row.self_seconds / self_total : 0.0;
+    mpss::obs::Percentiles latency = mpss::obs::percentiles(row.durations_us);
     table.row(label, row.count, Table::num(row.total_seconds, 6),
-              Table::num(row.self_seconds, 6), Table::num(pct, 1));
+              Table::num(row.self_seconds, 6), Table::num(pct, 1), latency.p50,
+              latency.p90, latency.p99);
   }
   print_table(table, csv);
 }
 
 /// Writes the Chrome trace-event format (the catapult JSON schema Perfetto and
 /// chrome://tracing load): spans as "X" complete events, other timestamped
-/// events as "i" instants. Timestamps are microseconds relative to the earliest
-/// event so the viewer opens at t=0.
-bool write_chrome_trace(const std::vector<TraceEvent>& events,
+/// events as "i" instants. Timestamps are microseconds relative to the
+/// earliest event across every file, so the viewer opens at t=0 and (on
+/// Linux, where steady_clock is the machine-wide CLOCK_MONOTONIC) the files'
+/// timelines align without negotiation.
+///
+/// Merge model: input file i becomes Chrome pid i, and its span ids are
+/// namespaced as (i << 32) + id so per-process wells cannot collide -- file 0
+/// keeps its raw ids, which keeps single-file output byte-identical to the
+/// pre-merge format. A span with an rparent (a peer-process parent recorded by
+/// the daemon) is re-parented under the span of *another* file with that raw
+/// id and the same trace id; with three or more processes sharing a trace the
+/// first match wins (the wire does not carry a process identity).
+bool write_chrome_trace(const std::vector<std::vector<TraceEvent>>& files,
                         const std::string& path) {
-  std::vector<SpanRecord> spans = collect_spans(events);
+  std::vector<SpanRecord> spans;
+  for (std::size_t file = 0; file < files.size(); ++file) {
+    std::vector<SpanRecord> collected = collect_spans(files[file], file);
+    spans.insert(spans.end(), std::make_move_iterator(collected.begin()),
+                 std::make_move_iterator(collected.end()));
+  }
+  auto gid = [](std::size_t file, std::uint64_t id) {
+    return id == 0 ? std::uint64_t{0}
+                   : (static_cast<std::uint64_t>(file) << 32) + id;
+  };
+  // (trace id, raw span id) -> the spans carrying that id, for cross-file
+  // rparent resolution.
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::vector<std::pair<std::size_t, std::uint64_t>>>
+      by_trace_id;  // value: (file, namespaced id)
+  for (const SpanRecord& span : spans) {
+    if (span.trace != 0) {
+      by_trace_id[{span.trace, span.id}].emplace_back(span.file,
+                                                      gid(span.file, span.id));
+    }
+  }
 
   double min_seconds = 0.0;
   bool seen = false;
@@ -402,10 +506,12 @@ bool write_chrome_trace(const std::vector<TraceEvent>& events,
     if (!seen || span.start_seconds < min_seconds) min_seconds = span.start_seconds;
     seen = true;
   }
-  for (const TraceEvent& event : events) {
-    if (event.t_seconds <= 0.0) continue;
-    if (!seen || event.t_seconds < min_seconds) min_seconds = event.t_seconds;
-    seen = true;
+  for (const std::vector<TraceEvent>& events : files) {
+    for (const TraceEvent& event : events) {
+      if (event.t_seconds <= 0.0) continue;
+      if (!seen || event.t_seconds < min_seconds) min_seconds = event.t_seconds;
+      seen = true;
+    }
   }
 
   std::ofstream out(path);
@@ -417,61 +523,109 @@ bool write_chrome_trace(const std::vector<TraceEvent>& events,
     first = false;
   };
   for (const SpanRecord& span : spans) {
+    std::uint64_t parent = gid(span.file, span.parent);
+    if (span.parent == 0 && span.remote_parent != 0 && span.trace != 0) {
+      auto it = by_trace_id.find({span.trace, span.remote_parent});
+      if (it != by_trace_id.end()) {
+        for (const auto& [file, candidate] : it->second) {
+          if (file != span.file) {
+            parent = candidate;
+            break;
+          }
+        }
+      }
+    }
     comma();
     out << "{\"name\":" << mpss::obs::json_quoted(span.label)
         << ",\"ph\":\"X\",\"ts\":" << (span.start_seconds - min_seconds) * 1e6
-        << ",\"dur\":" << span.duration_seconds * 1e6
-        << ",\"pid\":0,\"tid\":" << span.thread << ",\"args\":{\"span\":" << span.id
-        << ",\"parent\":" << span.parent << "}}";
+        << ",\"dur\":" << span.duration_seconds * 1e6 << ",\"pid\":" << span.file
+        << ",\"tid\":" << span.thread
+        << ",\"args\":{\"span\":" << gid(span.file, span.id)
+        << ",\"parent\":" << parent;
+    if (span.trace != 0) out << ",\"trace\":" << span.trace;
+    out << "}}";
   }
-  for (const TraceEvent& event : events) {
-    if (event.kind == EventKind::kSpanBegin || event.kind == EventKind::kSpanEnd) {
-      continue;
+  for (std::size_t file = 0; file < files.size(); ++file) {
+    for (const TraceEvent& event : files[file]) {
+      if (event.kind == EventKind::kSpanBegin || event.kind == EventKind::kSpanEnd) {
+        continue;
+      }
+      if (event.t_seconds <= 0.0) continue;  // untimestamped build: spans only
+      comma();
+      out << "{\"name\":" << mpss::obs::json_quoted(event.label)
+          << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+          << (event.t_seconds - min_seconds) * 1e6 << ",\"pid\":" << file
+          << ",\"tid\":0,\"args\":{\"kind\":"
+          << mpss::obs::json_quoted(mpss::obs::event_kind_name(event.kind))
+          << ",\"span\":" << gid(file, event.span) << "}}";
     }
-    if (event.t_seconds <= 0.0) continue;  // untimestamped build: spans only
-    comma();
-    out << "{\"name\":" << mpss::obs::json_quoted(event.label)
-        << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << (event.t_seconds - min_seconds) * 1e6
-        << ",\"pid\":0,\"tid\":0,\"args\":{\"kind\":"
-        << mpss::obs::json_quoted(mpss::obs::event_kind_name(event.kind))
-        << ",\"span\":" << event.span << "}}";
   }
   out << "]}\n";
   out.flush();
   return static_cast<bool>(out);
 }
 
+/// Replays the trace into a Prometheus text-format snapshot on stdout: the
+/// offline twin of the daemon's live /metrics endpoint, for post-hoc analysis
+/// of a captured JSONL file with the same tooling that reads the scrape.
+void print_prometheus(const std::vector<TraceEvent>& events) {
+  mpss::obs::Counters counters;
+  mpss::obs::HistogramMap histograms;
+  for (const TraceEvent& event : events) {
+    if (event.kind == EventKind::kCounter) {
+      counters.add(event.label);
+      if (event.label == "service.queue_wait") {
+        histograms["service.queue_wait_us"].record(event.a);
+      } else if (event.label == "net.response" && event.value > 0.0) {
+        histograms["net.request_us"].record(
+            static_cast<std::uint64_t>(event.value * 1e6));
+      }
+    } else if (event.kind == EventKind::kSpanEnd) {
+      histograms["span." + event.label + "_us"].record(
+          static_cast<std::uint64_t>(event.value * 1e6));
+    }
+  }
+  std::cout << mpss::obs::render_prometheus(counters, histograms);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* usage =
-      "usage: mpss_trace <trace.jsonl> [--csv] [--events] [--report] [--top=N] "
-      "[--chrome=out.json]\n";
+      "usage: mpss_trace <trace.jsonl> [more.jsonl ...] [--csv] [--events] "
+      "[--report] [--top=N] [--chrome=out.json] [--prom]\n";
   try {
-    mpss::CliArgs args(argc, argv, {"csv", "events", "help", "report", "top", "chrome"});
+    mpss::CliArgs args(argc, argv,
+                       {"csv", "events", "help", "report", "top", "chrome", "prom"});
     if (args.get_bool("help", false)) {
       std::cout << usage;
       return kExitOk;
     }
-    if (args.positional().size() != 1) {
+    if (args.positional().empty()) {
       std::cerr << usage;
       return kExitUsage;
     }
-    const std::string& path = args.positional()[0];
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "mpss_trace: cannot open '" << path
-                << "' (missing file or unreadable)\n";
-      return kExitMissingFile;
+    // One vector per input file: the Chrome merge and --report need the file
+    // boundary (span-id namespaces); everything else reads the concatenation.
+    std::vector<std::vector<TraceEvent>> files;
+    for (const std::string& path : args.positional()) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "mpss_trace: cannot open '" << path
+                  << "' (missing file or unreadable)\n";
+        return kExitMissingFile;
+      }
+      try {
+        files.push_back(mpss::obs::parse_trace_jsonl(in));
+      } catch (const std::invalid_argument& error) {
+        std::cerr << "mpss_trace: malformed JSONL in '" << path
+                  << "': " << error.what() << "\n";
+        return kExitMalformed;
+      }
     }
-
     std::vector<TraceEvent> events;
-    try {
-      events = mpss::obs::parse_trace_jsonl(in);
-    } catch (const std::invalid_argument& error) {
-      std::cerr << "mpss_trace: malformed JSONL in '" << path << "': " << error.what()
-                << "\n";
-      return kExitMalformed;
+    for (const std::vector<TraceEvent>& file : files) {
+      events.insert(events.end(), file.begin(), file.end());
     }
 
     if (args.get_bool("events", false)) {
@@ -483,7 +637,7 @@ int main(int argc, char** argv) {
 
     std::string chrome_path = args.get("chrome", "");
     if (!chrome_path.empty()) {
-      if (!write_chrome_trace(events, chrome_path)) {
+      if (!write_chrome_trace(files, chrome_path)) {
         std::cerr << "mpss_trace: cannot write '" << chrome_path << "'\n";
         return kExitUsage;
       }
@@ -491,10 +645,15 @@ int main(int argc, char** argv) {
       return kExitOk;
     }
 
+    if (args.get_bool("prom", false)) {
+      print_prometheus(events);
+      return kExitOk;
+    }
+
     const bool csv = args.get_bool("csv", false);
     if (args.get_bool("report", false)) {
       auto top = static_cast<std::size_t>(args.get_int("top", 20));
-      span_report(events, csv, top == 0 ? 20 : top);
+      span_report(files, csv, top == 0 ? 20 : top);
       return kExitOk;
     }
 
