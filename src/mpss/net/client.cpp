@@ -1,7 +1,9 @@
 #include "mpss/net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -9,6 +11,7 @@
 #include <cstring>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "mpss/obs/registry.hpp"
@@ -17,7 +20,11 @@
 namespace mpss::net {
 namespace {
 
-ScopedFd connect_to(const std::string& host, std::uint16_t port) {
+/// connect() with an optional timeout: non-blocking connect, poll for
+/// writability, then read the socket error back. `timeout_ms <= 0` keeps the
+/// plain blocking connect (the OS default timeout).
+ScopedFd connect_to(const std::string& host, std::uint16_t port,
+                    std::int64_t timeout_ms) {
   ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) {
     throw std::runtime_error(std::string("SolveClient: socket failed: ") +
@@ -30,24 +37,131 @@ ScopedFd connect_to(const std::string& host, std::uint16_t port) {
     throw std::runtime_error("SolveClient: '" + host +
                              "' is not a numeric IPv4 address");
   }
-  int rc;
-  do {
-    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
-                   sizeof address);
-  } while (rc != 0 && errno == EINTR);
+  auto fail = [&](const std::string& why) -> std::runtime_error {
+    return std::runtime_error("SolveClient: connect to " + host + ":" +
+                              std::to_string(port) + " failed: " + why);
+  };
+
+  if (timeout_ms <= 0) {
+    int rc;
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+                     sizeof address);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) throw fail(std::strerror(errno));
+    return fd;
+  }
+
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw fail(std::string("fcntl: ") + std::strerror(errno));
+  }
+  int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+                     sizeof address);
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    throw fail(std::strerror(errno));
+  }
   if (rc != 0) {
-    throw std::runtime_error("SolveClient: connect to " + host + ":" +
-                             std::to_string(port) +
-                             " failed: " + std::strerror(errno));
+    auto deadline = Deadline::after_ms(timeout_ms);
+    for (;;) {
+      std::int64_t left = deadline.remaining_ms();
+      if (left == 0) {
+        obs::Registry::global().add("net.timeouts");
+        throw fail("connect timed out after " + std::to_string(timeout_ms) +
+                   "ms");
+      }
+      pollfd poll_fd{fd.get(), POLLOUT, 0};
+      int ready = ::poll(&poll_fd, 1, static_cast<int>(left));
+      if (ready > 0) break;
+      if (ready == 0) continue;  // re-check the absolute deadline
+      if (errno == EINTR) continue;
+      throw fail(std::string("poll: ") + std::strerror(errno));
+    }
+    int error = 0;
+    socklen_t length = sizeof error;
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &error, &length) != 0) {
+      throw fail(std::string("getsockopt: ") + std::strerror(errno));
+    }
+    if (error != 0) throw fail(std::strerror(error));
+  }
+  if (::fcntl(fd.get(), F_SETFL, flags) < 0) {
+    throw fail(std::string("fcntl restore: ") + std::strerror(errno));
   }
   return fd;
+}
+
+/// Would a fresh connection plausibly succeed where this failure did not?
+/// Oversize frames are deterministic protocol violations; everything else
+/// (truncation, timeout, reset, io) is transient by assumption.
+bool transient(const FrameError& error) {
+  return error.kind() != FrameError::Kind::kOversize;
 }
 
 }  // namespace
 
 SolveClient::SolveClient(const std::string& host, std::uint16_t port,
+                         SolveClientOptions options)
+    : host_(host),
+      port_(port),
+      options_(options),
+      fd_(connect_to(host, port, options_.connect_timeout_ms)),
+      jitter_state_(options_.retry.jitter_seed != 0
+                        ? options_.retry.jitter_seed
+                        : 0x9E3779B97F4A7C15ull) {
+  if (options_.io_timeout_ms > 0) {
+    set_recv_timeout(fd_.get(), options_.io_timeout_ms, "SolveClient");
+    set_send_timeout(fd_.get(), options_.io_timeout_ms, "SolveClient");
+  }
+}
+
+SolveClient::SolveClient(const std::string& host, std::uint16_t port,
                          std::size_t max_frame_bytes)
-    : fd_(connect_to(host, port)), max_frame_bytes_(max_frame_bytes) {}
+    : SolveClient(host, port, [max_frame_bytes] {
+        SolveClientOptions options;
+        options.max_frame_bytes = max_frame_bytes;
+        return options;
+      }()) {}
+
+void SolveClient::reconnect(const Deadline& budget) {
+  fd_.close();
+  std::int64_t timeout = budget.clamp_ms(options_.connect_timeout_ms);
+  fd_ = connect_to(host_, port_, timeout);
+  if (options_.io_timeout_ms > 0) {
+    set_recv_timeout(fd_.get(), options_.io_timeout_ms, "SolveClient");
+    set_send_timeout(fd_.get(), options_.io_timeout_ms, "SolveClient");
+  }
+}
+
+Response SolveClient::attempt(const Request& request, const Deadline& budget) {
+  if (budget.expired()) {
+    obs::Registry::global().add("net.timeouts");
+    throw FrameError("SolveClient: request budget exhausted before send",
+                     FrameError::Kind::kTimeout);
+  }
+  if (budget.armed()) {
+    // Clamp each syscall to the remaining budget so a single hung recv cannot
+    // outlive the request. remaining_ms() is > 0 here (expired() was false),
+    // so the clamp never accidentally clears a timeout.
+    std::int64_t per_op = budget.clamp_ms(options_.io_timeout_ms);
+    set_recv_timeout(fd_.get(), per_op, "SolveClient");
+    set_send_timeout(fd_.get(), per_op, "SolveClient");
+  }
+  write_frame(fd_.get(), encode_request(request), options_.max_frame_bytes);
+  if (!read_frame(fd_.get(), buffer_, options_.max_frame_bytes)) {
+    throw FrameError("SolveClient: server closed the connection",
+                     FrameError::Kind::kTruncated);
+  }
+  Response response = decode_response(buffer_);
+  if (response.id != request.id) {
+    throw ProtocolError(ErrorCode::kBadRequest,
+                        "SolveClient: response id " +
+                            std::to_string(response.id) +
+                            " does not match request id " +
+                            std::to_string(request.id));
+  }
+  if (!response.ok) throw ProtocolError(response.code, response.detail);
+  return response;
+}
 
 Response SolveClient::roundtrip(Request request) {
   if (!fd_.valid()) {
@@ -64,25 +178,73 @@ Response SolveClient::roundtrip(Request request) {
     trace_id = obs::Registry::global().next_trace_id();
     fresh_trace.emplace(obs::TraceContext{trace_id, 0, 0});
   }
+  // One span over ALL attempts: a retried round trip is one logical request,
+  // and the per-attempt "client.retry" events below land inside it.
   obs::SpanScope span(nullptr, "client.solve");
   if (span.active() && trace_id != 0) {
     request.trace_id = trace_id;
     request.parent_span = span.id();
   }
-  write_frame(fd_.get(), encode_request(request), max_frame_bytes_);
-  if (!read_frame(fd_.get(), buffer_, max_frame_bytes_)) {
-    throw FrameError("SolveClient: server closed the connection");
+
+  // The shutdown verb is the one verb whose duplicate delivery has a side
+  // effect (arming a second drain is harmless, but the first ack may have
+  // been written to a connection we already abandoned -- the drain is in
+  // flight and a retry would just race it). Everything else is idempotent:
+  // solves are fingerprint-cached, stats/health/metrics are reads.
+  const bool idempotent = request.verb != Verb::kShutdown;
+  const int max_attempts =
+      idempotent && options_.retry.max_attempts > 1 ? options_.retry.max_attempts
+                                                    : 1;
+  Deadline budget = Deadline::after_ms(options_.request_budget_ms);
+
+  for (int attempt_number = 1;; ++attempt_number) {
+    try {
+      return attempt(request, budget);
+    } catch (const FrameError& error) {
+      if (error.kind() == FrameError::Kind::kTimeout) {
+        obs::Registry::global().add("net.timeouts");
+      }
+      if (!transient(error) || attempt_number >= max_attempts ||
+          budget.expired()) {
+        throw;
+      }
+    } catch (const ProtocolError& error) {
+      // Of the server-reported errors only queue_full is transient: the
+      // admission queue drains, and re-submitting a fingerprinted request is
+      // free if it actually ran. bad_request/unsupported_version are
+      // deterministic; internal means a server bug; shutdown means the
+      // daemon is leaving.
+      if (error.code() != ErrorCode::kQueueFull ||
+          attempt_number >= max_attempts || budget.expired()) {
+        throw;
+      }
+    } catch (const std::runtime_error&) {
+      // A reconnect inside an earlier retry failed; the next loop iteration
+      // tries again (the daemon may be restarting behind us).
+      if (attempt_number >= max_attempts || budget.expired()) throw;
+    }
+
+    // Backoff (full jitter), clamped so the sleep itself cannot blow the
+    // budget, then retry on a FRESH connection -- the old stream has no
+    // resync point after a partial frame.
+    std::int64_t delay = backoff_full_jitter(
+        attempt_number - 1, options_.retry.backoff_ms,
+        options_.retry.backoff_max_ms, jitter_state_);
+    // Plain min, NOT clamp_ms: a zero backoff draw means "retry now", and
+    // clamp_ms would read it as "unlimited" and sleep the whole budget.
+    if (budget.armed() && delay > budget.remaining_ms()) {
+      delay = budget.remaining_ms();
+    }
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    obs::Registry::global().add("net.retries");
+    // a = attempt that failed, value carries nothing; the label's span
+    // context ties it to this round trip's client.solve span.
+    obs::emit(nullptr, obs::EventKind::kCounter, "client.retry",
+              static_cast<std::uint64_t>(attempt_number));
+    reconnect(budget);
   }
-  Response response = decode_response(buffer_);
-  if (response.id != request.id) {
-    throw ProtocolError(ErrorCode::kBadRequest,
-                        "SolveClient: response id " +
-                            std::to_string(response.id) +
-                            " does not match request id " +
-                            std::to_string(request.id));
-  }
-  if (!response.ok) throw ProtocolError(response.code, response.detail);
-  return response;
 }
 
 SolveResult SolveClient::solve(const Instance& instance,

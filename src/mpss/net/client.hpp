@@ -1,5 +1,5 @@
 #pragma once
-// Blocking client of the solve daemon (S45, see DESIGN.md).
+// Blocking client of the solve daemon (S45/S48, see DESIGN.md).
 //
 // SolveClient connects to a SolveServer and exposes the in-process facade's
 // shape over the wire: solve() returns a SolveResult, solve_many() a vector in
@@ -12,12 +12,26 @@
 // clients (the daemon handles each connection independently) -- that is what
 // bench_server does to measure 1..N-connection throughput.
 //
+// Time and failure (S48): SolveClientOptions arms the deadline hierarchy --
+// a monotonic per-request budget over the whole round trip (reconnects and
+// backoff sleeps included), socket send/recv timeouts (SO_SNDTIMEO /
+// SO_RCVTIMEO) bounding each syscall beneath it, and a connect timeout. On a
+// transport failure the client retries idempotent verbs on a fresh connection
+// with full-jitter exponential backoff. Every solve request is content-
+// fingerprinted by the daemon's result cache, so a retried solve that already
+// executed is served from cache -- duplicates are safe AND cheap, which is
+// what makes blind retry-on-timeout sound here. The shutdown verb is the one
+// non-idempotent verb and is never retried. Retries bump the net.retries
+// counter (net.timeouts for deadline expiries) and emit one "client.retry"
+// trace event per attempt, so a retried round trip is visible in traces.
+//
 // Failure model: transport problems (connection refused, daemon gone, frame
-// corruption) throw FrameError or std::runtime_error; protocol-level errors
-// reported by the server (queue_full, shutdown, bad_request, internal) throw
-// ProtocolError carrying the wire ErrorCode. Solve-level failures do NOT
-// throw -- they come back as the result's status + error_detail, exactly as
-// the facade reports them.
+// corruption, budget exhausted) throw FrameError or std::runtime_error after
+// retries are spent; protocol-level errors reported by the server
+// (queue_full, shutdown, bad_request, internal) throw ProtocolError carrying
+// the wire ErrorCode -- of these only queue_full is transient, and it is the
+// only one retried. Solve-level failures do NOT throw -- they come back as
+// the result's status + error_detail, exactly as the facade reports them.
 //
 // Distributed tracing: when the process has a trace sink installed, every
 // round trip runs inside a "client.solve" span and the protocol request
@@ -32,17 +46,55 @@
 #include <string>
 #include <vector>
 
+#include "mpss/net/deadline.hpp"
 #include "mpss/net/framing.hpp"
 #include "mpss/net/protocol.hpp"
 
 namespace mpss::net {
 
+/// Retry schedule for idempotent verbs. Attempt 1 is the original request;
+/// `max_attempts = 1` disables retries entirely.
+struct RetryPolicy {
+  int max_attempts = 3;
+  /// Full-jitter exponential backoff between attempts: sleep uniform in
+  /// [0, min(backoff_max_ms, backoff_ms * 2^(attempt-1))] milliseconds.
+  std::int64_t backoff_ms = 10;
+  std::int64_t backoff_max_ms = 2000;
+  /// Seed of the jitter stream (reproducible under test). 0 re-seeds from the
+  /// default splitmix64 constant.
+  std::uint64_t jitter_seed = 0;
+};
+
+struct SolveClientOptions {
+  /// Connect timeout in ms; <= 0 blocks on the OS default. Applies to the
+  /// constructor's connect and to every retry reconnect.
+  std::int64_t connect_timeout_ms = 0;
+  /// Per-syscall socket timeout in ms (SO_RCVTIMEO + SO_SNDTIMEO); <= 0 means
+  /// none. A recv that exceeds it surfaces as FrameError kTimeout.
+  std::int64_t io_timeout_ms = 0;
+  /// Monotonic budget for one whole round trip -- all attempts, reconnects,
+  /// and backoff sleeps included; <= 0 means none. The effective per-syscall
+  /// timeout is min(io_timeout_ms, remaining budget), so an armed budget
+  /// implies socket timeouts even when io_timeout_ms is 0.
+  std::int64_t request_budget_ms = 0;
+  RetryPolicy retry;
+  /// Per-frame payload ceiling, both directions.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+};
+
 class SolveClient {
  public:
   /// Connects (numeric IPv4 only, matching the server). Throws
-  /// std::runtime_error when the connection cannot be established.
+  /// std::runtime_error when the connection cannot be established within the
+  /// options' connect timeout. The constructor itself does not retry --
+  /// "daemon not there" should fail fast; retries cover failures that strike
+  /// after a connection existed.
   SolveClient(const std::string& host, std::uint16_t port,
-              std::size_t max_frame_bytes = kMaxFrameBytes);
+              SolveClientOptions options = SolveClientOptions{});
+
+  /// Back-compat shape: default options with a custom frame cap.
+  SolveClient(const std::string& host, std::uint16_t port,
+              std::size_t max_frame_bytes);
 
   SolveClient(SolveClient&&) noexcept = default;
   SolveClient& operator=(SolveClient&&) noexcept = default;
@@ -77,7 +129,8 @@ class SolveClient {
 
   /// Asks the daemon to drain and exit. Returns its ack payload; the daemon
   /// finishes every accepted request (including this connection's earlier
-  /// ones) before closing.
+  /// ones) before closing. Never retried: the first attempt may have armed
+  /// the drain even when its ack was lost.
   json::Value request_shutdown();
 
   /// Closes the connection. Outstanding daemon-side work for this connection
@@ -88,10 +141,15 @@ class SolveClient {
 
  private:
   [[nodiscard]] Response roundtrip(Request request);
+  [[nodiscard]] Response attempt(const Request& request, const Deadline& budget);
+  void reconnect(const Deadline& budget);
 
+  std::string host_;
+  std::uint16_t port_ = 0;
+  SolveClientOptions options_;
   ScopedFd fd_;
-  std::size_t max_frame_bytes_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t jitter_state_ = 0;
   std::string buffer_;
 };
 

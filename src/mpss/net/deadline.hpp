@@ -1,0 +1,109 @@
+#pragma once
+// Monotonic time budgets and retry backoff for the net layer (S48, see
+// DESIGN.md).
+//
+// The deadline hierarchy, outermost first:
+//
+//   request budget  >  socket timeout  >  server read deadline
+//
+// A Deadline is the outermost layer: one absolute steady-clock point that a
+// whole client round trip (including reconnects and retry sleeps) must finish
+// under. Socket-level timeouts (SO_RCVTIMEO / SO_SNDTIMEO, framing.hpp) bound
+// each individual syscall underneath it; the caller clamps the per-op timeout
+// to the remaining budget via clamp_ms(), so no single recv can outlive the
+// request even when the op timeout alone would allow it.
+//
+// backoff_full_jitter() is the retry schedule: exponential growth with "full
+// jitter" (uniform in [0, min(cap, base * 2^attempt)]), the standard shape for
+// keeping a thundering herd of retrying clients decorrelated. It is fed by an
+// explicit splitmix64 state so retry timing is reproducible under a seeded
+// test and never consults a global RNG.
+
+#include <chrono>
+#include <cstdint>
+
+namespace mpss::net {
+
+/// An absolute monotonic deadline, or "never". Cheap to copy; all queries are
+/// against std::chrono::steady_clock so wall-clock jumps cannot fire it.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// The unarmed deadline: never expires, imposes no per-op clamp.
+  constexpr Deadline() = default;
+
+  /// Armed `ms` milliseconds from now; `ms <= 0` yields never().
+  [[nodiscard]] static Deadline after_ms(std::int64_t ms) {
+    Deadline deadline;
+    if (ms > 0) {
+      deadline.at_ = Clock::now() + std::chrono::milliseconds(ms);
+      deadline.armed_ = true;
+    }
+    return deadline;
+  }
+
+  [[nodiscard]] static constexpr Deadline never() { return Deadline{}; }
+
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  [[nodiscard]] bool expired() const {
+    return armed_ && Clock::now() >= at_;
+  }
+
+  /// Milliseconds left, clamped to >= 0. Unarmed deadlines report -1
+  /// ("unlimited"), matching the 0/negative = "no timeout" convention of the
+  /// socket-timeout setters.
+  [[nodiscard]] std::int64_t remaining_ms() const {
+    if (!armed_) return -1;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - Clock::now());
+    return left.count() > 0 ? left.count() : 0;
+  }
+
+  /// The effective per-operation timeout under this budget: the smaller of
+  /// `op_timeout_ms` and the remaining budget, where <= 0 means "unlimited"
+  /// on both sides. An expired budget yields 0 (the caller should fail fast;
+  /// socket timeouts treat 0 as "no timeout", so check expired() first).
+  [[nodiscard]] std::int64_t clamp_ms(std::int64_t op_timeout_ms) const {
+    std::int64_t remaining = remaining_ms();
+    if (remaining < 0) return op_timeout_ms;
+    if (op_timeout_ms <= 0) return remaining;
+    return remaining < op_timeout_ms ? remaining : op_timeout_ms;
+  }
+
+ private:
+  Clock::time_point at_{};
+  bool armed_ = false;
+};
+
+/// One splitmix64 step: the jitter source for backoff_full_jitter. Public so
+/// tests can reproduce a schedule from the same seed.
+[[nodiscard]] inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Full-jitter exponential backoff: uniform in [0, min(cap, base << attempt)].
+/// `attempt` counts completed attempts (0 after the first failure). Degenerate
+/// inputs (base <= 0) yield 0 -- "retry immediately".
+[[nodiscard]] inline std::int64_t backoff_full_jitter(int attempt,
+                                                      std::int64_t base_ms,
+                                                      std::int64_t cap_ms,
+                                                      std::uint64_t& jitter_state) {
+  if (base_ms <= 0) return 0;
+  if (cap_ms < base_ms) cap_ms = base_ms;
+  // Saturating base << attempt: past 2^40 the cap always wins anyway.
+  std::int64_t ceiling = cap_ms;
+  if (attempt < 40) {
+    std::int64_t grown = base_ms << attempt;
+    ceiling = grown < cap_ms ? grown : cap_ms;
+  }
+  return static_cast<std::int64_t>(
+      splitmix64_next(jitter_state) %
+      static_cast<std::uint64_t>(ceiling + 1));
+}
+
+}  // namespace mpss::net

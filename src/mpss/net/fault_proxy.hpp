@@ -1,0 +1,108 @@
+#pragma once
+// Fault-injecting loopback TCP proxy for hardening tests (S48, see DESIGN.md).
+//
+// FaultProxy sits between a SolveClient and a SolveServer on 127.0.0.1 and
+// mangles traffic on a SEEDED schedule, so tests can drive the daemon through
+// the failure modes a LAN only produces under load: torn connections, half-
+// written frames, resets, stalls. The same seed replays the same fault
+// sequence -- the fixed seed matrix in tests/test_faults.cpp is deterministic
+// in which faults fire, and the assertions are invariants (every call resolves
+// to a typed error or a successful retry; nothing hangs), not golden byte
+// logs.
+//
+// Topology: one proxy connection = one upstream connection = two pump threads
+// (client->upstream and upstream->client), each moving raw bytes -- the proxy
+// is frame-agnostic, which is the point: it can cut a stream ANYWHERE,
+// including inside a length prefix. Per accepted connection the seeded
+// schedule draws one fault (or none, per `fault_probability`) and the byte
+// offset it triggers at:
+//
+//   kNone      forward faithfully
+//   kTruncate  forward N bytes client->upstream-ward, then close both sides
+//              (orderly FIN: the victim sees EOF mid-frame -> kTruncated)
+//   kReset     forward N bytes, then SO_LINGER{1,0}+close (RST: the victim
+//              sees ECONNRESET -> kReset)
+//   kStall     forward N bytes, then stop forwarding WITHOUT closing (the
+//              victim blocks until its deadline -> kTimeout)
+//   kDelay     hold every chunk `delay_ms` before forwarding (latency, not
+//              failure: requests succeed if deadlines allow)
+//   kShortWrite forward in 1..7-byte slices with micro-pauses (stresses the
+//              reassembly loops; must be invisible to correctness)
+//
+// Stats are atomics, written by pump threads, readable while running.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace mpss::net {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kTruncate,
+  kReset,
+  kStall,
+  kDelay,
+  kShortWrite,
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+struct FaultProxyOptions {
+  /// Upstream (the real server) -- numeric IPv4, like the rest of the layer.
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;
+  /// Proxy listen address; port 0 picks an ephemeral port.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Seed of the fault schedule; the same seed draws the same faults.
+  std::uint64_t seed = 1;
+  /// Probability that a connection is assigned a fault at all.
+  double fault_probability = 1.0;
+  /// Upper bound (exclusive is fine for 0) on the byte offset where truncate /
+  /// reset / stall trigger; the draw is uniform in [0, max_fault_offset].
+  std::uint64_t max_fault_offset = 256;
+  /// Forwarding delay of kDelay connections, per chunk.
+  std::int64_t delay_ms = 20;
+  /// When true, faults are only injected on the upstream->client leg (server
+  /// responses), leaving requests intact -- exercises the client's retry
+  /// path without the server ever seeing a bad frame.
+  bool faults_downstream_only = false;
+};
+
+struct FaultProxyStats {
+  std::uint64_t connections = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t truncates = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t short_writes = 0;
+  std::uint64_t bytes_forwarded = 0;
+};
+
+class FaultProxy {
+ public:
+  /// Binds and starts proxying. Throws std::runtime_error when the listen
+  /// socket cannot be bound (connecting upstream happens per connection).
+  explicit FaultProxy(FaultProxyOptions options);
+  /// Tears everything down: stops the listener, closes every proxied
+  /// connection (stalled ones included -- their victims see EOF/reset), joins
+  /// all pump threads.
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// The proxy's bound port -- what the client under test connects to.
+  [[nodiscard]] std::uint16_t port() const;
+
+  [[nodiscard]] FaultProxyStats stats() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mpss::net

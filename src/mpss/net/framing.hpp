@@ -1,5 +1,5 @@
 #pragma once
-// Length-prefixed framing over POSIX stream sockets (S45, see DESIGN.md).
+// Length-prefixed framing over POSIX stream sockets (S45/S48, see DESIGN.md).
 //
 // Every protocol message travels as one frame:
 //
@@ -14,6 +14,14 @@
 // HTTP at us, a flipped bit) otherwise turns into a multi-gigabyte allocation.
 // Oversized or truncated frames raise FrameError; the connection is then
 // unrecoverable (stream framing has no resync point) and must be closed.
+//
+// Failure taxonomy (S48): every FrameError carries a Kind, because the caller's
+// recovery differs by class. A clean EOF before the first prefix byte is NOT an
+// error (read_frame returns false -- the orderly close); EOF after byte one of
+// a frame is kTruncated (the peer died mid-message); kTimeout is a deadline or
+// SO_RCVTIMEO/SO_SNDTIMEO expiry (the peer may be alive but slow -- retryable
+// on a fresh connection); kReset is a torn connection (ECONNRESET/EPIPE);
+// kOversize is a protocol violation that retrying cannot fix.
 
 #include <cstddef>
 #include <cstdint>
@@ -27,12 +35,32 @@ namespace mpss::net {
 /// generous rationals fits with room to spare).
 inline constexpr std::size_t kMaxFrameBytes = 32u << 20;
 
-/// Malformed or oversized frame, or a connection that died mid-frame. The
-/// stream cannot be resynchronized after this; close it.
+/// Malformed or oversized frame, a connection that died or stalled mid-frame,
+/// or a read/write error. The stream cannot be resynchronized after this;
+/// close it. kind() tells the caller whether retrying on a fresh connection
+/// makes sense (kTruncated/kTimeout/kReset/kIo) or not (kOversize).
 class FrameError : public std::runtime_error {
  public:
-  explicit FrameError(const std::string& what) : std::runtime_error(what) {}
+  enum class Kind {
+    kIo,         // unexpected errno from recv/send/poll
+    kTruncated,  // EOF after the first byte of a frame but before its last
+    kOversize,   // frame larger than the negotiated cap (either direction)
+    kTimeout,    // read deadline, SO_RCVTIMEO, or SO_SNDTIMEO expired
+    kReset,      // connection torn down (ECONNRESET, EPIPE, ENOTCONN)
+  };
+
+  explicit FrameError(const std::string& what, Kind kind = Kind::kIo)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
 };
+
+/// Stable lowercase name ("io", "truncated", "oversize", "timeout", "reset")
+/// for log lines and test assertions.
+[[nodiscard]] const char* frame_error_kind_name(FrameError::Kind kind);
 
 /// RAII file descriptor (sockets here, but any fd works). Movable, not
 /// copyable; close() is idempotent.
@@ -56,18 +84,46 @@ class ScopedFd {
   int fd_ = -1;
 };
 
+/// Read deadlines of one read_frame call, both in milliseconds, both 0 = "wait
+/// forever" (the pre-S48 behavior). `idle_ms` bounds the wait for a frame's
+/// FIRST byte -- how long a connection may sit quiet between requests.
+/// `frame_ms` bounds the wall time from a frame's first byte to its last --
+/// the defense against byte-dribbling (slowloris) peers, who otherwise hold a
+/// reader hostage one byte per minute without ever "timing out".
+struct ReadDeadlines {
+  std::int64_t idle_ms = 0;
+  std::int64_t frame_ms = 0;
+};
+
 /// Reads one frame into `payload`. Returns false on clean end-of-stream (EOF
 /// before the first prefix byte -- the orderly close). Throws FrameError on a
-/// payload larger than `max_bytes`, EOF mid-frame, or a read error. Retries
-/// EINTR internally.
+/// payload larger than `max_bytes` (kOversize), EOF mid-frame (kTruncated,
+/// distinguished from the clean close by at least one byte of the frame having
+/// arrived), an expired deadline or SO_RCVTIMEO (kTimeout), or a read error
+/// (kReset/kIo). Retries EINTR internally.
 [[nodiscard]] bool read_frame(int fd, std::string& payload,
-                              std::size_t max_bytes = kMaxFrameBytes);
+                              std::size_t max_bytes = kMaxFrameBytes,
+                              const ReadDeadlines& deadlines = ReadDeadlines{});
 
 /// Writes one frame (prefix + payload). Throws FrameError when the payload
-/// exceeds `max_bytes` or the peer is gone (EPIPE/ECONNRESET; SIGPIPE is
-/// suppressed with MSG_NOSIGNAL). Retries EINTR and short writes internally.
+/// exceeds `max_bytes` (kOversize), the peer is gone (kReset; EPIPE/ECONNRESET
+/// -- SIGPIPE is suppressed with MSG_NOSIGNAL), or SO_SNDTIMEO expires with
+/// the peer's receive window still full (kTimeout). Retries EINTR and short
+/// writes internally: on return the whole frame was handed to the kernel, so
+/// partial writes under EINTR, tiny SO_SNDBUF, or a dawdling reader never
+/// interleave garbage into the stream.
 void write_frame(int fd, std::string_view payload,
                  std::size_t max_bytes = kMaxFrameBytes);
+
+/// Sets SO_RCVTIMEO on `fd`: every subsequent recv fails with EAGAIN (surfaced
+/// by read_frame as FrameError kTimeout) after blocking `ms` milliseconds.
+/// `ms <= 0` clears the timeout (block forever). Throws std::runtime_error
+/// naming `who` when setsockopt fails.
+void set_recv_timeout(int fd, std::int64_t ms, std::string_view who);
+
+/// SO_SNDTIMEO twin of set_recv_timeout: bounds each blocking send (surfaced
+/// by write_frame as FrameError kTimeout).
+void set_send_timeout(int fd, std::int64_t ms, std::string_view who);
 
 /// Binds a listening TCP socket on a numeric IPv4 address (no hostname
 /// resolution, matching the rest of the net layer) with SO_REUSEADDR set.

@@ -1,5 +1,6 @@
 #include "mpss/net/metrics_http.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -8,6 +9,7 @@
 #include <string_view>
 #include <thread>
 
+#include "mpss/net/deadline.hpp"
 #include "mpss/net/framing.hpp"
 #include "mpss/obs/export.hpp"
 #include "mpss/obs/registry.hpp"
@@ -19,15 +21,35 @@ namespace {
 /// request is one short line plus a few headers.
 constexpr std::size_t kMaxHeadBytes = 8u << 10;
 
-/// Reads until the blank line ending the request head, EOF, or the cap.
-/// Returns what was read (possibly truncated -- the request line is all we
-/// parse, so a truncated tail is harmless).
-std::string read_head(int fd) {
+/// Reads until the blank line ending the request head, EOF, the cap, or the
+/// deadline. Returns what was read (possibly truncated -- the request line is
+/// all we parse, so a truncated tail is harmless). `timed_out` reports a
+/// deadline expiry so the caller can count the slow client; the head gathered
+/// so far is still returned (and will parse as 404 if incomplete).
+std::string read_head(int fd, const Deadline& deadline, bool& timed_out) {
   std::string head;
   char buffer[1024];
+  timed_out = false;
   while (head.size() < kMaxHeadBytes &&
          head.find("\r\n\r\n") == std::string::npos &&
          head.find("\n\n") == std::string::npos) {
+    if (deadline.armed()) {
+      // The deadline covers the whole head, so a peer dribbling one byte per
+      // poll round cannot extend it: each wait is against the same absolute
+      // point, re-checked after every partial read.
+      std::int64_t left = deadline.remaining_ms();
+      if (left == 0) {
+        timed_out = true;
+        break;
+      }
+      pollfd poll_fd{fd, POLLIN, 0};
+      int ready = ::poll(&poll_fd, 1, static_cast<int>(left));
+      if (ready == 0) continue;  // re-check remaining_ms at the top
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+    }
     ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
@@ -62,9 +84,10 @@ std::string http_response(std::string_view status, std::string_view body) {
 
 class MetricsHttpServer::Impl {
  public:
-  Impl(const std::string& host, std::uint16_t port)
+  Impl(const std::string& host, std::uint16_t port, std::int64_t head_timeout_ms)
       : listen_fd_(bind_listen_ipv4(host, port, "MetricsHttpServer")),
-        port_(bound_port(listen_fd_.get(), "MetricsHttpServer")) {
+        port_(bound_port(listen_fd_.get(), "MetricsHttpServer")),
+        head_timeout_ms_(head_timeout_ms) {
     acceptor_ = std::thread([this] { accept_loop(); });
   }
 
@@ -91,7 +114,14 @@ class MetricsHttpServer::Impl {
   }
 
   void serve(int fd) {
-    std::string head = read_head(fd);
+    bool timed_out = false;
+    std::string head =
+        read_head(fd, Deadline::after_ms(head_timeout_ms_), timed_out);
+    if (timed_out) {
+      obs::Registry::global().add("net.metrics_slow_clients");
+      obs::Registry::global().add("net.timeouts");
+      return;  // no response: the peer was not speaking HTTP at our pace
+    }
     // Request line: METHOD SP TARGET SP VERSION. Only "GET /metrics" (with an
     // optional query string) is a hit.
     std::string_view line(head);
@@ -116,11 +146,13 @@ class MetricsHttpServer::Impl {
 
   ScopedFd listen_fd_;
   std::uint16_t port_;
+  std::int64_t head_timeout_ms_;
   std::thread acceptor_;
 };
 
-MetricsHttpServer::MetricsHttpServer(const std::string& host, std::uint16_t port)
-    : impl_(std::make_unique<Impl>(host, port)) {}
+MetricsHttpServer::MetricsHttpServer(const std::string& host, std::uint16_t port,
+                                     std::int64_t head_timeout_ms)
+    : impl_(std::make_unique<Impl>(host, port, head_timeout_ms)) {}
 
 MetricsHttpServer::~MetricsHttpServer() = default;
 

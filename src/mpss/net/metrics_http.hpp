@@ -15,6 +15,12 @@
 // bodies, no TLS, request heads capped at 8 KiB. It exists so operators can
 // point a stock Prometheus scraper at `mpss_served --metrics-port` without a
 // sidecar, while protocol-speaking clients keep using the "metrics" verb.
+//
+// Because the endpoint is single-threaded, a slow client IS a denial of
+// service unless reads are bounded (S48): the head read runs under a total
+// deadline (`head_timeout_ms`), so a slowloris peer -- connect, then dribble
+// or send nothing -- is cut off and counted (net.metrics_slow_clients)
+// instead of pinning the acceptor forever.
 
 #include <cstdint>
 #include <memory>
@@ -25,9 +31,12 @@ namespace mpss::net {
 class MetricsHttpServer {
  public:
   /// Binds and starts serving. `port` 0 picks an ephemeral port (read it back
-  /// via port()). Throws std::runtime_error when the socket cannot be bound.
+  /// via port()). `head_timeout_ms` bounds the WHOLE request-head read per
+  /// connection (first byte to blank line; <= 0 disables -- test-only).
+  /// Throws std::runtime_error when the socket cannot be bound.
   explicit MetricsHttpServer(const std::string& host = "127.0.0.1",
-                             std::uint16_t port = 0);
+                             std::uint16_t port = 0,
+                             std::int64_t head_timeout_ms = 2'000);
   /// Stops the listener and joins the accept thread.
   ~MetricsHttpServer();
 

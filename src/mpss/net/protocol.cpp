@@ -20,10 +20,29 @@ auto bad_request_scope(Fn&& fn) -> decltype(fn()) {
   }
 }
 
+/// The largest double that is still an exact integer (2^53). Every checked
+/// double -> integer conversion below bounds by it BEFORE casting: a cast
+/// from a double past the target's range (a hostile "id": 1e300, inf) is
+/// undefined behavior, and NaN slips through naive `raw < 0` guards because
+/// every comparison against NaN is false. All checks are therefore written in
+/// the accepting direction (`raw >= lo && raw <= hi`), which NaN fails.
+constexpr double kMaxExactDouble = 9007199254740992.0;
+
+/// Checked double -> non-negative integer: rejects NaN, infinities,
+/// negatives, fractions, and anything past 2^53. Throws invalid_argument
+/// (bad_request_scope recodes it) naming `what`.
+std::uint64_t checked_u64(double raw, const char* what) {
+  if (!(raw >= 0.0 && raw <= kMaxExactDouble && raw == std::floor(raw))) {
+    throw std::invalid_argument(std::string("protocol: ") + what +
+                                " must be a non-negative integer (<= 2^53)");
+  }
+  return static_cast<std::uint64_t>(raw);
+}
+
 std::uint64_t id_from(const json::Value& document) {
   if (const json::Value* id = document.find("id")) {
     double raw = id->as_double();
-    if (raw < 0 || raw != std::floor(raw)) {
+    if (!(raw >= 0.0 && raw <= kMaxExactDouble && raw == std::floor(raw))) {
       throw ProtocolError(ErrorCode::kBadRequest,
                           "protocol: id must be a non-negative integer");
     }
@@ -85,19 +104,16 @@ std::size_t slice_machine(const json::Array& fields, std::size_t machines) {
 }
 
 std::size_t slice_job(const json::Value& value) {
-  double raw = value.as_double();
-  if (raw < 0 || raw != std::floor(raw)) {
-    throw std::invalid_argument("protocol: slice job index must be a non-negative "
-                                "integer");
-  }
-  return static_cast<std::size_t>(raw);
+  return static_cast<std::size_t>(
+      checked_u64(value.as_double(), "slice job index"));
 }
 
 void schedule_from_json(const json::Value& value, SolveResult& result) {
   const std::string& type = value.at("type").as_string();
   if (type == "none") return;
   double machines_raw = value.at("machines").as_double();
-  if (machines_raw < 1 || machines_raw != std::floor(machines_raw)) {
+  if (!(machines_raw >= 1.0 && machines_raw <= kMaxExactDouble &&
+        machines_raw == std::floor(machines_raw))) {
     throw std::invalid_argument("protocol: schedule machines must be >= 1");
   }
   auto machines = static_cast<std::size_t>(machines_raw);
@@ -248,12 +264,8 @@ SolveOptions solve_options_from_json_value(const json::Value& value) {
     options.avr.enable_peeling = v->as_bool();
   }
   if (const json::Value* v = value.find("lp_grid")) {
-    double raw = v->as_double();
-    if (raw < 0 || raw != std::floor(raw)) {
-      throw std::invalid_argument("protocol: lp_grid must be a non-negative "
-                                  "integer");
-    }
-    options.lp_grid = static_cast<std::size_t>(raw);
+    options.lp_grid = static_cast<std::size_t>(
+        checked_u64(v->as_double(), "lp_grid"));
   }
   if (const json::Value* v = value.find("lp_max_speed_hint")) {
     options.lp_max_speed_hint = v->as_double();
@@ -339,11 +351,19 @@ Request decode_request(std::string_view payload) {
       request.options = solve_options_from_json_value(*options);
     }
     if (const json::Value* priority = document.find("priority")) {
-      request.priority = static_cast<int>(priority->as_double());
+      double raw = priority->as_double();
+      if (!(raw >= -2147483648.0 && raw <= 2147483647.0 &&
+            raw == std::floor(raw))) {
+        throw ProtocolError(ErrorCode::kBadRequest,
+                            "protocol: priority must be an integer in int range");
+      }
+      request.priority = static_cast<int>(raw);
     }
     if (const json::Value* deadline = document.find("deadline_ms")) {
       double raw = deadline->as_double();
-      if (raw < 0) {
+      // Accepting-direction check: NaN fails every comparison, so `raw < 0`
+      // alone would wave NaN through to an undefined cast.
+      if (!(raw >= 0.0 && raw <= kMaxExactDouble && raw == std::floor(raw))) {
         throw ProtocolError(ErrorCode::kBadRequest,
                             "protocol: deadline_ms must be >= 0");
       }

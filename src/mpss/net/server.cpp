@@ -68,6 +68,7 @@ class SolveServer::Impl {
 
     std::mutex mutex;
     std::condition_variable entry_ready;
+    std::condition_variable entry_popped;  // writer pops -> reader may enqueue
     std::deque<Entry> pending;  // writer consumes the front; reader appends
     bool reader_done = false;
     /// Set (before SHUT_RD) by the graceful-drain path so the reader's EOF is
@@ -80,6 +81,10 @@ class SolveServer::Impl {
         solver_(options_.service),
         listen_fd_(bind_listen_ipv4(options_.host, options_.port, "SolveServer")),
         port_(bound_port(listen_fd_.get(), "SolveServer")) {
+    // Pre-register the S48 robustness counters so /metrics exposes them at
+    // zero from the first scrape, instead of only after the first incident.
+    obs::Registry::global().add("net.retries", 0);
+    obs::Registry::global().add("net.timeouts", 0);
     acceptor_ = std::thread([this] { accept_loop(); });
     supervisor_ = std::thread([this] { supervise(); });
   }
@@ -130,6 +135,13 @@ class SolveServer::Impl {
       }
       auto connection = std::make_shared<Connection>();
       connection->fd = ScopedFd(fd);
+      if (options_.write_timeout_ms > 0) {
+        try {
+          set_send_timeout(fd, options_.write_timeout_ms, "SolveServer");
+        } catch (const std::runtime_error&) {
+          continue;  // a dying fd; ScopedFd closes it, keep accepting
+        }
+      }
       {
         std::scoped_lock lock(mutex_);
         if (shutdown_requested_) continue;  // ScopedFd closes the late arrival
@@ -197,7 +209,17 @@ class SolveServer::Impl {
 
   void enqueue(Connection& connection, Entry entry) {
     {
-      std::scoped_lock lock(connection.mutex);
+      std::unique_lock lock(connection.mutex);
+      // Inflight cap: hold this reader (and, through TCP flow control, the
+      // client) until the writer drains below the cap. The writer never stops
+      // popping -- even with an unwritable peer it keeps resolving -- so this
+      // wait always makes progress.
+      if (options_.max_inflight_per_connection > 0) {
+        connection.entry_popped.wait(lock, [&] {
+          return connection.pending.size() <
+                 options_.max_inflight_per_connection;
+        });
+      }
       connection.pending.push_back(std::move(entry));
     }
     connection.entry_ready.notify_one();
@@ -206,18 +228,32 @@ class SolveServer::Impl {
   void read_loop(Connection& connection) {
     std::string payload;
     bool frame_error = false;
+    const ReadDeadlines deadlines{options_.idle_timeout_ms,
+                                  options_.frame_timeout_ms};
     try {
-      while (read_frame(connection.fd.get(), payload, options_.max_frame_bytes)) {
+      while (read_frame(connection.fd.get(), payload, options_.max_frame_bytes,
+                        deadlines)) {
         obs::Registry::global().add("net.requests");
         obs::emit(nullptr, obs::EventKind::kCounter, "net.request",
                   /*a=*/payload.size());
         handle_frame(connection, payload);
       }
-    } catch (const FrameError&) {
+    } catch (const FrameError& error) {
       // Unframeable stream: no resync point exists, drop the connection. The
       // writer flushes what was already accepted, exactly like a plain EOF.
       obs::Registry::global().add("net.frame_errors");
+      if (error.kind() == FrameError::Kind::kTimeout) {
+        obs::Registry::global().add("net.timeouts");
+        obs::emit(nullptr, obs::EventKind::kCounter, "net.read_timeout");
+      }
       frame_error = true;
+    }
+    if (frame_error) {
+      // Sever the socket both ways so the peer observes the cutoff promptly
+      // (the fd itself lives until the connection object dies at shutdown).
+      // The stream is beyond resync, so undelivered responses are already
+      // lost; the writer keeps resolving futures and its writes fail fast.
+      ::shutdown(connection.fd.get(), SHUT_RDWR);
     }
     const bool draining = connection.draining.load(std::memory_order_acquire);
     if (!draining || frame_error) {
@@ -437,17 +473,22 @@ class SolveServer::Impl {
                         : std::chrono::duration<double>(
                               CancelToken::Clock::now() - entry.received)
                               .count());
-        } catch (const FrameError&) {
-          // Peer gone mid-write. Keep resolving futures (the no-dropped-
-          // futures contract) but stop writing.
+        } catch (const FrameError& error) {
+          // Peer gone mid-write -- or, under SO_SNDTIMEO, a peer that stopped
+          // reading long enough to fill its receive window. Keep resolving
+          // futures (the no-dropped-futures contract) but stop writing.
           peer_writable = false;
           obs::Registry::global().add("net.write_failures");
+          if (error.kind() == FrameError::Kind::kTimeout) {
+            obs::Registry::global().add("net.timeouts");
+          }
         }
       }
       {
         std::scoped_lock lock(connection.mutex);
         connection.pending.pop_front();
       }
+      connection.entry_popped.notify_one();
     }
   }
 

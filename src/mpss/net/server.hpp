@@ -22,6 +22,15 @@
 // side, and then resolves and writes every already-accepted request before the
 // threads join: no accepted future is ever dropped.
 //
+// Robustness (S48): readers run under per-connection read deadlines -- an
+// optional idle timeout between requests and a frame timeout from a request's
+// first byte to its last (the slowloris defense) -- and writers under
+// SO_SNDTIMEO, so neither a byte-dribbling nor a never-reading peer can pin a
+// thread forever. A per-connection inflight cap bounds the response FIFO: a
+// client that pipelines past it is held in its own socket until the writer
+// catches up. Every deadline expiry closes only the offending connection
+// (bumping net.timeouts) and never drops an accepted future.
+//
 // Observability (S47): when a request carries the protocol's trace header the
 // reader adopts that context, so the server's "net.request" span (and the
 // "service.request" / engine spans under it) join the client's trace --
@@ -51,6 +60,24 @@ struct SolveServerOptions {
   BatchSolverOptions service;
   /// Per-frame payload ceiling, enforced on both directions.
   std::size_t max_frame_bytes = 32u << 20;
+  /// How long a connection may sit idle between requests before the server
+  /// closes it, in ms. 0 (the default) keeps connections open indefinitely --
+  /// long-lived idle clients are legitimate here (bench harnesses, pools).
+  std::int64_t idle_timeout_ms = 0;
+  /// Ceiling on the wall time from a request frame's first byte to its last,
+  /// in ms; <= 0 disables. The slowloris defense: a peer dribbling one byte a
+  /// minute is cut off after this long, instead of pinning a reader forever.
+  std::int64_t frame_timeout_ms = 30'000;
+  /// SO_SNDTIMEO on accepted sockets, in ms; <= 0 disables. A peer that stops
+  /// reading while responses back up stalls the writer at most this long; the
+  /// write then fails, the response is dropped (the peer was not reading it),
+  /// and the connection's remaining futures still resolve.
+  std::int64_t write_timeout_ms = 30'000;
+  /// Ceiling on unanswered requests buffered per connection. A client that
+  /// pipelines past it is backpressured in its socket (the reader stops
+  /// pulling frames until the writer catches up), bounding per-connection
+  /// memory no matter how fast the peer floods. 0 means unlimited.
+  std::size_t max_inflight_per_connection = 64;
   /// Slow-request log threshold in milliseconds: a completed request whose
   /// wall time (receipt to response) is >= this emits one structured JSON
   /// record -- id, verb, engine, status, queue_wait_us, wall_us, cache_hit,

@@ -8,12 +8,17 @@
 //
 //   mpss_served [--host=127.0.0.1] [--port=0] [--threads=N] [--queue=N]
 //               [--cache=N] [--trace=out.jsonl] [--metrics-port=N]
-//               [--slow-ms=N]
+//               [--slow-ms=N] [--idle-timeout-ms=N] [--frame-timeout-ms=N]
+//               [--max-inflight=N]
 //
 // --metrics-port starts the Prometheus scrape endpoint (GET /metrics, S47) on
 // the same host; the bound port is printed as "metrics on <host>:<port>".
 // --slow-ms turns on the structured completion log on stderr: one JSON line
 // per request whose wall time meets the threshold (0 logs every request).
+// --idle-timeout-ms / --frame-timeout-ms set the per-connection read deadlines
+// (S48): idle bounds the wait for a new frame, frame bounds a started frame's
+// arrival (the slowloris cutoff). --max-inflight caps pipelined requests per
+// connection before reads stall.
 //
 // Client mode (--connect) drives a running daemon over the same protocol --
 // the shell-scriptable face of net::SolveClient, and what the CI integration
@@ -24,7 +29,15 @@
 //   mpss_served --connect=HOST:PORT --metrics
 //   mpss_served --connect=HOST:PORT --shutdown
 //   mpss_served --connect=HOST:PORT [--engine=NAME] [--deadline-ms=N]
-//               [--priority=N] [--trace=out.jsonl] instance.json [more.json ...]
+//               [--priority=N] [--trace=out.jsonl] [--connect-timeout-ms=N]
+//               [--io-timeout-ms=N] [--budget-ms=N] [--retries=N]
+//               instance.json [more.json ...]
+//
+// The client-side deadlines and retries (S48) apply to every client-mode verb:
+// --connect-timeout-ms bounds the TCP connect, --io-timeout-ms each
+// send/recv, --budget-ms the whole round trip (retries and backoff included),
+// and --retries sets the attempt cap for idempotent verbs (shutdown never
+// retries).
 //
 // --metrics prints the daemon's Prometheus snapshot (the "metrics" verb).
 // --trace in client mode records the client-side trace -- each solve runs in a
@@ -68,11 +81,14 @@ constexpr int kExitSolveFailed = 3;
 const char* kUsage =
     "usage: mpss_served [--host=A] [--port=N] [--threads=N] [--queue=N]\n"
     "                   [--cache=N] [--trace=out.jsonl] [--metrics-port=N]\n"
-    "                   [--slow-ms=N]\n"
+    "                   [--slow-ms=N] [--idle-timeout-ms=N]\n"
+    "                   [--frame-timeout-ms=N] [--max-inflight=N]\n"
     "       mpss_served --connect=HOST:PORT "
     "(--health|--stats|--metrics|--shutdown)\n"
     "       mpss_served --connect=HOST:PORT [--engine=NAME] [--deadline-ms=N]\n"
-    "                   [--priority=N] [--trace=out.jsonl] instance.json "
+    "                   [--priority=N] [--trace=out.jsonl]\n"
+    "                   [--connect-timeout-ms=N] [--io-timeout-ms=N]\n"
+    "                   [--budget-ms=N] [--retries=N] instance.json "
     "[more.json ...]\n";
 
 // Signal handling: the handler only flips a flag; a watcher thread turns it
@@ -91,6 +107,10 @@ int run_daemon(const mpss::CliArgs& args) {
   options.service.cache_capacity =
       static_cast<std::size_t>(args.get_int("cache", 128));
   options.slow_ms = args.get_int("slow-ms", -1);
+  options.idle_timeout_ms = args.get_int("idle-timeout-ms", 0);
+  options.frame_timeout_ms = args.get_int("frame-timeout-ms", 30'000);
+  options.max_inflight_per_connection =
+      static_cast<std::size_t>(args.get_int("max-inflight", 64));
 
   std::optional<mpss::obs::JsonlSink> trace_sink;
   std::string trace_path = args.get("trace", "");
@@ -174,7 +194,14 @@ int run_client(const mpss::CliArgs& args, const std::string& endpoint) {
   } detach{!trace_path.empty()};
 
   try {
-    mpss::net::SolveClient client(host, static_cast<std::uint16_t>(port));
+    mpss::net::SolveClientOptions client_options;
+    client_options.connect_timeout_ms = args.get_int("connect-timeout-ms", 0);
+    client_options.io_timeout_ms = args.get_int("io-timeout-ms", 0);
+    client_options.request_budget_ms = args.get_int("budget-ms", 0);
+    client_options.retry.max_attempts =
+        static_cast<int>(args.get_int("retries", 3));
+    mpss::net::SolveClient client(host, static_cast<std::uint16_t>(port),
+                                  client_options);
     if (args.get_bool("health", false)) {
       std::cout << mpss::json::serialize(client.health()) << "\n";
       return kExitOk;
@@ -241,7 +268,9 @@ int main(int argc, char** argv) {
                        {"host", "port", "threads", "queue", "cache", "trace",
                         "connect", "health", "stats", "metrics", "shutdown",
                         "engine", "deadline-ms", "priority", "metrics-port",
-                        "slow-ms", "help"});
+                        "slow-ms", "idle-timeout-ms", "frame-timeout-ms",
+                        "max-inflight", "connect-timeout-ms", "io-timeout-ms",
+                        "budget-ms", "retries", "help"});
     if (args.get_bool("help", false)) {
       std::cout << kUsage;
       return kExitOk;
